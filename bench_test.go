@@ -1,0 +1,342 @@
+package weblint
+
+// The benchmark harness: one bench per experiment in DESIGN.md's
+// per-experiment index (E1-E9). The paper has no numbered tables or
+// figures, so the experiments cover every quantified or exemplified
+// claim in its text; cmd/weblint-bench prints the paper-vs-measured
+// rows and EXPERIMENTS.md records them.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weblint/internal/config"
+	"weblint/internal/core"
+	"weblint/internal/corpus"
+	"weblint/internal/dtd"
+	"weblint/internal/gateway"
+	"weblint/internal/htmlspec"
+	"weblint/internal/htmltoken"
+	"weblint/internal/lint"
+	"weblint/internal/robot"
+	"weblint/internal/sitewalk"
+	"weblint/internal/validator"
+	"weblint/internal/warn"
+)
+
+// BenchmarkE1Section42Example checks the paper's Section 4.2 page —
+// the tool's reference workload.
+func BenchmarkE1Section42Example(b *testing.B) {
+	l := lint.MustNew(lint.Options{})
+	b.SetBytes(int64(len(section42)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(l.CheckString("test.html", section42)); got != 7 {
+			b.Fatalf("got %d messages, want 7", got)
+		}
+	}
+}
+
+// BenchmarkE2RegistryLookup measures message registry operations (the
+// enable/disable machinery every check goes through).
+func BenchmarkE2RegistryLookup(b *testing.B) {
+	set := warn.NewSet()
+	ids := warn.IDs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := ids[i%len(ids)]
+		if warn.Lookup(id) == nil {
+			b.Fatal("lost definition")
+		}
+		set.Enabled(id)
+	}
+}
+
+// BenchmarkE3Formatters measures the output formatters over the
+// Section 4.2 message set.
+func BenchmarkE3Formatters(b *testing.B) {
+	msgs := CheckString("test.html", section42)
+	formatters := map[string]Formatter{
+		"lint":    LintStyle,
+		"short":   ShortStyle,
+		"terse":   TerseStyle,
+		"verbose": VerboseStyle,
+	}
+	for name, f := range formatters {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, m := range msgs {
+					_ = f.Format(m)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4ConfigLoad measures configuration parsing and the
+// three-layer application of Section 4.4.
+func BenchmarkE4ConfigLoad(b *testing.B) {
+	site := "disable img-alt here-anchor\nset title-length 40\nextension netscape\n"
+	user := "enable here-anchor\nset title-length 80\nset tag-case upper\n"
+	cli := "disable style\n"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := config.NewSettings()
+		for _, layer := range []string{site, user, cli} {
+			cfg, err := config.Parse(strings.NewReader(layer), "layer.rc")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Apply(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE5CascadeHeuristics compares checking with the cascade
+// suppression heuristics on and ablated, on the same defective corpus
+// (Section 5.1's design goal).
+func BenchmarkE5CascadeHeuristics(b *testing.B) {
+	src := corpus.Generate(corpus.Config{
+		Seed: 42, Sections: 16,
+		Errors: corpus.ErrorRates{Overlap: 0.4, DropClose: 0.3},
+	})
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"heuristics-on", false}, {"heuristics-off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				em := warn.NewEmitter(nil)
+				core.Check(src, em, core.Options{
+					Filename:                  "g.html",
+					DisableCascadeSuppression: mode.disable,
+					DisableImpliedClose:       mode.disable,
+				})
+				total += len(em.Messages())
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "messages/doc")
+		})
+	}
+}
+
+// BenchmarkE6StrictValidator compares weblint's heuristic checking
+// against the DTD-driven strict validator on the same documents (the
+// Sections 2-3 contrast).
+func BenchmarkE6StrictValidator(b *testing.B) {
+	src := corpus.Generate(corpus.Config{
+		Seed: 7, Sections: 16,
+		Errors: corpus.ErrorRates{Misspell: 0.3, Overlap: 0.3, DropClose: 0.2},
+	})
+	b.Run("weblint", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			em := warn.NewEmitter(nil)
+			core.Check(src, em, core.Options{Filename: "g.html"})
+			total += len(em.Messages())
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "messages/doc")
+	})
+	b.Run("strict", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		v := validator.New(nil)
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += len(v.Validate("g.html", src))
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "messages/doc")
+	})
+}
+
+// BenchmarkE7Throughput measures checking throughput across document
+// sizes — the "easy to run from a batch script" scaling claim.
+func BenchmarkE7Throughput(b *testing.B) {
+	for _, size := range []int{1 << 10, 16 << 10, 128 << 10, 1 << 20} {
+		src := corpus.GenerateSized(99, size, corpus.ErrorRates{})
+		name := fmt.Sprintf("size-%dKB", size/1024)
+		b.Run(name, func(b *testing.B) {
+			l := lint.MustNew(lint.Options{})
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.CheckString("g.html", src)
+			}
+		})
+	}
+}
+
+// BenchmarkE7Tokenizer isolates the tokenizer substrate.
+func BenchmarkE7Tokenizer(b *testing.B) {
+	src := corpus.GenerateSized(99, 128<<10, corpus.ErrorRates{})
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		toks := htmltoken.Tokenize(src)
+		if len(toks) == 0 {
+			b.Fatal("no tokens")
+		}
+	}
+}
+
+// BenchmarkE7SpecVersions compares checking against HTML 4.0, HTML
+// 3.2, and 4.0 with vendor extensions enabled (the version-module
+// ablation).
+func BenchmarkE7SpecVersions(b *testing.B) {
+	src := corpus.GenerateSized(99, 64<<10, corpus.ErrorRates{})
+	variants := map[string]func() *lint.Linter{
+		"html40": func() *lint.Linter { return lint.MustNew(lint.Options{}) },
+		"html32": func() *lint.Linter {
+			s := config.NewSettings()
+			s.HTMLVersion = "3.2"
+			return lint.MustNew(lint.Options{Settings: s})
+		},
+		"html40+ext": func() *lint.Linter {
+			s := config.NewSettings()
+			s.Extensions = []string{"netscape", "microsoft"}
+			return lint.MustNew(lint.Options{Settings: s})
+		},
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			l := mk()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				l.CheckString("g.html", src)
+			}
+		})
+	}
+}
+
+// BenchmarkE7DTDGeneratedSpec compares checking with the hand-written
+// HTML 4.0 tables against checking with tables generated from the
+// embedded DTD (the Section 6.1 "driving weblint with a DTD" path).
+func BenchmarkE7DTDGeneratedSpec(b *testing.B) {
+	src := corpus.GenerateSized(99, 64<<10, corpus.ErrorRates{})
+	variants := map[string]*htmlspec.Spec{
+		"hand-tables": htmlspec.HTML40(),
+		"from-dtd":    htmlspec.FromDTD(dtd.HTML40(), "HTML 4.0"),
+	}
+	for name, spec := range variants {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				em := warn.NewEmitter(nil)
+				core.Check(src, em, core.Options{Filename: "g.html", Spec: spec})
+			}
+		})
+	}
+	b.Run("spec-construction", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = htmlspec.FromDTD(dtd.HTML40(), "HTML 4.0")
+		}
+	})
+}
+
+// BenchmarkE8SiteWalk measures the -R site recursion over a 30-page
+// site with defects.
+func BenchmarkE8SiteWalk(b *testing.B) {
+	root := b.TempDir()
+	pages := corpus.GenerateSite(corpus.SiteConfig{
+		Seed: 5, Pages: 30, Orphans: 2, BrokenLinks: 3, Subdirs: 3,
+	})
+	for rel, content := range pages {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l := lint.MustNew(lint.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := sitewalk.Walk(root, sitewalk.Options{Linter: l})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Pages) != 30 {
+			b.Fatalf("pages = %d", len(rep.Pages))
+		}
+	}
+}
+
+// BenchmarkE9RobotCrawl measures the poacher robot over a 25-page
+// httptest site, linting every page as it goes.
+func BenchmarkE9RobotCrawl(b *testing.B) {
+	pages := corpus.GenerateSite(corpus.SiteConfig{Seed: 11, Pages: 25, Subdirs: 2})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		path := strings.TrimPrefix(r.URL.Path, "/")
+		if path == "" {
+			path = "index.html"
+		}
+		body, ok := pages[path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, body)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	l := lint.MustNew(lint.Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := robot.NewRobot()
+		r.Client = srv.Client()
+		fetched, err := r.Crawl(srv.URL+"/", func(p robot.Page) {
+			if p.Status == http.StatusOK {
+				l.CheckString(p.URL, p.Body)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fetched != 25 {
+			b.Fatalf("fetched = %d", fetched)
+		}
+	}
+}
+
+// BenchmarkE9Gateway measures a full gateway round trip (form post to
+// rendered report).
+func BenchmarkE9Gateway(b *testing.B) {
+	h := gateway.NewHandler(lint.MustNew(lint.Options{}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	form := url.Values{"html": {section42}}.Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(srv.URL, "application/x-www-form-urlencoded", strings.NewReader(form))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		_ = resp.Body.Close()
+	}
+}

@@ -1,0 +1,121 @@
+// Command poacher is weblint's site-checking robot: it traverses all
+// accessible pages on a site, runs weblint over each, and performs
+// basic link validation, as described in the paper's Section 4.5.
+//
+// Usage:
+//
+//	poacher [-max-pages 200] [-delay 500ms] [-check-external] http://site/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"weblint/internal/linkcheck"
+	"weblint/internal/lint"
+	"weblint/internal/robot"
+	"weblint/internal/warn"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("poacher", flag.ContinueOnError)
+	maxPages := fs.Int("max-pages", 200, "maximum pages to fetch")
+	maxDepth := fs.Int("max-depth", 16, "maximum link depth")
+	delay := fs.Duration("delay", 0, "politeness delay between requests")
+	checkExternal := fs.Bool("check-external", false, "also validate off-site links with HEAD requests")
+	quiet := fs.Bool("q", false, "only report problems, not progress")
+	short := fs.Bool("s", false, "short messages")
+	pedantic := fs.Bool("pedantic", false, "enable all warnings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: poacher [options] http://site/")
+		return 2
+	}
+	start := fs.Arg(0)
+
+	linter, err := lint.New(lint.Options{Pedantic: *pedantic})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
+		return 2
+	}
+	var formatter warn.Formatter = warn.Lint{}
+	if *short {
+		formatter = warn.Short{}
+	}
+
+	r := robot.NewRobot()
+	r.MaxPages = *maxPages
+	r.MaxDepth = *maxDepth
+	r.Delay = *delay
+
+	stats := robot.NewCrawlStats()
+	problems := false
+	external := map[string]bool{}
+
+	_, err = r.Crawl(start, func(p robot.Page) {
+		stats.Record(p)
+		switch {
+		case p.Err != nil:
+			fmt.Printf("%s: fetch error: %v\n", p.URL, p.Err)
+			problems = true
+			return
+		case p.Status != http.StatusOK:
+			fmt.Printf("%s: HTTP %d\n", p.URL, p.Status)
+			problems = true
+			return
+		}
+		if !*quiet {
+			fmt.Printf("checking %s (%d links)\n", p.URL, len(p.Links))
+		}
+		for _, m := range linter.CheckString(p.URL, p.Body) {
+			fmt.Println(formatter.Format(m))
+			problems = true
+		}
+		for _, l := range p.Links {
+			if linkcheck.IsExternal(l.URL) {
+				external[l.URL] = true
+			}
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
+		return 2
+	}
+
+	if *checkExternal && len(external) > 0 {
+		var urls []string
+		for u := range external {
+			urls = append(urls, u)
+		}
+		sort.Strings(urls)
+		checker := &linkcheck.Checker{
+			UserAgent: "poacher/2.0",
+			Client:    &http.Client{Timeout: 10 * time.Second},
+		}
+		for u, res := range checker.CheckAll(urls) {
+			if !res.OK {
+				fmt.Printf("broken external link: %s\n", res.String())
+				problems = true
+			}
+			_ = u
+		}
+	}
+
+	if !*quiet {
+		fmt.Print(stats.Summary())
+	}
+	if problems {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"weblint/internal/corpus"
+)
+
+// capture runs poacher's main loop with stdout redirected.
+func capture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	_ = w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(r)
+	return code, buf.String()
+}
+
+func testSite(t *testing.T) *httptest.Server {
+	t.Helper()
+	pages := corpus.GenerateSite(corpus.SiteConfig{
+		Seed: 21, Pages: 8, BrokenLinks: 1, Subdirs: 1,
+		Errors: corpus.ErrorRates{Misspell: 0.3},
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		path := strings.TrimPrefix(r.URL.Path, "/")
+		if path == "" {
+			path = "index.html"
+		}
+		body, ok := pages[path]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, body)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPoacherCrawlReportsProblems(t *testing.T) {
+	srv := testSite(t)
+	code, out := capture(t, "-s", srv.URL+"/")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (problems found)", code)
+	}
+	if !strings.Contains(out, "unknown element") {
+		t.Errorf("lint output missing: %s", out)
+	}
+	if !strings.Contains(out, "HTTP 404") {
+		t.Errorf("broken link missing: %s", out)
+	}
+	if !strings.Contains(out, "pages fetched:") {
+		t.Errorf("summary missing: %s", out)
+	}
+}
+
+func TestPoacherQuiet(t *testing.T) {
+	srv := testSite(t)
+	_, out := capture(t, "-q", "-s", srv.URL+"/")
+	if strings.Contains(out, "checking ") || strings.Contains(out, "pages fetched:") {
+		t.Errorf("-q still printed progress: %s", out)
+	}
+}
+
+func TestPoacherMaxPages(t *testing.T) {
+	srv := testSite(t)
+	_, out := capture(t, "-max-pages", "3", srv.URL+"/")
+	if !strings.Contains(out, "pages fetched: 3") {
+		t.Errorf("max-pages ignored: %s", out)
+	}
+}
+
+func TestPoacherUsage(t *testing.T) {
+	code, _ := capture(t)
+	if code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
+	}
+	code, _ = capture(t, "http://a/", "http://b/")
+	if code != 2 {
+		t.Errorf("two-args exit = %d, want 2", code)
+	}
+}
+
+func TestPoacherBadStartURL(t *testing.T) {
+	code, _ := capture(t, "ftp://example.org/")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,49 @@
+// Command weblint-gateway serves the weblint web gateway: a form
+// where you provide HTML by entering a URL, pasting in the text, or
+// through file upload, and get the weblint report back as a web page.
+//
+// Usage:
+//
+//	weblint-gateway [-addr :8017] [-no-url-fetch] [-pedantic] [-x vendors]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"weblint/internal/config"
+	"weblint/internal/gateway"
+	"weblint/internal/lint"
+)
+
+func main() {
+	addr := flag.String("addr", ":8017", "listen address")
+	noURL := flag.Bool("no-url-fetch", false, "disable check-by-URL (for firewalled intranet use)")
+	pedantic := flag.Bool("pedantic", false, "enable all warnings")
+	exts := flag.String("x", "", "enable vendor extensions (netscape, microsoft)")
+	htmlVer := flag.String("V", "", "HTML version to check against (4.0 or 3.2)")
+	flag.Parse()
+
+	settings := config.NewSettings()
+	if *htmlVer != "" {
+		settings.HTMLVersion = *htmlVer
+	}
+	if *exts != "" {
+		settings.Extensions = append(settings.Extensions, *exts)
+	}
+
+	linter, err := lint.New(lint.Options{Settings: settings, Pedantic: *pedantic})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weblint-gateway: %v\n", err)
+		os.Exit(2)
+	}
+
+	h := gateway.NewHandler(linter)
+	h.AllowURLFetch = !*noURL
+
+	log.Printf("weblint gateway listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

@@ -1,0 +1,251 @@
+// Command weblint checks the syntax and style of HTML pages.
+//
+// Usage:
+//
+//	weblint [options] file.html ...
+//	weblint -u http://example.com/ ...
+//	weblint -R site-directory
+//	weblint - < page.html
+//
+// Exit status is 0 when no problems were found, 1 when problems were
+// reported, and 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"weblint/internal/config"
+	"weblint/internal/lint"
+	"weblint/internal/sitewalk"
+	"weblint/internal/warn"
+)
+
+const version = "weblint 2.0 (Go)"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+type cli struct {
+	short    bool
+	terse    bool
+	verbose  bool
+	enable   string
+	disable  string
+	pedantic bool
+	exts     string
+	htmlVer  string
+	rcFile   string
+	noRC     bool
+	recurse  bool
+	urlMode  bool
+	list     bool
+	version  bool
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	var c cli
+	fs := flag.NewFlagSet("weblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&c.short, "s", false, "short messages (\"line N: ...\")")
+	fs.BoolVar(&c.terse, "t", false, "terse machine-readable messages (file:line:id)")
+	fs.BoolVar(&c.verbose, "v", false, "verbose messages with explanations")
+	fs.StringVar(&c.enable, "e", "", "enable comma-separated warnings or categories")
+	fs.StringVar(&c.disable, "d", "", "disable comma-separated warnings or categories")
+	fs.BoolVar(&c.pedantic, "pedantic", false, "enable all warnings, even the esoteric ones")
+	fs.StringVar(&c.exts, "x", "", "enable vendor extensions (netscape, microsoft)")
+	fs.StringVar(&c.htmlVer, "V", "", "HTML version to check against (4.0 or 3.2)")
+	fs.StringVar(&c.rcFile, "f", "", "configuration file to use instead of the user file")
+	fs.BoolVar(&c.noRC, "norc", false, "do not read site or user configuration files")
+	fs.BoolVar(&c.recurse, "R", false, "recurse into directories, checking a whole site")
+	fs.BoolVar(&c.urlMode, "u", false, "arguments are URLs to retrieve and check")
+	fs.BoolVar(&c.list, "l", false, "list supported warnings and their state, then exit")
+	fs.BoolVar(&c.version, "version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: weblint [options] file.html ... | -u URL ... | -R dir | -\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if c.version {
+		fmt.Fprintln(stdout, version)
+		return 0
+	}
+
+	settings, err := buildSettings(&c)
+	if err != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", err)
+		return 2
+	}
+
+	linter, err := lint.New(lint.Options{Settings: settings, Pedantic: c.pedantic})
+	if err != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", err)
+		return 2
+	}
+
+	formatter := pickFormatter(&c, settings)
+
+	if c.list {
+		listWarnings(stdout, linter.Set())
+		return 0
+	}
+
+	files := fs.Args()
+	if len(files) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	problems := false
+	report := func(msgs []warn.Message) {
+		for _, m := range msgs {
+			fmt.Fprintln(stdout, formatter.Format(m))
+			problems = true
+		}
+	}
+
+	for _, arg := range files {
+		switch {
+		case arg == "-":
+			msgs, err := linter.CheckReader("-", stdin)
+			if err != nil {
+				fmt.Fprintf(stderr, "weblint: %v\n", err)
+				return 2
+			}
+			report(msgs)
+		case c.urlMode:
+			msgs, err := linter.CheckURL(arg)
+			if err != nil {
+				fmt.Fprintf(stderr, "weblint: %v\n", err)
+				return 2
+			}
+			report(msgs)
+		default:
+			st, err := os.Stat(arg)
+			if err != nil {
+				fmt.Fprintf(stderr, "weblint: %v\n", err)
+				return 2
+			}
+			if st.IsDir() {
+				if !c.recurse {
+					fmt.Fprintf(stderr, "weblint: %s is a directory (use -R to check a site)\n", arg)
+					return 2
+				}
+				rep, err := sitewalk.Walk(arg, sitewalk.Options{Linter: linter})
+				if err != nil {
+					fmt.Fprintf(stderr, "weblint: %v\n", err)
+					return 2
+				}
+				report(rep.Messages)
+			} else {
+				msgs, err := linter.CheckFile(arg)
+				if err != nil {
+					fmt.Fprintf(stderr, "weblint: %v\n", err)
+					return 2
+				}
+				report(msgs)
+			}
+		}
+	}
+
+	if problems {
+		return 1
+	}
+	return 0
+}
+
+// buildSettings performs the configuration layering of the paper's
+// Section 4.4: site file, then user file (or -f file), then
+// command-line switches.
+func buildSettings(c *cli) (*config.Settings, error) {
+	var settings *config.Settings
+	var err error
+	if c.noRC {
+		settings = config.NewSettings()
+	} else if c.rcFile != "" {
+		settings = config.NewSettings()
+		cfg, ferr := config.ParseFile(c.rcFile)
+		if ferr != nil {
+			return nil, ferr
+		}
+		if err := settings.Apply(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		settings, err = config.LoadDefault()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, id := range splitList(c.enable) {
+		if err := settings.Set.Enable(id); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range splitList(c.disable) {
+		if err := settings.Set.Disable(id); err != nil {
+			return nil, err
+		}
+	}
+	settings.Extensions = append(settings.Extensions, splitList(c.exts)...)
+	if c.htmlVer != "" {
+		settings.HTMLVersion = c.htmlVer
+	}
+	return settings, nil
+}
+
+func pickFormatter(c *cli, settings *config.Settings) warn.Formatter {
+	switch {
+	case c.terse:
+		return warn.Terse{}
+	case c.short:
+		return warn.Short{}
+	case c.verbose:
+		return warn.Verbose{}
+	}
+	switch settings.OutputStyle {
+	case "short":
+		return warn.Short{}
+	case "terse":
+		return warn.Terse{}
+	case "verbose":
+		return warn.Verbose{}
+	}
+	return warn.Lint{}
+}
+
+// listWarnings prints the message inventory with enabled state, like
+// the paper's description of per-identifier configuration.
+func listWarnings(w io.Writer, set *warn.Set) {
+	ids := warn.IDs()
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := warn.Lookup(id)
+		state := "disabled"
+		if set.Enabled(id) {
+			state = "enabled"
+		}
+		fmt.Fprintf(w, "%-22s %-8s %-8s %s\n", id, d.Category, state, d.Format)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

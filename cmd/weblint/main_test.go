@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const section42 = `<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>
+`
+
+// runCLI invokes the command main loop with isolated streams and no rc
+// files.
+func runCLI(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSection42CLIOutput reproduces the paper's example run,
+// end-to-end through the command-line tool with -s.
+func TestSection42CLIOutput(t *testing.T) {
+	path := writeTemp(t, "test.html", section42)
+	code, out, _ := runCLI(t, "", "-norc", "-s", path)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (problems found)", code)
+	}
+	want := []string{
+		"line 1: first element was not DOCTYPE specification",
+		"line 4: no closing </TITLE> seen for <TITLE> on line 3",
+		`line 5: value for attribute TEXT (#00ff00) of element BODY should be quoted (i.e. TEXT="#00ff00")`,
+		"line 5: illegal value for BGCOLOR attribute of BODY (fffff)",
+		"line 6: malformed heading - open tag is <H1>, but closing is </H2>",
+		`line 7: odd number of quotes in element <A HREF="a.html>`,
+		"line 7: </B> on line 7 seems to overlap <A>, opened on line 7.",
+	}
+	got := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines:\n%s", len(got), out)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got  %q\n want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDefaultLintStyle(t *testing.T) {
+	path := writeTemp(t, "test.html", section42)
+	_, out, _ := runCLI(t, "", "-norc", path)
+	if !strings.Contains(out, path+"(1): first element was not DOCTYPE") {
+		t.Errorf("lint-style output missing: %s", out)
+	}
+}
+
+func TestTerseOutput(t *testing.T) {
+	path := writeTemp(t, "test.html", section42)
+	_, out, _ := runCLI(t, "", "-norc", "-t", path)
+	if !strings.Contains(out, path+":1:doctype-first") {
+		t.Errorf("terse output missing: %s", out)
+	}
+}
+
+func TestCleanFileExitsZero(t *testing.T) {
+	clean := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">" +
+		"</HEAD><BODY><P>fine</P></BODY></HTML>\n"
+	path := writeTemp(t, "clean.html", clean)
+	code, out, stderr := runCLI(t, "", "-norc", path)
+	if code != 0 || out != "" {
+		t.Errorf("code=%d out=%q err=%q", code, out, stderr)
+	}
+}
+
+func TestStdinDash(t *testing.T) {
+	code, out, _ := runCLI(t, section42, "-norc", "-s", "-")
+	if code != 1 {
+		t.Errorf("exit code = %d", code)
+	}
+	if !strings.Contains(out, "line 1: first element was not DOCTYPE") {
+		t.Errorf("stdin output = %q", out)
+	}
+}
+
+func TestEnableDisableFlags(t *testing.T) {
+	path := writeTemp(t, "t.html", section42)
+	_, out, _ := runCLI(t, "", "-norc", "-d", "doctype-first,odd-quotes", "-s", path)
+	if strings.Contains(out, "DOCTYPE") || strings.Contains(out, "odd number of quotes") {
+		t.Errorf("disabled messages still present: %s", out)
+	}
+	_, out2, _ := runCLI(t, "", "-norc", "-e", "here-anchor", "-s", path)
+	if !strings.Contains(out2, "content-free") {
+		t.Errorf("enabled here-anchor missing: %s", out2)
+	}
+}
+
+func TestPedanticFlag(t *testing.T) {
+	path := writeTemp(t, "t.html", section42)
+	_, normal, _ := runCLI(t, "", "-norc", "-s", path)
+	_, pedantic, _ := runCLI(t, "", "-norc", "-pedantic", "-s", path)
+	if len(strings.Split(pedantic, "\n")) <= len(strings.Split(normal, "\n")) {
+		t.Error("pedantic mode did not add messages")
+	}
+}
+
+func TestUnknownWarningIDErrors(t *testing.T) {
+	path := writeTemp(t, "t.html", section42)
+	code, _, stderr := runCLI(t, "", "-norc", "-e", "no-such-warning", path)
+	if code != 2 || !strings.Contains(stderr, "no-such-warning") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestConfigFileFlag(t *testing.T) {
+	rc := writeTemp(t, "rc", "disable doctype-first\nset output-style terse\n")
+	page := writeTemp(t, "t.html", section42)
+	_, out, _ := runCLI(t, "", "-f", rc, page)
+	if strings.Contains(out, "doctype-first") {
+		t.Error("rc disable ignored")
+	}
+	if !strings.Contains(out, ":5:body-colors") {
+		t.Errorf("rc output-style ignored: %s", out)
+	}
+}
+
+func TestHTMLVersionFlag(t *testing.T) {
+	page := writeTemp(t, "t.html",
+		"<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><SPAN>x</SPAN></BODY></HTML>")
+	_, out, _ := runCLI(t, "", "-norc", "-V", "3.2", "-s", page)
+	if !strings.Contains(out, "unknown element <SPAN>") {
+		t.Errorf("3.2 checking missing: %s", out)
+	}
+	code, _, stderr := runCLI(t, "", "-norc", "-V", "9.9", page)
+	if code != 2 || !strings.Contains(stderr, "9.9") {
+		t.Errorf("bad version: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestExtensionFlag(t *testing.T) {
+	page := writeTemp(t, "t.html",
+		"<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>"+
+			"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">"+
+			"</HEAD><BODY><BLINK>x</BLINK></BODY></HTML>")
+	code, out, _ := runCLI(t, "", "-norc", "-s", page)
+	if code != 1 || !strings.Contains(out, "Netscape") {
+		t.Errorf("extension warning missing: %s", out)
+	}
+	code2, out2, _ := runCLI(t, "", "-norc", "-x", "netscape", page)
+	if code2 != 0 {
+		t.Errorf("with -x netscape: code=%d out=%q", code2, out2)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-norc", "-l")
+	if code != 0 {
+		t.Errorf("code = %d", code)
+	}
+	for _, want := range []string{"doctype-first", "element-overlap", "here-anchor", "enabled", "disabled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRecurseFlag(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	clean := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">" +
+		"</HEAD><BODY><A HREF=\"/sub/page.html\">next</A></BODY></HTML>\n"
+	if err := os.WriteFile(filepath.Join(dir, "index.html"), []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "page.html"), []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Without -R a directory is rejected.
+	code, _, stderr := runCLI(t, "", "-norc", dir)
+	if code != 2 || !strings.Contains(stderr, "-R") {
+		t.Errorf("directory without -R: code=%d stderr=%q", code, stderr)
+	}
+	// With -R the site is checked; sub has no index file.
+	code, out, _ := runCLI(t, "", "-norc", "-R", "-s", dir)
+	if code != 1 {
+		t.Errorf("code = %d", code)
+	}
+	if !strings.Contains(out, "does not have an index file") {
+		t.Errorf("-R output missing index warning: %s", out)
+	}
+}
+
+func TestURLMode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = io.WriteString(w, section42)
+	}))
+	defer srv.Close()
+
+	code, out, _ := runCLI(t, "", "-norc", "-u", "-s", srv.URL+"/page.html")
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if !strings.Contains(out, "line 1: first element was not DOCTYPE") {
+		t.Errorf("URL mode output = %q", out)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "", "-version")
+	if code != 0 || !strings.Contains(out, "weblint") {
+		t.Errorf("version: code=%d out=%q", code, out)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "", "-norc")
+	if code != 2 || !strings.Contains(stderr, "usage") {
+		t.Errorf("no args: code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestMissingFileError(t *testing.T) {
+	code, _, stderr := runCLI(t, "", "-norc", "/nonexistent/file.html")
+	if code != 2 || stderr == "" {
+		t.Errorf("missing file: code=%d", code)
+	}
+}

@@ -1,0 +1,63 @@
+// Custom-warnings: configuring weblint to local taste, the paper's
+// Section 4.4 — everything can be turned off, messages are enabled and
+// disabled by identifier or category, and the warnings formatter can
+// be replaced (Section 5.6's "sub-classing").
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"weblint"
+	"weblint/internal/config"
+	"weblint/internal/warn"
+)
+
+const page = `<HTML>
+<HEAD><TITLE>Style Demo</TITLE></HEAD>
+<BODY>
+<H1>Our Products</H1>
+<P>For the catalogue, click <A HREF="catalogue.html">here</A>.
+<P>We think <B>bold claims</B> need <I>italic disclaimers</I>.
+</BODY>
+</HTML>
+`
+
+func main() {
+	// A house style, as a site configuration file would express it.
+	houseStyle := `
+# our house style guide
+disable doctype-first
+enable here-anchor physical-font
+set tag-case upper
+add here-words "catalogue"
+`
+	settings := weblint.NewSettings()
+	cfg, err := config.Parse(strings.NewReader(houseStyle), "house-style.rc")
+	if err != nil {
+		panic(err)
+	}
+	if err := settings.Apply(cfg); err != nil {
+		panic(err)
+	}
+
+	l := weblint.MustNew(weblint.Options{Settings: settings})
+	msgs := l.CheckString("products.html", page)
+
+	// A custom formatter — the gateway uses the same mechanism to
+	// render warnings as HTML.
+	banner := warn.FormatterFunc(func(m warn.Message) string {
+		return fmt.Sprintf("[%s] line %-3d %s", strings.ToUpper(m.Category.String()[:4]), m.Line, m.Text)
+	})
+
+	fmt.Println("house-style report:")
+	for _, m := range msgs {
+		fmt.Println("  " + banner.Format(m))
+	}
+
+	// The same page under default settings, for contrast.
+	fmt.Println("\ndefault report:")
+	for _, m := range weblint.CheckString("products.html", page) {
+		fmt.Println("  " + weblint.LintStyle.Format(m))
+	}
+}

@@ -1,0 +1,87 @@
+// Embedded-gateway: mounting the weblint gateway inside an existing
+// HTTP application (paper Section 5.3: "the gateway script for weblint
+// 2 is designed to facilitate customisation, modification, and other
+// tinkering").
+//
+// The example starts a server on a random port, submits the paper's
+// example page to itself the way a browser form would, prints a
+// fragment of the returned report, and exits — so it is runnable
+// non-interactively. Pass -serve to keep it listening instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+
+	"weblint/internal/gateway"
+	"weblint/internal/lint"
+	"weblint/internal/warn"
+)
+
+const page = `<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>
+`
+
+func main() {
+	serve := flag.Bool("serve", false, "keep serving on :8017 instead of the self-test")
+	flag.Parse()
+
+	h := gateway.NewHandler(lint.MustNew(lint.Options{}))
+	// Customisation point: a corporate gateway might brand every
+	// message. This "subclass" prefixes the message identifier.
+	h.Formatter = warn.FormatterFunc(func(m warn.Message) string {
+		return fmt.Sprintf(`<li class="%s"><b>%s</b> &#8212; line %d: %s</li>`,
+			m.Category, m.ID, m.Line, htmlEscape(m.Text))
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/weblint/", http.StripPrefix("/weblint", h))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "application home; the linter lives at /weblint/")
+	})
+
+	if *serve {
+		log.Println("serving on :8017 (form at http://localhost:8017/weblint/)")
+		log.Fatal(http.ListenAndServe(":8017", mux))
+	}
+
+	// Self-test: run the mounted application and post the form.
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.PostForm(srv.URL+"/weblint/", url.Values{"html": {page}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("report lines from the embedded gateway:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.Contains(line, "<li class=") {
+			fmt.Println("  " + strings.TrimSpace(line))
+		}
+	}
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

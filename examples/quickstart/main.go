@@ -1,0 +1,40 @@
+// Quickstart: the paper's three-line usage of the Weblint module
+// (Section 5.4), in Go. Checks the paper's own example page and prints
+// the report in both the traditional lint style and the -s short
+// style.
+package main
+
+import (
+	"fmt"
+
+	"weblint"
+)
+
+const page = `<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>
+`
+
+func main() {
+	// The simplest use: package-level check with defaults.
+	msgs := weblint.CheckString("test.html", page)
+
+	fmt.Println("traditional lint style:")
+	for _, m := range msgs {
+		fmt.Println("  " + weblint.LintStyle.Format(m))
+	}
+
+	fmt.Println("\nshort style (-s):")
+	for _, m := range msgs {
+		fmt.Println("  " + weblint.ShortStyle.Format(m))
+	}
+
+	fmt.Printf("\n%d problems found\n", len(msgs))
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"weblint/internal/corpus"
+	"weblint/internal/warn"
+)
+
+// countMessages runs the default-enabled checker over src with the
+// given ablation switches and returns the message count.
+func countMessages(src string, disableCascade, disableImplied bool) int {
+	em := warn.NewEmitter(nil)
+	Check(src, em, Options{
+		Filename:                  "x.html",
+		DisableCascadeSuppression: disableCascade,
+		DisableImpliedClose:       disableImplied,
+	})
+	return len(em.Messages())
+}
+
+// TestE5OverlapCascade: a single overlap produces one message with the
+// heuristics on; with the secondary stack ablated it produces a
+// message per crossed element plus an unmatched close.
+func TestE5OverlapCascade(t *testing.T) {
+	src := valid(`<B><I><A HREF="x.html">text</B></I></A>`)
+
+	on := checkAll(t, src, Options{})
+	onCounts := ids(on)
+	if onCounts["element-overlap"] == 0 {
+		t.Fatal("no overlap detected with heuristics on")
+	}
+	if onCounts["unmatched-close"] != 0 || onCounts["unclosed-element"] != 0 {
+		t.Errorf("cascade leaked with heuristics on: %v", onCounts)
+	}
+
+	off := checkAll(t, src, Options{DisableCascadeSuppression: true})
+	offCounts := ids(off)
+	if offCounts["unclosed-element"] == 0 || offCounts["unmatched-close"] == 0 {
+		t.Errorf("ablated run should cascade: %v", offCounts)
+	}
+	if len(off) <= len(on) {
+		t.Errorf("ablated run produced %d messages, heuristic run %d; expected more",
+			len(off), len(on))
+	}
+}
+
+// TestE5ImpliedCloseAblation: legal SGML omission (LI, P, TD) is
+// silent normally and noisy with implied-close ablated.
+func TestE5ImpliedCloseAblation(t *testing.T) {
+	src := valid(`<UL><LI>one<LI>two<LI>three</UL><P>a<P>b`)
+
+	if n := countMessages(src, false, false); n != 0 {
+		t.Errorf("legal omission produced %d messages with heuristics on", n)
+	}
+	if n := countMessages(src, false, true); n == 0 {
+		t.Error("implied-close ablation produced no messages")
+	}
+}
+
+// TestE5CascadeSuppression runs the corpus with error injection
+// through both configurations, pinning that the heuristics
+// substantially reduce message volume on the same documents — the
+// paper's "minimise the number of warning cascades".
+func TestE5CascadeSuppression(t *testing.T) {
+	var withH, withoutH int
+	for seed := int64(0); seed < 20; seed++ {
+		src := corpus.Generate(corpus.Config{
+			Seed:     seed,
+			Sections: 4,
+			Errors:   corpus.ErrorRates{Overlap: 0.4, DropClose: 0.3},
+		})
+		withH += countMessages(src, false, false)
+		withoutH += countMessages(src, true, true)
+	}
+	if withH == 0 {
+		t.Fatal("corpus produced no messages at all")
+	}
+	if withoutH <= withH {
+		t.Errorf("heuristics on: %d messages, off: %d; ablation should be noisier", withH, withoutH)
+	}
+	ratio := float64(withoutH) / float64(withH)
+	t.Logf("E5: %d messages with heuristics, %d without (%.2fx cascade reduction)", withH, withoutH, ratio)
+}
+
+// TestPendingResolvedAtEOF: tags moved to the secondary stack whose
+// closes never arrive are reported at end of document.
+func TestPendingResolvedAtEOF(t *testing.T) {
+	src := valid(`<B><A HREF="x.html">text</B> trailing`)
+	msgs := checkAll(t, src, Options{})
+	requireID(t, msgs, "element-overlap")
+	requireID(t, msgs, "unclosed-element") // the <A> never closed
+}
+
+// TestStructuralCloseReportsUnclosed: a structural close forces
+// unclosed-element, not overlap, per the heuristic.
+func TestStructuralCloseReportsUnclosed(t *testing.T) {
+	src := "<HTML><HEAD><TITLE>x</HEAD><BODY>y</BODY></HTML>"
+	msgs := checkAll(t, src, Options{})
+	requireID(t, msgs, "unclosed-element")
+	forbidID(t, msgs, "element-overlap")
+}
+
+// TestInlineCloseReportsOverlap: an inline close crossing an element
+// reports overlap, not unclosed.
+func TestInlineCloseReportsOverlap(t *testing.T) {
+	src := valid(`<B><A HREF="x">y</B></A>`)
+	msgs := checkAll(t, src, Options{})
+	requireID(t, msgs, "element-overlap")
+	forbidID(t, msgs, "unclosed-element")
+}

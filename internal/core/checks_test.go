@@ -1,0 +1,617 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"weblint/internal/warn"
+)
+
+// ids extracts the multiset of message IDs.
+func ids(msgs []warn.Message) map[string]int {
+	out := map[string]int{}
+	for _, m := range msgs {
+		out[m.ID]++
+	}
+	return out
+}
+
+// checkAll runs the checker with every warning enabled (so tests can
+// exercise default-off messages too).
+func checkAll(t *testing.T, src string, opts Options) []warn.Message {
+	t.Helper()
+	em := warn.NewEmitter(warn.AllEnabled())
+	if opts.Filename == "" {
+		opts.Filename = "t.html"
+	}
+	Check(src, em, opts)
+	return em.Messages()
+}
+
+// valid wraps body in a well-formed document skeleton.
+func valid(body string) string {
+	return "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n" +
+		"<HTML>\n<HEAD>\n<TITLE>Test Page</TITLE>\n" +
+		"<META NAME=\"description\" CONTENT=\"d\">\n" +
+		"<META NAME=\"keywords\" CONTENT=\"k\">\n" +
+		"</HEAD>\n<BODY>\n" + body + "\n</BODY>\n</HTML>\n"
+}
+
+// requireID asserts at least one message with the given id.
+func requireID(t *testing.T, msgs []warn.Message, id string) warn.Message {
+	t.Helper()
+	for _, m := range msgs {
+		if m.ID == id {
+			return m
+		}
+	}
+	var all []string
+	for _, m := range msgs {
+		all = append(all, fmt.Sprintf("%s@%d", m.ID, m.Line))
+	}
+	t.Fatalf("no %s message; got %v", id, all)
+	return warn.Message{}
+}
+
+// forbidID asserts no message with the given id.
+func forbidID(t *testing.T, msgs []warn.Message, id string) {
+	t.Helper()
+	for _, m := range msgs {
+		if m.ID == id {
+			t.Fatalf("unexpected %s message: %q (line %d)", id, m.Text, m.Line)
+		}
+	}
+}
+
+func TestValidDocumentIsQuiet(t *testing.T) {
+	src := valid(`<H1>Hello</H1><P>Body text with an <A HREF="http://x.org/">informative anchor</A>.</P>`)
+	msgs := checkString(t, src, Options{}) // default-enabled set
+	if len(msgs) != 0 {
+		var all []string
+		for _, m := range msgs {
+			all = append(all, m.ID+": "+m.Text)
+		}
+		t.Fatalf("valid document produced messages: %v", all)
+	}
+}
+
+func TestUnknownElement(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<BLOCKQOUTE>x</BLOCKQOUTE>"), Options{}), "unknown-element")
+	if !strings.Contains(m.Text, "BLOCKQOUTE") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestUnknownElementCloseDoesNotCascade(t *testing.T) {
+	// The unknown element is pushed so its own close tag resolves
+	// silently: one message for the pair, no unmatched-close, no
+	// unclosed-element — the cascade suppression of Section 5.1.
+	msgs := checkAll(t, valid("<BLOCKQOUTE>x</BLOCKQOUTE>"), Options{})
+	if got := ids(msgs)["unknown-element"]; got != 1 {
+		t.Errorf("unknown-element count = %d, want 1", got)
+	}
+	forbidID(t, msgs, "unmatched-close")
+	forbidID(t, msgs, "unclosed-element")
+}
+
+func TestUnknownCloseAloneReported(t *testing.T) {
+	// A close tag for an unknown element that was never opened is
+	// still reported.
+	msgs := checkAll(t, valid("x</BLOCKQOUTE>y"), Options{})
+	if got := ids(msgs)["unknown-element"]; got != 1 {
+		t.Errorf("unknown-element count = %d, want 1", got)
+	}
+}
+
+func TestUnknownAttribute(t *testing.T) {
+	m := requireID(t, checkAll(t, valid(`<P BOGUS="1">x</P>`), Options{}), "unknown-attribute")
+	if !strings.Contains(m.Text, "BOGUS") || !strings.Contains(m.Text, "<P>") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestRequiredAttribute(t *testing.T) {
+	msgs := checkAll(t, valid(`<FORM ACTION="/x"><TEXTAREA NAME="t"></TEXTAREA></FORM>`), Options{})
+	n := 0
+	for _, m := range msgs {
+		if m.ID == "required-attribute" {
+			n++
+			if !strings.Contains(m.Text, "TEXTAREA") {
+				t.Errorf("text = %q", m.Text)
+			}
+		}
+	}
+	if n != 2 {
+		t.Errorf("required-attribute count = %d, want 2 (ROWS and COLS)", n)
+	}
+}
+
+func TestUnclosedElementAtEOF(t *testing.T) {
+	src := "<HTML><BODY><EM>never closed</BODY></HTML>"
+	m := requireID(t, checkAll(t, src, Options{}), "unclosed-element")
+	if !strings.Contains(m.Text, "</EM>") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestUnmatchedClose(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("x</EM>y"), Options{}), "unmatched-close")
+	if m.Text != "unmatched </EM> (no matching open tag seen)" {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestHeadingMismatch(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<H2>title</H3>"), Options{}), "heading-mismatch")
+	if !strings.Contains(m.Text, "<H2>") || !strings.Contains(m.Text, "</H3>") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestOddQuotes(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<A HREF="broken.html>x</A>`), Options{}), "odd-quotes")
+}
+
+func TestOddQuotesSuppressesAttrChecks(t *testing.T) {
+	msgs := checkAll(t, valid(`<A HREF="broken.html>x</A>`), Options{})
+	forbidID(t, msgs, "attribute-delimiter")
+	forbidID(t, msgs, "unknown-attribute")
+	forbidID(t, msgs, "attribute-value")
+}
+
+func TestElementOverlap(t *testing.T) {
+	src := valid(`<B><A HREF="x.html">text</B></A>`)
+	msgs := checkAll(t, src, Options{})
+	m := requireID(t, msgs, "element-overlap")
+	if !strings.Contains(m.Text, "</B>") || !strings.Contains(m.Text, "<A>") {
+		t.Errorf("text = %q", m.Text)
+	}
+	// The </A> resolves from the secondary stack: no cascade.
+	forbidID(t, msgs, "unmatched-close")
+	forbidID(t, msgs, "unclosed-element")
+}
+
+func TestAttributeValueEnum(t *testing.T) {
+	m := requireID(t, checkAll(t, valid(`<FORM ACTION="/x" METHOD="push"></FORM>`), Options{}), "attribute-value")
+	if !strings.Contains(m.Text, "METHOD") || !strings.Contains(m.Text, "push") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestBodyColors(t *testing.T) {
+	src := strings.Replace(valid("<P>x</P>"), "<BODY>", `<BODY BGCOLOR="fffff">`, 1)
+	m := requireID(t, checkAll(t, src, Options{}), "body-colors")
+	if m.Text != "illegal value for BGCOLOR attribute of BODY (fffff)" {
+		t.Errorf("text = %q", m.Text)
+	}
+	// A legal color name is fine.
+	src = strings.Replace(valid("<P>x</P>"), "<BODY>", `<BODY BGCOLOR="navy">`, 1)
+	forbidID(t, checkAll(t, src, Options{}), "body-colors")
+}
+
+func TestFontColorChecked(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<FONT COLOR="#12345">x</FONT>`), Options{}), "body-colors")
+}
+
+func TestEmptyContainer(t *testing.T) {
+	requireID(t, checkAll(t, valid("<B></B>"), Options{}), "empty-container")
+	// EmptyOK elements don't fire.
+	forbidID(t, checkAll(t, valid("<TABLE><TR><TD></TD></TR></TABLE>"), Options{}), "empty-container")
+}
+
+func TestRequiredContext(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<LI>loose item"), Options{}), "required-context")
+	if !strings.Contains(m.Text, "<LI>") || !strings.Contains(m.Text, "UL") {
+		t.Errorf("text = %q", m.Text)
+	}
+	forbidID(t, checkAll(t, valid("<UL><LI>fine</UL>"), Options{}), "required-context")
+}
+
+func TestTDOutsideTR(t *testing.T) {
+	requireID(t, checkAll(t, valid("<TABLE><TD>x</TD></TABLE>"), Options{}), "required-context")
+}
+
+func TestHeadElementInBody(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<BASE HREF=\"http://x/\">"), Options{}), "head-element")
+	if !strings.Contains(m.Text, "BASE") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestMetaInBody(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<META NAME="x" CONTENT="y">`), Options{}), "meta-in-body")
+}
+
+func TestBodyElementInHead(t *testing.T) {
+	src := strings.Replace(valid("<P>x</P>"), "</HEAD>", "<P>rendered</P></HEAD>", 1)
+	requireID(t, checkAll(t, src, Options{}), "body-element")
+}
+
+func TestNestedAnchor(t *testing.T) {
+	m := requireID(t, checkAll(t, valid(`<A HREF="a"><A HREF="b">x</A></A>`), Options{}), "nested-element")
+	if !strings.Contains(m.Text, "<A>") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestNestedForm(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<FORM ACTION="a"><FORM ACTION="b"></FORM></FORM>`), Options{}), "nested-element")
+}
+
+func TestOnceOnly(t *testing.T) {
+	src := "<HTML><HEAD><TITLE>a</TITLE><TITLE>b</TITLE></HEAD><BODY>x</BODY></HTML>"
+	m := requireID(t, checkAll(t, src, Options{}), "once-only")
+	if !strings.Contains(m.Text, "TITLE") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestClosingAttribute(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<B>x</B CLASS="y">`), Options{}), "closing-attribute")
+}
+
+func TestEmptyElementClose(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("line<BR>break</BR>"), Options{}), "empty-element-close")
+	if !strings.Contains(m.Text, "BR") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestRepeatedAttribute(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<IMG SRC="a.gif" SRC="b.gif" ALT="x">`), Options{}), "repeated-attribute")
+}
+
+func TestUnknownEntity(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<P>fish &bogus; chips</P>"), Options{}), "unknown-entity")
+	if !strings.Contains(m.Text, "&bogus;") {
+		t.Errorf("text = %q", m.Text)
+	}
+	forbidID(t, checkAll(t, valid("<P>fish &amp; chips</P>"), Options{}), "unknown-entity")
+}
+
+func TestHTML40EntityInHTML32(t *testing.T) {
+	spec32 := spec32(t)
+	msgs := checkAll(t, valid("<P>x &euro; y</P>"), Options{Spec: spec32})
+	requireID(t, msgs, "unknown-entity")
+	// The same entity is fine in 4.0.
+	forbidID(t, checkAll(t, valid("<P>x &euro; y</P>"), Options{}), "unknown-entity")
+}
+
+func TestUnterminatedEntity(t *testing.T) {
+	requireID(t, checkAll(t, valid("<P>fish &amp chips</P>"), Options{}), "unterminated-entity")
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	requireID(t, checkAll(t, valid("<!-- never closed"), Options{}), "unterminated-comment")
+}
+
+func TestMalformedTag(t *testing.T) {
+	// The tag must be truncated by the real end of input.
+	src := "<HTML><BODY><P>x</P><A HREF=\"y\""
+	requireID(t, checkAll(t, src, Options{}), "malformed-tag")
+}
+
+func TestEmptyTagMessage(t *testing.T) {
+	requireID(t, checkAll(t, valid("a <> b"), Options{}), "empty-tag")
+}
+
+func TestDuplicateID(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<P ID="x">a</P><P ID="x">b</P>`), Options{}), "duplicate-id")
+	forbidID(t, checkAll(t, valid(`<P ID="x">a</P><P ID="y">b</P>`), Options{}), "duplicate-id")
+}
+
+func TestDuplicateAnchor(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<A NAME="top">a</A><A NAME="top">b</A>`), Options{}), "duplicate-anchor")
+}
+
+func TestDoctypeFirst(t *testing.T) {
+	msgs := checkAll(t, "<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY>y</BODY></HTML>", Options{})
+	m := requireID(t, msgs, "doctype-first")
+	if m.Line != 1 {
+		t.Errorf("line = %d", m.Line)
+	}
+	forbidID(t, checkAll(t, valid("<P>x</P>"), Options{}), "doctype-first")
+}
+
+func TestDoctypeFirstTriggeredByProcInst(t *testing.T) {
+	// Non-doctype markup declarations count as "first element".
+	src := "<?php echo ?>\n" + "<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY>y</BODY></HTML>"
+	requireID(t, checkAll(t, src, Options{}), "doctype-first")
+}
+
+func TestEndTagCaseInsensitiveMatch(t *testing.T) {
+	msgs := checkString(t, valid("<em>fine</EM>"), Options{})
+	if len(msgs) != 0 {
+		t.Fatalf("case-insensitive close mis-handled: %v", msgs)
+	}
+}
+
+func TestRawTextNotEntityChecked(t *testing.T) {
+	src := strings.Replace(valid("<P>x</P>"), "</HEAD>",
+		"<SCRIPT TYPE=\"text/javascript\"><!-- if (a && b) x(); //--></SCRIPT></HEAD>", 1)
+	msgs := checkAll(t, src, Options{})
+	forbidID(t, msgs, "metacharacter")
+	forbidID(t, msgs, "unterminated-entity")
+}
+
+func TestDoctypeAfterCommentOK(t *testing.T) {
+	src := "<!-- header comment -->\n" + valid("<P>x</P>")
+	forbidID(t, checkAll(t, src, Options{}), "doctype-first")
+}
+
+func TestStrayDoctype(t *testing.T) {
+	src := valid("<P>x</P>") + "<!DOCTYPE HTML>\n"
+	requireID(t, checkAll(t, src, Options{}), "stray-doctype")
+}
+
+func TestHTMLOuter(t *testing.T) {
+	requireID(t, checkAll(t, "<BODY><P>x</P></BODY>", Options{}), "html-outer")
+}
+
+func TestRequireHeadAndTitle(t *testing.T) {
+	msgs := checkAll(t, "<HTML><BODY><P>x</P></BODY></HTML>", Options{})
+	requireID(t, msgs, "require-head")
+	requireID(t, msgs, "require-title")
+	// HEAD omitted but TITLE present: only require-head stays quiet.
+	msgs = checkAll(t, "<HTML><TITLE>x</TITLE><BODY><P>x</P></BODY></HTML>", Options{})
+	forbidID(t, msgs, "require-head")
+	forbidID(t, msgs, "require-title")
+}
+
+func TestEmptyTitle(t *testing.T) {
+	src := strings.Replace(valid("<P>x</P>"), "<TITLE>Test Page</TITLE>", "<TITLE></TITLE>", 1)
+	requireID(t, checkAll(t, src, Options{}), "empty-title")
+}
+
+func TestTitleLength(t *testing.T) {
+	long := strings.Repeat("very long title ", 8)
+	src := strings.Replace(valid("<P>x</P>"), "Test Page", long, 1)
+	m := requireID(t, checkAll(t, src, Options{}), "title-length")
+	if !strings.Contains(m.Text, "64") {
+		t.Errorf("text = %q", m.Text)
+	}
+	// Custom limit.
+	src2 := strings.Replace(valid("<P>x</P>"), "Test Page", "a somewhat long title", 1)
+	requireID(t, checkAll(t, src2, Options{TitleLength: 10}), "title-length")
+}
+
+func TestAttributeDelimiter(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<P ALIGN=#center>x</P>"), Options{}), "attribute-delimiter")
+	if !strings.Contains(m.Text, "should be quoted") {
+		t.Errorf("text = %q", m.Text)
+	}
+	// Name-token values may legally be unquoted.
+	forbidID(t, checkAll(t, valid("<P ALIGN=center>x</P>"), Options{}), "attribute-delimiter")
+}
+
+func TestSingleQuotes(t *testing.T) {
+	requireID(t, checkAll(t, valid("<P ALIGN='center'>x</P>"), Options{}), "single-quotes")
+}
+
+func TestImgAlt(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<IMG SRC="x.gif" WIDTH="1" HEIGHT="1">`), Options{}), "img-alt")
+	forbidID(t, checkAll(t, valid(`<IMG SRC="x.gif" ALT="pic" WIDTH="1" HEIGHT="1">`), Options{}), "img-alt")
+}
+
+func TestImgSize(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<IMG SRC="x.gif" ALT="p">`), Options{}), "img-size")
+	requireID(t, checkAll(t, valid(`<IMG SRC="x.gif" ALT="p" WIDTH="10">`), Options{}), "img-size")
+	forbidID(t, checkAll(t, valid(`<IMG SRC="x.gif" ALT="p" WIDTH="10" HEIGHT="2">`), Options{}), "img-size")
+}
+
+func TestMarkupInComment(t *testing.T) {
+	requireID(t, checkAll(t, valid("<!-- <B>hidden</B> -->"), Options{}), "markup-in-comment")
+	forbidID(t, checkAll(t, valid("<!-- a < b, plain -->"), Options{}), "markup-in-comment")
+}
+
+func TestNestedComment(t *testing.T) {
+	requireID(t, checkAll(t, valid("<!-- outer -- inner -->"), Options{}), "nested-comment")
+}
+
+func TestDeprecatedElement(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<CENTER>x</CENTER>"), Options{}), "deprecated-element")
+	if !strings.Contains(m.Text, "CENTER") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestObsoleteElement(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<LISTING>x</LISTING>"), Options{}), "obsolete-element")
+	if !strings.Contains(m.Text, "<PRE>") {
+		t.Errorf("text = %q (should suggest <PRE>)", m.Text)
+	}
+}
+
+func TestDeprecatedAttribute(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<P ALIGN="center">x</P>`), Options{}), "deprecated-attribute")
+}
+
+func TestExtensionMarkup(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<BLINK>x</BLINK>"), Options{}), "extension-markup")
+	if !strings.Contains(m.Text, "Netscape") || !strings.Contains(m.Text, "HTML 4.0") {
+		t.Errorf("text = %q", m.Text)
+	}
+	requireID(t, checkAll(t, valid("<MARQUEE>x</MARQUEE>"), Options{}), "extension-markup")
+}
+
+func TestExtensionMarkupEnabled(t *testing.T) {
+	spec := specWithExt(t, "netscape")
+	msgs := checkAll(t, valid("<BLINK>x</BLINK>"), Options{Spec: spec})
+	forbidID(t, msgs, "extension-markup")
+	forbidID(t, msgs, "unknown-element")
+	// Microsoft markup still warns.
+	requireID(t, checkAll(t, valid("<MARQUEE>x</MARQUEE>"), Options{Spec: spec}), "extension-markup")
+}
+
+func TestExtensionAttribute(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<IMG SRC="x" ALT="a" WIDTH="1" HEIGHT="1" LOWSRC="y">`), Options{}), "extension-attribute")
+}
+
+func TestHeadingOrder(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<H1>a</H1><H3>b</H3>"), Options{}), "heading-order")
+	if !strings.Contains(m.Text, "<H3>") || !strings.Contains(m.Text, "<H1>") {
+		t.Errorf("text = %q", m.Text)
+	}
+	forbidID(t, checkAll(t, valid("<H1>a</H1><H2>b</H2><H3>c</H3>"), Options{}), "heading-order")
+	forbidID(t, checkAll(t, valid("<H2>a</H2><H1>b</H1>"), Options{}), "heading-order")
+}
+
+func TestSpuriousSlash(t *testing.T) {
+	requireID(t, checkAll(t, valid("a<BR/>b"), Options{}), "spurious-slash")
+}
+
+func TestFormFieldContext(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<INPUT TYPE="text" NAME="x">`), Options{}), "form-field-context")
+	forbidID(t, checkAll(t, valid(`<FORM ACTION="/y"><INPUT TYPE="text" NAME="x"></FORM>`), Options{}), "form-field-context")
+}
+
+func TestRequireNoframes(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>f</TITLE></HEAD><FRAMESET COLS=\"50%,50%\"><FRAME SRC=\"a.html\"></FRAMESET></HTML>"
+	requireID(t, checkAll(t, src, Options{}), "require-noframes")
+	src2 := strings.Replace(src, "</FRAMESET>", "<NOFRAMES>alt</NOFRAMES></FRAMESET>", 1)
+	forbidID(t, checkAll(t, src2, Options{}), "require-noframes")
+}
+
+func TestMetacharacter(t *testing.T) {
+	msgs := checkAll(t, valid("<P>a < b</P>"), Options{})
+	m := requireID(t, msgs, "metacharacter")
+	if !strings.Contains(m.Text, "&lt;") {
+		t.Errorf("text = %q", m.Text)
+	}
+	requireID(t, checkAll(t, valid("<P>AT& T</P>"), Options{}), "metacharacter")
+}
+
+func TestBadURLScheme(t *testing.T) {
+	m := requireID(t, checkAll(t, valid(`<A HREF="htpp://typo.org/">x</A>`), Options{}), "bad-url-scheme")
+	if !strings.Contains(m.Text, "htpp") {
+		t.Errorf("text = %q", m.Text)
+	}
+	forbidID(t, checkAll(t, valid(`<A HREF="relative/page.html">x</A>`), Options{}), "bad-url-scheme")
+	forbidID(t, checkAll(t, valid(`<A HREF="ftp://host/file">x</A>`), Options{}), "bad-url-scheme")
+}
+
+func TestBadTextContext(t *testing.T) {
+	src := "<HTML>loose text<HEAD><TITLE>x</TITLE></HEAD><BODY>ok</BODY></HTML>"
+	m := requireID(t, checkAll(t, src, Options{}), "bad-text-context")
+	if !strings.Contains(m.Text, "HTML") {
+		t.Errorf("text = %q", m.Text)
+	}
+}
+
+func TestUnexpectedOpenFramesetAfterBody(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>x</TITLE></HEAD><BODY><FRAMESET ROWS=\"*\"></FRAMESET></BODY></HTML>"
+	requireID(t, checkAll(t, src, Options{}), "unexpected-open")
+}
+
+func TestUnhiddenScript(t *testing.T) {
+	src := strings.Replace(valid("<P>x</P>"), "</HEAD>",
+		`<SCRIPT TYPE="text/javascript">var x=1;</SCRIPT></HEAD>`, 1)
+	requireID(t, checkAll(t, src, Options{}), "unhidden-script")
+	src2 := strings.Replace(valid("<P>x</P>"), "</HEAD>",
+		"<SCRIPT TYPE=\"text/javascript\"><!--\nvar x=1;\n//--></SCRIPT></HEAD>", 1)
+	forbidID(t, checkAll(t, src2, Options{}), "unhidden-script")
+}
+
+// ---- Style checks (all default-off; exercised via AllEnabled) ----
+
+func TestHereAnchor(t *testing.T) {
+	m := requireID(t, checkAll(t, valid(`Click <A HREF="x.html">here</A>`), Options{}), "here-anchor")
+	if !strings.Contains(m.Text, `"here"`) {
+		t.Errorf("text = %q", m.Text)
+	}
+	requireID(t, checkAll(t, valid(`<A HREF="x.html">Click  Here</A>`), Options{}), "here-anchor")
+	forbidID(t, checkAll(t, valid(`<A HREF="x.html">the 1998 report</A>`), Options{}), "here-anchor")
+}
+
+func TestHereAnchorCustomWords(t *testing.T) {
+	opts := Options{HereWords: []string{"klik hier"}}
+	requireID(t, checkAll(t, valid(`<A HREF="x.html">klik hier</A>`), opts), "here-anchor")
+}
+
+func TestPhysicalFont(t *testing.T) {
+	m := requireID(t, checkAll(t, valid("<B>bold</B>"), Options{}), "physical-font")
+	if !strings.Contains(m.Text, "STRONG") {
+		t.Errorf("text = %q", m.Text)
+	}
+	requireID(t, checkAll(t, valid("<I>it</I>"), Options{}), "physical-font")
+}
+
+func TestMailtoLink(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<A HREF="mailto:n@x.org">mail</A>`), Options{}), "mailto-link")
+}
+
+func TestHeadingInAnchor(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<A HREF="x"><H2>head</H2></A>`), Options{}), "heading-in-anchor")
+}
+
+func TestTagCase(t *testing.T) {
+	msgs := checkAll(t, valid("<em>x</em>"), Options{TagCase: "upper"})
+	requireID(t, msgs, "tag-case")
+	forbidID(t, checkAll(t, valid("<EM>x</EM>"), Options{TagCase: "upper"}), "tag-case")
+	requireID(t, checkAll(t, valid("<EM>x</EM>"), Options{TagCase: "lower"}), "tag-case")
+}
+
+func TestAttributeCase(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<P align="center">x</P>`), Options{AttrCase: "upper"}), "attribute-case")
+	forbidID(t, checkAll(t, valid(`<P ALIGN="center">x</P>`), Options{AttrCase: "upper"}), "attribute-case")
+}
+
+func TestAnchorWhitespace(t *testing.T) {
+	requireID(t, checkAll(t, valid(`<A HREF="x"> padded </A>`), Options{}), "anchor-whitespace")
+	forbidID(t, checkAll(t, valid(`<A HREF="x">tight</A>`), Options{}), "anchor-whitespace")
+}
+
+func TestContainerWhitespace(t *testing.T) {
+	requireID(t, checkAll(t, valid("<H2> padded</H2>"), Options{}), "container-whitespace")
+}
+
+func TestRequireMeta(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>x</TITLE></HEAD><BODY><P>y</P></BODY></HTML>"
+	msgs := checkAll(t, src, Options{})
+	n := 0
+	for _, m := range msgs {
+		if m.ID == "require-meta" {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("require-meta count = %d, want 2 (description and keywords)", n)
+	}
+	forbidID(t, checkAll(t, valid("<P>x</P>"), Options{}), "require-meta")
+}
+
+func TestRequireVersion(t *testing.T) {
+	src := "<!DOCTYPE SYSTEM \"whatever\">\n<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY>y</BODY></HTML>"
+	requireID(t, checkAll(t, src, Options{}), "require-version")
+}
+
+// ---- Implied closes must stay silent ----
+
+func TestImpliedClosesAreLegal(t *testing.T) {
+	src := valid(`
+<UL><LI>one<LI>two<LI>three</UL>
+<P>first para
+<P>second para
+<TABLE><TR><TD>a<TD>b<TR><TD>c<TD>d</TABLE>
+<DL><DT>term<DD>def<DT>term2<DD>def2</DL>
+`)
+	msgs := checkString(t, src, Options{}) // default set
+	if len(msgs) != 0 {
+		var all []string
+		for _, m := range msgs {
+			all = append(all, m.ID+": "+m.Text)
+		}
+		t.Fatalf("legal tag omission produced: %v", all)
+	}
+}
+
+func TestHeadBodyOmittedClosesAreLegal(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">" +
+		"<BODY><P>x</BODY></HTML>"
+	msgs := checkString(t, src, Options{})
+	if len(msgs) != 0 {
+		t.Fatalf("omitted </HEAD> produced: %v", msgs)
+	}
+}

@@ -1,0 +1,332 @@
+// Package core implements weblint's checker engine: a stack machine
+// with an ad-hoc parser which uses various heuristics to keep things
+// together as it goes along. The heuristics are based on commonly-made
+// mistakes in HTML, and exist to minimise the number of warning
+// cascades, where a single problem generates a flurry of error
+// messages.
+//
+// The file being processed is tokenised into start tags (possibly with
+// attributes), text content, and end tags. When an opening tag is
+// seen, it is pushed onto the main stack. Closing tags result in the
+// stack being popped. A secondary stack comes into play when
+// unexpected things happen, like overlapping elements: it holds
+// unresolved tags, and where they appeared.
+package core
+
+import (
+	"strings"
+
+	"weblint/internal/htmlspec"
+	"weblint/internal/htmltoken"
+	"weblint/internal/plugin"
+	"weblint/internal/warn"
+)
+
+// Options configures one checking run.
+type Options struct {
+	// Spec is the HTML version to check against; nil means the
+	// default (HTML 4.0).
+	Spec *htmlspec.Spec
+	// Filename names the document in messages.
+	Filename string
+
+	// DisableCascadeSuppression turns off the secondary stack and
+	// the overlap heuristics, reporting every forced pop
+	// individually. It exists for the E5 ablation experiment; real
+	// use keeps it false.
+	DisableCascadeSuppression bool
+	// DisableImpliedClose turns off silent popping of elements with
+	// omissible close tags (also for E5); every implied close is
+	// then reported as unclosed-element.
+	DisableImpliedClose bool
+
+	// TagCase enables the tag-case style check when set to "upper"
+	// or "lower".
+	TagCase string
+	// AttrCase enables the attribute-case style check when set to
+	// "upper" or "lower".
+	AttrCase string
+	// TitleLength is the TITLE length the title-length check warns
+	// beyond; 0 means the default of 64.
+	TitleLength int
+	// HereWords extends the built-in list of content-free anchor
+	// texts checked by here-anchor.
+	HereWords []string
+
+	// Plugins are content checkers for non-HTML content embedded in
+	// the document (style sheets, scripts) — the paper's Section 6.1
+	// plugin mechanism.
+	Plugins []plugin.ContentChecker
+}
+
+// open is one entry on the main or secondary stack.
+type open struct {
+	name    string // lower-case element name
+	display string // name as written in the source
+	line    int
+	col     int
+	info    *htmlspec.ElementInfo // nil for unknown elements
+	content bool                  // element has direct content
+	text    strings.Builder       // accumulated text (TITLE, A)
+}
+
+// requiresClose reports whether popping this element without its close
+// tag deserves an unclosed-element message.
+func (o *open) requiresClose() bool {
+	if o.info == nil {
+		return false // unknown element: suppress cascades
+	}
+	return !o.info.Empty && !o.info.OmitClose
+}
+
+// Checker checks one document. Construct with New; a Checker is
+// single-use.
+type Checker struct {
+	opts Options
+	spec *htmlspec.Spec
+	em   *warn.Emitter
+	file string
+
+	stack   []*open
+	pending []*open // the secondary stack of unresolved tags
+
+	firstElement bool // a non-doctype element has been seen
+	doctypeSeen  bool
+
+	seenOnce map[string]int // once-only element -> first line
+
+	seenHTML  bool
+	seenHead  bool
+	seenBody  bool
+	seenTitle bool
+	titleLine int
+
+	seenFrameset bool
+	seenNoframes bool
+
+	headContent bool // any head-only element seen
+
+	lastHeading     int // last heading level seen (0 = none)
+	lastHeadingName string
+
+	ids     map[string]int // ID attribute value -> first line
+	anchors map[string]int // A NAME value -> first line
+
+	metaNames map[string]bool
+
+	lastLine int
+}
+
+// New returns a Checker which reports through em.
+func New(em *warn.Emitter, opts Options) *Checker {
+	spec := opts.Spec
+	if spec == nil {
+		spec = htmlspec.Default()
+	}
+	file := opts.Filename
+	if file == "" {
+		file = "-"
+	}
+	return &Checker{
+		opts:      opts,
+		spec:      spec,
+		em:        em,
+		file:      file,
+		seenOnce:  map[string]int{},
+		ids:       map[string]int{},
+		anchors:   map[string]int{},
+		metaNames: map[string]bool{},
+		lastLine:  1,
+	}
+}
+
+// Check runs the checker over a whole document.
+func Check(src string, em *warn.Emitter, opts Options) {
+	c := New(em, opts)
+	tz := htmltoken.New(src)
+	for {
+		tok, ok := tz.Next()
+		if !ok {
+			break
+		}
+		c.Token(tok)
+	}
+	c.Finish()
+}
+
+// emit reports a message at a position in the checked file.
+func (c *Checker) emit(id string, line int, args ...any) {
+	c.em.Emit(id, c.file, line, 0, args...)
+}
+
+// Token feeds one token to the checker.
+func (c *Checker) Token(tok htmltoken.Token) {
+	if tok.EndLine > c.lastLine {
+		c.lastLine = tok.EndLine
+	}
+	switch tok.Type {
+	case htmltoken.Doctype:
+		c.doctype(tok)
+	case htmltoken.Comment:
+		c.comment(tok)
+	case htmltoken.Text:
+		c.text(tok)
+	case htmltoken.StartTag:
+		c.startTag(tok)
+	case htmltoken.EndTag:
+		c.endTag(tok)
+	case htmltoken.Declaration, htmltoken.ProcInst:
+		// SGML declarations and processing instructions are not
+		// checked, but they count as markup for DOCTYPE placement.
+		c.noteElement(tok.Line)
+	}
+}
+
+// noteElement records that markup other than a DOCTYPE has been seen,
+// emitting doctype-first exactly once at the first such token.
+func (c *Checker) noteElement(line int) {
+	if c.firstElement {
+		return
+	}
+	c.firstElement = true
+	if !c.doctypeSeen {
+		c.emit("doctype-first", line)
+	}
+}
+
+// doctype handles a <!DOCTYPE> declaration.
+func (c *Checker) doctype(tok htmltoken.Token) {
+	if c.firstElement {
+		c.emit("stray-doctype", tok.Line)
+		return
+	}
+	c.doctypeSeen = true
+	if !strings.Contains(strings.ToUpper(tok.Text), "HTML") {
+		c.emit("require-version", tok.Line)
+	}
+}
+
+// comment checks an SGML comment token, and handles page-specific
+// configuration embedded in comments (the lint tradition, one of the
+// paper's Section 6.1 items):
+//
+//	<!-- weblint: disable img-alt -->
+//	<IMG SRC="decoration.gif">
+//	<!-- weblint: enable img-alt -->
+func (c *Checker) comment(tok htmltoken.Token) {
+	if tok.Unterminated {
+		c.emit("unterminated-comment", tok.Line, tok.Line)
+		return
+	}
+	if body := strings.TrimSpace(tok.Text); strings.HasPrefix(body, "weblint:") {
+		c.inlineDirective(strings.TrimPrefix(body, "weblint:"), tok.Line)
+		return // directive comments are not style-checked
+	}
+	if markupInComment(tok.Text) {
+		c.emit("markup-in-comment", tok.Line)
+	}
+	if strings.Contains(tok.Text, "--") {
+		c.emit("nested-comment", tok.Line)
+	}
+}
+
+// inlineDirective applies one "weblint:" comment directive. The
+// mutation is scoped to this check run: checkers always operate on a
+// per-run clone of the enablement set.
+func (c *Checker) inlineDirective(text string, line int) {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		c.emit("bad-inline-directive", line, strings.TrimSpace(text))
+		return
+	}
+	var apply func(string) error
+	switch fields[0] {
+	case "enable":
+		apply = c.em.Set().Enable
+	case "disable":
+		apply = c.em.Set().Disable
+	default:
+		c.emit("bad-inline-directive", line, strings.TrimSpace(text))
+		return
+	}
+	for _, id := range fields[1:] {
+		if err := apply(strings.Trim(id, ",")); err != nil {
+			c.emit("bad-inline-directive", line, strings.TrimSpace(text))
+			return
+		}
+	}
+}
+
+// markupInComment reports whether a comment body appears to contain
+// commented-out markup.
+func markupInComment(text string) bool {
+	for i := 0; i+1 < len(text); i++ {
+		if text[i] != '<' {
+			continue
+		}
+		c := text[i+1]
+		if c == '/' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// top returns the top of the main stack, or nil when empty.
+func (c *Checker) top() *open {
+	if len(c.stack) == 0 {
+		return nil
+	}
+	return c.stack[len(c.stack)-1]
+}
+
+// inElement reports whether an element with the given lower-case name
+// is open on the main stack.
+func (c *Checker) inElement(name string) *open {
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i].name == name {
+			return c.stack[i]
+		}
+	}
+	return nil
+}
+
+// Finish runs the end-of-document checks: unclosed elements left on
+// either stack, and whole-document structure checks.
+func (c *Checker) Finish() {
+	// Elements still open at end of document.
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		o := c.stack[i]
+		if o.requiresClose() {
+			c.emit("unclosed-element", c.lastLine, o.display, o.display, o.line)
+		} else {
+			c.popChecks(o)
+		}
+	}
+	c.stack = nil
+	for i := len(c.pending) - 1; i >= 0; i-- {
+		o := c.pending[i]
+		if o.requiresClose() {
+			c.emit("unclosed-element", c.lastLine, o.display, o.display, o.line)
+		}
+	}
+	c.pending = nil
+
+	if !c.seenHTML {
+		c.emit("html-outer", 1)
+	}
+	if !c.seenHead && !c.headContent {
+		c.emit("require-head", 1)
+	}
+	if !c.seenTitle {
+		c.emit("require-title", 1)
+	}
+	if c.seenFrameset && !c.seenNoframes {
+		c.emit("require-noframes", c.lastLine)
+	}
+	for _, name := range []string{"description", "keywords"} {
+		if !c.metaNames[name] {
+			c.emit("require-meta", 1, name)
+		}
+	}
+}

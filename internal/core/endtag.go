@@ -1,0 +1,207 @@
+package core
+
+import (
+	"strings"
+
+	"weblint/internal/htmltoken"
+)
+
+// endTag handles a closing tag. This is where the two-stack heuristics
+// live: matching against the main stack, implied closes of omissible
+// elements, the overlap-vs-unclosed distinction, and silent resolution
+// of tags previously moved to the secondary stack.
+func (c *Checker) endTag(tok htmltoken.Token) {
+	c.noteElement(tok.Line)
+
+	name := strings.ToLower(tok.Name)
+	display := strings.ToUpper(tok.Name)
+	info := c.spec.Element(name)
+
+	if tok.Unterminated {
+		c.emit("malformed-tag", tok.Line)
+		return
+	}
+	if tok.OddQuotes {
+		c.emit("odd-quotes", tok.Line, tok.Raw)
+	} else if len(tok.Attrs) > 0 {
+		c.emit("closing-attribute", tok.Line, display)
+	}
+	c.checkTagCase(tok.Name, display, tok.Line)
+
+	// Close tags for empty elements are never legal.
+	if info != nil && info.Empty {
+		c.emit("empty-element-close", tok.Line, display, display)
+		return
+	}
+
+	// Find the matching open element on the main stack.
+	idx := -1
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i].name == name {
+			idx = i
+			break
+		}
+	}
+
+	if idx < 0 {
+		c.unmatchedClose(tok, name, display, info == nil)
+		return
+	}
+
+	intervening := c.stack[idx+1:]
+	matched := c.stack[idx]
+	c.stack = c.stack[:idx]
+
+	if len(intervening) == 0 {
+		c.popChecks(matched)
+		return
+	}
+
+	if c.opts.DisableCascadeSuppression {
+		// Ablation mode: report every forced pop individually and
+		// never defer to the secondary stack.
+		for i := len(intervening) - 1; i >= 0; i-- {
+			o := intervening[i]
+			c.emit("unclosed-element", tok.Line, o.display, o.display, o.line)
+		}
+		c.popChecks(matched)
+		return
+	}
+
+	// Heuristic: when an inline element's close tag crosses other
+	// elements, the document most likely has overlapping markup such
+	// as <B><A>..</B>..</A>; report the overlap once and move the
+	// crossed elements to the secondary stack so their own close
+	// tags resolve silently later. When a structural container's
+	// close tag forces elements shut, those closes are simply
+	// missing: report each as unclosed-element.
+	structuralClose := info == nil || !info.Inline
+
+	for i := len(intervening) - 1; i >= 0; i-- {
+		o := intervening[i]
+		if !o.requiresClose() {
+			// Omissible or unknown: implied close, no message.
+			if c.opts.DisableImpliedClose && o.info != nil {
+				c.emit("unclosed-element", tok.Line, o.display, o.display, o.line)
+			} else {
+				c.popChecks(o)
+			}
+			continue
+		}
+		if structuralClose {
+			c.emit("unclosed-element", tok.Line, o.display, o.display, o.line)
+		} else {
+			c.emit("element-overlap", tok.Line, display, tok.Line, o.display, o.line)
+			c.pending = append(c.pending, o)
+		}
+	}
+	c.popChecks(matched)
+}
+
+// unmatchedClose handles a close tag with no matching open element:
+// heading cross-matching, secondary-stack resolution, and finally the
+// unmatched-close message.
+func (c *Checker) unmatchedClose(tok htmltoken.Token, name, display string, unknown bool) {
+	// </H2> closing an open <H1> is reported as a malformed heading
+	// rather than a stray close tag.
+	if headingLevel(name) > 0 {
+		if t := c.top(); t != nil && headingLevel(t.name) > 0 {
+			c.emit("heading-mismatch", tok.Line, t.display, display)
+			c.stack = c.stack[:len(c.stack)-1]
+			return
+		}
+	}
+
+	// Tags moved to the secondary stack resolve silently: their
+	// overlap has already been reported. Content checks (anchor
+	// text, title length) still run on resolution.
+	for i := len(c.pending) - 1; i >= 0; i-- {
+		if c.pending[i].name == name {
+			o := c.pending[i]
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.popChecks(o)
+			return
+		}
+	}
+
+	if unknown {
+		c.emit("unknown-element", tok.Line, display)
+		return
+	}
+	c.emit("unmatched-close", tok.Line, display)
+}
+
+// popChecks runs the checks performed when an element leaves the stack
+// in an orderly way: empty containers, TITLE content, content-free
+// anchor text.
+func (c *Checker) popChecks(o *open) {
+	if o.info == nil {
+		return
+	}
+	if !o.content && !o.info.Empty && !o.info.EmptyOK {
+		if o.name == "title" {
+			c.emit("empty-title", o.line)
+		} else {
+			c.emit("empty-container", o.line, o.display)
+		}
+	}
+	switch {
+	case o.name == "title":
+		c.checkTitleText(o)
+	case o.name == "a":
+		c.checkAnchorText(o)
+	case headingLevel(o.name) > 0:
+		c.checkContainerWhitespace(o)
+	}
+}
+
+// checkContainerWhitespace reports leading or trailing whitespace in
+// the content of a container such as a heading (style, off by
+// default).
+func (c *Checker) checkContainerWhitespace(o *open) {
+	raw := o.text.String()
+	if raw == "" || strings.TrimSpace(raw) == "" {
+		return
+	}
+	if strings.TrimLeft(raw, " \t\r\n") != raw {
+		c.emit("container-whitespace", o.line, "leading", o.display)
+	}
+	if strings.TrimRight(raw, " \t\r\n") != raw {
+		c.emit("container-whitespace", o.line, "trailing", o.display)
+	}
+}
+
+// checkTitleText checks the accumulated TITLE content length.
+func (c *Checker) checkTitleText(o *open) {
+	limit := c.opts.TitleLength
+	if limit <= 0 {
+		limit = defaultTitleLength
+	}
+	text := strings.TrimSpace(o.text.String())
+	if n := len(text); n > limit {
+		c.emit("title-length", o.line, n, limit)
+	}
+}
+
+// checkAnchorText checks anchor content for content-free phrases and
+// sloppy whitespace.
+func (c *Checker) checkAnchorText(o *open) {
+	raw := o.text.String()
+	text := strings.TrimSpace(raw)
+	if text == "" {
+		return
+	}
+	if raw != text {
+		c.emit("anchor-whitespace", o.line)
+	}
+	norm := strings.Join(strings.Fields(strings.ToLower(text)), " ")
+	for _, w := range c.opts.HereWords {
+		if norm == strings.ToLower(w) {
+			c.emit("here-anchor", o.line, text)
+			return
+		}
+	}
+	if hereWords[norm] {
+		c.emit("here-anchor", o.line, text)
+	}
+}

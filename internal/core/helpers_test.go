@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"weblint/internal/htmlspec"
+)
+
+// spec32 returns the HTML 3.2 spec for tests.
+func spec32(t *testing.T) *htmlspec.Spec {
+	t.Helper()
+	s, ok := htmlspec.ByVersion("3.2")
+	if !ok {
+		t.Fatal("HTML 3.2 spec unavailable")
+	}
+	return s
+}
+
+// specWithExt returns an HTML 4.0 spec with a vendor extension enabled.
+func specWithExt(t *testing.T, vendor string) *htmlspec.Spec {
+	t.Helper()
+	s := htmlspec.HTML40()
+	s.EnableExtension(vendor)
+	return s
+}

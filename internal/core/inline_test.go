@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Page-specific configuration embedded in comments, the paper's
+// Section 6.1 item ("configuration information embedded in comments,
+// which traditional lint supports").
+
+func TestInlineDisable(t *testing.T) {
+	src := valid(`
+<!-- weblint: disable img-alt -->
+<IMG SRC="decoration.gif" WIDTH="1" HEIGHT="1">
+`)
+	forbidID(t, checkAll(t, src, Options{}), "img-alt")
+}
+
+func TestInlineDisableThenEnable(t *testing.T) {
+	src := valid(`
+<!-- weblint: disable img-alt -->
+<IMG SRC="decoration.gif" WIDTH="1" HEIGHT="1">
+<!-- weblint: enable img-alt -->
+<IMG SRC="content.gif" WIDTH="1" HEIGHT="1">
+`)
+	msgs := checkAll(t, src, Options{})
+	n := 0
+	for _, m := range msgs {
+		if m.ID == "img-alt" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("img-alt count = %d, want 1 (only the re-enabled region)", n)
+	}
+}
+
+func TestInlineDisableCategory(t *testing.T) {
+	src := valid(`
+<!-- weblint: disable style -->
+<B>physical</B>
+`)
+	msgs := checkAll(t, src, Options{})
+	forbidID(t, msgs, "physical-font")
+}
+
+func TestInlineDirectiveMultipleIDs(t *testing.T) {
+	src := valid(`
+<!-- weblint: disable img-alt, img-size -->
+<IMG SRC="x.gif">
+`)
+	msgs := checkAll(t, src, Options{})
+	forbidID(t, msgs, "img-alt")
+	forbidID(t, msgs, "img-size")
+}
+
+func TestInlineDirectiveBad(t *testing.T) {
+	cases := []string{
+		"<!-- weblint: frobnicate img-alt -->",
+		"<!-- weblint: disable -->",
+		"<!-- weblint: disable no-such-id -->",
+	}
+	for _, comment := range cases {
+		msgs := checkAll(t, valid(comment), Options{})
+		found := false
+		for _, m := range msgs {
+			if m.ID == "bad-inline-directive" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no bad-inline-directive message", comment)
+		}
+	}
+}
+
+func TestInlineDirectiveNotStyleChecked(t *testing.T) {
+	// Directive comments must not trigger markup-in-comment or
+	// nested-comment themselves.
+	src := valid("<!-- weblint: disable img-alt -->")
+	msgs := checkAll(t, src, Options{})
+	forbidID(t, msgs, "markup-in-comment")
+	forbidID(t, msgs, "nested-comment")
+}
+
+func TestInlineDirectiveScopedToRun(t *testing.T) {
+	// A directive in one document must not leak into the next check
+	// through the linter's shared configuration.
+	srcOff := valid("<!-- weblint: disable doctype-first -->")
+	srcPlain := strings.Replace(valid("<P>x</P>"), "<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0//EN\">\n", "", 1)
+
+	_ = checkAll(t, srcOff, Options{})
+	msgs := checkAll(t, srcPlain, Options{})
+	requireID(t, msgs, "doctype-first")
+}

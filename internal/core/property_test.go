@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"weblint/internal/corpus"
+	"weblint/internal/warn"
+)
+
+// TestCheckerNeverPanics drives the checker with arbitrary byte
+// strings: whatever the input, the checker must terminate normally and
+// produce messages with sane positions.
+func TestCheckerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		em := warn.NewEmitter(warn.AllEnabled())
+		Check(s, em, Options{Filename: "fuzz.html"})
+		for _, m := range em.Messages() {
+			if m.Line < 1 {
+				return false
+			}
+			if m.Text == "" || m.ID == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckerNeverPanicsOnMarkupishInput biases the fuzz toward
+// markup-looking strings, where the interesting paths live.
+func TestCheckerNeverPanicsOnMarkupishInput(t *testing.T) {
+	pieces := []string{
+		"<", ">", "</", "<!", "<!--", "-->", "\"", "'", "=", "&",
+		"A", "B", "TABLE", "TD", "SCRIPT", "TITLE", "#PCDATA", ";",
+		"HREF", "amp", " ", "\n", "x", "<>", "</>", "<P", "--",
+	}
+	f := func(choices []uint8) bool {
+		var b []byte
+		for _, c := range choices {
+			b = append(b, pieces[int(c)%len(pieces)]...)
+		}
+		em := warn.NewEmitter(warn.AllEnabled())
+		Check(string(b), em, Options{Filename: "fuzz.html"})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidCorpusIsErrorFree: the generator with zero error rates
+// produces documents on which the default-enabled checker is silent.
+// This is a joint property of the generator and the checker.
+func TestValidCorpusIsErrorFree(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		src := corpus.Generate(corpus.Config{Seed: seed, Sections: 3})
+		em := warn.NewEmitter(nil)
+		Check(src, em, Options{Filename: "gen.html"})
+		if msgs := em.Messages(); len(msgs) != 0 {
+			t.Fatalf("seed %d: valid corpus produced %d messages, first: %s %q (line %d)",
+				seed, len(msgs), msgs[0].ID, msgs[0].Text, msgs[0].Line)
+		}
+	}
+}
+
+// TestInjectedErrorsAreDetected: each injector class produces its
+// matching message on at least most seeds.
+func TestInjectedErrorsAreDetected(t *testing.T) {
+	cases := []struct {
+		name   string
+		rates  corpus.ErrorRates
+		expect []string // any of these IDs count as detection
+	}{
+		{"DropClose", corpus.ErrorRates{DropClose: 1}, []string{"unclosed-element"}},
+		{"Misspell", corpus.ErrorRates{Misspell: 1}, []string{"unknown-element"}},
+		{"UnquoteAttr", corpus.ErrorRates{UnquoteAttr: 1}, []string{"attribute-delimiter"}},
+		{"BadColor", corpus.ErrorRates{BadColor: 1}, []string{"body-colors"}},
+		{"Overlap", corpus.ErrorRates{Overlap: 1}, []string{"element-overlap"}},
+		{"MissingAlt", corpus.ErrorRates{MissingAlt: 1}, []string{"img-alt"}},
+		{"BadEntity", corpus.ErrorRates{BadEntity: 1}, []string{"unknown-entity"}},
+		{"HeadingSkip", corpus.ErrorRates{HeadingSkip: 1}, []string{"heading-order"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			detected := 0
+			trials := 10
+			for seed := int64(0); seed < int64(trials); seed++ {
+				src := corpus.Generate(corpus.Config{Seed: seed, Sections: 6, Errors: tc.rates})
+				em := warn.NewEmitter(warn.AllEnabled())
+				Check(src, em, Options{Filename: "gen.html"})
+				found := false
+				for _, m := range em.Messages() {
+					for _, want := range tc.expect {
+						if m.ID == want {
+							found = true
+						}
+					}
+				}
+				if found {
+					detected++
+				}
+			}
+			// Injection sites are probabilistic per document; most
+			// seeds must exhibit the defect and be caught.
+			if detected < trials/2 {
+				t.Errorf("detected on %d/%d seeds", detected, trials)
+			}
+		})
+	}
+}
+
+// TestEnabledSubsetProperty: disabling warnings never adds messages,
+// and the messages of a run with a subset enabled are a subset of the
+// all-enabled run.
+func TestEnabledSubsetProperty(t *testing.T) {
+	src := corpus.Generate(corpus.Config{Seed: 7, Sections: 5, Errors: corpus.Uniform(0.5)})
+
+	all := warn.NewEmitter(warn.AllEnabled())
+	Check(src, all, Options{Filename: "g.html"})
+	allSet := map[string]bool{}
+	for _, m := range all.Messages() {
+		allSet[m.ID+"|"+m.Text+"|"+itoa(m.Line)] = true
+	}
+
+	def := warn.NewEmitter(nil)
+	Check(src, def, Options{Filename: "g.html"})
+	if len(def.Messages()) > len(all.Messages()) {
+		t.Fatal("default set produced more messages than all-enabled")
+	}
+	for _, m := range def.Messages() {
+		if !allSet[m.ID+"|"+m.Text+"|"+itoa(m.Line)] {
+			t.Errorf("default-run message missing from all-enabled run: %+v", m)
+		}
+	}
+}
+
+// TestMessageLinesWithinDocument: every message's line is within the
+// document.
+func TestMessageLinesWithinDocument(t *testing.T) {
+	src := corpus.Generate(corpus.Config{Seed: 3, Sections: 6, Errors: corpus.Uniform(0.6)})
+	lines := 1
+	for _, c := range src {
+		if c == '\n' {
+			lines++
+		}
+	}
+	em := warn.NewEmitter(warn.AllEnabled())
+	Check(src, em, Options{Filename: "g.html"})
+	for _, m := range em.Messages() {
+		if m.Line < 1 || m.Line > lines {
+			t.Errorf("message line %d outside document (1-%d): %s", m.Line, lines, m.ID)
+		}
+	}
+}
+
+// TestDeterminism: the checker is a pure function of its input.
+func TestDeterminism(t *testing.T) {
+	src := corpus.Generate(corpus.Config{Seed: 11, Sections: 5, Errors: corpus.Uniform(0.4)})
+	run := func() []warn.Message {
+		em := warn.NewEmitter(warn.AllEnabled())
+		Check(src, em, Options{Filename: "g.html"})
+		return em.Messages()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("message %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

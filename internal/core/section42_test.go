@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"weblint/internal/warn"
+)
+
+// Section42HTML is the example page from Section 4.2 of the paper,
+// verbatim.
+const Section42HTML = `<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>
+`
+
+// checkString is a test helper running the checker with default
+// options over src.
+func checkString(t *testing.T, src string, opts Options) []warn.Message {
+	t.Helper()
+	em := warn.NewEmitter(nil)
+	if opts.Filename == "" {
+		opts.Filename = "test.html"
+	}
+	Check(src, em, opts)
+	return em.Messages()
+}
+
+// TestSection42Example reproduces the worked example from the paper's
+// Section 4.2: weblint must produce exactly the seven messages shown
+// in the paper, in order, with the paper's wording.
+func TestSection42Example(t *testing.T) {
+	msgs := checkString(t, Section42HTML, Options{})
+	warn.SortByLine(msgs)
+
+	want := []struct {
+		line int
+		id   string
+		text string
+	}{
+		{1, "doctype-first", "first element was not DOCTYPE specification"},
+		{4, "unclosed-element", "no closing </TITLE> seen for <TITLE> on line 3"},
+		{5, "attribute-delimiter", `value for attribute TEXT (#00ff00) of element BODY should be quoted (i.e. TEXT="#00ff00")`},
+		{5, "body-colors", "illegal value for BGCOLOR attribute of BODY (fffff)"},
+		{6, "heading-mismatch", "malformed heading - open tag is <H1>, but closing is </H2>"},
+		{7, "odd-quotes", `odd number of quotes in element <A HREF="a.html>`},
+		{7, "element-overlap", "</B> on line 7 seems to overlap <A>, opened on line 7."},
+	}
+
+	if len(msgs) != len(want) {
+		var got strings.Builder
+		for _, m := range msgs {
+			got.WriteString("\n  " + warn.Short{}.Format(m) + " [" + m.ID + "]")
+		}
+		t.Fatalf("got %d messages, want %d:%s", len(msgs), len(want), got.String())
+	}
+	for i, w := range want {
+		m := msgs[i]
+		if m.Line != w.line {
+			t.Errorf("message %d: line = %d, want %d (%s)", i, m.Line, w.line, m.Text)
+		}
+		if m.ID != w.id {
+			t.Errorf("message %d: id = %s, want %s (%s)", i, m.ID, w.id, m.Text)
+		}
+		if m.Text != w.text {
+			t.Errorf("message %d:\n got  %q\n want %q", i, m.Text, w.text)
+		}
+	}
+}
+
+// TestSection42ShortFormat checks the -s rendering of the first
+// message matches the paper's sample output format.
+func TestSection42ShortFormat(t *testing.T) {
+	msgs := checkString(t, Section42HTML, Options{})
+	warn.SortByLine(msgs)
+	if len(msgs) == 0 {
+		t.Fatal("no messages")
+	}
+	got := warn.Short{}.Format(msgs[0])
+	want := "line 1: first element was not DOCTYPE specification"
+	if got != want {
+		t.Errorf("short format = %q, want %q", got, want)
+	}
+	lint := warn.Lint{}.Format(msgs[0])
+	wantLint := "test.html(1): first element was not DOCTYPE specification"
+	if lint != wantLint {
+		t.Errorf("lint format = %q, want %q", lint, wantLint)
+	}
+}

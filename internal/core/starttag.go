@@ -1,0 +1,345 @@
+package core
+
+import (
+	"strings"
+
+	"weblint/internal/htmlspec"
+	"weblint/internal/htmltoken"
+)
+
+// startTag handles an opening tag: tokenizer-recovery diagnostics,
+// implied closes, element identity and context checks, attribute
+// checks, and stack maintenance.
+func (c *Checker) startTag(tok htmltoken.Token) {
+	if tok.EmptyTag {
+		c.emit("empty-tag", tok.Line)
+		return
+	}
+	c.noteElement(tok.Line)
+
+	name := strings.ToLower(tok.Name)
+	display := strings.ToUpper(tok.Name)
+	info := c.spec.Element(name)
+
+	if tok.Unterminated {
+		c.emit("malformed-tag", tok.Line)
+		return
+	}
+	if tok.OddQuotes {
+		c.emit("odd-quotes", tok.Line, tok.Raw)
+	}
+	if tok.SlashClose {
+		c.emit("spurious-slash", tok.Line, display)
+	}
+	c.checkTagCase(tok.Name, display, tok.Line)
+
+	// Element identity.
+	switch {
+	case info == nil:
+		c.emit("unknown-element", tok.Line, display)
+	case info.Extension != "" && !c.spec.ExtensionEnabled(info.Extension):
+		c.emit("extension-markup", tok.Line, display, info.Extension, c.spec.Version)
+	case info.Obsolete:
+		c.emit("obsolete-element", tok.Line, display, info.Replacement)
+	case info.Deprecated:
+		c.emit("deprecated-element", tok.Line, display, info.Replacement)
+	}
+
+	// Implied closes: opening this element legally ends some open
+	// elements (LI ends LI, a block element ends P, ...).
+	c.applyImpliedClose(name, tok.Line)
+
+	if info != nil {
+		c.checkStructure(name, display, info, tok.Line)
+	}
+
+	// Mark content on the parent before pushing.
+	if parent := c.top(); parent != nil {
+		parent.content = true
+	}
+
+	// Attribute checks (suppressed wholesale on odd-quote recovery,
+	// since the attribute list is then known to be garbled).
+	if !tok.OddQuotes {
+		c.checkAttrs(tok, name, display, info)
+	}
+
+	c.trackDocumentState(name, tok.Line)
+
+	if info != nil && info.Empty {
+		return // empty elements are never pushed
+	}
+	c.stack = append(c.stack, &open{
+		name:    name,
+		display: display,
+		line:    tok.Line,
+		col:     tok.Col,
+		info:    info,
+	})
+}
+
+// applyImpliedClose pops open elements whose end is implied by the
+// arrival of a start tag for name.
+func (c *Checker) applyImpliedClose(name string, line int) {
+	for {
+		t := c.top()
+		if t == nil || t.info == nil || !t.info.ImpliedEndedBy(name) {
+			return
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+		if c.opts.DisableImpliedClose {
+			c.emit("unclosed-element", line, t.display, t.display, t.line)
+		} else {
+			c.popChecks(t)
+		}
+	}
+}
+
+// checkStructure performs the element-level structure checks: once
+// only elements, head/body placement, required context, self-nesting,
+// heading order.
+func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInfo, line int) {
+	// Once-only elements (HTML, HEAD, BODY, TITLE).
+	if info.OnceOnly {
+		if first, dup := c.seenOnce[name]; dup {
+			c.emit("once-only", line, display, first)
+		} else {
+			c.seenOnce[name] = line
+		}
+	}
+
+	// HEAD-only elements appearing in the BODY.
+	if info.HeadOnly {
+		c.headContent = true
+		if c.inElement("head") == nil && (c.seenBody || c.inElement("body") != nil) {
+			if name == "meta" {
+				c.emit("meta-in-body", line)
+			} else {
+				c.emit("head-element", line, display)
+			}
+		}
+	} else if !info.Empty && c.inElement("head") != nil &&
+		name != "html" && name != "script" && name != "noscript" && !info.HeadOnly {
+		// Rendered markup inside the HEAD.
+		c.emit("body-element", line, display)
+	}
+
+	// Required parent context (LI in lists, TD in TR, ...).
+	if len(info.Context) > 0 {
+		parent := ""
+		if t := c.top(); t != nil {
+			parent = t.name
+		}
+		if !info.InContext(parent) {
+			c.emit("required-context", line, display, contextList(info.Context))
+		}
+	}
+
+	// Form fields outside any FORM.
+	if info.FormField && c.inElement("form") == nil {
+		c.emit("form-field-context", line, display)
+	}
+
+	// Elements which may not nest within themselves.
+	if info.NoSelfNest {
+		if prev := c.inElement(name); prev != nil {
+			c.emit("nested-element", line, display, display, display, prev.line)
+		}
+	}
+
+	// Heading order and headings inside anchors.
+	if lvl := headingLevel(name); lvl > 0 {
+		if c.lastHeading > 0 && lvl > c.lastHeading+1 {
+			c.emit("heading-order", line, display, c.lastHeadingName)
+		}
+		c.lastHeading = lvl
+		c.lastHeadingName = display
+		if c.inElement("a") != nil {
+			c.emit("heading-in-anchor", line, display)
+		}
+	}
+
+	// BODY and FRAMESET are mutually exclusive document styles.
+	if name == "frameset" {
+		if b := c.inElement("body"); b != nil {
+			c.emit("unexpected-open", line, display, "BODY", b.line)
+		}
+	}
+
+	// Physical vs. logical markup (style, off by default).
+	if logical, ok := PhysicalToLogical[name]; ok {
+		c.emit("physical-font", line, logical, display)
+	}
+}
+
+// trackDocumentState records document-level facts used by Finish.
+func (c *Checker) trackDocumentState(name string, line int) {
+	switch name {
+	case "html":
+		c.seenHTML = true
+	case "head":
+		c.seenHead = true
+	case "body":
+		c.seenBody = true
+	case "title":
+		c.seenTitle = true
+		c.titleLine = line
+	case "frameset":
+		c.seenFrameset = true
+	case "noframes":
+		c.seenNoframes = true
+	}
+}
+
+// checkTagCase implements the optional tag-case style check.
+func (c *Checker) checkTagCase(written, display string, line int) {
+	switch c.opts.TagCase {
+	case "upper":
+		if written != strings.ToUpper(written) {
+			c.emit("tag-case", line, display, "upper")
+		}
+	case "lower":
+		if written != strings.ToLower(written) {
+			c.emit("tag-case", line, display, "lower")
+		}
+	}
+}
+
+// checkAttrs checks the attribute list of a start tag. The checks run
+// in two passes to match weblint's output order: quoting style first,
+// then attribute identity and value legality.
+func (c *Checker) checkAttrs(tok htmltoken.Token, name, display string, info *htmlspec.ElementInfo) {
+	// Pass 1: quoting.
+	for _, at := range tok.Attrs {
+		if !at.HasValue {
+			continue
+		}
+		switch at.Quote {
+		case 0:
+			if !isNameTokenValue(at.Value) {
+				c.emit("attribute-delimiter", at.Line, at.Name, at.Value, display, at.Name, at.Value)
+			}
+		case '\'':
+			c.emit("single-quotes", at.Line, at.Name, display)
+		}
+	}
+
+	// Pass 2: identity, duplication, and value legality.
+	seen := map[string]*htmltoken.Attr{}
+	for i := range tok.Attrs {
+		at := &tok.Attrs[i]
+		lower := strings.ToLower(at.Name)
+		if _, dup := seen[lower]; dup {
+			c.emit("repeated-attribute", at.Line, at.Name, display)
+			continue
+		}
+		seen[lower] = at
+
+		if info == nil {
+			continue // unknown element already reported; don't cascade
+		}
+		ai := info.Attr(lower)
+		if ai == nil {
+			c.emit("unknown-attribute", at.Line, at.Name, display)
+			continue
+		}
+		if ai.Extension != "" && !c.spec.ExtensionEnabled(ai.Extension) {
+			c.emit("extension-attribute", at.Line, at.Name, display, ai.Extension, c.spec.Version)
+		} else if ai.Deprecated {
+			c.emit("deprecated-attribute", at.Line, at.Name, display)
+		}
+		if at.HasValue {
+			c.checkAttrValue(at, ai, display)
+		}
+	}
+
+	if info == nil {
+		return
+	}
+
+	// Required attributes.
+	for _, reqName := range info.RequiredAttrs() {
+		if _, ok := seen[reqName]; !ok {
+			c.emit("required-attribute", tok.Line, strings.ToUpper(reqName), display)
+		}
+	}
+
+	c.checkAttrCase(tok, display)
+	c.checkSpecialAttrs(tok, name, seen)
+}
+
+// checkAttrValue validates one attribute value against its definition.
+func (c *Checker) checkAttrValue(at *htmltoken.Attr, ai *htmlspec.AttrInfo, display string) {
+	if !ai.ValidValue(at.Value) {
+		id := "attribute-value"
+		if ai.Type == htmlspec.Color {
+			id = "body-colors"
+		}
+		c.emit(id, at.Line, strings.ToUpper(at.Name), display, at.Value)
+		return
+	}
+	// Entity references inside the value.
+	c.checkEntities(at.Value, at.Line, false)
+
+	if ai.Type == htmlspec.URL && at.Value != "" {
+		if scheme, bad := badScheme(at.Value); bad {
+			c.emit("bad-url-scheme", at.Line, scheme, at.Value)
+		}
+		if strings.HasPrefix(strings.ToLower(at.Value), "mailto:") {
+			c.emit("mailto-link", at.Line, at.Value)
+		}
+	}
+}
+
+// checkAttrCase implements the optional attribute-case style check.
+func (c *Checker) checkAttrCase(tok htmltoken.Token, display string) {
+	switch c.opts.AttrCase {
+	case "upper":
+		for _, at := range tok.Attrs {
+			if at.Name != strings.ToUpper(at.Name) {
+				c.emit("attribute-case", at.Line, at.Name, display, "upper")
+			}
+		}
+	case "lower":
+		for _, at := range tok.Attrs {
+			if at.Name != strings.ToLower(at.Name) {
+				c.emit("attribute-case", at.Line, at.Name, display, "lower")
+			}
+		}
+	}
+}
+
+// checkSpecialAttrs holds the per-element attribute checks: IMG's ALT
+// and sizing, duplicate IDs and anchor names, META bookkeeping.
+func (c *Checker) checkSpecialAttrs(tok htmltoken.Token, name string, seen map[string]*htmltoken.Attr) {
+	switch name {
+	case "img":
+		if _, ok := seen["alt"]; !ok {
+			c.emit("img-alt", tok.Line)
+		}
+		_, w := seen["width"]
+		_, h := seen["height"]
+		if !w || !h {
+			c.emit("img-size", tok.Line)
+		}
+	case "a":
+		if at, ok := seen["name"]; ok && at.HasValue {
+			if first, dup := c.anchors[at.Value]; dup {
+				c.emit("duplicate-anchor", at.Line, at.Value, first)
+			} else {
+				c.anchors[at.Value] = at.Line
+			}
+		}
+	case "meta":
+		if at, ok := seen["name"]; ok && at.HasValue {
+			c.metaNames[strings.ToLower(at.Value)] = true
+		}
+	}
+	if at, ok := seen["id"]; ok && at.HasValue {
+		if first, dup := c.ids[at.Value]; dup {
+			c.emit("duplicate-id", at.Line, at.Value, first)
+		} else {
+			c.ids[at.Value] = at.Line
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+
+	"weblint/internal/entity"
+	"weblint/internal/htmltoken"
+	"weblint/internal/plugin"
+)
+
+// text handles a document text token: content bookkeeping for the
+// enclosing elements, placement checks, and entity / metacharacter
+// scanning.
+func (c *Checker) text(tok htmltoken.Token) {
+	t := c.top()
+
+	if tok.RawText {
+		// SCRIPT/STYLE content: optionally check it is hidden in a
+		// comment for pre-SCRIPT browsers; no entity checks apply.
+		if t != nil {
+			t.content = true
+			body := strings.TrimSpace(tok.Text)
+			if body != "" && !strings.HasPrefix(body, "<!--") {
+				c.emit("unhidden-script", tok.Line, t.display)
+			}
+			// Content plugins (Section 6.1): hand the raw content
+			// to a checker claiming this element.
+			if p := plugin.ForElement(c.opts.Plugins, t.name); p != nil {
+				p.Check(tok.Text, tok.Line, func(id string, line int, args ...any) {
+					c.emit(id, line, args...)
+				})
+			}
+		}
+		return
+	}
+
+	// Accumulate text into the nearest TITLE, A or heading for their
+	// content checks (even pure whitespace matters to the whitespace
+	// style checks).
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		n := c.stack[i].name
+		if n == "title" || n == "a" || headingLevel(n) > 0 {
+			c.stack[i].text.WriteString(tok.Text)
+			break
+		}
+	}
+
+	if strings.TrimSpace(tok.Text) == "" {
+		return
+	}
+
+	if t != nil {
+		t.content = true
+		if t.name == "html" || t.name == "head" {
+			c.emit("bad-text-context", tok.Line, t.display)
+		}
+	}
+
+	c.checkEntities(tok.Text, tok.Line, true)
+}
+
+// checkEntities scans text for entity references, reporting unknown
+// and unterminated references. When inText is true, bare ampersands
+// and stray '<' characters are additionally reported as unescaped
+// metacharacters.
+func (c *Checker) checkEntities(text string, line int, inText bool) {
+	for _, ref := range entity.Scan(text) {
+		switch {
+		case ref.Name == "":
+			if inText {
+				c.emit("metacharacter", line+lineOffset(text, ref.Offset), "&", "&amp;")
+			}
+		case !ref.Terminated:
+			c.emit("unterminated-entity", line+lineOffset(text, ref.Offset), ref.Name)
+		case ref.Numeric:
+			// Numeric references are always structurally fine here.
+		case !entity.KnownIn(ref.Name, c.spec.HTML40):
+			c.emit("unknown-entity", line+lineOffset(text, ref.Offset), ref.Name)
+		}
+	}
+	if inText {
+		for i := 0; i < len(text); i++ {
+			if text[i] == '<' {
+				c.emit("metacharacter", line+lineOffset(text, i), "<", "&lt;")
+			}
+		}
+	}
+}
+
+// lineOffset counts the newlines in text before offset, so messages in
+// multi-line text tokens point at the right line.
+func lineOffset(text string, offset int) int {
+	n := 0
+	for i := 0; i < offset && i < len(text); i++ {
+		if text[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}

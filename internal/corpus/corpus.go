@@ -1,0 +1,328 @@
+// Package corpus generates synthetic HTML documents for benchmarks and
+// experiments. It substitutes for the paper's real-world page
+// collection: a deterministic generator (seeded PRNG) produces pages
+// of controlled size, and an error injector plants exactly the classes
+// of commonly-made mistakes the paper's Section 4.3 enumerates —
+// missing close tags, mis-typed element names, unquoted attribute
+// values, illegal colors, overlapping elements, missing ALT text,
+// unknown entities and skipped heading levels — at configurable rates.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ErrorRates sets the per-opportunity probability of each injected
+// mistake class. All zero means a valid document.
+type ErrorRates struct {
+	// DropClose drops the closing tag of a container.
+	DropClose float64
+	// Misspell mis-types an element name (<BLOCKQOUTE>).
+	Misspell float64
+	// UnquoteAttr leaves an attribute value unquoted although it
+	// needs quoting.
+	UnquoteAttr float64
+	// BadColor plants an illegal color value.
+	BadColor float64
+	// Overlap produces overlapping inline markup (<B><A>..</B></A>).
+	Overlap float64
+	// MissingAlt omits ALT from an IMG.
+	MissingAlt float64
+	// BadEntity plants an unknown character entity.
+	BadEntity float64
+	// HeadingSkip skips a heading level (H1 then H3).
+	HeadingSkip float64
+}
+
+// Uniform returns rates with every class set to p.
+func Uniform(p float64) ErrorRates {
+	return ErrorRates{
+		DropClose: p, Misspell: p, UnquoteAttr: p, BadColor: p,
+		Overlap: p, MissingAlt: p, BadEntity: p, HeadingSkip: p,
+	}
+}
+
+// Config controls document generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Sections is the number of body sections (heading + content).
+	// Default 5.
+	Sections int
+	// ParagraphsPerSection controls page size. Default 3.
+	ParagraphsPerSection int
+	// Title is the page title; empty means a generated one.
+	Title string
+	// Errors selects the injected mistakes.
+	Errors ErrorRates
+	// Links are candidate link targets for generated anchors.
+	Links []string
+	// ImageBase prefixes generated IMG SRC values; site generation
+	// sets an external base so images never read as broken local
+	// links.
+	ImageBase string
+}
+
+var words = []string{
+	"web", "site", "quality", "assurance", "page", "syntax", "style",
+	"checker", "lint", "perl", "hack", "document", "markup", "anchor",
+	"element", "attribute", "browser", "robot", "gateway", "victims",
+	"validation", "heuristic", "stack", "warning", "cascade", "bazaar",
+}
+
+var colorList = []string{"#ff0000", "#00ff00", "#0000ff", "navy", "olive", "teal", "#c0c0c0"}
+
+// gen carries generation state.
+type gen struct {
+	rnd     *rand.Rand
+	b       strings.Builder
+	cfg     Config
+	heading int
+	imgN    int
+}
+
+// Generate produces one HTML document.
+func Generate(cfg Config) string {
+	if cfg.Sections <= 0 {
+		cfg.Sections = 5
+	}
+	if cfg.ParagraphsPerSection <= 0 {
+		cfg.ParagraphsPerSection = 3
+	}
+	g := &gen{rnd: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	g.document()
+	return g.b.String()
+}
+
+// GenerateSized produces a document of at least n bytes by scaling the
+// section count.
+func GenerateSized(seed int64, n int, errors ErrorRates) string {
+	cfg := Config{Seed: seed, Errors: errors, Sections: 1, ParagraphsPerSection: 3}
+	for cfg.Sections < 1<<20 {
+		doc := Generate(cfg)
+		if len(doc) >= n {
+			return doc
+		}
+		cfg.Sections *= 2
+	}
+	return Generate(cfg)
+}
+
+func (g *gen) hit(p float64) bool {
+	return p > 0 && g.rnd.Float64() < p
+}
+
+func (g *gen) word() string { return words[g.rnd.Intn(len(words))] }
+
+func (g *gen) phrase(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.word()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *gen) document() {
+	title := g.cfg.Title
+	if title == "" {
+		title = titleCase(g.phrase(3))
+	}
+	g.b.WriteString("<!DOCTYPE HTML PUBLIC \"-//W3C//DTD HTML 4.0 Transitional//EN\">\n")
+	g.b.WriteString("<HTML>\n<HEAD>\n")
+	fmt.Fprintf(&g.b, "<TITLE>%s</TITLE>\n", title)
+	fmt.Fprintf(&g.b, "<META NAME=\"description\" CONTENT=\"%s\">\n", g.phrase(5))
+	fmt.Fprintf(&g.b, "<META NAME=\"keywords\" CONTENT=\"%s\">\n", strings.Join([]string{g.word(), g.word(), g.word()}, ", "))
+	g.b.WriteString("</HEAD>\n")
+
+	// BODY with optionally broken color attribute.
+	bg := colorList[g.rnd.Intn(len(colorList))]
+	if g.hit(g.cfg.Errors.BadColor) {
+		bg = "fffff"
+	}
+	fmt.Fprintf(&g.b, "<BODY BGCOLOR=\"%s\">\n", bg)
+
+	// A navigation list covering every configured link target, so
+	// that site-level experiments get a deterministic link graph.
+	if len(g.cfg.Links) > 0 {
+		g.b.WriteString("<UL>\n")
+		for _, l := range g.cfg.Links {
+			fmt.Fprintf(&g.b, "<LI><A HREF=\"%s\">%s</A>\n", l, g.phrase(2))
+		}
+		g.b.WriteString("</UL>\n")
+	}
+
+	g.heading = 0
+	for s := 0; s < g.cfg.Sections; s++ {
+		g.section(s)
+	}
+
+	g.b.WriteString("</BODY>\n</HTML>\n")
+}
+
+func (g *gen) section(idx int) {
+	// Heading level walk, with optional skipped levels.
+	level := 1
+	if idx > 0 {
+		level = g.heading
+		switch g.rnd.Intn(3) {
+		case 0:
+			if level < 4 {
+				level++
+			}
+		case 1:
+			if level > 1 {
+				level--
+			}
+		}
+		if g.hit(g.cfg.Errors.HeadingSkip) && g.heading <= 3 {
+			level = g.heading + 2
+		}
+	}
+	g.heading = level
+	fmt.Fprintf(&g.b, "<H%d>%s</H%d>\n", level, titleCase(g.phrase(2)), level)
+
+	for p := 0; p < g.cfg.ParagraphsPerSection; p++ {
+		switch g.rnd.Intn(6) {
+		case 0:
+			g.list()
+		case 1:
+			g.table()
+		case 2:
+			g.image()
+			g.paragraph()
+		default:
+			g.paragraph()
+		}
+	}
+}
+
+func (g *gen) paragraph() {
+	g.b.WriteString("<P>")
+	n := 2 + g.rnd.Intn(4)
+	for i := 0; i < n; i++ {
+		switch {
+		case g.rnd.Intn(5) == 0:
+			g.inlineMarkup()
+		case g.rnd.Intn(7) == 0:
+			g.anchor()
+		default:
+			g.b.WriteString(g.phrase(4 + g.rnd.Intn(5)))
+		}
+		if g.hit(g.cfg.Errors.BadEntity) {
+			g.b.WriteString(" &bogus; ")
+		} else if g.rnd.Intn(8) == 0 {
+			g.b.WriteString(" &amp; ")
+		} else {
+			g.b.WriteString(" ")
+		}
+	}
+	g.b.WriteString("</P>\n")
+}
+
+// inlineMarkup emits phrase markup, optionally misspelled, unclosed or
+// overlapping.
+func (g *gen) inlineMarkup() {
+	tags := []string{"EM", "STRONG", "CODE", "B", "I", "TT"}
+	tag := tags[g.rnd.Intn(len(tags))]
+
+	if g.hit(g.cfg.Errors.Overlap) {
+		// <B><A ...>text</B></A>: the overlap from Section 4.2.
+		href := g.linkTarget()
+		fmt.Fprintf(&g.b, "<%s><A HREF=\"%s\">%s</%s></A>", tag, href, g.phrase(2), tag)
+		return
+	}
+	open := tag
+	if g.hit(g.cfg.Errors.Misspell) {
+		open = misspell(tag)
+	}
+	if g.hit(g.cfg.Errors.DropClose) {
+		fmt.Fprintf(&g.b, "<%s>%s", open, g.phrase(2))
+		return
+	}
+	fmt.Fprintf(&g.b, "<%s>%s</%s>", open, g.phrase(2), tag)
+}
+
+func (g *gen) anchor() {
+	href := g.linkTarget()
+	if g.hit(g.cfg.Errors.UnquoteAttr) {
+		// Unquoted value needing quotes (contains '/').
+		fmt.Fprintf(&g.b, "<A HREF=%s>%s</A>", href, g.phrase(2))
+		return
+	}
+	fmt.Fprintf(&g.b, "<A HREF=\"%s\">%s</A>", href, g.phrase(2))
+}
+
+func (g *gen) linkTarget() string {
+	if len(g.cfg.Links) > 0 {
+		return g.cfg.Links[g.rnd.Intn(len(g.cfg.Links))]
+	}
+	// Fabricated targets are external so they never read as broken
+	// local links in site experiments.
+	return fmt.Sprintf("http://www.example.org/%s/%s.html", g.word(), g.word())
+}
+
+func (g *gen) image() {
+	g.imgN++
+	src := fmt.Sprintf("%simg%d.gif", g.cfg.ImageBase, g.imgN)
+	if g.hit(g.cfg.Errors.MissingAlt) {
+		fmt.Fprintf(&g.b, "<IMG SRC=\"%s\" WIDTH=\"120\" HEIGHT=\"80\">\n", src)
+		return
+	}
+	fmt.Fprintf(&g.b, "<IMG SRC=\"%s\" ALT=\"%s\" WIDTH=\"120\" HEIGHT=\"80\">\n", src, g.phrase(2))
+}
+
+func (g *gen) list() {
+	g.b.WriteString("<UL>\n")
+	n := 2 + g.rnd.Intn(4)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g.b, "<LI>%s\n", g.phrase(3+g.rnd.Intn(4)))
+	}
+	g.b.WriteString("</UL>\n")
+}
+
+func (g *gen) table() {
+	g.b.WriteString("<TABLE BORDER=\"1\">\n")
+	rows := 2 + g.rnd.Intn(3)
+	cols := 2 + g.rnd.Intn(2)
+	for r := 0; r < rows; r++ {
+		g.b.WriteString("<TR>")
+		for c := 0; c < cols; c++ {
+			fmt.Fprintf(&g.b, "<TD>%s</TD>", g.phrase(2))
+		}
+		g.b.WriteString("</TR>\n")
+	}
+	if g.hit(g.cfg.Errors.DropClose) {
+		// A dropped </TABLE> is the cascade-rich case: the next
+		// structural close is forced to pop it (and, with the
+		// heuristics ablated, every open row and cell too).
+		g.b.WriteString("\n")
+		return
+	}
+	g.b.WriteString("</TABLE>\n")
+}
+
+// titleCase upper-cases the first letter of each word.
+func titleCase(s string) string {
+	b := []byte(s)
+	up := true
+	for i := range b {
+		if up && b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+		up = b[i] == ' '
+	}
+	return string(b)
+}
+
+// misspell swaps two interior letters, or doubles one for short names.
+func misspell(name string) string {
+	if len(name) < 4 {
+		return name + name[len(name)-1:]
+	}
+	b := []byte(name)
+	i := 1 + len(b)%2
+	b[i], b[i+1] = b[i+1], b[i]
+	return string(b)
+}

@@ -1,0 +1,138 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 5, Sections: 4, Errors: Uniform(0.3)}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a != b {
+		t.Error("same seed produced different documents")
+	}
+	c := Generate(Config{Seed: 6, Sections: 4, Errors: Uniform(0.3)})
+	if a == c {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestDocumentSkeleton(t *testing.T) {
+	doc := Generate(Config{Seed: 1})
+	for _, want := range []string{"<!DOCTYPE", "<HTML>", "<HEAD>", "<TITLE>", "</TITLE>", "<BODY", "</BODY>", "</HTML>"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %s", want)
+		}
+	}
+}
+
+func TestGenerateSized(t *testing.T) {
+	for _, n := range []int{1 << 10, 16 << 10, 128 << 10} {
+		doc := GenerateSized(1, n, ErrorRates{})
+		if len(doc) < n {
+			t.Errorf("GenerateSized(%d) produced %d bytes", n, len(doc))
+		}
+	}
+}
+
+func TestErrorInjectionChangesOutput(t *testing.T) {
+	clean := Generate(Config{Seed: 9, Sections: 5})
+	dirty := Generate(Config{Seed: 9, Sections: 5, Errors: Uniform(1)})
+	if clean == dirty {
+		t.Error("full error injection produced identical output")
+	}
+	// Full bad-color injection plants the known bad value.
+	if !strings.Contains(dirty, "fffff") {
+		t.Error("bad color not planted")
+	}
+	if !strings.Contains(dirty, "&bogus;") {
+		t.Error("bad entity not planted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	r := Uniform(0.5)
+	if r.DropClose != 0.5 || r.Overlap != 0.5 || r.BadEntity != 0.5 || r.HeadingSkip != 0.5 {
+		t.Errorf("Uniform = %+v", r)
+	}
+}
+
+func TestLinksUsedVerbatim(t *testing.T) {
+	doc := Generate(Config{Seed: 2, Links: []string{"/target-a.html", "/target-b.html"}})
+	if !strings.Contains(doc, `HREF="/target-a.html"`) || !strings.Contains(doc, `HREF="/target-b.html"`) {
+		t.Error("configured links not all present in navigation list")
+	}
+}
+
+func TestImageBase(t *testing.T) {
+	doc := Generate(Config{Seed: 4, Sections: 12, ImageBase: "http://img.example/"})
+	if strings.Contains(doc, `SRC="img`) {
+		t.Error("relative image slipped through ImageBase")
+	}
+}
+
+func TestGenerateSiteShape(t *testing.T) {
+	pages := GenerateSite(SiteConfig{Seed: 3, Pages: 12, Orphans: 2, BrokenLinks: 1, Subdirs: 2})
+	if len(pages) != 12 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	if _, ok := pages["index.html"]; !ok {
+		t.Error("no root index")
+	}
+	if _, ok := pages["sub0/index.html"]; !ok {
+		t.Error("no sub0 index")
+	}
+	// The root index must link to every non-orphan page.
+	idx := pages["index.html"]
+	linked := 0
+	for path := range pages {
+		if path == "index.html" {
+			continue
+		}
+		if strings.Contains(idx, "/"+path) {
+			linked++
+		}
+	}
+	if linked < len(pages)-1-2 { // all but the two orphans
+		t.Errorf("root index links %d pages, want >= %d", linked, len(pages)-3)
+	}
+	// A broken link is planted somewhere.
+	found := false
+	for _, body := range pages {
+		if strings.Contains(body, "/missing-1.html") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("broken link not planted")
+	}
+}
+
+func TestGenerateSiteDeterminism(t *testing.T) {
+	a := GenerateSite(SiteConfig{Seed: 8, Pages: 6})
+	b := GenerateSite(SiteConfig{Seed: 8, Pages: 6})
+	if len(a) != len(b) {
+		t.Fatal("site shape differs")
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("page %s differs between runs", k)
+		}
+	}
+}
+
+func TestMisspell(t *testing.T) {
+	if misspell("EM") == "EM" {
+		t.Error("short name not altered")
+	}
+	if misspell("STRONG") == "STRONG" {
+		t.Error("long name not altered")
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	if titleCase("web site quality") != "Web Site Quality" {
+		t.Errorf("titleCase = %q", titleCase("web site quality"))
+	}
+}

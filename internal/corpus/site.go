@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SiteConfig controls multi-page site generation for the -R and robot
+// experiments.
+type SiteConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Pages is the number of pages (default 20).
+	Pages int
+	// Orphans is how many pages no other page links to (default 2).
+	Orphans int
+	// BrokenLinks plants links to nonexistent pages (default 0).
+	BrokenLinks int
+	// Subdirs spreads pages over this many subdirectories, one of
+	// which gets no index file (default 2).
+	Subdirs int
+	// Errors are the per-page injected mistakes.
+	Errors ErrorRates
+}
+
+// GenerateSite produces a set of pages keyed by site-relative path
+// (slash-separated). The root index.html links (transitively) to every
+// page except the orphans; broken links point at missing-N.html.
+func GenerateSite(cfg SiteConfig) map[string]string {
+	if cfg.Pages <= 0 {
+		cfg.Pages = 20
+	}
+	if cfg.Orphans < 0 || cfg.Orphans >= cfg.Pages {
+		cfg.Orphans = 0
+	}
+	if cfg.Subdirs <= 0 {
+		cfg.Subdirs = 2
+	}
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+
+	// Assign page paths: index at root, the rest spread over
+	// subdirectories. Only subdirectory 0 gets an index file; the
+	// others exercise the no-index-file warning (Subdirs-1 of them).
+	paths := make([]string, cfg.Pages)
+	paths[0] = "index.html"
+	for i := 1; i < cfg.Pages; i++ {
+		switch {
+		case i == 1 && cfg.Subdirs > 0:
+			paths[i] = "sub0/index.html"
+		case i%3 == 0 && cfg.Subdirs > 0:
+			paths[i] = fmt.Sprintf("sub%d/page%d.html", (i/3)%cfg.Subdirs, i)
+		default:
+			paths[i] = fmt.Sprintf("page%d.html", i)
+		}
+	}
+
+	// Linked pages: everything except the chosen orphans (the last
+	// Orphans non-index pages).
+	orphan := map[string]bool{}
+	for i := cfg.Pages - 1; i > 0 && len(orphan) < cfg.Orphans; i-- {
+		if paths[i] != "sub0/index.html" {
+			orphan[paths[i]] = true
+		}
+	}
+
+	var linkable []string
+	for _, p := range paths[1:] {
+		if !orphan[p] {
+			linkable = append(linkable, p)
+		}
+	}
+
+	out := make(map[string]string, cfg.Pages)
+	broken := cfg.BrokenLinks
+	for i, p := range paths {
+		// Each page links to a few other linkable pages, with
+		// root-relative targets so resolution is uniform.
+		var links []string
+		for j := 0; j < 3 && len(linkable) > 0; j++ {
+			t := linkable[rnd.Intn(len(linkable))]
+			if t != p {
+				links = append(links, "/"+t)
+			}
+		}
+		if i == 0 {
+			// The root index links to every linkable page so none
+			// are accidentally orphaned.
+			links = links[:0]
+			for _, t := range linkable {
+				links = append(links, "/"+t)
+			}
+		}
+		if broken > 0 {
+			links = append(links, fmt.Sprintf("/missing-%d.html", broken))
+			broken--
+		}
+		out[p] = Generate(Config{
+			Seed:      cfg.Seed + int64(i)*7919,
+			Sections:  2 + i%3,
+			Errors:    cfg.Errors,
+			Links:     links,
+			Title:     fmt.Sprintf("Page %d", i),
+			ImageBase: "http://images.example.org/",
+		})
+	}
+	return out
+}

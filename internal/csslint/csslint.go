@@ -1,0 +1,262 @@
+// Package csslint is a content-checker plugin validating CSS1 style
+// sheets embedded in STYLE elements: the worked example of the paper's
+// Section 6.1 plugin idea ("to validate stylesheets").
+//
+// The checker is, in weblint's spirit, not a strict CSS parser: it
+// tokenises rule sets leniently, checks declaration syntax, property
+// names against the CSS1 property table, and the values of
+// color-taking properties.
+package csslint
+
+import (
+	"strings"
+
+	"weblint/internal/htmlspec"
+	"weblint/internal/plugin"
+	"weblint/internal/warn"
+)
+
+func init() {
+	warn.Register(warn.Def{
+		ID: "style-unknown-property", Category: warn.Warning, Default: true,
+		Format:  "unknown style property \"%s\"",
+		Explain: "The property is not defined by CSS1; this is most often a typo such as \"colour\".",
+	})
+	warn.Register(warn.Def{
+		ID: "style-bad-color", Category: warn.Error, Default: true,
+		Format:  "illegal color value \"%s\" for style property %s",
+		Explain: "CSS color values are a color name, #rgb or #rrggbb triplet, or rgb(r,g,b).",
+	})
+	warn.Register(warn.Def{
+		ID: "style-syntax", Category: warn.Error, Default: true,
+		Format:  "style sheet syntax error: %s",
+		Explain: "The declaration could not be parsed; check for missing colons, semicolons or braces.",
+	})
+}
+
+// Checker is the CSS1 plugin. The zero value is ready to use.
+type Checker struct{}
+
+var _ plugin.ContentChecker = Checker{}
+
+// Name identifies the plugin.
+func (Checker) Name() string { return "csslint" }
+
+// Elements claims STYLE element content.
+func (Checker) Elements() []string { return []string{"style"} }
+
+// css1Properties is the CSS1 property table.
+var css1Properties = map[string]bool{
+	"font-family": true, "font-style": true, "font-variant": true,
+	"font-weight": true, "font-size": true, "font": true,
+	"color": true, "background-color": true, "background-image": true,
+	"background-repeat": true, "background-attachment": true,
+	"background-position": true, "background": true,
+	"word-spacing": true, "letter-spacing": true, "text-decoration": true,
+	"vertical-align": true, "text-transform": true, "text-align": true,
+	"text-indent": true, "line-height": true,
+	"margin-top": true, "margin-right": true, "margin-bottom": true,
+	"margin-left": true, "margin": true,
+	"padding-top": true, "padding-right": true, "padding-bottom": true,
+	"padding-left": true, "padding": true,
+	"border-top-width": true, "border-right-width": true,
+	"border-bottom-width": true, "border-left-width": true,
+	"border-width": true, "border-top": true, "border-right": true,
+	"border-bottom": true, "border-left": true, "border": true,
+	"border-style": true, "border-color": true,
+	"width": true, "height": true, "float": true, "clear": true,
+	"display": true, "white-space": true,
+	"list-style-type": true, "list-style-image": true,
+	"list-style-position": true, "list-style": true,
+}
+
+// colorProperties take a single color value.
+var colorProperties = map[string]bool{
+	"color": true, "background-color": true, "border-color": true,
+}
+
+// Check validates the style sheet text.
+func (Checker) Check(content string, baseLine int, report plugin.Report) {
+	text, offset := stripHiding(content)
+	text, err := stripComments(text)
+	if err != "" {
+		report("style-syntax", baseLine, err)
+		return
+	}
+
+	depth := 0
+	declStart := 0
+	inDecls := false
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '{':
+			depth++
+			if depth == 1 {
+				inDecls = true
+				declStart = i + 1
+			}
+		case '}':
+			depth--
+			if depth < 0 {
+				report("style-syntax", baseLine+offset+lineOf(text, i), "unmatched '}'")
+				return
+			}
+			if depth == 0 && inDecls {
+				checkDeclarations(text[declStart:i], baseLine+offset+lineOf(text, declStart), report)
+				inDecls = false
+			}
+		}
+	}
+	if depth > 0 {
+		report("style-syntax", baseLine+offset+lineOf(text, len(text)-1), "unclosed '{'")
+	}
+}
+
+// checkDeclarations validates one "prop: value; ..." block. blockLine
+// is the document line the block starts on.
+func checkDeclarations(block string, blockLine int, report plugin.Report) {
+	rel := 0
+	for _, decl := range strings.Split(block, ";") {
+		declLine := blockLine + rel
+		rel += strings.Count(decl, "\n")
+		d := strings.TrimSpace(decl)
+		if d == "" {
+			continue
+		}
+		declLine += leadingNewlines(decl)
+		colon := strings.IndexByte(d, ':')
+		if colon < 0 {
+			report("style-syntax", declLine, "declaration \""+truncate(d, 40)+"\" is missing ':'")
+			continue
+		}
+		prop := strings.ToLower(strings.TrimSpace(d[:colon]))
+		value := strings.TrimSpace(d[colon+1:])
+		if prop == "" || strings.ContainsAny(prop, " \t\n") {
+			report("style-syntax", declLine, "malformed property name \""+truncate(prop, 40)+"\"")
+			continue
+		}
+		if !css1Properties[prop] {
+			report("style-unknown-property", declLine, prop)
+			continue
+		}
+		if colorProperties[prop] && !validCSSColor(value) {
+			report("style-bad-color", declLine, value, prop)
+		}
+	}
+}
+
+// validCSSColor accepts CSS1 color forms: names, #rgb, #rrggbb, and
+// rgb(r, g, b) with numbers or percentages.
+func validCSSColor(v string) bool {
+	v = strings.TrimSpace(strings.ToLower(v))
+	if v == "" {
+		return false
+	}
+	if htmlspec.ValidColor(v) {
+		return true
+	}
+	if strings.HasPrefix(v, "#") && len(v) == 4 {
+		for i := 1; i < 4; i++ {
+			if !isHex(v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if strings.HasPrefix(v, "rgb(") && strings.HasSuffix(v, ")") {
+		parts := strings.Split(v[4:len(v)-1], ",")
+		if len(parts) != 3 {
+			return false
+		}
+		for _, p := range parts {
+			p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "%"))
+			if p == "" {
+				return false
+			}
+			for j := 0; j < len(p); j++ {
+				if p[j] < '0' || p[j] > '9' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// stripHiding removes the SGML comment markers old pages wrap style
+// content in (<!-- ... -->), preserving line counts.
+func stripHiding(content string) (string, int) {
+	trimmed := strings.TrimSpace(content)
+	if !strings.HasPrefix(trimmed, "<!--") {
+		return content, 0
+	}
+	start := strings.Index(content, "<!--")
+	body := content[start+4:]
+	if end := strings.LastIndex(body, "-->"); end >= 0 {
+		body = body[:end]
+	}
+	return body, strings.Count(content[:start+4], "\n")
+}
+
+// stripComments blanks out /* */ comments (preserving newlines so line
+// numbers survive); a non-empty return string is an error description.
+func stripComments(text string) (string, string) {
+	var b strings.Builder
+	b.Grow(len(text))
+	for i := 0; i < len(text); {
+		if strings.HasPrefix(text[i:], "/*") {
+			end := strings.Index(text[i+2:], "*/")
+			if end < 0 {
+				return "", "unterminated /* comment"
+			}
+			for _, ch := range text[i : i+2+end+2] {
+				if ch == '\n' {
+					b.WriteByte('\n')
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+			i += 2 + end + 2
+			continue
+		}
+		b.WriteByte(text[i])
+		i++
+	}
+	return b.String(), ""
+}
+
+func lineOf(text string, offset int) int {
+	n := 0
+	for i := 0; i < offset && i < len(text); i++ {
+		if text[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func leadingNewlines(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			n++
+		case ' ', '\t', '\r':
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

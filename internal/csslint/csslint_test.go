@@ -1,0 +1,151 @@
+package csslint
+
+import (
+	"testing"
+
+	"weblint/internal/plugin"
+)
+
+type rec struct {
+	id   string
+	line int
+}
+
+func check(t *testing.T, css string) []rec {
+	t.Helper()
+	var out []rec
+	Checker{}.Check(css, 1, func(id string, line int, args ...any) {
+		out = append(out, rec{id, line})
+	})
+	return out
+}
+
+func hasID(recs []rec, id string) bool {
+	for _, r := range recs {
+		if r.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCleanStylesheet(t *testing.T) {
+	css := `
+H1 { color: navy; font-size: 18pt }
+P, LI { margin-left: 2em; line-height: 1.2 }
+.warning { color: #f00; background-color: rgb(255, 240, 240) }
+`
+	if recs := check(t, css); len(recs) != 0 {
+		t.Fatalf("clean stylesheet produced %v", recs)
+	}
+}
+
+func TestUnknownProperty(t *testing.T) {
+	recs := check(t, "P { colour: red }")
+	if !hasID(recs, "style-unknown-property") {
+		t.Errorf("recs = %v", recs)
+	}
+	// CSS2+ properties are unknown to the CSS1 table.
+	if !hasID(check(t, "P { position: absolute }"), "style-unknown-property") {
+		t.Error("CSS2 property accepted")
+	}
+}
+
+func TestBadColor(t *testing.T) {
+	for _, css := range []string{
+		"P { color: fffff }",
+		"P { color: #fffff }",
+		"P { color: reddish }",
+		"P { background-color: rgb(1,2) }",
+		"P { color: rgb(a,b,c) }",
+	} {
+		if !hasID(check(t, css), "style-bad-color") {
+			t.Errorf("%q not flagged", css)
+		}
+	}
+	for _, css := range []string{
+		"P { color: #f00 }",
+		"P { color: #ff0000 }",
+		"P { color: RED }",
+		"P { color: rgb(255, 0, 0) }",
+		"P { color: rgb(100%, 0%, 0%) }",
+	} {
+		if recs := check(t, css); len(recs) != 0 {
+			t.Errorf("%q flagged: %v", css, recs)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := map[string]string{
+		"P { color red }":     "missing ':'",
+		"P { color: red ":     "unclosed '{'",
+		"P } color: red {":    "unmatched '}'",
+		"P { /* unterminated": "unterminated",
+	}
+	for css := range cases {
+		if !hasID(check(t, css), "style-syntax") {
+			t.Errorf("%q produced no style-syntax", css)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	css := "/* colour: wrong } { */ P { color: red } /* another */"
+	if recs := check(t, css); len(recs) != 0 {
+		t.Errorf("comment content checked: %v", recs)
+	}
+}
+
+func TestSGMLHidingStripped(t *testing.T) {
+	css := "<!--\nP { color: red }\n-->"
+	if recs := check(t, css); len(recs) != 0 {
+		t.Errorf("hidden stylesheet mis-parsed: %v", recs)
+	}
+}
+
+func TestLineNumbers(t *testing.T) {
+	css := "H1 { color: navy }\nP {\n  colour: red;\n  color: bogus\n}\n"
+	recs := check(t, css)
+	if len(recs) != 2 {
+		t.Fatalf("recs = %v", recs)
+	}
+	if recs[0].line != 3 {
+		t.Errorf("unknown-property at line %d, want 3", recs[0].line)
+	}
+	if recs[1].line != 4 {
+		t.Errorf("bad-color at line %d, want 4", recs[1].line)
+	}
+}
+
+func TestBaseLineOffset(t *testing.T) {
+	var got int
+	Checker{}.Check("P { colour: x }", 40, func(id string, line int, args ...any) {
+		got = line
+	})
+	if got != 40 {
+		t.Errorf("line = %d, want 40", got)
+	}
+}
+
+func TestInterface(t *testing.T) {
+	var p plugin.ContentChecker = Checker{}
+	if p.Name() != "csslint" {
+		t.Error("name")
+	}
+	if els := p.Elements(); len(els) != 1 || els[0] != "style" {
+		t.Errorf("elements = %v", els)
+	}
+	if plugin.ForElement([]plugin.ContentChecker{p}, "style") == nil {
+		t.Error("ForElement lookup failed")
+	}
+	if plugin.ForElement([]plugin.ContentChecker{p}, "script") != nil {
+		t.Error("ForElement matched wrong element")
+	}
+}
+
+func TestEmptyDeclarationsTolerated(t *testing.T) {
+	if recs := check(t, "P { ; ; color: red ; }"); len(recs) != 0 {
+		t.Errorf("empty declarations flagged: %v", recs)
+	}
+}

@@ -1,0 +1,301 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleElement(t *testing.T) {
+	d, err := Parse(`<!ELEMENT P - O (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := d.Element("P")
+	if e == nil {
+		t.Fatal("P not declared")
+	}
+	if e.OmitStart || !e.OmitEnd {
+		t.Errorf("omission flags = %v/%v, want false/true", e.OmitStart, e.OmitEnd)
+	}
+	if e.Content != ContentModel || e.Model.Kind != MPCData {
+		t.Errorf("content = %v, model = %v", e.Content, e.Model)
+	}
+}
+
+func TestParseEmptyAndCDATA(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT BR - O EMPTY>
+<!ELEMENT STYLE - - CDATA>
+<!ELEMENT X - - ANY>
+`)
+	if d.Element("br").Content != ContentEmpty {
+		t.Error("BR not EMPTY")
+	}
+	if d.Element("style").Content != ContentCDATA {
+		t.Error("STYLE not CDATA")
+	}
+	if d.Element("x").Content != ContentAny {
+		t.Error("X not ANY")
+	}
+}
+
+func TestParseEntityExpansion(t *testing.T) {
+	d := MustParse(`
+<!ENTITY % list "UL | OL">
+<!ELEMENT LI - O (#PCDATA)>
+<!ELEMENT (%list;) - - (LI)+>
+`)
+	for _, n := range []string{"ul", "ol"} {
+		e := d.Element(n)
+		if e == nil {
+			t.Fatalf("%s not declared via entity group", n)
+		}
+		if e.Model == nil || e.Model.Kind != MName || e.Model.Name != "li" || e.Model.Occur != Plus {
+			t.Errorf("%s model = %v", n, e.Model)
+		}
+	}
+}
+
+func TestParseNestedEntities(t *testing.T) {
+	d := MustParse(`
+<!ENTITY % a "X">
+<!ENTITY % b "%a; | Y">
+<!ELEMENT Z - - (%b;)*>
+`)
+	names := d.Element("z").Model.Names()
+	if !names["x"] || !names["y"] {
+		t.Errorf("expanded names = %v", names)
+	}
+}
+
+func TestParseSequenceModel(t *testing.T) {
+	d := MustParse(`<!ELEMENT HTML O O (HEAD, BODY)>`)
+	m := d.Element("html").Model
+	if m.Kind != MSeq || len(m.Children) != 2 {
+		t.Fatalf("model = %v", m)
+	}
+	if m.Children[0].Name != "head" || m.Children[1].Name != "body" {
+		t.Errorf("sequence = %s", m)
+	}
+}
+
+func TestParseChoiceWithOccurrence(t *testing.T) {
+	d := MustParse(`<!ELEMENT DL - - (DT|DD)+>`)
+	m := d.Element("dl").Model
+	if m.Kind != MChoice || m.Occur != Plus || len(m.Children) != 2 {
+		t.Fatalf("model = %s", m)
+	}
+}
+
+func TestParseAllConnector(t *testing.T) {
+	d := MustParse(`<!ELEMENT HEAD O O (TITLE & BASE?)>`)
+	m := d.Element("head").Model
+	if m.Kind != MAll || len(m.Children) != 2 {
+		t.Fatalf("model = %s", m)
+	}
+	if m.Children[1].Name != "base" || m.Children[1].Occur != Opt {
+		t.Errorf("BASE? = %v", m.Children[1])
+	}
+}
+
+func TestParseExceptions(t *testing.T) {
+	d := MustParse(`
+<!ENTITY % misc "META|LINK">
+<!ELEMENT A - - (#PCDATA)* -(A)>
+<!ELEMENT HEAD O O (TITLE) +(%misc;)>
+`)
+	a := d.Element("a")
+	if len(a.Exclusions) != 1 || a.Exclusions[0] != "a" {
+		t.Errorf("exclusions = %v", a.Exclusions)
+	}
+	h := d.Element("head")
+	if len(h.Inclusions) != 2 || h.Inclusions[0] != "meta" {
+		t.Errorf("inclusions = %v", h.Inclusions)
+	}
+}
+
+func TestParseAttlist(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT IMG - O EMPTY>
+<!ATTLIST IMG
+  src   CDATA #REQUIRED
+  alt   CDATA #REQUIRED
+  align (top|middle|bottom) #IMPLIED
+  ismap (ismap) #IMPLIED
+  width NUMBER #IMPLIED
+  border CDATA "0">
+`)
+	e := d.Element("img")
+	if got := strings.Join(e.RequiredAttrs(), ","); got != "alt,src" {
+		t.Errorf("required = %s", got)
+	}
+	al := e.Attrs["align"]
+	if al.Type != "enum" || len(al.Enum) != 3 || al.Enum[0] != "top" {
+		t.Errorf("align = %+v", al)
+	}
+	if e.Attrs["width"].Type != "NUMBER" {
+		t.Errorf("width type = %s", e.Attrs["width"].Type)
+	}
+	b := e.Attrs["border"]
+	if b.Default != DefValue || b.Value != "0" {
+		t.Errorf("border default = %+v", b)
+	}
+}
+
+func TestParseAttlistEntitySplicing(t *testing.T) {
+	d := MustParse(`
+<!ENTITY % core "id ID #IMPLIED class CDATA #IMPLIED">
+<!ELEMENT P - O (#PCDATA)>
+<!ATTLIST P %core; align (left|right) #IMPLIED>
+`)
+	e := d.Element("p")
+	if e.Attrs["id"] == nil || e.Attrs["class"] == nil || e.Attrs["align"] == nil {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+	if e.Attrs["id"].Type != "ID" {
+		t.Errorf("id type = %s", e.Attrs["id"].Type)
+	}
+}
+
+func TestAttlistBeforeElement(t *testing.T) {
+	d := MustParse(`
+<!ATTLIST Q cite CDATA #IMPLIED>
+<!ELEMENT Q - - (#PCDATA)>
+`)
+	e := d.Element("q")
+	if e.Content != ContentModel || e.Attrs["cite"] == nil {
+		t.Errorf("merge failed: %+v", e)
+	}
+}
+
+func TestParseFixed(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT X - - (#PCDATA)>
+<!ATTLIST X version CDATA #FIXED "4.0">
+`)
+	a := d.Element("x").Attrs["version"]
+	if a.Default != DefFixed || a.Value != "4.0" {
+		t.Errorf("fixed attr = %+v", a)
+	}
+}
+
+func TestParseInlineComments(t *testing.T) {
+	d := MustParse(`
+<!ELEMENT P - O (#PCDATA) -- paragraph -->
+<!-- standalone comment -->
+<!ELEMENT B - - (#PCDATA)>
+`)
+	if d.Element("p") == nil || d.Element("b") == nil {
+		t.Error("declarations around comments lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<!ELEMENT >`,
+		`<!ELEMENT P X O (#PCDATA)>`,
+		`<!ELEMENT P - O>`,
+		`junk`,
+		`<!ELEMENT P - O (#PCDATA`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) did not error", src)
+		}
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse(`<!ELEMENT P X O (#PCDATA)>`)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if !strings.Contains(pe.Error(), "offset") {
+		t.Errorf("error = %v", pe)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	d := MustParse(`<!ELEMENT T - - (CAPTION?, (COL*|THEAD), TR+)>`)
+	got := d.Element("t").Model.String()
+	want := "(CAPTION?,(COL*|THEAD),TR+)"
+	if got != want {
+		t.Errorf("model string = %s, want %s", got, want)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	d := MustParse(`<!ELEMENT X - - (A, (B|C)*, #PCDATA)>`)
+	names := d.Element("x").Model.Names()
+	for _, n := range []string{"a", "b", "c"} {
+		if !names[n] {
+			t.Errorf("missing %s in %v", n, names)
+		}
+	}
+	if len(names) != 3 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestOccurrenceString(t *testing.T) {
+	if One.String() != "" || Opt.String() != "?" || Star.String() != "*" || Plus.String() != "+" {
+		t.Error("occurrence strings wrong")
+	}
+}
+
+// TestEmbeddedHTML40Parses is the gate for everything downstream: the
+// embedded DTD must parse and contain the core elements with correct
+// structure.
+func TestEmbeddedHTML40Parses(t *testing.T) {
+	d := HTML40()
+	if len(d.Elements) < 60 {
+		t.Errorf("embedded DTD has %d elements, want >= 60", len(d.Elements))
+	}
+	html := d.Element("html")
+	if html == nil || html.Model == nil || html.Model.Kind != MSeq {
+		t.Fatalf("HTML decl = %+v", html)
+	}
+	head := d.Element("head")
+	if head.Model.Kind != MAll {
+		t.Errorf("HEAD model = %s", head.Model)
+	}
+	if len(head.Inclusions) == 0 {
+		t.Error("HEAD inclusions missing")
+	}
+	a := d.Element("a")
+	if len(a.Exclusions) != 1 || a.Exclusions[0] != "a" {
+		t.Errorf("A exclusions = %v", a.Exclusions)
+	}
+	img := d.Element("img")
+	if img.Content != ContentEmpty {
+		t.Error("IMG not EMPTY")
+	}
+	if got := strings.Join(img.RequiredAttrs(), ","); got != "alt,src" {
+		t.Errorf("IMG required = %s", got)
+	}
+	table := d.Element("table")
+	if table.Model.String() != "(CAPTION?,(COL*|COLGROUP*),THEAD?,TFOOT?,TBODY+)" {
+		t.Errorf("TABLE model = %s", table.Model)
+	}
+	script := d.Element("script")
+	if script.Content != ContentCDATA {
+		t.Error("SCRIPT not CDATA")
+	}
+	// Entity-spliced attributes landed on elements.
+	if d.Element("p").Attrs["onclick"] == nil {
+		t.Error("P missing attrs-entity-spliced events")
+	}
+	if d.Element("td").Attrs["valign"] == nil {
+		t.Error("TD missing cellvalign entity attributes")
+	}
+}
+
+func TestElementNamesSorted(t *testing.T) {
+	names := HTML40().ElementNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("not sorted: %s >= %s", names[i-1], names[i])
+		}
+	}
+}

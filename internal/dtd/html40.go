@@ -1,0 +1,443 @@
+package dtd
+
+// HTML40Transitional is an embedded subset of the HTML 4.0
+// transitional DTD, large enough to drive the strict validator over
+// realistic documents and to generate weblint spec tables from (the
+// paper's "driving weblint with a DTD" future-work item). It follows
+// the structure and entity names of the W3C DTD.
+const HTML40Transitional = `
+<!-- HTML 4.0 Transitional (subset) -->
+
+<!ENTITY % fontstyle "TT | I | B | U | S | STRIKE | BIG | SMALL">
+<!ENTITY % phrase "EM | STRONG | DFN | CODE | SAMP | KBD | VAR | CITE | ABBR | ACRONYM">
+<!ENTITY % special "A | IMG | APPLET | OBJECT | FONT | BASEFONT | BR | SCRIPT | MAP | Q | SUB | SUP | SPAN | BDO | IFRAME | NOBR">
+<!ENTITY % formctrl "INPUT | SELECT | TEXTAREA | LABEL | BUTTON">
+<!ENTITY % inline "#PCDATA | %fontstyle; | %phrase; | %special; | %formctrl;">
+
+<!ENTITY % heading "H1|H2|H3|H4|H5|H6">
+<!ENTITY % lists "UL | OL | DIR | MENU">
+<!ENTITY % blocktext "PRE | HR | BLOCKQUOTE | ADDRESS | CENTER | NOFRAMES">
+<!ENTITY % block
+   "P | %heading; | %lists; | %blocktext; | ISINDEX | FIELDSET | TABLE | FORM | NOSCRIPT | DIV | DL">
+<!ENTITY % flow "%block; | %inline;">
+
+<!ENTITY % coreattrs
+  "id    ID       #IMPLIED
+   class CDATA    #IMPLIED
+   style CDATA    #IMPLIED
+   title CDATA    #IMPLIED">
+
+<!ENTITY % i18n
+  "lang  NAME     #IMPLIED
+   dir   (ltr|rtl) #IMPLIED">
+
+<!ENTITY % events
+  "onclick     CDATA #IMPLIED
+   ondblclick  CDATA #IMPLIED
+   onmousedown CDATA #IMPLIED
+   onmouseup   CDATA #IMPLIED
+   onmouseover CDATA #IMPLIED
+   onmousemove CDATA #IMPLIED
+   onmouseout  CDATA #IMPLIED
+   onkeypress  CDATA #IMPLIED
+   onkeydown   CDATA #IMPLIED
+   onkeyup     CDATA #IMPLIED">
+
+<!ENTITY % attrs "%coreattrs; %i18n; %events;">
+
+<!ELEMENT HTML O O (HEAD, BODY)>
+<!ATTLIST HTML %i18n; version CDATA #IMPLIED>
+
+<!ENTITY % head.misc "SCRIPT|STYLE|META|LINK|OBJECT|ISINDEX">
+<!ELEMENT HEAD O O (TITLE & BASE?) +(%head.misc;)>
+<!ATTLIST HEAD %i18n; profile CDATA #IMPLIED>
+
+<!ELEMENT TITLE - - (#PCDATA) -(%head.misc;)>
+<!ATTLIST TITLE %i18n;>
+
+<!ELEMENT BASE - O EMPTY>
+<!ATTLIST BASE href CDATA #IMPLIED target CDATA #IMPLIED>
+
+<!ELEMENT META - O EMPTY>
+<!ATTLIST META
+  %i18n;
+  http-equiv NAME  #IMPLIED
+  name       NAME  #IMPLIED
+  content    CDATA #REQUIRED
+  scheme     CDATA #IMPLIED>
+
+<!ELEMENT LINK - O EMPTY>
+<!ATTLIST LINK
+  %attrs;
+  charset  CDATA #IMPLIED
+  href     CDATA #IMPLIED
+  hreflang NAME  #IMPLIED
+  type     CDATA #IMPLIED
+  rel      CDATA #IMPLIED
+  rev      CDATA #IMPLIED
+  media    CDATA #IMPLIED
+  target   CDATA #IMPLIED>
+
+<!ELEMENT STYLE - - CDATA>
+<!ATTLIST STYLE %i18n; type CDATA #REQUIRED media CDATA #IMPLIED title CDATA #IMPLIED>
+
+<!ELEMENT SCRIPT - - CDATA>
+<!ATTLIST SCRIPT
+  charset  CDATA #IMPLIED
+  type     CDATA #REQUIRED
+  language CDATA #IMPLIED
+  src      CDATA #IMPLIED
+  defer    (defer) #IMPLIED>
+
+<!ELEMENT NOSCRIPT - - (%flow;)*>
+<!ATTLIST NOSCRIPT %attrs;>
+
+<!ELEMENT BODY O O (%flow;)*>
+<!ATTLIST BODY
+  %attrs;
+  onload     CDATA #IMPLIED
+  onunload   CDATA #IMPLIED
+  background CDATA #IMPLIED
+  bgcolor    CDATA #IMPLIED
+  text       CDATA #IMPLIED
+  link       CDATA #IMPLIED
+  vlink      CDATA #IMPLIED
+  alink      CDATA #IMPLIED>
+
+<!ELEMENT (%heading;) - - (%inline;)*>
+<!ATTLIST (%heading;) %attrs; align (left|center|right|justify) #IMPLIED>
+
+<!ELEMENT P - O (%inline;)*>
+<!ATTLIST P %attrs; align (left|center|right|justify) #IMPLIED>
+
+<!ELEMENT DIV - - (%flow;)*>
+<!ATTLIST DIV %attrs; align (left|center|right|justify) #IMPLIED>
+
+<!ELEMENT SPAN - - (%inline;)*>
+<!ATTLIST SPAN %attrs;>
+
+<!ELEMENT ADDRESS - - (%inline;)*>
+<!ATTLIST ADDRESS %attrs;>
+
+<!ELEMENT CENTER - - (%flow;)*>
+<!ATTLIST CENTER %attrs;>
+
+<!ELEMENT BLOCKQUOTE - - (%flow;)*>
+<!ATTLIST BLOCKQUOTE %attrs; cite CDATA #IMPLIED>
+
+<!ELEMENT Q - - (%inline;)*>
+<!ATTLIST Q %attrs; cite CDATA #IMPLIED>
+
+<!ELEMENT PRE - - (%inline;)* -(IMG|OBJECT|APPLET|BIG|SMALL|SUB|SUP|FONT|BASEFONT)>
+<!ATTLIST PRE %attrs; width NUMBER #IMPLIED>
+
+<!ELEMENT BR - O EMPTY>
+<!ATTLIST BR %coreattrs; clear (left|all|right|none) #IMPLIED>
+
+<!ELEMENT HR - O EMPTY>
+<!ATTLIST HR
+  %attrs;
+  align (left|center|right) #IMPLIED
+  noshade (noshade) #IMPLIED
+  size  CDATA #IMPLIED
+  width CDATA #IMPLIED>
+
+<!ELEMENT (%fontstyle;|%phrase;) - - (%inline;)*>
+<!ATTLIST (%fontstyle;|%phrase;) %attrs;>
+
+<!ELEMENT (SUB|SUP) - - (%inline;)*>
+<!ATTLIST (SUB|SUP) %attrs;>
+
+<!ELEMENT FONT - - (%inline;)*>
+<!ATTLIST FONT %coreattrs; %i18n; size CDATA #IMPLIED color CDATA #IMPLIED face CDATA #IMPLIED>
+
+<!ELEMENT BASEFONT - O EMPTY>
+<!ATTLIST BASEFONT id ID #IMPLIED size CDATA #REQUIRED color CDATA #IMPLIED face CDATA #IMPLIED>
+
+<!ELEMENT BDO - - (%inline;)*>
+<!ATTLIST BDO %coreattrs; lang NAME #IMPLIED dir (ltr|rtl) #REQUIRED>
+
+<!ELEMENT NOBR - - (%inline;)*>
+
+<!ELEMENT A - - (%inline;)* -(A)>
+<!ATTLIST A
+  %attrs;
+  charset  CDATA #IMPLIED
+  type     CDATA #IMPLIED
+  name     CDATA #IMPLIED
+  href     CDATA #IMPLIED
+  hreflang NAME  #IMPLIED
+  rel      CDATA #IMPLIED
+  rev      CDATA #IMPLIED
+  accesskey CDATA #IMPLIED
+  shape    (rect|circle|poly|default) rect
+  coords   CDATA #IMPLIED
+  tabindex NUMBER #IMPLIED
+  onfocus  CDATA #IMPLIED
+  onblur   CDATA #IMPLIED
+  target   CDATA #IMPLIED>
+
+<!ELEMENT IMG - O EMPTY>
+<!ATTLIST IMG
+  %attrs;
+  src      CDATA #REQUIRED
+  alt      CDATA #REQUIRED
+  longdesc CDATA #IMPLIED
+  name     CDATA #IMPLIED
+  height   CDATA #IMPLIED
+  width    CDATA #IMPLIED
+  usemap   CDATA #IMPLIED
+  ismap    (ismap) #IMPLIED
+  align    (top|middle|bottom|left|right) #IMPLIED
+  border   CDATA #IMPLIED
+  hspace   NUMBER #IMPLIED
+  vspace   NUMBER #IMPLIED>
+
+<!ELEMENT MAP - - ((%block;) | AREA)+>
+<!ATTLIST MAP %attrs; name CDATA #REQUIRED>
+
+<!ELEMENT AREA - O EMPTY>
+<!ATTLIST AREA
+  %attrs;
+  shape  (rect|circle|poly|default) rect
+  coords CDATA #IMPLIED
+  href   CDATA #IMPLIED
+  nohref (nohref) #IMPLIED
+  alt    CDATA #REQUIRED
+  target CDATA #IMPLIED>
+
+<!ELEMENT OBJECT - - (PARAM | %flow;)*>
+<!ATTLIST OBJECT
+  %attrs;
+  declare  (declare) #IMPLIED
+  classid  CDATA #IMPLIED
+  codebase CDATA #IMPLIED
+  data     CDATA #IMPLIED
+  type     CDATA #IMPLIED
+  codetype CDATA #IMPLIED
+  archive  CDATA #IMPLIED
+  standby  CDATA #IMPLIED
+  height   CDATA #IMPLIED
+  width    CDATA #IMPLIED
+  usemap   CDATA #IMPLIED
+  name     CDATA #IMPLIED
+  tabindex NUMBER #IMPLIED
+  align    (top|middle|bottom|left|right) #IMPLIED
+  border   CDATA #IMPLIED
+  hspace   NUMBER #IMPLIED
+  vspace   NUMBER #IMPLIED>
+
+<!ELEMENT APPLET - - (PARAM | %flow;)*>
+<!ATTLIST APPLET
+  %coreattrs;
+  codebase CDATA #IMPLIED
+  archive  CDATA #IMPLIED
+  code     CDATA #IMPLIED
+  object   CDATA #IMPLIED
+  alt      CDATA #IMPLIED
+  name     CDATA #IMPLIED
+  width    CDATA #REQUIRED
+  height   CDATA #REQUIRED
+  align    (top|middle|bottom|left|right) #IMPLIED
+  hspace   NUMBER #IMPLIED
+  vspace   NUMBER #IMPLIED>
+
+<!ELEMENT PARAM - O EMPTY>
+<!ATTLIST PARAM
+  id        ID    #IMPLIED
+  name      CDATA #REQUIRED
+  value     CDATA #IMPLIED
+  valuetype (data|ref|object) data
+  type      CDATA #IMPLIED>
+
+<!ELEMENT UL - - (LI)+>
+<!ATTLIST UL %attrs; type (disc|square|circle) #IMPLIED compact (compact) #IMPLIED>
+<!ELEMENT OL - - (LI)+>
+<!ATTLIST OL %attrs; type CDATA #IMPLIED start NUMBER #IMPLIED compact (compact) #IMPLIED>
+<!ELEMENT (DIR|MENU) - - (LI)+ -(%block;)>
+<!ATTLIST (DIR|MENU) %attrs; compact (compact) #IMPLIED>
+<!ELEMENT LI - O (%flow;)*>
+<!ATTLIST LI %attrs; type CDATA #IMPLIED value NUMBER #IMPLIED>
+
+<!ELEMENT DL - - (DT|DD)+>
+<!ATTLIST DL %attrs; compact (compact) #IMPLIED>
+<!ELEMENT DT - O (%inline;)*>
+<!ATTLIST DT %attrs;>
+<!ELEMENT DD - O (%flow;)*>
+<!ATTLIST DD %attrs;>
+
+<!ELEMENT TABLE - - (CAPTION?, (COL*|COLGROUP*), THEAD?, TFOOT?, TBODY+)>
+<!ATTLIST TABLE
+  %attrs;
+  summary     CDATA  #IMPLIED
+  width       CDATA  #IMPLIED
+  border      CDATA  #IMPLIED
+  frame       (void|above|below|hsides|lhs|rhs|vsides|box|border) #IMPLIED
+  rules       (none|groups|rows|cols|all) #IMPLIED
+  cellspacing CDATA  #IMPLIED
+  cellpadding CDATA  #IMPLIED
+  align       (left|center|right) #IMPLIED
+  bgcolor     CDATA  #IMPLIED>
+
+<!ELEMENT CAPTION - - (%inline;)*>
+<!ATTLIST CAPTION %attrs; align (top|bottom|left|right) #IMPLIED>
+
+<!ENTITY % cellhalign
+  "align  (left|center|right|justify|char) #IMPLIED
+   char   CDATA #IMPLIED
+   charoff CDATA #IMPLIED">
+<!ENTITY % cellvalign "valign (top|middle|bottom|baseline) #IMPLIED">
+
+<!ELEMENT THEAD - O (TR)+>
+<!ATTLIST THEAD %attrs; %cellhalign; %cellvalign;>
+<!ELEMENT TFOOT - O (TR)+>
+<!ATTLIST TFOOT %attrs; %cellhalign; %cellvalign;>
+<!ELEMENT TBODY O O (TR)+>
+<!ATTLIST TBODY %attrs; %cellhalign; %cellvalign;>
+
+<!ELEMENT COLGROUP - O (COL)*>
+<!ATTLIST COLGROUP %attrs; span NUMBER 1 width CDATA #IMPLIED %cellhalign; %cellvalign;>
+<!ELEMENT COL - O EMPTY>
+<!ATTLIST COL %attrs; span NUMBER 1 width CDATA #IMPLIED %cellhalign; %cellvalign;>
+
+<!ELEMENT TR - O (TD|TH)+>
+<!ATTLIST TR %attrs; %cellhalign; %cellvalign; bgcolor CDATA #IMPLIED>
+
+<!ELEMENT (TD|TH) - O (%flow;)*>
+<!ATTLIST (TD|TH)
+  %attrs;
+  abbr    CDATA #IMPLIED
+  axis    CDATA #IMPLIED
+  headers CDATA #IMPLIED
+  scope   (row|col|rowgroup|colgroup) #IMPLIED
+  rowspan NUMBER 1
+  colspan NUMBER 1
+  %cellhalign;
+  %cellvalign;
+  nowrap  (nowrap) #IMPLIED
+  bgcolor CDATA #IMPLIED
+  width   CDATA #IMPLIED
+  height  CDATA #IMPLIED>
+
+<!ELEMENT FORM - - (%flow;)* -(FORM)>
+<!ATTLIST FORM
+  %attrs;
+  action  CDATA #REQUIRED
+  method  (get|post) get
+  enctype CDATA "application/x-www-form-urlencoded"
+  accept  CDATA #IMPLIED
+  name    CDATA #IMPLIED
+  target  CDATA #IMPLIED
+  onsubmit CDATA #IMPLIED
+  onreset  CDATA #IMPLIED
+  accept-charset CDATA #IMPLIED>
+
+<!ELEMENT INPUT - O EMPTY>
+<!ATTLIST INPUT
+  %attrs;
+  type (text|password|checkbox|radio|submit|reset|file|hidden|image|button) text
+  name      CDATA #IMPLIED
+  value     CDATA #IMPLIED
+  checked   (checked) #IMPLIED
+  disabled  (disabled) #IMPLIED
+  readonly  (readonly) #IMPLIED
+  size      CDATA #IMPLIED
+  maxlength NUMBER #IMPLIED
+  src       CDATA #IMPLIED
+  alt       CDATA #IMPLIED
+  usemap    CDATA #IMPLIED
+  tabindex  NUMBER #IMPLIED
+  accesskey CDATA #IMPLIED
+  onfocus   CDATA #IMPLIED
+  onblur    CDATA #IMPLIED
+  onselect  CDATA #IMPLIED
+  onchange  CDATA #IMPLIED
+  accept    CDATA #IMPLIED
+  align     (top|middle|bottom|left|right) #IMPLIED>
+
+<!ELEMENT SELECT - - (OPTGROUP|OPTION)+>
+<!ATTLIST SELECT
+  %attrs;
+  name     CDATA #IMPLIED
+  size     NUMBER #IMPLIED
+  multiple (multiple) #IMPLIED
+  disabled (disabled) #IMPLIED
+  tabindex NUMBER #IMPLIED
+  onfocus  CDATA #IMPLIED
+  onblur   CDATA #IMPLIED
+  onchange CDATA #IMPLIED>
+
+<!ELEMENT OPTGROUP - - (OPTION)+>
+<!ATTLIST OPTGROUP %attrs; disabled (disabled) #IMPLIED label CDATA #REQUIRED>
+
+<!ELEMENT OPTION - O (#PCDATA)>
+<!ATTLIST OPTION
+  %attrs;
+  selected (selected) #IMPLIED
+  disabled (disabled) #IMPLIED
+  label    CDATA #IMPLIED
+  value    CDATA #IMPLIED>
+
+<!ELEMENT TEXTAREA - - (#PCDATA)>
+<!ATTLIST TEXTAREA
+  %attrs;
+  name     CDATA #IMPLIED
+  rows     NUMBER #REQUIRED
+  cols     NUMBER #REQUIRED
+  disabled (disabled) #IMPLIED
+  readonly (readonly) #IMPLIED
+  tabindex NUMBER #IMPLIED
+  accesskey CDATA #IMPLIED
+  onfocus  CDATA #IMPLIED
+  onblur   CDATA #IMPLIED
+  onselect CDATA #IMPLIED
+  onchange CDATA #IMPLIED>
+
+<!ELEMENT FIELDSET - - (#PCDATA, LEGEND, (%flow;)*)>
+<!ATTLIST FIELDSET %attrs;>
+<!ELEMENT LEGEND - - (%inline;)*>
+<!ATTLIST LEGEND %attrs; accesskey CDATA #IMPLIED align (top|bottom|left|right) #IMPLIED>
+
+<!ELEMENT BUTTON - - (%flow;)* -(A|%formctrl;|FORM|ISINDEX|FIELDSET|IFRAME)>
+<!ATTLIST BUTTON
+  %attrs;
+  name     CDATA #IMPLIED
+  value    CDATA #IMPLIED
+  type     (button|submit|reset) submit
+  disabled (disabled) #IMPLIED
+  tabindex NUMBER #IMPLIED
+  accesskey CDATA #IMPLIED
+  onfocus  CDATA #IMPLIED
+  onblur   CDATA #IMPLIED>
+
+<!ELEMENT LABEL - - (%inline;)* -(LABEL)>
+<!ATTLIST LABEL %attrs; for IDREF #IMPLIED accesskey CDATA #IMPLIED onfocus CDATA #IMPLIED onblur CDATA #IMPLIED>
+
+<!ELEMENT ISINDEX - O EMPTY>
+<!ATTLIST ISINDEX %coreattrs; %i18n; prompt CDATA #IMPLIED>
+
+<!ELEMENT IFRAME - - (%flow;)*>
+<!ATTLIST IFRAME
+  %coreattrs;
+  longdesc CDATA #IMPLIED
+  name     CDATA #IMPLIED
+  src      CDATA #IMPLIED
+  frameborder (1|0) 1
+  marginwidth  NUMBER #IMPLIED
+  marginheight NUMBER #IMPLIED
+  scrolling (yes|no|auto) auto
+  align    (top|middle|bottom|left|right) #IMPLIED
+  height   CDATA #IMPLIED
+  width    CDATA #IMPLIED>
+
+<!ELEMENT NOFRAMES - - (%flow;)*>
+<!ATTLIST NOFRAMES %attrs;>
+`
+
+// HTML40 returns the parsed embedded HTML 4.0 transitional subset DTD.
+// The result is freshly parsed on each call so callers may mutate it.
+func HTML40() *DTD {
+	d := MustParse(HTML40Transitional)
+	d.Name = "HTML 4.0 Transitional (subset)"
+	return d
+}

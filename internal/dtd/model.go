@@ -1,0 +1,220 @@
+// Package dtd implements a parser for the subset of SGML DTD syntax
+// needed to describe HTML: parameter entities, element declarations
+// with tag-omission flags and content models (including the SGML ','
+// ';' '|' and '&' connectors, occurrence indicators, and
+// inclusion/exclusion exceptions), and attribute list declarations.
+//
+// It implements the paper's Section 6.1 future-work item "driving
+// weblint with a DTD: generating the HTML modules used by weblint",
+// and powers the strict-validator baseline that weblint's heuristic
+// checking is contrasted with in Sections 2 and 3.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurrence is an SGML occurrence indicator.
+type Occurrence int
+
+const (
+	// One means exactly once (no indicator).
+	One Occurrence = iota
+	// Opt means optional: '?'.
+	Opt
+	// Star means zero or more: '*'.
+	Star
+	// Plus means one or more: '+'.
+	Plus
+)
+
+// String renders the occurrence indicator.
+func (o Occurrence) String() string {
+	switch o {
+	case Opt:
+		return "?"
+	case Star:
+		return "*"
+	case Plus:
+		return "+"
+	}
+	return ""
+}
+
+// ModelKind is the kind of a content model node.
+type ModelKind int
+
+const (
+	// MName matches one element by name.
+	MName ModelKind = iota
+	// MPCData matches document text (#PCDATA).
+	MPCData
+	// MSeq matches children in order (the ',' connector).
+	MSeq
+	// MChoice matches one alternative (the '|' connector).
+	MChoice
+	// MAll matches all children in any order (the '&' connector).
+	MAll
+)
+
+// Model is one node of a content model expression tree.
+type Model struct {
+	Kind     ModelKind
+	Name     string // for MName, lower-case
+	Children []*Model
+	Occur    Occurrence
+}
+
+// String renders the model in DTD syntax (canonical, for tests and
+// debugging).
+func (m *Model) String() string {
+	var body string
+	switch m.Kind {
+	case MName:
+		body = strings.ToUpper(m.Name)
+	case MPCData:
+		body = "#PCDATA"
+	case MSeq, MChoice, MAll:
+		sep := ","
+		if m.Kind == MChoice {
+			sep = "|"
+		} else if m.Kind == MAll {
+			sep = "&"
+		}
+		parts := make([]string, len(m.Children))
+		for i, c := range m.Children {
+			parts[i] = c.String()
+		}
+		body = "(" + strings.Join(parts, sep) + ")"
+	}
+	return body + m.Occur.String()
+}
+
+// Names returns the set of element names reachable anywhere in the
+// model (used for "is X allowed at all inside Y" checks).
+func (m *Model) Names() map[string]bool {
+	out := map[string]bool{}
+	m.collectNames(out)
+	return out
+}
+
+func (m *Model) collectNames(out map[string]bool) {
+	if m.Kind == MName {
+		out[m.Name] = true
+	}
+	for _, c := range m.Children {
+		c.collectNames(out)
+	}
+}
+
+// ContentKind classifies an element's declared content.
+type ContentKind int
+
+const (
+	// ContentModel means the element has a model expression.
+	ContentModel ContentKind = iota
+	// ContentEmpty means EMPTY: no content, no end tag.
+	ContentEmpty
+	// ContentCDATA means unparsed character data (SCRIPT, STYLE).
+	ContentCDATA
+	// ContentAny means ANY declared content.
+	ContentAny
+)
+
+// AttrDefault classifies an attribute's default-value declaration.
+type AttrDefault int
+
+const (
+	// DefImplied is #IMPLIED: the attribute is optional.
+	DefImplied AttrDefault = iota
+	// DefRequired is #REQUIRED: the attribute must be given.
+	DefRequired
+	// DefFixed is #FIXED "value".
+	DefFixed
+	// DefValue is a literal default value.
+	DefValue
+)
+
+// AttrDecl is one attribute from an ATTLIST declaration.
+type AttrDecl struct {
+	Name string // lower-case
+	// Type is the declared type keyword (CDATA, ID, NAME, NUMBER,
+	// NMTOKEN, ...), or "enum" for an enumerated value list.
+	Type string
+	// Enum holds the enumerated values for "enum"-typed attributes,
+	// lower-case.
+	Enum []string
+	// Default classifies the default declaration; Value holds the
+	// literal for DefFixed and DefValue.
+	Default AttrDefault
+	Value   string
+}
+
+// ElementDecl is one ELEMENT declaration (after group expansion: one
+// per element name).
+type ElementDecl struct {
+	Name string // lower-case
+	// OmitStart and OmitEnd are the SGML tag-omission flags.
+	OmitStart, OmitEnd bool
+	// Content classifies the declared content.
+	Content ContentKind
+	// Model is the content model for ContentModel elements.
+	Model *Model
+	// Inclusions and Exclusions are the +(...) and -(...)
+	// exceptions, lower-case element names.
+	Inclusions []string
+	Exclusions []string
+	// Attrs maps lower-case attribute names to their declarations.
+	Attrs map[string]*AttrDecl
+}
+
+// RequiredAttrs returns the names of #REQUIRED attributes, sorted.
+func (e *ElementDecl) RequiredAttrs() []string {
+	var out []string
+	for _, a := range e.Attrs {
+		if a.Default == DefRequired {
+			out = append(out, a.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Name is the document type name from a DOCTYPE-style header
+	// comment, or empty.
+	Name string
+	// Elements maps lower-case element names to declarations.
+	Elements map[string]*ElementDecl
+	// Entities holds the parameter entity texts by name.
+	Entities map[string]string
+}
+
+// Element looks up an element declaration case-insensitively.
+func (d *DTD) Element(name string) *ElementDecl {
+	return d.Elements[strings.ToLower(name)]
+}
+
+// ElementNames returns all declared element names, sorted.
+func (d *DTD) ElementNames() []string {
+	out := make([]string, 0, len(d.Elements))
+	for n := range d.Elements {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseError reports a DTD syntax error with byte offset context.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+// Error formats the parse error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd: offset %d: %s", e.Offset, e.Msg)
+}

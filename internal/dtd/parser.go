@@ -1,0 +1,617 @@
+package dtd
+
+import (
+	"strings"
+)
+
+// Parse parses DTD source text.
+//
+// Parameter entity handling follows SGML practice: entity texts are
+// expanded at definition time (so entities may reference earlier
+// entities), and ELEMENT/ATTLIST declaration bodies are lexically
+// expanded before parsing, which allows entities to stand for whole
+// attribute-definition lists as the W3C HTML DTDs do.
+func Parse(src string) (*DTD, error) {
+	p := &parser{
+		src: src,
+		dtd: &DTD{
+			Elements: map[string]*ElementDecl{},
+			Entities: map[string]string{},
+		},
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.dtd, nil
+}
+
+// MustParse is Parse for embedded, known-good DTD text; it panics on
+// error.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	src string
+	pos int
+	dtd *DTD
+}
+
+func (p *parser) fail(msg string) error {
+	return &ParseError{Offset: p.pos, Msg: msg}
+}
+
+// run processes declarations until end of input.
+func (p *parser) run() error {
+	for {
+		p.skipSpaceAndComments()
+		if p.pos >= len(p.src) {
+			return nil
+		}
+		if !strings.HasPrefix(p.src[p.pos:], "<!") {
+			return p.fail("expected '<!' declaration")
+		}
+		if err := p.declaration(); err != nil {
+			return err
+		}
+	}
+}
+
+// skipSpaceAndComments consumes whitespace and <!-- --> comments
+// between declarations.
+func (p *parser) skipSpaceAndComments() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		return
+	}
+}
+
+// declaration parses one <!KEYWORD ...> declaration.
+func (p *parser) declaration() error {
+	p.pos += 2 // past "<!"
+	keyword := strings.ToUpper(p.name())
+	switch keyword {
+	case "ENTITY":
+		return p.entityDecl()
+	case "ELEMENT", "ATTLIST":
+		body, err := p.captureToGT()
+		if err != nil {
+			return err
+		}
+		sub := &parser{src: p.expandRefs(body), dtd: p.dtd}
+		if keyword == "ELEMENT" {
+			return sub.elementDeclBody()
+		}
+		return sub.attlistDeclBody()
+	default:
+		// Unknown declarations (NOTATION, ...) are skipped.
+		_, err := p.captureToGT()
+		return err
+	}
+}
+
+// captureToGT consumes up to the declaration's closing '>' (which may
+// not appear inside quoted literals) and returns the body text.
+func (p *parser) captureToGT() (string, error) {
+	start := p.pos
+	var quote byte
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '>':
+			body := p.src[start:p.pos]
+			p.pos++
+			return body, nil
+		}
+		p.pos++
+	}
+	return "", p.fail("unterminated declaration")
+}
+
+// expandRefs lexically expands %name; parameter entity references,
+// repeatedly, so entities may reference other entities.
+func (p *parser) expandRefs(s string) string {
+	for depth := 0; depth < 16 && strings.ContainsRune(s, '%'); depth++ {
+		var b strings.Builder
+		changed := false
+		i := 0
+		for i < len(s) {
+			if s[i] != '%' {
+				b.WriteByte(s[i])
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(s) && isNameByte(s[j]) {
+				j++
+			}
+			name := s[i+1 : j]
+			text, ok := p.dtd.Entities[name]
+			if !ok || name == "" {
+				b.WriteByte(s[i])
+				i++
+				continue
+			}
+			b.WriteByte(' ')
+			b.WriteString(text)
+			b.WriteByte(' ')
+			if j < len(s) && s[j] == ';' {
+				j++
+			}
+			i = j
+			changed = true
+		}
+		s = b.String()
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// entityDecl parses <!ENTITY % name "text">, with the literal expanded
+// at definition time.
+func (p *parser) entityDecl() error {
+	p.skipWS()
+	if !p.eat('%') {
+		// General entities are not needed; skip the declaration.
+		_, err := p.captureToGT()
+		return err
+	}
+	p.skipWS()
+	name := p.name()
+	if name == "" {
+		return p.fail("entity name expected")
+	}
+	p.skipWS()
+	text, ok := p.literal()
+	if !ok {
+		return p.fail("entity literal expected")
+	}
+	if _, dup := p.dtd.Entities[name]; !dup {
+		// First declaration wins, per SGML.
+		p.dtd.Entities[name] = text
+	}
+	_, err := p.captureToGT()
+	return err
+}
+
+// elementDeclBody parses the expanded body of an ELEMENT declaration:
+//
+//	name-or-group omitstart omitend content [exceptions]
+func (p *parser) elementDeclBody() error {
+	p.skipWS()
+	names, err := p.nameGroup()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	omitStart, err := p.omitFlag()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	omitEnd, err := p.omitFlag()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+
+	decl := ElementDecl{OmitStart: omitStart, OmitEnd: omitEnd}
+
+	switch {
+	case p.eatKeyword("EMPTY"):
+		decl.Content = ContentEmpty
+	case p.eatKeyword("CDATA"):
+		decl.Content = ContentCDATA
+	case p.eatKeyword("ANY"):
+		decl.Content = ContentAny
+	default:
+		model, err := p.contentModel()
+		if err != nil {
+			return err
+		}
+		decl.Content = ContentModel
+		decl.Model = model
+	}
+
+	// Inclusion/exclusion exceptions: -(A|B) +(C).
+	for {
+		p.skipWS()
+		switch {
+		case p.peek() == '-' && p.peekAt(1) == '(':
+			p.pos++
+			g, err := p.nameGroup()
+			if err != nil {
+				return err
+			}
+			decl.Exclusions = append(decl.Exclusions, g...)
+		case p.peek() == '+' && p.peekAt(1) == '(':
+			p.pos++
+			g, err := p.nameGroup()
+			if err != nil {
+				return err
+			}
+			decl.Inclusions = append(decl.Inclusions, g...)
+		default:
+			if p.pos < len(p.src) && strings.TrimSpace(p.src[p.pos:]) != "" {
+				return p.fail("unexpected text after element declaration")
+			}
+			for _, n := range names {
+				d := decl
+				d.Name = n
+				d.Attrs = map[string]*AttrDecl{}
+				if prev, ok := p.dtd.Elements[n]; ok {
+					// Keep attributes from an ATTLIST that
+					// preceded the ELEMENT declaration.
+					d.Attrs = prev.Attrs
+				}
+				p.dtd.Elements[n] = &d
+			}
+			return nil
+		}
+	}
+}
+
+// omitFlag parses an SGML tag-omission flag: '-' (required) or 'O'
+// (omissible).
+func (p *parser) omitFlag() (bool, error) {
+	switch p.peek() {
+	case '-':
+		p.pos++
+		return false, nil
+	case 'O', 'o':
+		p.pos++
+		return true, nil
+	}
+	return false, p.fail("tag omission flag ('-' or 'O') expected")
+}
+
+// attlistDeclBody parses the expanded body of an ATTLIST declaration.
+func (p *parser) attlistDeclBody() error {
+	p.skipWS()
+	names, err := p.nameGroup()
+	if err != nil {
+		return err
+	}
+	var attrs []*AttrDecl
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			break
+		}
+		ad, err := p.attrDef()
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, ad)
+	}
+	for _, n := range names {
+		e, ok := p.dtd.Elements[n]
+		if !ok {
+			// ATTLIST before ELEMENT: create a placeholder which
+			// the ELEMENT declaration will adopt.
+			e = &ElementDecl{Name: n, Attrs: map[string]*AttrDecl{}}
+			p.dtd.Elements[n] = e
+		}
+		for _, ad := range attrs {
+			if _, dup := e.Attrs[ad.Name]; !dup {
+				e.Attrs[ad.Name] = ad
+			}
+		}
+	}
+	return nil
+}
+
+// attrDef parses one attribute definition within an ATTLIST.
+func (p *parser) attrDef() (*AttrDecl, error) {
+	name := p.name()
+	if name == "" {
+		return nil, p.fail("attribute name expected")
+	}
+	p.skipWS()
+
+	ad := &AttrDecl{Name: strings.ToLower(name)}
+
+	// Type: keyword or enumerated value group.
+	if p.peek() == '(' {
+		vals, err := p.nameGroup()
+		if err != nil {
+			return nil, err
+		}
+		ad.Type = "enum"
+		ad.Enum = vals
+	} else {
+		t := p.name()
+		if t == "" {
+			return nil, p.fail("attribute type expected")
+		}
+		ad.Type = strings.ToUpper(t)
+	}
+	p.skipWS()
+
+	// Default declaration.
+	switch {
+	case p.eatKeyword("#REQUIRED"):
+		ad.Default = DefRequired
+	case p.eatKeyword("#IMPLIED"):
+		ad.Default = DefImplied
+	case p.eatKeyword("#FIXED"):
+		ad.Default = DefFixed
+		p.skipWS()
+		v, ok := p.literal()
+		if !ok {
+			return nil, p.fail("#FIXED literal expected")
+		}
+		ad.Value = v
+	default:
+		if v, ok := p.literal(); ok {
+			ad.Default = DefValue
+			ad.Value = v
+		} else {
+			v := p.name()
+			if v == "" {
+				return nil, p.fail("attribute default expected")
+			}
+			ad.Default = DefValue
+			ad.Value = v
+		}
+	}
+	return ad, nil
+}
+
+// contentModel parses a content model with occurrence indicator.
+func (p *parser) contentModel() (*Model, error) {
+	p.skipWS()
+	if p.peek() != '(' {
+		n := p.name()
+		if n == "" {
+			return nil, p.fail("content model expected")
+		}
+		m := &Model{Kind: MName, Name: strings.ToLower(n)}
+		m.Occur = p.occurrence()
+		return m, nil
+	}
+	return p.modelGroup()
+}
+
+// modelGroup parses '(' expr ')' occurrence.
+func (p *parser) modelGroup() (*Model, error) {
+	if !p.eat('(') {
+		return nil, p.fail("'(' expected")
+	}
+	var terms []*Model
+	connector := byte(0)
+	for {
+		p.skipWS()
+		term, err := p.modelTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, term)
+		p.skipWS()
+		c := p.peek()
+		switch c {
+		case ',', '|', '&':
+			if connector == 0 {
+				connector = c
+			} else if connector != c {
+				return nil, p.fail("mixed connectors in model group")
+			}
+			p.pos++
+		case ')':
+			p.pos++
+			occ := p.occurrence()
+			if len(terms) == 1 && connector == 0 {
+				t := terms[0]
+				if t.Occur == One {
+					t.Occur = occ
+					return t, nil
+				}
+				return &Model{Kind: MSeq, Children: terms, Occur: occ}, nil
+			}
+			m := &Model{Children: terms, Occur: occ}
+			switch connector {
+			case '|':
+				m.Kind = MChoice
+			case '&':
+				m.Kind = MAll
+			default:
+				m.Kind = MSeq
+			}
+			return m, nil
+		default:
+			return nil, p.fail("',', '|', '&' or ')' expected in model group")
+		}
+	}
+}
+
+// modelTerm parses one term of a model group.
+func (p *parser) modelTerm() (*Model, error) {
+	p.skipWS()
+	if p.peek() == '(' {
+		return p.modelGroup()
+	}
+	if p.eatKeyword("#PCDATA") {
+		return &Model{Kind: MPCData}, nil
+	}
+	n := p.name()
+	if n == "" {
+		return nil, p.fail("name expected in content model")
+	}
+	m := &Model{Kind: MName, Name: strings.ToLower(n)}
+	m.Occur = p.occurrence()
+	return m, nil
+}
+
+// occurrence parses an optional occurrence indicator.
+func (p *parser) occurrence() Occurrence {
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return Opt
+	case '*':
+		p.pos++
+		return Star
+	case '+':
+		p.pos++
+		return Plus
+	}
+	return One
+}
+
+// nameGroup parses NAME or (A|B|C), returning lower-case names.
+func (p *parser) nameGroup() ([]string, error) {
+	p.skipWS()
+	if p.peek() != '(' {
+		n := p.name()
+		if n == "" {
+			return nil, p.fail("name expected")
+		}
+		return []string{strings.ToLower(n)}, nil
+	}
+	p.pos++
+	var out []string
+	for {
+		p.skipWS()
+		n := p.name()
+		if n == "" {
+			return nil, p.fail("name expected in group")
+		}
+		out = append(out, strings.ToLower(n))
+		p.skipWS()
+		c := p.peek()
+		if c == '|' || c == ',' || c == '&' {
+			p.pos++
+			continue
+		}
+		if c == ')' {
+			p.pos++
+			return out, nil
+		}
+		return nil, p.fail("'|' or ')' expected in name group")
+	}
+}
+
+// name reads a raw name token.
+func (p *parser) name() string {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-' || c == '.' || c == '_'
+}
+
+// literal reads a quoted string, expanding parameter entity references
+// inside it (definition-time expansion).
+func (p *parser) literal() (string, bool) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", false
+	}
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == q {
+			p.pos++
+			return b.String(), true
+		}
+		if c == '%' {
+			p.pos++
+			n := p.name()
+			p.eat(';')
+			b.WriteString(p.dtd.Entities[n])
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return b.String(), true // unterminated at EOF; tolerate
+}
+
+// skipWS consumes whitespace and inline -- comment -- pairs.
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if strings.HasPrefix(p.src[p.pos:], "--") {
+			end := strings.Index(p.src[p.pos+2:], "--")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 2 + end + 2
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) peekAt(off int) byte {
+	if p.pos+off < len(p.src) {
+		return p.src[p.pos+off]
+	}
+	return 0
+}
+
+func (p *parser) eat(c byte) bool {
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKeyword(kw string) bool {
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.src) && isNameByte(p.src[end]) {
+		return false
+	}
+	p.pos = end
+	return true
+}

@@ -1,0 +1,217 @@
+package entity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupKnown(t *testing.T) {
+	cases := map[string]rune{
+		"amp": '&', "lt": '<', "gt": '>', "quot": '"',
+		"nbsp": 160, "copy": 169, "eacute": 233, "szlig": 223,
+		"alpha": 945, "Omega": 937, "hellip": 8230, "trade": 8482,
+		"euro": 8364, "mdash": 8212, "nsub": 8836, "yuml": 255,
+	}
+	for name, want := range cases {
+		info, ok := Lookup(name)
+		if !ok {
+			t.Errorf("Lookup(%q) not found", name)
+			continue
+		}
+		if info.Rune != want {
+			t.Errorf("Lookup(%q).Rune = %d, want %d", name, info.Rune, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	for _, name := range []string{"bogus", "AMP", "nbsp2", ""} {
+		if _, ok := Lookup(name); ok {
+			t.Errorf("Lookup(%q) unexpectedly found", name)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	// HTML 4.0 defines 252 character entities.
+	if got := Count(); got != 252 {
+		t.Errorf("Count() = %d, want 252 (the HTML 4.0 entity set)", got)
+	}
+}
+
+func TestKnownIn(t *testing.T) {
+	// Latin-1 entities exist in both versions.
+	if !KnownIn("eacute", false) || !KnownIn("eacute", true) {
+		t.Error("eacute should be known in 3.2 and 4.0")
+	}
+	// The symbol/special collections are 4.0-only.
+	for _, name := range []string{"alpha", "euro", "mdash", "trade"} {
+		if KnownIn(name, false) {
+			t.Errorf("%s should not be known in HTML 3.2", name)
+		}
+		if !KnownIn(name, true) {
+			t.Errorf("%s should be known in HTML 4.0", name)
+		}
+	}
+	if KnownIn("bogus", true) {
+		t.Error("bogus entity known")
+	}
+}
+
+func TestVersionSplit(t *testing.T) {
+	html32 := 0
+	for _, info := range table {
+		if !info.HTML40 {
+			html32++
+		}
+	}
+	// 96 Latin-1 entities plus amp, lt, gt, quot.
+	if html32 != 100 {
+		t.Errorf("HTML 3.2 entity count = %d, want 100", html32)
+	}
+}
+
+func TestScanTerminated(t *testing.T) {
+	refs := Scan("a &amp; b &copy; c")
+	if len(refs) != 2 {
+		t.Fatalf("got %d refs, want 2: %+v", len(refs), refs)
+	}
+	if refs[0].Name != "amp" || !refs[0].Terminated || refs[0].Numeric {
+		t.Errorf("ref 0 = %+v", refs[0])
+	}
+	if refs[1].Name != "copy" || !refs[1].Terminated {
+		t.Errorf("ref 1 = %+v", refs[1])
+	}
+}
+
+func TestScanUnterminated(t *testing.T) {
+	refs := Scan("fish &amp chips")
+	if len(refs) != 1 || refs[0].Name != "amp" || refs[0].Terminated {
+		t.Fatalf("refs = %+v", refs)
+	}
+}
+
+func TestScanNumeric(t *testing.T) {
+	refs := Scan("&#160; &#xA0; &#999")
+	if len(refs) != 3 {
+		t.Fatalf("got %d refs: %+v", len(refs), refs)
+	}
+	if !refs[0].Numeric || !refs[0].Terminated || refs[0].Name != "#160" {
+		t.Errorf("decimal ref = %+v", refs[0])
+	}
+	if !refs[1].Numeric || !refs[1].Terminated || refs[1].Name != "#xA0" {
+		t.Errorf("hex ref = %+v", refs[1])
+	}
+	if refs[2].Terminated {
+		t.Errorf("unterminated numeric ref marked terminated: %+v", refs[2])
+	}
+}
+
+func TestScanBareAmpersand(t *testing.T) {
+	refs := Scan("AT&T and K&R & so on")
+	bare := 0
+	for _, r := range refs {
+		if r.Name == "" && !r.Numeric {
+			bare++
+		}
+	}
+	// "&T" and "&R" parse as unterminated refs; "& " is bare.
+	if bare != 1 {
+		t.Errorf("bare ampersands = %d, want 1 (refs: %+v)", bare, refs)
+	}
+}
+
+func TestScanOffsets(t *testing.T) {
+	text := "xx &lt; yy &gt;"
+	for _, r := range Scan(text) {
+		if text[r.Offset] != '&' {
+			t.Errorf("offset %d does not point at '&'", r.Offset)
+		}
+	}
+}
+
+func TestDecode(t *testing.T) {
+	cases := map[string]string{
+		"&lt;b&gt;":        "<b>",
+		"&amp;amp;":        "&amp;", // only one level of decoding
+		"caf&eacute;":      "café",
+		"&#65;&#x42;":      "AB",
+		"&unknown; stays":  "&unknown; stays",
+		"&amp no semi":     "&amp no semi",
+		"plain text":       "plain text",
+		"&copy; 1998":      "© 1998",
+		"&#xZZ; malformed": "&#xZZ; malformed",
+	}
+	for in, want := range cases {
+		if got := Decode(in); got != want {
+			t.Errorf("Decode(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEncode(t *testing.T) {
+	if got := Encode(`a < b & c > d`); got != "a &lt; b &amp; c &gt; d" {
+		t.Errorf("Encode = %q", got)
+	}
+}
+
+// TestEncodeDecodeRoundTrip is a property test: decoding an encoded
+// string always returns the original.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return Decode(Encode(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanNeverPanics fuzzes Scan with arbitrary strings.
+func TestScanNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		refs := Scan(s)
+		for _, r := range refs {
+			if r.Offset < 0 || r.Offset >= len(s) || s[r.Offset] != '&' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllEntitiesDecode checks every table entry decodes through the
+// full pipeline.
+func TestAllEntitiesDecode(t *testing.T) {
+	for name, info := range table {
+		in := "&" + name + ";"
+		got := Decode(in)
+		if got != string(info.Rune) {
+			t.Errorf("Decode(%q) = %q, want %q", in, got, string(info.Rune))
+		}
+	}
+}
+
+func TestDecodeMixedContent(t *testing.T) {
+	in := "x &lt;tag&gt; y &amp; z &copy;"
+	want := "x <tag> y & z ©"
+	if got := Decode(in); got != want {
+		t.Errorf("Decode(%q) = %q, want %q", in, got, want)
+	}
+}
+
+func TestDecodeNumericEdge(t *testing.T) {
+	if got := Decode("&#0;"); got != "&#0;" {
+		// NUL is technically a valid rune; current policy keeps it
+		// undecoded is fine either way — pin the behaviour.
+		if got != "\x00" {
+			t.Errorf("Decode(&#0;) = %q", got)
+		}
+	}
+	if got := Decode("&#1114112;"); strings.ContainsRune(got, 0xFFFD) {
+		t.Errorf("out-of-range rune decoded: %q", got)
+	}
+}

@@ -1,0 +1,224 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"weblint/internal/warn"
+)
+
+const brokenPage = `<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY><H1>a</H2></BODY></HTML>`
+
+func TestGetRendersForm(t *testing.T) {
+	h := NewHandler(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<FORM", "TEXTAREA", "NAME=\"url\"", "NAME=\"upload\""} {
+		if !strings.Contains(body, want) {
+			t.Errorf("form missing %q", want)
+		}
+	}
+}
+
+func TestPostPastedHTML(t *testing.T) {
+	h := NewHandler(nil)
+	form := url.Values{"html": {brokenPage}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	body := rec.Body.String()
+	if !strings.Contains(body, "malformed heading") {
+		t.Errorf("report missing heading-mismatch: %s", body)
+	}
+	if !strings.Contains(body, "doctype-first") {
+		t.Errorf("report missing message id annotation")
+	}
+	if !strings.Contains(body, "Checked source") {
+		t.Error("checked source section missing")
+	}
+}
+
+func TestPostEmptySubmission(t *testing.T) {
+	h := NewHandler(nil)
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader("html="))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "no HTML provided") {
+		t.Error("empty submission not rejected with guidance")
+	}
+}
+
+func TestPostCleanHTML(t *testing.T) {
+	h := NewHandler(nil)
+	clean := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">" +
+		"</HEAD><BODY><P>fine</P></BODY></HTML>"
+	form := url.Values{"html": {clean}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "No problems found") {
+		t.Error("clean page should praise")
+	}
+}
+
+func TestPostByURL(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, brokenPage)
+	}))
+	defer origin.Close()
+
+	h := NewHandler(nil)
+	form := url.Values{"url": {origin.URL + "/page.html"}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if !strings.Contains(body, "malformed heading") {
+		t.Errorf("URL fetch report missing message: %s", body)
+	}
+	if !strings.Contains(body, origin.URL) {
+		t.Error("report does not name the URL")
+	}
+}
+
+func TestPostByURLDisabled(t *testing.T) {
+	h := NewHandler(nil)
+	h.AllowURLFetch = false
+	form := url.Values{"url": {"http://example.org/"}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "disabled") {
+		t.Error("URL fetch not refused when disabled")
+	}
+}
+
+func TestPostBadURLScheme(t *testing.T) {
+	h := NewHandler(nil)
+	form := url.Values{"url": {"file:///etc/passwd"}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "only http and https") {
+		t.Error("non-http scheme not refused")
+	}
+}
+
+func TestPostFileUpload(t *testing.T) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("upload", "upload.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(fw, brokenPage); err != nil {
+		t.Fatal(err)
+	}
+	_ = mw.Close()
+
+	h := NewHandler(nil)
+	req := httptest.NewRequest(http.MethodPost, "/", &buf)
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if !strings.Contains(body, "malformed heading") {
+		t.Errorf("upload report missing message: %s", body)
+	}
+	if !strings.Contains(body, "upload.html") {
+		t.Error("report does not name the uploaded file")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := NewHandler(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPut, "/", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestHTMLFormatterEscapes(t *testing.T) {
+	f := HTMLFormatter{}
+	out := f.Format(warn.Message{
+		ID: "odd-quotes", Category: warn.Error, Line: 7,
+		Text: `odd number of quotes in element <A HREF="a.html>`,
+	})
+	if strings.Contains(out, `<A HREF=`) {
+		t.Error("message text not HTML-escaped")
+	}
+	if !strings.Contains(out, "&lt;A HREF=") {
+		t.Errorf("escaped form missing: %s", out)
+	}
+	if !strings.Contains(out, `class="error"`) {
+		t.Errorf("category class missing: %s", out)
+	}
+}
+
+// TestCustomFormatterSubclassing exercises the paper's Section 5.6:
+// installing a different warnings formatter in the gateway.
+func TestCustomFormatterSubclassing(t *testing.T) {
+	h := NewHandler(nil)
+	h.Formatter = warn.FormatterFunc(func(m warn.Message) string {
+		return "<li>CUSTOM:" + m.ID + "</li>"
+	})
+	form := url.Values{"html": {brokenPage}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), "CUSTOM:heading-mismatch") {
+		t.Error("custom formatter not used")
+	}
+}
+
+// TestGatewayEatsItsOwnDogFood: the gateway's form page must itself
+// pass weblint cleanly (ignoring the meta style suggestions).
+func TestGatewayEatsItsOwnDogFood(t *testing.T) {
+	h := NewHandler(nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+
+	msgs := h.Linter.CheckString("gateway-form.html", rec.Body.String())
+	for _, m := range msgs {
+		if m.ID == "require-meta" {
+			continue
+		}
+		t.Errorf("gateway's own page flagged: %s [%s]", m.Text, m.ID)
+	}
+}
+
+func TestSourceEscapedInReport(t *testing.T) {
+	h := NewHandler(nil)
+	evil := `<SCRIPT>alert(1)</SCRIPT>`
+	form := url.Values{"html": {evil}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if strings.Contains(body, "<SCRIPT>alert") {
+		t.Error("submitted source echoed unescaped")
+	}
+}

@@ -1,0 +1,180 @@
+package htmlspec
+
+import (
+	"strings"
+
+	"weblint/internal/dtd"
+)
+
+// FromDTD generates a Spec from a parsed DTD, implementing the paper's
+// Section 6.1 future-work item: "driving weblint with a DTD:
+// generating the HTML modules used by weblint".
+//
+// As the paper notes, "some of the information in the HTML modules
+// cannot be automatically inferred from DTDs, given the sorts of
+// checks which weblint performs" — the DTD carries element existence,
+// tag omission, content models and attribute types, but not weblint's
+// behavioural classifications (inline vs structural, once-only,
+// head-only, deprecation). FromDTD therefore derives what it can from
+// the DTD and fills the behavioural flags from a small built-in
+// knowledge table, exactly the split the paper describes.
+func FromDTD(d *dtd.DTD, version string) *Spec {
+	m := map[string]*ElementInfo{}
+	for _, name := range d.ElementNames() {
+		decl := d.Element(name)
+		e := &ElementInfo{
+			Name:      name,
+			Empty:     decl.Content == dtd.ContentEmpty,
+			OmitClose: decl.OmitEnd && decl.Content != dtd.ContentEmpty,
+			Attrs:     map[string]*AttrInfo{},
+		}
+		// Self-nesting exclusions (-(A) on A) become NoSelfNest.
+		for _, x := range decl.Exclusions {
+			if x == name {
+				e.NoSelfNest = true
+			}
+		}
+		for attrName, ad := range decl.Attrs {
+			e.Attrs[attrName] = attrFromDecl(attrName, ad)
+		}
+		applyBehaviour(e)
+		m[name] = e
+	}
+
+	// Derive required-context from content models: if an element
+	// appears in the content model of only a small set of parents,
+	// and in no "flow" contexts, those parents are its context.
+	deriveContexts(d, m)
+
+	spec := &Spec{
+		Version:           version,
+		HTML40:            strings.Contains(version, "4"),
+		Elements:          m,
+		EnabledExtensions: map[string]bool{},
+	}
+	return spec
+}
+
+// attrFromDecl converts a DTD attribute declaration to an AttrInfo.
+func attrFromDecl(name string, ad *dtd.AttrDecl) *AttrInfo {
+	out := &AttrInfo{Name: name, Required: ad.Default == dtd.DefRequired}
+	switch {
+	case ad.Type == "enum":
+		// Single-value enumerations ((ismap), (checked)) are SGML
+		// minimized boolean attributes; treat as CDATA flags.
+		if len(ad.Enum) <= 1 {
+			out.Type = CDATA
+		} else {
+			out.Type = Enum
+			out.Values = ad.Enum
+		}
+	case ad.Type == "NUMBER":
+		out.Type = Number
+	case ad.Type == "ID", ad.Type == "NAME", ad.Type == "NMTOKEN", ad.Type == "IDREF":
+		out.Type = NameToken
+	default:
+		out.Type = CDATA
+	}
+	// Color-typed attributes are a weblint refinement the DTD calls
+	// CDATA; recover them by name.
+	switch name {
+	case "bgcolor", "text", "link", "vlink", "alink", "color",
+		"bordercolor", "bordercolorlight", "bordercolordark":
+		out.Type = Color
+	}
+	return out
+}
+
+// behaviourTable carries the classifications a DTD cannot express.
+var behaviourTable = map[string]struct {
+	inline, structural, once, head, formField, emptyOK bool
+}{
+	"html":  {structural: true, once: true},
+	"head":  {structural: true, once: true},
+	"body":  {structural: true, once: true},
+	"title": {once: true, head: true},
+	"base":  {head: true},
+	"meta":  {head: true},
+	"link":  {head: true},
+	"style": {head: true},
+
+	"table": {structural: true}, "tr": {structural: true},
+	"thead": {structural: true}, "tbody": {structural: true}, "tfoot": {structural: true},
+	"ul": {structural: true}, "ol": {structural: true}, "dl": {structural: true},
+	"dir": {structural: true}, "menu": {structural: true},
+	"div": {structural: true}, "form": {structural: true},
+	"blockquote": {structural: true}, "address": {structural: true},
+	"fieldset": {structural: true}, "center": {structural: true},
+	"pre": {structural: true}, "noscript": {structural: true}, "noframes": {structural: true},
+	"h1": {structural: true}, "h2": {structural: true}, "h3": {structural: true},
+	"h4": {structural: true}, "h5": {structural: true}, "h6": {structural: true},
+
+	"a": {inline: true}, "b": {inline: true}, "i": {inline: true},
+	"u": {inline: true}, "s": {inline: true}, "strike": {inline: true},
+	"tt": {inline: true}, "big": {inline: true}, "small": {inline: true},
+	"em": {inline: true}, "strong": {inline: true}, "dfn": {inline: true},
+	"code": {inline: true}, "samp": {inline: true}, "kbd": {inline: true},
+	"var": {inline: true}, "cite": {inline: true}, "abbr": {inline: true},
+	"acronym": {inline: true}, "font": {inline: true}, "span": {inline: true},
+	"q": {inline: true}, "sub": {inline: true}, "sup": {inline: true},
+	"bdo": {inline: true}, "nobr": {inline: true},
+	"label": {inline: true, formField: true}, "button": {inline: true, formField: true},
+
+	"input": {formField: true}, "select": {formField: true}, "textarea": {formField: true, emptyOK: true},
+	"td": {emptyOK: true}, "th": {emptyOK: true}, "option": {emptyOK: true},
+	"iframe": {inline: true, emptyOK: true},
+}
+
+// applyBehaviour fills the classifications the DTD cannot express.
+func applyBehaviour(e *ElementInfo) {
+	b, ok := behaviourTable[e.Name]
+	if !ok {
+		return
+	}
+	e.Inline = b.inline
+	e.Structural = b.structural
+	e.OnceOnly = b.once
+	e.HeadOnly = b.head
+	e.FormField = b.formField
+	e.EmptyOK = b.emptyOK
+}
+
+// flowParents are elements whose content models include general flow;
+// appearing there does not constrain an element's context.
+func deriveContexts(d *dtd.DTD, m map[string]*ElementInfo) {
+	// Build parent sets from content models.
+	parents := map[string][]string{}
+	for _, pname := range d.ElementNames() {
+		decl := d.Element(pname)
+		if decl.Content != dtd.ContentModel || decl.Model == nil {
+			continue
+		}
+		for child := range decl.Model.Names() {
+			parents[child] = append(parents[child], pname)
+		}
+	}
+	for child, ps := range parents {
+		e, ok := m[child]
+		if !ok {
+			continue
+		}
+		// Only constrain elements with few parents, none of which
+		// hold general flow content (TD, LI, DIV would admit
+		// everything).
+		if len(ps) > 4 {
+			continue
+		}
+		constrained := true
+		for _, p := range ps {
+			decl := d.Element(p)
+			if decl.Model != nil && len(decl.Model.Names()) > 12 {
+				constrained = false
+				break
+			}
+		}
+		if constrained {
+			sortStrings(ps)
+			e.Context = ps
+		}
+	}
+}

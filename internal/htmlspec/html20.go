@@ -1,0 +1,110 @@
+package htmlspec
+
+// The HTML 2.0 (RFC 1866) tables: the language as it stood when
+// weblint's first versions were released in 1994/95. No tables, no
+// FONT, no DIV/CENTER, no CLASS/ID — checking a modern page against
+// 2.0 is the strictest portability test the tool offers.
+
+// HTML20 returns the HTML 2.0 spec.
+func HTML20() *Spec {
+	m := map[string]*ElementInfo{}
+
+	add(m,
+		elem("html").once().structural().omit().attrs(group(dep(a("version")))),
+		elem("head").once().structural().omit().context("html").impliedEnd("body"),
+		elem("body").once().structural().omit().context("html"),
+		elem("title").once().head(),
+		elem("isindex").empty().attrs(group(a("prompt"))),
+		elem("base").empty().head().attrs(group(req(aURL("href")))),
+		elem("meta").empty().head().
+			attrs(group(a("http-equiv"), a("name"), req(a("content")))),
+		elem("link").empty().head().
+			attrs(group(aURL("href"), a("rel"), a("rev"), a("title"), a("urn"), a("methods"))),
+		elem("nextid").empty().head().attrs(group(req(aNameTok("n")))),
+	)
+
+	add(m,
+		elem("h1").structural(),
+		elem("h2").structural(),
+		elem("h3").structural(),
+		elem("h4").structural(),
+		elem("h5").structural(),
+		elem("h6").structural(),
+		elem("p").omit().impliedEnd(blockLevel...),
+		elem("address").structural(),
+		elem("blockquote").structural(),
+		elem("pre").structural().attrs(group(aNum("width"))),
+		elem("hr").empty(),
+		elem("br").empty(),
+		elem("xmp").obsolete("<PRE>"),
+		elem("listing").obsolete("<PRE>"),
+		elem("plaintext").obsolete("<PRE>"),
+	)
+
+	add(m,
+		elem("ul").structural().attrs(group(a("compact"))),
+		elem("ol").structural().attrs(group(a("compact"))),
+		elem("li").omit().context("ul", "ol", "dir", "menu").impliedEnd("li"),
+		elem("dl").structural().attrs(group(a("compact"))),
+		elem("dt").omit().context("dl").impliedEnd("dt", "dd"),
+		elem("dd").omit().context("dl").impliedEnd("dt", "dd"),
+		elem("dir").structural().attrs(group(a("compact"))),
+		elem("menu").structural().attrs(group(a("compact"))),
+	)
+
+	add(m,
+		elem("em").inline(),
+		elem("strong").inline(),
+		elem("dfn").inline(),
+		elem("code").inline(),
+		elem("samp").inline(),
+		elem("kbd").inline(),
+		elem("var").inline(),
+		elem("cite").inline(),
+		elem("tt").inline(),
+		elem("i").inline(),
+		elem("b").inline(),
+	)
+
+	add(m,
+		elem("a").inline().noSelfNest().
+			attrs(group(
+				aURL("href"), a("name"), a("rel"), a("rev"),
+				a("urn"), a("title"), a("methods"),
+			)),
+		elem("img").empty().
+			attrs(group(
+				req(aURL("src")), a("alt"),
+				aEnum("align", "top", "middle", "bottom"), a("ismap"),
+			)),
+	)
+
+	add(m,
+		elem("form").structural().noSelfNest().
+			attrs(group(req(aURL("action")), aEnum("method", "get", "post"), a("enctype"))),
+		elem("input").empty().formField().
+			attrs(group(
+				aEnum("type", "text", "password", "checkbox", "radio",
+					"submit", "reset", "image", "hidden"),
+				a("name"), a("value"), a("checked"), a("size"),
+				aNum("maxlength"), aURL("src"),
+				aEnum("align", "top", "middle", "bottom"),
+			)),
+		elem("select").formField().
+			attrs(group(req(a("name")), aNum("size"), a("multiple"))),
+		elem("option").omit().emptyOK().context("select").impliedEnd("option").
+			attrs(group(a("selected"), a("value"))),
+		elem("textarea").formField().emptyOK().
+			attrs(group(req(a("name")), req(aNum("rows")), req(aNum("cols")))),
+	)
+
+	spec := &Spec{
+		Version:           "HTML 2.0",
+		HTML40:            false,
+		Elements:          m,
+		EnabledExtensions: map[string]bool{},
+	}
+	pruneImpliedEnds(m)
+	addVendorExtensions(spec)
+	return spec
+}

@@ -1,0 +1,181 @@
+package htmlspec
+
+// The HTML 3.2 tables. HTML 3.2 predates the CLASS/STYLE attributes
+// and intrinsic events, and does not deprecate presentational markup
+// (CENTER, FONT, the BODY color attributes), so its attribute sets are
+// noticeably smaller than HTML 4.0's.
+
+func core32() []AttrInfo { return group(aNameTok("id")) } // ID only where noted
+
+// HTML32 returns the HTML 3.2 spec.
+func HTML32() *Spec {
+	m := map[string]*ElementInfo{}
+
+	align3 := group(aEnum("align", "left", "center", "right"))
+
+	add(m,
+		elem("html").once().structural().omit().attrs(group(dep(a("version")))),
+		elem("head").once().structural().omit().context("html").impliedEnd("body"),
+		elem("body").once().structural().omit().context("html").
+			attrs(group(
+				aURL("background"), aColor("bgcolor"), aColor("text"),
+				aColor("link"), aColor("vlink"), aColor("alink"),
+			)),
+		elem("title").once().head(),
+		elem("isindex").empty().attrs(group(a("prompt"))),
+		elem("base").empty().head().attrs(group(req(aURL("href")))),
+		elem("meta").empty().head().
+			attrs(group(a("http-equiv"), a("name"), req(a("content")))),
+		elem("link").empty().head().
+			attrs(group(aURL("href"), a("rel"), a("rev"), a("title"))),
+		elem("script").head(),
+		elem("style").head(),
+	)
+
+	add(m,
+		elem("h1").structural().attrs(align3),
+		elem("h2").structural().attrs(align3),
+		elem("h3").structural().attrs(align3),
+		elem("h4").structural().attrs(align3),
+		elem("h5").structural().attrs(align3),
+		elem("h6").structural().attrs(align3),
+		elem("p").omit().impliedEnd(blockLevel...).attrs(align3),
+		elem("div").structural().attrs(align3),
+		elem("address").structural(),
+		elem("blockquote").structural(),
+		elem("pre").structural().attrs(group(aNum("width"))),
+		elem("center").structural(),
+		elem("hr").empty().
+			attrs(group(
+				aEnum("align", "left", "center", "right"),
+				a("noshade"), aNum("size"), aLen("width"),
+			)),
+		elem("br").empty().
+			attrs(group(aEnum("clear", "left", "all", "right", "none"))),
+		elem("xmp").obsolete("<PRE>"),
+		elem("listing").obsolete("<PRE>"),
+		elem("plaintext").obsolete("<PRE>"),
+	)
+
+	add(m,
+		elem("ul").structural().
+			attrs(group(aEnum("type", "disc", "square", "circle"), a("compact"))),
+		elem("ol").structural().
+			attrs(group(a("type"), aNum("start"), a("compact"))),
+		elem("li").omit().context("ul", "ol", "dir", "menu").impliedEnd("li").
+			attrs(group(a("type"), aNum("value"))),
+		elem("dl").structural().attrs(group(a("compact"))),
+		elem("dt").omit().context("dl").impliedEnd("dt", "dd"),
+		elem("dd").omit().context("dl").impliedEnd("dt", "dd"),
+		elem("dir").structural().attrs(group(a("compact"))),
+		elem("menu").structural().attrs(group(a("compact"))),
+	)
+
+	add(m,
+		elem("em").inline(),
+		elem("strong").inline(),
+		elem("dfn").inline(),
+		elem("code").inline(),
+		elem("samp").inline(),
+		elem("kbd").inline(),
+		elem("var").inline(),
+		elem("cite").inline(),
+		elem("tt").inline(),
+		elem("i").inline(),
+		elem("b").inline(),
+		elem("u").inline(),
+		elem("strike").inline(),
+		elem("big").inline(),
+		elem("small").inline(),
+		elem("sub").inline(),
+		elem("sup").inline(),
+		elem("font").inline().attrs(group(a("size"), aColor("color"))),
+		elem("basefont").empty().attrs(group(req(a("size")))),
+	)
+
+	add(m,
+		elem("a").inline().noSelfNest().
+			attrs(group(a("name"), aURL("href"), a("rel"), a("rev"), a("title"))),
+		elem("img").empty().
+			attrs(group(
+				req(aURL("src")), a("alt"),
+				aEnum("align", "top", "middle", "bottom", "left", "right"),
+				aLen("height"), aLen("width"), aLen("border"),
+				aNum("hspace"), aNum("vspace"), aURL("usemap"), a("ismap"),
+			)),
+		elem("map").noSelfNest().attrs(group(req(a("name")))),
+		elem("area").empty().context("map").
+			attrs(group(
+				aEnum("shape", "rect", "circle", "poly", "default"),
+				a("coords"), aURL("href"), a("nohref"), req(a("alt")),
+			)),
+		elem("applet").
+			attrs(core32(), group(
+				aURL("codebase"), req(a("code")), a("alt"), a("name"),
+				req(aLen("width")), req(aLen("height")),
+				aEnum("align", "top", "middle", "bottom", "left", "right"),
+				aNum("hspace"), aNum("vspace"),
+			)),
+		elem("param").empty().context("applet").
+			attrs(group(req(a("name")), a("value"))),
+	)
+
+	add(m,
+		elem("table").structural().
+			attrs(group(
+				aEnum("align", "left", "center", "right"),
+				aLen("width"), aNum("border"),
+				aLen("cellspacing"), aLen("cellpadding"),
+			)),
+		elem("caption").context("table").
+			attrs(group(aEnum("align", "top", "bottom"))),
+		elem("tr").omit().structural().context("table").impliedEnd("tr").
+			attrs(group(
+				aEnum("align", "left", "center", "right"),
+				aEnum("valign", "top", "middle", "bottom", "baseline"),
+			)),
+		elem("td").omit().emptyOK().context("tr").impliedEnd("td", "th", "tr").
+			attrs(group(
+				a("nowrap"), aNum("rowspan"), aNum("colspan"),
+				aEnum("align", "left", "center", "right"),
+				aEnum("valign", "top", "middle", "bottom", "baseline"),
+				aLen("width"), aLen("height"),
+			)),
+		elem("th").omit().emptyOK().context("tr").impliedEnd("td", "th", "tr").
+			attrs(group(
+				a("nowrap"), aNum("rowspan"), aNum("colspan"),
+				aEnum("align", "left", "center", "right"),
+				aEnum("valign", "top", "middle", "bottom", "baseline"),
+				aLen("width"), aLen("height"),
+			)),
+	)
+
+	add(m,
+		elem("form").structural().noSelfNest().
+			attrs(group(req(aURL("action")), aEnum("method", "get", "post"), a("enctype"))),
+		elem("input").empty().formField().
+			attrs(group(
+				aEnum("type", "text", "password", "checkbox", "radio",
+					"submit", "reset", "file", "hidden", "image"),
+				a("name"), a("value"), a("checked"), a("size"),
+				aNum("maxlength"), aURL("src"),
+				aEnum("align", "top", "middle", "bottom", "left", "right"),
+			)),
+		elem("select").formField().
+			attrs(group(a("name"), aNum("size"), a("multiple"))),
+		elem("option").omit().emptyOK().context("select").impliedEnd("option").
+			attrs(group(a("selected"), a("value"))),
+		elem("textarea").formField().emptyOK().
+			attrs(group(a("name"), req(aNum("rows")), req(aNum("cols")))),
+	)
+
+	spec := &Spec{
+		Version:           "HTML 3.2",
+		HTML40:            false,
+		Elements:          m,
+		EnabledExtensions: map[string]bool{},
+	}
+	pruneImpliedEnds(m)
+	addVendorExtensions(spec)
+	return spec
+}

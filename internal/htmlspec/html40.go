@@ -1,0 +1,343 @@
+package htmlspec
+
+// The HTML 4.0 (transitional, including frameset elements) tables.
+// Deprecated elements and attributes are present and marked, so that
+// checking reports them rather than calling them unknown.
+
+// Attribute groups shared across the HTML 4.0 element table.
+
+func coreattrs() []AttrInfo {
+	return group(aNameTok("id"), a("class"), a("style"), a("title"))
+}
+
+func i18nAttrs() []AttrInfo {
+	return group(a("lang"), aEnum("dir", "ltr", "rtl"))
+}
+
+func eventAttrs() []AttrInfo {
+	return group(
+		a("onclick"), a("ondblclick"), a("onmousedown"), a("onmouseup"),
+		a("onmouseover"), a("onmousemove"), a("onmouseout"),
+		a("onkeypress"), a("onkeydown"), a("onkeyup"),
+	)
+}
+
+// stdAttrs is the %attrs entity: core + i18n + events.
+func stdAttrs() []AttrInfo {
+	out := coreattrs()
+	out = append(out, i18nAttrs()...)
+	out = append(out, eventAttrs()...)
+	return out
+}
+
+func cellAlign() []AttrInfo {
+	return group(
+		aEnum("align", "left", "center", "right", "justify", "char"),
+		a("char"), aLen("charoff"),
+		aEnum("valign", "top", "middle", "bottom", "baseline"),
+	)
+}
+
+// blockLevel is the set of block-level elements; opening any of them
+// implies the end of an open P element.
+var blockLevel = []string{
+	"p", "h1", "h2", "h3", "h4", "h5", "h6", "ul", "ol", "dir", "menu",
+	"dl", "pre", "div", "center", "noscript", "noframes", "blockquote",
+	"form", "hr", "table", "address", "fieldset", "isindex",
+}
+
+// HTML40 returns the HTML 4.0 transitional spec (with frameset
+// elements), the version weblint checks against by default.
+func HTML40() *Spec {
+	m := map[string]*ElementInfo{}
+
+	// ---- Document structure ----
+	add(m,
+		elem("html").once().structural().omit().
+			attrs(i18nAttrs(), group(dep(a("version")))),
+		elem("head").once().structural().omit().context("html").
+			impliedEnd("body", "frameset").
+			attrs(i18nAttrs(), group(aURL("profile"))),
+		elem("body").once().structural().omit().context("html", "noframes").
+			attrs(stdAttrs(), group(
+				a("onload"), a("onunload"),
+				dep(aURL("background")), dep(aColor("bgcolor")),
+				dep(aColor("text")), dep(aColor("link")),
+				dep(aColor("vlink")), dep(aColor("alink")),
+			)),
+		elem("title").once().head().attrs(i18nAttrs()),
+		elem("base").empty().head().attrs(group(aURL("href"), a("target"))),
+		elem("meta").empty().head().
+			attrs(i18nAttrs(), group(a("http-equiv"), a("name"), req(a("content")), a("scheme"))),
+		elem("link").empty().head().
+			attrs(stdAttrs(), group(
+				a("charset"), aURL("href"), a("hreflang"), a("type"),
+				a("rel"), a("rev"), a("media"), a("target"),
+			)),
+		elem("style").head().
+			attrs(i18nAttrs(), group(req(a("type")), a("media"), a("title"))),
+		elem("script").
+			attrs(group(
+				a("charset"), req(a("type")), dep(a("language")),
+				aURL("src"), a("defer"), a("event"), a("for"),
+			)),
+		elem("noscript").structural().attrs(stdAttrs()),
+		elem("isindex").empty().deprecated("<FORM> with an <INPUT> field").
+			attrs(coreattrs(), i18nAttrs(), group(a("prompt"))),
+	)
+
+	// ---- Frames (frameset DTD) ----
+	add(m,
+		elem("frameset").structural().context("html", "frameset").
+			attrs(coreattrs(), group(
+				aMultiLen("rows"), aMultiLen("cols"), a("onload"), a("onunload"),
+			)),
+		elem("frame").empty().context("frameset").
+			attrs(coreattrs(), group(
+				aURL("longdesc"), a("name"), aURL("src"),
+				aEnum("frameborder", "1", "0"),
+				aNum("marginwidth"), aNum("marginheight"),
+				a("noresize"), aEnum("scrolling", "yes", "no", "auto"),
+			)),
+		elem("noframes").structural().attrs(stdAttrs()),
+		elem("iframe").inline().emptyOK().
+			attrs(coreattrs(), group(
+				aURL("longdesc"), a("name"), aURL("src"),
+				aEnum("frameborder", "1", "0"),
+				aNum("marginwidth"), aNum("marginheight"),
+				aEnum("scrolling", "yes", "no", "auto"),
+				dep(aEnum("align", "top", "middle", "bottom", "left", "right")),
+				aLen("height"), aLen("width"),
+			)),
+	)
+
+	// ---- Headings and block text ----
+	headingAttrs := group(dep(aEnum("align", "left", "center", "right", "justify")))
+	add(m,
+		elem("h1").structural().attrs(stdAttrs(), headingAttrs),
+		elem("h2").structural().attrs(stdAttrs(), headingAttrs),
+		elem("h3").structural().attrs(stdAttrs(), headingAttrs),
+		elem("h4").structural().attrs(stdAttrs(), headingAttrs),
+		elem("h5").structural().attrs(stdAttrs(), headingAttrs),
+		elem("h6").structural().attrs(stdAttrs(), headingAttrs),
+		elem("p").omit().impliedEnd(blockLevel...).
+			attrs(stdAttrs(), headingAttrs),
+		elem("div").structural().attrs(stdAttrs(), headingAttrs),
+		elem("span").inline().attrs(stdAttrs()),
+		elem("address").structural().attrs(stdAttrs()),
+		elem("blockquote").structural().attrs(stdAttrs(), group(aURL("cite"))),
+		elem("q").inline().attrs(stdAttrs(), group(aURL("cite"))),
+		elem("pre").structural().attrs(stdAttrs(), group(dep(aNum("width")))),
+		elem("center").structural().deprecated("<DIV ALIGN=\"center\">").attrs(stdAttrs()),
+		elem("hr").empty().
+			attrs(stdAttrs(), group(
+				dep(aEnum("align", "left", "center", "right")),
+				dep(a("noshade")), dep(aNum("size")), dep(aLen("width")),
+			)),
+		elem("br").empty().
+			attrs(coreattrs(), group(dep(aEnum("clear", "left", "all", "right", "none")))),
+		elem("ins").attrs(stdAttrs(), group(aURL("cite"), a("datetime"))),
+		elem("del").attrs(stdAttrs(), group(aURL("cite"), a("datetime"))),
+		elem("bdo").inline().attrs(coreattrs(), group(a("lang"), req(aEnum("dir", "ltr", "rtl")))),
+	)
+
+	// ---- Lists ----
+	add(m,
+		elem("ul").structural().
+			attrs(stdAttrs(), group(
+				dep(aEnum("type", "disc", "square", "circle")), dep(a("compact")),
+			)),
+		elem("ol").structural().
+			attrs(stdAttrs(), group(dep(a("type")), dep(a("compact")), dep(aNum("start")))),
+		elem("li").omit().context("ul", "ol", "dir", "menu").impliedEnd("li").
+			attrs(stdAttrs(), group(dep(a("type")), dep(aNum("value")))),
+		elem("dl").structural().attrs(stdAttrs(), group(dep(a("compact")))),
+		elem("dt").omit().context("dl").impliedEnd("dt", "dd").attrs(stdAttrs()),
+		elem("dd").omit().context("dl").impliedEnd("dt", "dd").attrs(stdAttrs()),
+		elem("dir").structural().deprecated("<UL>").attrs(stdAttrs(), group(dep(a("compact")))),
+		elem("menu").structural().deprecated("<UL>").attrs(stdAttrs(), group(dep(a("compact")))),
+	)
+
+	// ---- Phrase and font markup ----
+	add(m,
+		elem("em").inline().attrs(stdAttrs()),
+		elem("strong").inline().attrs(stdAttrs()),
+		elem("dfn").inline().attrs(stdAttrs()),
+		elem("code").inline().attrs(stdAttrs()),
+		elem("samp").inline().attrs(stdAttrs()),
+		elem("kbd").inline().attrs(stdAttrs()),
+		elem("var").inline().attrs(stdAttrs()),
+		elem("cite").inline().attrs(stdAttrs()),
+		elem("abbr").inline().attrs(stdAttrs()),
+		elem("acronym").inline().attrs(stdAttrs()),
+		elem("tt").inline().attrs(stdAttrs()),
+		elem("i").inline().attrs(stdAttrs()),
+		elem("b").inline().attrs(stdAttrs()),
+		elem("big").inline().attrs(stdAttrs()),
+		elem("small").inline().attrs(stdAttrs()),
+		elem("u").inline().deprecated("style sheets").attrs(stdAttrs()),
+		elem("s").inline().deprecated("<DEL> or style sheets").attrs(stdAttrs()),
+		elem("strike").inline().deprecated("<DEL> or style sheets").attrs(stdAttrs()),
+		elem("sub").inline().attrs(stdAttrs()),
+		elem("sup").inline().attrs(stdAttrs()),
+		elem("font").inline().deprecated("style sheets").
+			attrs(coreattrs(), i18nAttrs(), group(a("size"), aColor("color"), a("face"))),
+		elem("basefont").empty().deprecated("style sheets").
+			attrs(group(aNameTok("id"), req(a("size")), aColor("color"), a("face"))),
+		elem("xmp").obsolete("<PRE>"),
+		elem("listing").obsolete("<PRE>"),
+		elem("plaintext").obsolete("<PRE>"),
+	)
+
+	// ---- Links, images, objects ----
+	add(m,
+		elem("a").inline().noSelfNest().
+			attrs(stdAttrs(), group(
+				a("charset"), a("type"), a("name"), aURL("href"), a("hreflang"),
+				a("rel"), a("rev"), a("accesskey"),
+				aEnum("shape", "rect", "circle", "poly", "default"),
+				a("coords"), aNum("tabindex"), a("onfocus"), a("onblur"), a("target"),
+			)),
+		elem("img").empty().
+			attrs(stdAttrs(), group(
+				req(aURL("src")), a("alt"), aURL("longdesc"),
+				aLen("height"), aLen("width"), aURL("usemap"), a("ismap"),
+				a("name"),
+				dep(aEnum("align", "top", "middle", "bottom", "left", "right")),
+				dep(aLen("border")), dep(aNum("hspace")), dep(aNum("vspace")),
+			)),
+		elem("map").noSelfNest().attrs(coreattrs(), group(req(a("name")))),
+		elem("area").empty().context("map").
+			attrs(stdAttrs(), group(
+				aEnum("shape", "rect", "circle", "poly", "default"),
+				a("coords"), aURL("href"), a("nohref"), req(a("alt")),
+				aNum("tabindex"), a("accesskey"), a("onfocus"), a("onblur"), a("target"),
+			)),
+		elem("object").
+			attrs(stdAttrs(), group(
+				a("declare"), aURL("classid"), aURL("codebase"), aURL("data"),
+				a("type"), a("codetype"), aURL("archive"), a("standby"),
+				aLen("height"), aLen("width"), aURL("usemap"), a("name"), aNum("tabindex"),
+				dep(aEnum("align", "top", "middle", "bottom", "left", "right")),
+				dep(aLen("border")), dep(aNum("hspace")), dep(aNum("vspace")),
+			)),
+		elem("param").empty().context("applet", "object").
+			attrs(group(
+				aNameTok("id"), req(a("name")), a("value"),
+				aEnum("valuetype", "data", "ref", "object"), a("type"),
+			)),
+		elem("applet").deprecated("<OBJECT>").
+			attrs(coreattrs(), group(
+				aURL("codebase"), aURL("archive"), a("code"), a("object"),
+				a("alt"), a("name"), req(aLen("width")), req(aLen("height")),
+				dep(aEnum("align", "top", "middle", "bottom", "left", "right")),
+				dep(aNum("hspace")), dep(aNum("vspace")),
+			)),
+	)
+
+	// ---- Tables ----
+	add(m,
+		elem("table").structural().
+			attrs(stdAttrs(), group(
+				a("summary"), aLen("width"), aNum("border"),
+				aEnum("frame", "void", "above", "below", "hsides", "lhs", "rhs", "vsides", "box", "border"),
+				aEnum("rules", "none", "groups", "rows", "cols", "all"),
+				aLen("cellspacing"), aLen("cellpadding"),
+				dep(aEnum("align", "left", "center", "right")),
+				dep(aColor("bgcolor")),
+			)),
+		elem("caption").context("table").
+			attrs(stdAttrs(), group(dep(aEnum("align", "top", "bottom", "left", "right")))),
+		elem("thead").omit().structural().context("table").
+			impliedEnd("tbody", "tfoot").attrs(stdAttrs(), cellAlign()),
+		elem("tfoot").omit().structural().context("table").
+			impliedEnd("tbody").attrs(stdAttrs(), cellAlign()),
+		elem("tbody").omit().structural().context("table").
+			impliedEnd("tbody", "tfoot").attrs(stdAttrs(), cellAlign()),
+		elem("colgroup").omit().context("table").
+			impliedEnd("thead", "tbody", "tfoot", "tr", "colgroup").emptyOK().
+			attrs(stdAttrs(), cellAlign(), group(aNum("span"), aLen("width"))),
+		elem("col").empty().context("table", "colgroup").
+			attrs(stdAttrs(), cellAlign(), group(aNum("span"), aLen("width"))),
+		elem("tr").omit().structural().context("table", "thead", "tbody", "tfoot").
+			impliedEnd("tr", "thead", "tbody", "tfoot").
+			attrs(stdAttrs(), cellAlign(), group(dep(aColor("bgcolor")))),
+		elem("td").omit().emptyOK().context("tr").
+			impliedEnd("td", "th", "tr", "thead", "tbody", "tfoot").
+			attrs(stdAttrs(), cellAlign(), group(
+				a("abbr"), a("axis"), a("headers"),
+				aEnum("scope", "row", "col", "rowgroup", "colgroup"),
+				aNum("rowspan"), aNum("colspan"),
+				dep(a("nowrap")), dep(aColor("bgcolor")),
+				dep(aLen("width")), dep(aLen("height")),
+			)),
+		elem("th").omit().emptyOK().context("tr").
+			impliedEnd("td", "th", "tr", "thead", "tbody", "tfoot").
+			attrs(stdAttrs(), cellAlign(), group(
+				a("abbr"), a("axis"), a("headers"),
+				aEnum("scope", "row", "col", "rowgroup", "colgroup"),
+				aNum("rowspan"), aNum("colspan"),
+				dep(a("nowrap")), dep(aColor("bgcolor")),
+				dep(aLen("width")), dep(aLen("height")),
+			)),
+	)
+
+	// ---- Forms ----
+	add(m,
+		elem("form").structural().noSelfNest().
+			attrs(stdAttrs(), group(
+				req(aURL("action")), aEnum("method", "get", "post"),
+				a("enctype"), a("accept"), a("accept-charset"),
+				a("name"), a("target"), a("onsubmit"), a("onreset"),
+			)),
+		elem("input").empty().formField().
+			attrs(stdAttrs(), group(
+				aEnum("type", "text", "password", "checkbox", "radio",
+					"submit", "reset", "file", "hidden", "image", "button"),
+				a("name"), a("value"), a("checked"), a("disabled"),
+				a("readonly"), a("size"), aNum("maxlength"), aURL("src"),
+				a("alt"), aURL("usemap"), aNum("tabindex"), a("accesskey"),
+				a("onfocus"), a("onblur"), a("onselect"), a("onchange"), a("accept"),
+				dep(aEnum("align", "top", "middle", "bottom", "left", "right")),
+			)),
+		elem("select").formField().
+			attrs(stdAttrs(), group(
+				a("name"), aNum("size"), a("multiple"), a("disabled"),
+				aNum("tabindex"), a("onfocus"), a("onblur"), a("onchange"),
+			)),
+		elem("optgroup").context("select").
+			attrs(stdAttrs(), group(a("disabled"), req(a("label")))),
+		elem("option").omit().emptyOK().context("select", "optgroup").
+			impliedEnd("option", "optgroup").
+			attrs(stdAttrs(), group(a("selected"), a("disabled"), a("label"), a("value"))),
+		elem("textarea").formField().emptyOK().
+			attrs(stdAttrs(), group(
+				a("name"), req(aNum("rows")), req(aNum("cols")),
+				a("disabled"), a("readonly"), aNum("tabindex"), a("accesskey"),
+				a("onfocus"), a("onblur"), a("onselect"), a("onchange"),
+			)),
+		elem("fieldset").structural().attrs(stdAttrs()),
+		elem("legend").context("fieldset").
+			attrs(stdAttrs(), group(
+				a("accesskey"),
+				dep(aEnum("align", "top", "bottom", "left", "right")),
+			)),
+		elem("label").inline().noSelfNest().formField().
+			attrs(stdAttrs(), group(a("for"), a("accesskey"), a("onfocus"), a("onblur"))),
+		elem("button").inline().formField().
+			attrs(stdAttrs(), group(
+				a("name"), a("value"), aEnum("type", "button", "submit", "reset"),
+				a("disabled"), aNum("tabindex"), a("accesskey"), a("onfocus"), a("onblur"),
+			)),
+	)
+
+	spec := &Spec{
+		Version:           "HTML 4.0",
+		HTML40:            true,
+		Elements:          m,
+		EnabledExtensions: map[string]bool{},
+	}
+	pruneImpliedEnds(m)
+	addVendorExtensions(spec)
+	return spec
+}

@@ -1,0 +1,432 @@
+// Package htmlspec encapsulates the information weblint needs when
+// checking against a specific version of HTML: the valid elements and
+// their content behaviour (are they containers? may their close tag be
+// omitted?), the valid attributes and legal values for attributes, and
+// the legal context for elements.
+//
+// The package is the Go analogue of the paper's Weblint::HTML40 module
+// and friends: sets of tables which drive the operation of the checker.
+// Hand-authored tables are provided for HTML 3.2 and HTML 4.0, with the
+// Netscape and Microsoft extensions layered in as vendor-tagged entries
+// (enable an extension to accept its markup silently; leave it disabled
+// to have uses of it reported).
+package htmlspec
+
+import "strings"
+
+// ValueType classifies how an attribute's value is validated.
+type ValueType int
+
+const (
+	// CDATA accepts any value.
+	CDATA ValueType = iota
+	// Color accepts a color name or #rrggbb triplet.
+	Color
+	// Number accepts a non-empty string of digits.
+	Number
+	// Length accepts digits optionally followed by '%' or '*'.
+	Length
+	// MultiLength accepts a comma-separated list of lengths, the
+	// form FRAMESET ROWS/COLS take ("50%,50%" or "1*,2*,100").
+	MultiLength
+	// URL accepts any value; URL scheme problems are diagnosed
+	// separately by the checker.
+	URL
+	// NameToken accepts an SGML name token.
+	NameToken
+	// Enum accepts one of an explicit, case-insensitive value list.
+	Enum
+)
+
+// AttrInfo describes one attribute of an element.
+type AttrInfo struct {
+	// Name is the attribute name, lower-case.
+	Name string
+	// Type selects the value validator.
+	Type ValueType
+	// Values is the legal value list for Enum attributes.
+	Values []string
+	// Required reports that the attribute must be present on the tag.
+	Required bool
+	// Deprecated reports the attribute is deprecated in this HTML
+	// version (usually in favour of style sheets).
+	Deprecated bool
+	// Extension names the vendor ("Netscape", "Microsoft") when the
+	// attribute is not part of standard HTML, or is empty.
+	Extension string
+}
+
+// ValidValue reports whether v is legal for the attribute.
+func (a *AttrInfo) ValidValue(v string) bool {
+	switch a.Type {
+	case CDATA, URL:
+		return true
+	case Color:
+		return ValidColor(v)
+	case Number:
+		return isDigits(v)
+	case Length:
+		return validLength(v)
+	case MultiLength:
+		if v == "" {
+			return false
+		}
+		for _, part := range strings.Split(v, ",") {
+			if !validLength(strings.TrimSpace(part)) {
+				return false
+			}
+		}
+		return true
+	case NameToken:
+		return isNameToken(v)
+	case Enum:
+		for _, ok := range a.Values {
+			if strings.EqualFold(v, ok) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// ElementInfo describes one element of an HTML version.
+type ElementInfo struct {
+	// Name is the canonical element name, lower-case.
+	Name string
+	// Empty reports that the element has no content and no close tag
+	// (BR, IMG, HR, ...).
+	Empty bool
+	// OmitClose reports that the close tag may legally be omitted
+	// (P, LI, TD, ...); such elements pop silently when implied
+	// closed.
+	OmitClose bool
+	// Inline reports phrase/font-level markup (B, I, EM, A, ...).
+	// The overlap heuristic reports inline close tags that cross
+	// other elements as element-overlap.
+	Inline bool
+	// Structural reports structural containers (HTML, HEAD, TABLE,
+	// lists, ...) whose close tags force intervening unclosed
+	// elements to be reported as unclosed-element.
+	Structural bool
+	// OnceOnly reports elements which may appear at most once per
+	// document (HTML, HEAD, BODY, TITLE).
+	OnceOnly bool
+	// HeadOnly reports elements which belong in the HEAD.
+	HeadOnly bool
+	// FormField reports form controls which should appear inside a
+	// FORM element.
+	FormField bool
+	// Deprecated and Obsolete report the element's status in this
+	// HTML version; Replacement names the suggested substitute.
+	Deprecated  bool
+	Obsolete    bool
+	Replacement string
+	// Context lists the only parents (lower-case element names) the
+	// element may directly appear in; empty means unconstrained.
+	Context []string
+	// ImpliedEndBy lists sibling elements whose start tag implies
+	// this element's end (LI ends LI, DT/DD end each other, ...).
+	ImpliedEndBy []string
+	// NoSelfNest reports elements which may not be nested within
+	// themselves (A, FORM, LABEL).
+	NoSelfNest bool
+	// EmptyOK suppresses the empty-container check for containers
+	// which are legitimately empty (TD, TEXTAREA, ...).
+	EmptyOK bool
+	// Attrs maps lower-case attribute names to their definitions.
+	Attrs map[string]*AttrInfo
+	// Extension names the vendor when the element is not part of
+	// standard HTML.
+	Extension string
+}
+
+// Attr returns the definition of the named attribute (lower-cased), or
+// nil when the attribute is not defined for the element.
+func (e *ElementInfo) Attr(name string) *AttrInfo {
+	return e.Attrs[strings.ToLower(name)]
+}
+
+// RequiredAttrs returns the names of all required attributes, in table
+// order (sorted for determinism).
+func (e *ElementInfo) RequiredAttrs() []string {
+	var out []string
+	for _, a := range e.Attrs {
+		if a.Required {
+			out = append(out, a.Name)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// ImpliedEndedBy reports whether an opening tag for other implies the
+// end of this element.
+func (e *ElementInfo) ImpliedEndedBy(other string) bool {
+	for _, n := range e.ImpliedEndBy {
+		if n == other {
+			return true
+		}
+	}
+	return false
+}
+
+// InContext reports whether parent is a legal direct parent. It is
+// always true for elements with unconstrained context.
+func (e *ElementInfo) InContext(parent string) bool {
+	if len(e.Context) == 0 {
+		return true
+	}
+	for _, p := range e.Context {
+		if p == parent {
+			return true
+		}
+	}
+	return false
+}
+
+// Spec is a complete description of one HTML version, optionally with
+// vendor extensions enabled.
+type Spec struct {
+	// Version is the human name, e.g. "HTML 4.0".
+	Version string
+	// HTML40 selects the HTML 4.0 entity set for entity checking.
+	HTML40 bool
+	// Elements maps lower-case element names to their definitions.
+	Elements map[string]*ElementInfo
+	// EnabledExtensions marks vendor extensions which have been
+	// enabled; markup from enabled vendors is accepted silently.
+	EnabledExtensions map[string]bool
+}
+
+// Element looks up an element by name, case-insensitively. It returns
+// nil for unknown elements.
+func (s *Spec) Element(name string) *ElementInfo {
+	return s.Elements[strings.ToLower(name)]
+}
+
+// EnableExtension turns on a vendor extension ("netscape" or
+// "microsoft", case-insensitive). Unknown extension names are ignored
+// so configuration remains forward-compatible.
+func (s *Spec) EnableExtension(vendor string) {
+	if s.EnabledExtensions == nil {
+		s.EnabledExtensions = map[string]bool{}
+	}
+	s.EnabledExtensions[strings.ToLower(vendor)] = true
+}
+
+// ExtensionEnabled reports whether the vendor's extension is enabled.
+func (s *Spec) ExtensionEnabled(vendor string) bool {
+	return s.EnabledExtensions[strings.ToLower(vendor)]
+}
+
+// ElementNames returns all element names in the spec, sorted.
+func (s *Spec) ElementNames() []string {
+	out := make([]string, 0, len(s.Elements))
+	for n := range s.Elements {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Default returns the spec weblint checks against when not otherwise
+// configured: HTML 4.0, as in the paper ("By default Weblint will check
+// against HTML 4.0").
+func Default() *Spec { return HTML40() }
+
+// ByVersion returns the spec for a version string ("4.0", "html4.0",
+// "3.2", "2.0", ...). The boolean result reports whether the version
+// is known.
+func ByVersion(v string) (*Spec, bool) {
+	switch strings.ToLower(strings.TrimSpace(strings.TrimPrefix(strings.ToLower(v), "html"))) {
+	case "4.0", "4", "40":
+		return HTML40(), true
+	case "3.2", "3", "32":
+		return HTML32(), true
+	case "2.0", "2", "20":
+		return HTML20(), true
+	}
+	return nil, false
+}
+
+// ----------------------------------------------------------------
+// Table construction helpers. These keep the HTML version tables
+// compact and declarative.
+// ----------------------------------------------------------------
+
+// eb is an element builder.
+type eb struct{ e *ElementInfo }
+
+func elem(name string) *eb {
+	return &eb{&ElementInfo{Name: name, Attrs: map[string]*AttrInfo{}}}
+}
+
+func (x *eb) empty() *eb          { x.e.Empty = true; return x }
+func (x *eb) omit() *eb           { x.e.OmitClose = true; return x }
+func (x *eb) inline() *eb         { x.e.Inline = true; return x }
+func (x *eb) structural() *eb     { x.e.Structural = true; return x }
+func (x *eb) once() *eb           { x.e.OnceOnly = true; return x }
+func (x *eb) head() *eb           { x.e.HeadOnly = true; return x }
+func (x *eb) formField() *eb      { x.e.FormField = true; return x }
+func (x *eb) noSelfNest() *eb     { x.e.NoSelfNest = true; return x }
+func (x *eb) emptyOK() *eb        { x.e.EmptyOK = true; return x }
+func (x *eb) vendor(v string) *eb { x.e.Extension = v; return x }
+func (x *eb) context(p ...string) *eb {
+	x.e.Context = p
+	return x
+}
+func (x *eb) impliedEnd(names ...string) *eb {
+	x.e.ImpliedEndBy = names
+	return x
+}
+func (x *eb) deprecated(repl string) *eb {
+	x.e.Deprecated = true
+	x.e.Replacement = repl
+	return x
+}
+func (x *eb) obsolete(repl string) *eb {
+	x.e.Obsolete = true
+	x.e.Replacement = repl
+	return x
+}
+func (x *eb) attrs(groups ...[]AttrInfo) *eb {
+	for _, g := range groups {
+		for i := range g {
+			a := g[i]
+			x.e.Attrs[a.Name] = &a
+		}
+	}
+	return x
+}
+
+// add registers the built element into a spec map.
+func add(m map[string]*ElementInfo, builders ...*eb) {
+	for _, x := range builders {
+		m[x.e.Name] = x.e
+	}
+}
+
+// pruneImpliedEnds drops implied-end triggers that the version does
+// not define (the shared blockLevel list is written for HTML 4.0;
+// earlier versions lack some of its members).
+func pruneImpliedEnds(m map[string]*ElementInfo) {
+	for _, e := range m {
+		if len(e.ImpliedEndBy) == 0 {
+			continue
+		}
+		kept := e.ImpliedEndBy[:0:0]
+		for _, name := range e.ImpliedEndBy {
+			if _, ok := m[name]; ok {
+				kept = append(kept, name)
+			}
+		}
+		e.ImpliedEndBy = kept
+	}
+}
+
+// Attribute constructors.
+
+func a(name string) AttrInfo    { return AttrInfo{Name: name, Type: CDATA} }
+func aURL(name string) AttrInfo { return AttrInfo{Name: name, Type: URL} }
+func aNum(name string) AttrInfo { return AttrInfo{Name: name, Type: Number} }
+func aLen(name string) AttrInfo { return AttrInfo{Name: name, Type: Length} }
+func aMultiLen(name string) AttrInfo {
+	return AttrInfo{Name: name, Type: MultiLength}
+}
+func aColor(name string) AttrInfo   { return AttrInfo{Name: name, Type: Color} }
+func aNameTok(name string) AttrInfo { return AttrInfo{Name: name, Type: NameToken} }
+func aEnum(name string, vals ...string) AttrInfo {
+	return AttrInfo{Name: name, Type: Enum, Values: vals}
+}
+
+// req marks an attribute required.
+func req(ai AttrInfo) AttrInfo { ai.Required = true; return ai }
+
+// dep marks an attribute deprecated.
+func dep(ai AttrInfo) AttrInfo { ai.Deprecated = true; return ai }
+
+// ext marks an attribute as a vendor extension.
+func ext(vendor string, ai AttrInfo) AttrInfo { ai.Extension = vendor; return ai }
+
+// group bundles attribute constructors into a reusable set.
+func group(as ...AttrInfo) []AttrInfo { return as }
+
+// validLength accepts digits optionally followed by '%' or '*', and a
+// bare '*' (relative remainder).
+func validLength(v string) bool {
+	if v == "" {
+		return false
+	}
+	body := v
+	if strings.HasSuffix(v, "%") || strings.HasSuffix(v, "*") {
+		body = v[:len(v)-1]
+	}
+	if body == "" && strings.HasSuffix(v, "*") {
+		return true
+	}
+	return isDigits(body)
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '.' || c == '_' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// colorNames are the sixteen color names defined by HTML 4.0.
+var colorNames = map[string]bool{
+	"aqua": true, "black": true, "blue": true, "fuchsia": true,
+	"gray": true, "green": true, "lime": true, "maroon": true,
+	"navy": true, "olive": true, "purple": true, "red": true,
+	"silver": true, "teal": true, "white": true, "yellow": true,
+}
+
+// ValidColor reports whether v is a legal HTML color value: one of the
+// sixteen HTML 4.0 color names, or an RGB triplet of the form #rrggbb.
+func ValidColor(v string) bool {
+	if colorNames[strings.ToLower(v)] {
+		return true
+	}
+	if len(v) != 7 || v[0] != '#' {
+		return false
+	}
+	for i := 1; i < 7; i++ {
+		c := v[i]
+		ok := c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

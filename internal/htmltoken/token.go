@@ -1,0 +1,146 @@
+// Package htmltoken implements the lenient HTML tokenizer underneath
+// weblint: the paper's "ad-hoc parser, which uses various heuristics to
+// keep things together as it goes along".
+//
+// The tokenizer never fails. Every malformation it recovers from is
+// recorded as a flag on the token it produced (odd number of quotes,
+// unterminated comment, attributes on a closing tag, ...), so the
+// checker can turn recoveries into diagnostics while continuing to
+// check the rest of the document. All tokens carry 1-based line and
+// column positions.
+package htmltoken
+
+import "strings"
+
+// Type identifies the kind of a token.
+type Type int
+
+const (
+	// Text is document text between tags (including raw SCRIPT and
+	// STYLE content, which is marked with Token.RawText).
+	Text Type = iota
+	// StartTag is an opening tag such as <A HREF="x">.
+	StartTag
+	// EndTag is a closing tag such as </A>.
+	EndTag
+	// Comment is an SGML comment <!-- ... -->.
+	Comment
+	// Doctype is a <!DOCTYPE ...> declaration.
+	Doctype
+	// Declaration is any other <! ...> markup declaration.
+	Declaration
+	// ProcInst is a <? ... > processing instruction.
+	ProcInst
+)
+
+// String returns a short name for the token type.
+func (t Type) String() string {
+	switch t {
+	case Text:
+		return "text"
+	case StartTag:
+		return "start-tag"
+	case EndTag:
+		return "end-tag"
+	case Comment:
+		return "comment"
+	case Doctype:
+		return "doctype"
+	case Declaration:
+		return "declaration"
+	case ProcInst:
+		return "proc-inst"
+	}
+	return "unknown"
+}
+
+// Attr is one attribute of a start (or, erroneously, end) tag.
+type Attr struct {
+	// Name is the attribute name as written in the source.
+	Name string
+	// Value is the attribute value with surrounding quotes removed
+	// and entities left undecoded.
+	Value string
+	// HasValue distinguishes NAME=VALUE attributes from boolean
+	// flag attributes such as ISMAP.
+	HasValue bool
+	// Quote is the quoting character used: '"', '\'', or 0 for an
+	// unquoted value.
+	Quote byte
+	// Line and Col give the 1-based position of the attribute name.
+	Line, Col int
+	// UnterminatedQuote reports that the value's opening quote was
+	// never closed within the tag.
+	UnterminatedQuote bool
+}
+
+// Token is one lexical item of the document.
+type Token struct {
+	// Type is the token kind.
+	Type Type
+	// Name is the tag name as written (original case) for start and
+	// end tags, and "DOCTYPE" for doctype tokens.
+	Name string
+	// Text is the content for Text and Comment tokens, and the full
+	// declaration body for Doctype/Declaration tokens.
+	Text string
+	// Raw is the exact source consumed for this token.
+	Raw string
+	// Attrs are the parsed attributes of a tag.
+	Attrs []Attr
+	// Line and Col give the 1-based position of the token start.
+	Line, Col int
+	// EndLine is the line on which the token's last byte falls.
+	EndLine int
+
+	// RawText marks Text tokens produced in raw-text mode (SCRIPT,
+	// STYLE and friends).
+	RawText bool
+	// OddQuotes reports that the tag contained an unbalanced quote
+	// and was recovered by ending it at the first '>'.
+	OddQuotes bool
+	// Unterminated reports that end of input arrived before the
+	// token's closing delimiter.
+	Unterminated bool
+	// SlashClose reports an XHTML-style trailing slash (<BR/>).
+	SlashClose bool
+	// EmptyTag reports a bare "<>".
+	EmptyTag bool
+}
+
+// TagText reconstructs the tag as it appeared in the source, for use in
+// messages like the paper's
+//
+//	odd number of quotes in element <A HREF="a.html>
+func (t Token) TagText() string {
+	if t.Type == StartTag || t.Type == EndTag {
+		return t.Raw
+	}
+	return t.Raw
+}
+
+// Attr returns the first attribute with the given name,
+// case-insensitively, or nil.
+func (t Token) Attr(name string) *Attr {
+	for i := range t.Attrs {
+		if strings.EqualFold(t.Attrs[i].Name, name) {
+			return &t.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// HasAttr reports whether the tag carries the named attribute,
+// case-insensitively.
+func (t Token) HasAttr(name string) bool { return t.Attr(name) != nil }
+
+// DefaultRawTextElements are the elements whose content is not parsed
+// as markup. The tokenizer switches to raw-text mode automatically
+// after emitting a start tag for one of these.
+var DefaultRawTextElements = map[string]bool{
+	"script":    true,
+	"style":     true,
+	"xmp":       true,
+	"listing":   true,
+	"plaintext": true,
+}

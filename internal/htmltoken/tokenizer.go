@@ -1,0 +1,402 @@
+package htmltoken
+
+import (
+	"sort"
+	"strings"
+)
+
+// Quote-recovery limits: when a quoted attribute value runs past this
+// many newlines or bytes, the quote is assumed to be a mistake and the
+// tag is re-terminated at the first '>' seen (the paper's "odd number
+// of quotes" diagnosis).
+const (
+	quoteMaxNewlines = 3
+	quoteMaxBytes    = 300
+)
+
+// Tokenizer scans an HTML document into tokens. Construct with New.
+type Tokenizer struct {
+	src string
+	pos int
+
+	// lineStarts[i] is the byte offset of the start of line i+1,
+	// used to translate offsets to positions in O(log n).
+	lineStarts []int
+
+	// rawUntil, when non-empty, is the lower-case element name whose
+	// closing tag ends raw-text mode.
+	rawUntil string
+
+	// RawTextElements configures which elements switch the tokenizer
+	// into raw-text mode. Defaults to DefaultRawTextElements.
+	RawTextElements map[string]bool
+}
+
+// New returns a Tokenizer over src.
+func New(src string) *Tokenizer {
+	t := &Tokenizer{src: src, RawTextElements: DefaultRawTextElements}
+	t.lineStarts = append(t.lineStarts, 0)
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			t.lineStarts = append(t.lineStarts, i+1)
+		}
+	}
+	return t
+}
+
+// Tokenize scans the whole of src and returns all tokens.
+func Tokenize(src string) []Token {
+	tz := New(src)
+	var out []Token
+	for {
+		tok, ok := tz.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+// position translates a byte offset into a 1-based line and column.
+func (t *Tokenizer) position(off int) (line, col int) {
+	i := sort.Search(len(t.lineStarts), func(i int) bool { return t.lineStarts[i] > off }) - 1
+	return i + 1, off - t.lineStarts[i] + 1
+}
+
+// lineAt returns just the 1-based line of a byte offset.
+func (t *Tokenizer) lineAt(off int) int {
+	l, _ := t.position(off)
+	return l
+}
+
+// Next returns the next token. The boolean result is false at end of
+// input.
+func (t *Tokenizer) Next() (Token, bool) {
+	if t.pos >= len(t.src) {
+		return Token{}, false
+	}
+	if t.rawUntil != "" {
+		return t.nextRaw(), true
+	}
+	if t.src[t.pos] == '<' && t.startsMarkup(t.pos) {
+		return t.nextMarkup(), true
+	}
+	return t.nextText(), true
+}
+
+// startsMarkup reports whether the '<' at off begins markup rather
+// than document text.
+func (t *Tokenizer) startsMarkup(off int) bool {
+	if off+1 >= len(t.src) {
+		return false
+	}
+	c := t.src[off+1]
+	return isNameStart(c) || c == '/' || c == '!' || c == '?' || c == '>'
+}
+
+// nextText consumes document text up to the next markup-starting '<'.
+func (t *Tokenizer) nextText() Token {
+	start := t.pos
+	i := start
+	for i < len(t.src) {
+		if t.src[i] == '<' && i > start && t.startsMarkup(i) {
+			break
+		}
+		i++
+	}
+	t.pos = i
+	line, col := t.position(start)
+	return Token{
+		Type:    Text,
+		Text:    t.src[start:i],
+		Raw:     t.src[start:i],
+		Line:    line,
+		Col:     col,
+		EndLine: t.lineAt(max(start, i-1)),
+	}
+}
+
+// nextRaw consumes raw text until the closing tag of the raw element.
+func (t *Tokenizer) nextRaw() Token {
+	start := t.pos
+	needle := "</" + t.rawUntil
+	lower := strings.ToLower(t.src[start:])
+	idx := strings.Index(lower, needle)
+	end := len(t.src)
+	if idx >= 0 {
+		end = start + idx
+	}
+	t.pos = end
+	t.rawUntil = ""
+	line, col := t.position(start)
+	return Token{
+		Type:    Text,
+		Text:    t.src[start:end],
+		Raw:     t.src[start:end],
+		Line:    line,
+		Col:     col,
+		EndLine: t.lineAt(max(start, end-1)),
+		RawText: true,
+	}
+}
+
+// nextMarkup consumes one tag, comment, or declaration.
+func (t *Tokenizer) nextMarkup() Token {
+	start := t.pos
+	line, col := t.position(start)
+	next := t.src[start+1]
+
+	switch {
+	case next == '>': // "<>"
+		t.pos = start + 2
+		return Token{
+			Type: StartTag, Raw: t.src[start:t.pos],
+			Line: line, Col: col, EndLine: line, EmptyTag: true,
+		}
+	case next == '!':
+		if strings.HasPrefix(t.src[start:], "<!--") {
+			return t.nextComment(start, line, col)
+		}
+		return t.nextDeclaration(start, line, col)
+	case next == '?':
+		return t.nextProcInst(start, line, col)
+	case next == '/':
+		return t.nextTag(start, line, col, true)
+	default:
+		return t.nextTag(start, line, col, false)
+	}
+}
+
+// nextComment consumes an SGML comment.
+func (t *Tokenizer) nextComment(start, line, col int) Token {
+	bodyStart := start + 4 // past "<!--"
+	idx := strings.Index(t.src[bodyStart:], "-->")
+	tok := Token{Type: Comment, Line: line, Col: col}
+	if idx < 0 {
+		tok.Text = t.src[bodyStart:]
+		tok.Raw = t.src[start:]
+		tok.Unterminated = true
+		t.pos = len(t.src)
+	} else {
+		end := bodyStart + idx + 3
+		tok.Text = t.src[bodyStart : bodyStart+idx]
+		tok.Raw = t.src[start:end]
+		t.pos = end
+	}
+	tok.EndLine = t.lineAt(max(start, t.pos-1))
+	return tok
+}
+
+// nextDeclaration consumes <! ...> declarations, classifying DOCTYPE.
+func (t *Tokenizer) nextDeclaration(start, line, col int) Token {
+	end, odd, unterminated := t.scanToGT(start + 2)
+	body := t.src[start+2 : end]
+	t.pos = end
+	if !unterminated {
+		t.pos = end + 1
+	}
+	tok := Token{
+		Type: Declaration, Text: body, Raw: t.src[start:t.pos],
+		Line: line, Col: col, EndLine: t.lineAt(max(start, t.pos-1)),
+		OddQuotes: odd, Unterminated: unterminated,
+	}
+	fields := strings.Fields(body)
+	if len(fields) > 0 && strings.EqualFold(fields[0], "doctype") {
+		tok.Type = Doctype
+		tok.Name = "DOCTYPE"
+	}
+	return tok
+}
+
+// nextProcInst consumes a <? ... > processing instruction.
+func (t *Tokenizer) nextProcInst(start, line, col int) Token {
+	end, _, unterminated := t.scanToGT(start + 2)
+	t.pos = end
+	if !unterminated {
+		t.pos = end + 1
+	}
+	return Token{
+		Type: ProcInst, Text: t.src[start+2 : end], Raw: t.src[start:t.pos],
+		Line: line, Col: col, EndLine: t.lineAt(max(start, t.pos-1)),
+		Unterminated: unterminated,
+	}
+}
+
+// nextTag consumes a start or end tag, parsing its attributes.
+func (t *Tokenizer) nextTag(start, line, col int, closing bool) Token {
+	nameStart := start + 1
+	if closing {
+		nameStart++
+	}
+	nameEnd := nameStart
+	for nameEnd < len(t.src) && isNameChar(t.src[nameEnd]) {
+		nameEnd++
+	}
+	name := t.src[nameStart:nameEnd]
+
+	end, odd, unterminated := t.scanToGT(nameEnd)
+	body := t.src[nameEnd:end]
+	t.pos = end
+	if !unterminated {
+		t.pos = end + 1
+	}
+
+	tok := Token{
+		Type: StartTag, Name: name,
+		Raw:  t.src[start:t.pos],
+		Line: line, Col: col, EndLine: t.lineAt(max(start, t.pos-1)),
+		OddQuotes: odd, Unterminated: unterminated,
+	}
+	if closing {
+		tok.Type = EndTag
+	}
+
+	// XHTML-style trailing slash: strip it before attribute parsing
+	// so it doesn't read as a stray attribute.
+	trimmed := strings.TrimRight(body, " \t\r\n")
+	if strings.HasSuffix(trimmed, "/") && !strings.HasSuffix(trimmed, "=/") {
+		tok.SlashClose = true
+		body = strings.TrimSuffix(trimmed, "/")
+	}
+
+	tok.Attrs = t.parseAttrs(body, nameEnd)
+
+	if tok.Type == StartTag && !unterminated && t.RawTextElements[strings.ToLower(name)] {
+		t.rawUntil = strings.ToLower(name)
+	}
+	return tok
+}
+
+// scanToGT scans from off for the '>' terminating a tag, honouring
+// quoted attribute values, with heuristic recovery for unbalanced
+// quotes. It returns the offset of the terminating '>' (or len(src)),
+// whether odd quotes were detected, and whether the tag was
+// unterminated at end of input.
+func (t *Tokenizer) scanToGT(off int) (end int, oddQuotes, unterminated bool) {
+	var quote byte
+	firstGT := -1
+	quoteStart := 0
+	quoteNewlines := 0
+
+	recover := func() (int, bool, bool) {
+		// The open quote is assumed to be a mistake: re-terminate
+		// at the first '>' seen anywhere, or fail at EOF.
+		if firstGT >= 0 {
+			return firstGT, true, false
+		}
+		for j := off; j < len(t.src); j++ {
+			if t.src[j] == '>' {
+				return j, true, false
+			}
+		}
+		return len(t.src), true, true
+	}
+
+	for i := off; i < len(t.src); i++ {
+		c := t.src[i]
+		if quote != 0 {
+			switch {
+			case c == quote:
+				quote = 0
+			case c == '>':
+				if firstGT < 0 {
+					firstGT = i
+				}
+				if i-quoteStart > quoteMaxBytes {
+					return recover()
+				}
+			case c == '\n':
+				quoteNewlines++
+				if quoteNewlines > quoteMaxNewlines {
+					return recover()
+				}
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+			quoteStart = i
+			quoteNewlines = 0
+		case '>':
+			return i, false, false
+		}
+	}
+	if quote != 0 {
+		return recover()
+	}
+	return len(t.src), false, true
+}
+
+// parseAttrs parses the attribute section of a tag. base is the byte
+// offset of the section within the source, used for positions.
+func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
+	var attrs []Attr
+	i := 0
+	for i < len(body) {
+		for i < len(body) && isSpace(body[i]) {
+			i++
+		}
+		if i >= len(body) {
+			break
+		}
+		nameStart := i
+		for i < len(body) && !isSpace(body[i]) && body[i] != '=' {
+			i++
+		}
+		name := body[nameStart:i]
+		if name == "" { // stray '=' with no name
+			i++
+			continue
+		}
+		line, col := t.position(base + nameStart)
+		attr := Attr{Name: name, Line: line, Col: col}
+
+		j := i
+		for j < len(body) && isSpace(body[j]) {
+			j++
+		}
+		if j < len(body) && body[j] == '=' {
+			j++
+			for j < len(body) && isSpace(body[j]) {
+				j++
+			}
+			attr.HasValue = true
+			if j < len(body) && (body[j] == '"' || body[j] == '\'') {
+				attr.Quote = body[j]
+				j++
+				valStart := j
+				for j < len(body) && body[j] != attr.Quote {
+					j++
+				}
+				attr.Value = body[valStart:j]
+				if j < len(body) {
+					j++
+				} else {
+					attr.UnterminatedQuote = true
+				}
+			} else {
+				valStart := j
+				for j < len(body) && !isSpace(body[j]) {
+					j++
+				}
+				attr.Value = body[valStart:j]
+			}
+			i = j
+		}
+		attrs = append(attrs, attr)
+	}
+	return attrs
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.' || c == ':' || c == '_'
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}

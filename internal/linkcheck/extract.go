@@ -1,0 +1,132 @@
+// Package linkcheck implements hyperlink extraction and validation:
+// the "broken link" class of checks from the paper's Sections 3.5 and
+// 4.5. Local links are resolved against the filesystem; remote links
+// are validated by sending a HEAD request and reporting URLs which
+// result in failure response codes, with redirects followed.
+package linkcheck
+
+import (
+	"strings"
+
+	"weblint/internal/htmltoken"
+)
+
+// Link is one outbound reference found in a document.
+type Link struct {
+	// URL is the raw attribute value.
+	URL string
+	// Line is the 1-based source line the link appears on.
+	Line int
+	// Element and Attr identify where the link was found
+	// (lower-case), e.g. "a"/"href" or "img"/"src".
+	Element, Attr string
+}
+
+// linkAttrs maps element names to the attributes which hold URLs.
+var linkAttrs = map[string][]string{
+	"a":          {"href"},
+	"area":       {"href"},
+	"link":       {"href"},
+	"base":       {"href"},
+	"img":        {"src", "lowsrc", "usemap", "longdesc"},
+	"frame":      {"src", "longdesc"},
+	"iframe":     {"src", "longdesc"},
+	"script":     {"src"},
+	"input":      {"src"},
+	"body":       {"background"},
+	"table":      {"background"},
+	"td":         {"background"},
+	"th":         {"background"},
+	"embed":      {"src"},
+	"bgsound":    {"src"},
+	"object":     {"data", "codebase"},
+	"applet":     {"codebase"},
+	"form":       {"action"},
+	"q":          {"cite"},
+	"blockquote": {"cite"},
+	"ins":        {"cite"},
+	"del":        {"cite"},
+}
+
+// Extract returns every outbound link in the document, in source
+// order.
+func Extract(src string) []Link {
+	var out []Link
+	for _, tok := range htmltoken.Tokenize(src) {
+		if tok.Type != htmltoken.StartTag || tok.OddQuotes {
+			continue
+		}
+		attrs, ok := linkAttrs[strings.ToLower(tok.Name)]
+		if !ok {
+			continue
+		}
+		for _, name := range attrs {
+			if at := tok.Attr(name); at != nil && at.HasValue && at.Value != "" {
+				out = append(out, Link{
+					URL:     at.Value,
+					Line:    at.Line,
+					Element: strings.ToLower(tok.Name),
+					Attr:    name,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Anchors returns the fragment anchor names defined in the document
+// (<A NAME=...> and ID attributes), for fragment link validation.
+func Anchors(src string) map[string]bool {
+	out := map[string]bool{}
+	for _, tok := range htmltoken.Tokenize(src) {
+		if tok.Type != htmltoken.StartTag {
+			continue
+		}
+		if strings.EqualFold(tok.Name, "a") {
+			if at := tok.Attr("name"); at != nil && at.HasValue {
+				out[at.Value] = true
+			}
+		}
+		if at := tok.Attr("id"); at != nil && at.HasValue {
+			out[at.Value] = true
+		}
+	}
+	return out
+}
+
+// IsExternal reports whether a link leaves the local filesystem: it
+// has a URL scheme or is protocol-relative.
+func IsExternal(url string) bool {
+	if strings.HasPrefix(url, "//") {
+		return true
+	}
+	i := strings.IndexByte(url, ':')
+	if i <= 0 {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		c := url[j]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitFragment splits a URL into its document part and fragment.
+func SplitFragment(url string) (doc, frag string) {
+	if i := strings.IndexByte(url, '#'); i >= 0 {
+		return url[:i], url[i+1:]
+	}
+	return url, ""
+}
+
+// StripQuery removes a query string from a URL path.
+func StripQuery(url string) string {
+	if i := strings.IndexByte(url, '?'); i >= 0 {
+		return url[:i]
+	}
+	return url
+}

@@ -1,0 +1,216 @@
+package linkcheck
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestExtract(t *testing.T) {
+	src := `<HTML><BODY BACKGROUND="bg.gif">
+<A HREF="page.html">one</A>
+<IMG SRC="pic.gif" ALT="p" LOWSRC="lo.gif">
+<AREA HREF="map.html" ALT="m">
+<FORM ACTION="/cgi/submit"></FORM>
+<SCRIPT SRC="s.js"></SCRIPT>
+<BLOCKQUOTE CITE="http://src.org/q"></BLOCKQUOTE>
+</BODY></HTML>`
+	links := Extract(src)
+	want := map[string]string{
+		"bg.gif":           "body/background",
+		"page.html":        "a/href",
+		"pic.gif":          "img/src",
+		"lo.gif":           "img/lowsrc",
+		"map.html":         "area/href",
+		"/cgi/submit":      "form/action",
+		"s.js":             "script/src",
+		"http://src.org/q": "blockquote/cite",
+	}
+	if len(links) != len(want) {
+		t.Fatalf("got %d links, want %d: %+v", len(links), len(want), links)
+	}
+	for _, l := range links {
+		if want[l.URL] != l.Element+"/"+l.Attr {
+			t.Errorf("link %q from %s/%s, want %s", l.URL, l.Element, l.Attr, want[l.URL])
+		}
+		if l.Line < 1 {
+			t.Errorf("link %q line = %d", l.URL, l.Line)
+		}
+	}
+}
+
+func TestExtractSkipsOddQuoteTags(t *testing.T) {
+	links := Extract(`<A HREF="broken.html>x</A>`)
+	if len(links) != 0 {
+		t.Errorf("links from garbled tag: %+v", links)
+	}
+}
+
+func TestExtractEmptyValues(t *testing.T) {
+	links := Extract(`<A HREF="">x</A><A NAME="anchor">y</A>`)
+	if len(links) != 0 {
+		t.Errorf("links = %+v", links)
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	src := `<A NAME="top">x</A><P ID="sec1">y</P><A HREF="z">no name</A>`
+	anchors := Anchors(src)
+	if !anchors["top"] || !anchors["sec1"] {
+		t.Errorf("anchors = %v", anchors)
+	}
+	if len(anchors) != 2 {
+		t.Errorf("anchors = %v", anchors)
+	}
+}
+
+func TestIsExternal(t *testing.T) {
+	ext := []string{"http://x/", "https://x/", "ftp://h/f", "mailto:a@b", "//proto-relative/x", "news:comp.infosystems"}
+	local := []string{"page.html", "/abs/page.html", "../up.html", "dir/x.html", "#frag", "dir with space:x"}
+	for _, u := range ext {
+		if !IsExternal(u) {
+			t.Errorf("IsExternal(%q) = false", u)
+		}
+	}
+	for _, u := range local {
+		if IsExternal(u) {
+			t.Errorf("IsExternal(%q) = true", u)
+		}
+	}
+}
+
+func TestSplitFragmentAndQuery(t *testing.T) {
+	doc, frag := SplitFragment("page.html#sec")
+	if doc != "page.html" || frag != "sec" {
+		t.Errorf("split = %q, %q", doc, frag)
+	}
+	doc, frag = SplitFragment("plain.html")
+	if doc != "plain.html" || frag != "" {
+		t.Errorf("split = %q, %q", doc, frag)
+	}
+	if StripQuery("x.html?a=1") != "x.html" || StripQuery("x.html") != "x.html" {
+		t.Error("StripQuery wrong")
+	}
+}
+
+func newTestServer() *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/gone", func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/moved", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/ok", http.StatusMovedPermanently)
+	})
+	mux.HandleFunc("/no-head", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodHead {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/server-error", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestCheckOneOK(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	c := &Checker{Client: srv.Client()}
+
+	res := c.CheckOne(srv.URL + "/ok")
+	if !res.OK || res.Status != 200 || res.Err != nil {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestCheckOne404(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	c := &Checker{Client: srv.Client()}
+
+	res := c.CheckOne(srv.URL + "/gone")
+	if res.OK || res.Status != 404 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestCheckOneRedirect(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	c := &Checker{Client: srv.Client()}
+
+	res := c.CheckOne(srv.URL + "/moved")
+	if !res.OK {
+		t.Errorf("result = %+v", res)
+	}
+	if res.FinalURL != srv.URL+"/ok" {
+		t.Errorf("final URL = %q (redirect fixing info)", res.FinalURL)
+	}
+}
+
+func TestCheckOneHeadFallback(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	c := &Checker{Client: srv.Client()}
+
+	res := c.CheckOne(srv.URL + "/no-head")
+	if !res.OK || res.Status != 200 {
+		t.Errorf("HEAD-rejecting server not retried with GET: %+v", res)
+	}
+}
+
+func TestCheckOneTransportError(t *testing.T) {
+	c := &Checker{}
+	res := c.CheckOne("http://127.0.0.1:1/unreachable")
+	if res.Err == nil || res.OK {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	c := &Checker{Client: srv.Client(), Concurrency: 4}
+
+	urls := []string{
+		srv.URL + "/ok",
+		srv.URL + "/gone",
+		srv.URL + "/moved",
+		srv.URL + "/server-error",
+		srv.URL + "/ok", // duplicate: checked once
+	}
+	results := c.CheckAll(urls)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4 (dedup)", len(results))
+	}
+	if !results[srv.URL+"/ok"].OK {
+		t.Error("/ok not OK")
+	}
+	if results[srv.URL+"/gone"].OK {
+		t.Error("/gone OK")
+	}
+	if results[srv.URL+"/server-error"].OK {
+		t.Error("/server-error OK")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cases := []struct {
+		res  Result
+		want string
+	}{
+		{Result{URL: "u", OK: true}, "u: ok"},
+		{Result{URL: "u", Status: 404}, "u: 404"},
+		{Result{URL: "u", OK: true, FinalURL: "v"}, "u: ok (redirects to v)"},
+	}
+	for _, tc := range cases {
+		if got := tc.res.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package linkcheck
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of validating one remote URL.
+type Result struct {
+	// URL is the checked URL.
+	URL string
+	// Status is the final HTTP status code (0 on transport error).
+	Status int
+	// OK reports whether the target exists (2xx or 3xx after
+	// redirects).
+	OK bool
+	// Err is the transport error, if any.
+	Err error
+	// FinalURL is the URL after following redirects, when it
+	// differs from URL (the "smarter robots will handle redirects"
+	// feature: callers can fix their links).
+	FinalURL string
+}
+
+// String renders the result for reports.
+func (r Result) String() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("%s: error: %v", r.URL, r.Err)
+	case !r.OK:
+		return fmt.Sprintf("%s: %d", r.URL, r.Status)
+	case r.FinalURL != "":
+		return fmt.Sprintf("%s: ok (redirects to %s)", r.URL, r.FinalURL)
+	default:
+		return fmt.Sprintf("%s: ok", r.URL)
+	}
+}
+
+// Checker validates remote links. The zero value is usable; fields
+// customise behaviour.
+type Checker struct {
+	// Client is the HTTP client; nil means a 15-second-timeout
+	// client following up to 10 redirects.
+	Client *http.Client
+	// Concurrency bounds parallel requests (default 8).
+	Concurrency int
+	// UserAgent is sent with requests (default "weblint-linkcheck").
+	UserAgent string
+}
+
+func (c *Checker) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return &http.Client{Timeout: 15 * time.Second}
+}
+
+// CheckOne validates a single URL: a HEAD request, retried as GET when
+// the server rejects HEAD (405 or 501, a common server limitation).
+func (c *Checker) CheckOne(url string) Result {
+	res := Result{URL: url}
+	client := c.client()
+
+	do := func(method string) (*http.Response, error) {
+		req, err := http.NewRequest(method, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		ua := c.UserAgent
+		if ua == "" {
+			ua = "weblint-linkcheck"
+		}
+		req.Header.Set("User-Agent", ua)
+		return client.Do(req)
+	}
+
+	resp, err := do(http.MethodHead)
+	if err == nil && (resp.StatusCode == http.StatusMethodNotAllowed ||
+		resp.StatusCode == http.StatusNotImplemented) {
+		resp.Body.Close()
+		resp, err = do(http.MethodGet)
+	}
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer resp.Body.Close()
+
+	res.Status = resp.StatusCode
+	res.OK = resp.StatusCode >= 200 && resp.StatusCode < 400
+	if final := resp.Request.URL.String(); final != url {
+		res.FinalURL = final
+	}
+	return res
+}
+
+// CheckAll validates a set of URLs concurrently and returns results
+// keyed by URL. Duplicate URLs are checked once.
+func (c *Checker) CheckAll(urls []string) map[string]Result {
+	unique := map[string]bool{}
+	var order []string
+	for _, u := range urls {
+		if !unique[u] {
+			unique[u] = true
+			order = append(order, u)
+		}
+	}
+	sort.Strings(order)
+
+	conc := c.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	sem := make(chan struct{}, conc)
+	var mu sync.Mutex
+	out := make(map[string]Result, len(order))
+	var wg sync.WaitGroup
+	for _, u := range order {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := c.CheckOne(u)
+			mu.Lock()
+			out[u] = r
+			mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+	return out
+}

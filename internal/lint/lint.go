@@ -1,0 +1,183 @@
+// Package lint provides the Weblint class of the paper's Section 5.4:
+// an object which encapsulates the HTML checking functionality, making
+// it easy to embed weblint in any application. The simplest use is
+//
+//	l := lint.New(lint.Options{})
+//	msgs, err := l.CheckFile("index.html")
+//
+// In addition to CheckFile it provides CheckString, CheckReader and
+// CheckURL methods (the latter using net/http, the stdlib stand-in for
+// the paper's LWP).
+package lint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"weblint/internal/config"
+	"weblint/internal/core"
+	"weblint/internal/csslint"
+	"weblint/internal/htmlspec"
+	"weblint/internal/plugin"
+	"weblint/internal/warn"
+)
+
+// Options configures a Linter.
+type Options struct {
+	// Settings carries the layered configuration (warning set, HTML
+	// version, extensions, style knobs). Nil means defaults.
+	Settings *config.Settings
+	// Pedantic enables every registered warning, including the
+	// esoteric ones ("I love 'em!").
+	Pedantic bool
+	// HTTPClient is used by CheckURL; nil means a client with a
+	// 30-second timeout.
+	HTTPClient *http.Client
+	// Plugins adds content checkers for non-HTML content beyond the
+	// built-in CSS style sheet checker.
+	Plugins []plugin.ContentChecker
+	// NoBuiltinPlugins drops the built-in CSS checker.
+	NoBuiltinPlugins bool
+	// Ablation knobs, exposed for the cascade experiments.
+	DisableCascadeSuppression bool
+	DisableImpliedClose       bool
+}
+
+// Linter checks HTML documents against a configured HTML version and
+// warning selection. A Linter is safe for concurrent use: each check
+// uses its own emitter and checker state.
+type Linter struct {
+	set      *warn.Set
+	spec     *htmlspec.Spec
+	catalog  warn.Catalog
+	coreOpts core.Options
+	client   *http.Client
+}
+
+// New builds a Linter from options.
+func New(o Options) (*Linter, error) {
+	s := o.Settings
+	if s == nil {
+		s = config.NewSettings()
+	}
+
+	set := s.Set
+	if set == nil {
+		set = warn.NewSet()
+	}
+	if o.Pedantic {
+		set = warn.AllEnabled()
+	}
+
+	spec := htmlspec.Default()
+	if s.HTMLVersion != "" {
+		v, ok := htmlspec.ByVersion(s.HTMLVersion)
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown HTML version %q", s.HTMLVersion)
+		}
+		spec = v
+	}
+	for _, ext := range s.Extensions {
+		spec.EnableExtension(ext)
+	}
+
+	client := o.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	var catalog warn.Catalog
+	if s.Locale != "" && s.Locale != "en" {
+		c, ok := warn.Locale(s.Locale)
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown locale %q", s.Locale)
+		}
+		catalog = c
+	}
+
+	plugins := o.Plugins
+	if !o.NoBuiltinPlugins {
+		plugins = append(plugins, csslint.Checker{})
+	}
+
+	return &Linter{
+		set:     set,
+		catalog: catalog,
+		spec:    spec,
+		coreOpts: core.Options{
+			Spec:                      spec,
+			DisableCascadeSuppression: o.DisableCascadeSuppression,
+			DisableImpliedClose:       o.DisableImpliedClose,
+			TagCase:                   s.TagCase,
+			AttrCase:                  s.AttrCase,
+			TitleLength:               s.TitleLength,
+			HereWords:                 s.HereWords,
+			Plugins:                   plugins,
+		},
+		client: client,
+	}, nil
+}
+
+// MustNew is New for callers with known-good options; it panics on
+// error and is intended for tests and examples.
+func MustNew(o Options) *Linter {
+	l, err := New(o)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Spec returns the HTML version spec the linter checks against.
+func (l *Linter) Spec() *htmlspec.Spec { return l.spec }
+
+// Set returns the warning enablement set the linter uses.
+func (l *Linter) Set() *warn.Set { return l.set }
+
+// CheckString checks a document held in memory. name is used as the
+// file name in messages. Messages are returned in source order.
+func (l *Linter) CheckString(name, src string) []warn.Message {
+	em := warn.NewEmitter(l.set.Clone())
+	em.SetCatalog(l.catalog)
+	opts := l.coreOpts
+	opts.Filename = name
+	core.Check(src, em, opts)
+	msgs := em.Messages()
+	warn.SortByLine(msgs)
+	return msgs
+}
+
+// CheckReader checks a document read from r.
+func (l *Linter) CheckReader(name string, r io.Reader) ([]warn.Message, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", name, err)
+	}
+	return l.CheckString(name, string(data)), nil
+}
+
+// CheckFile checks a document on disk.
+func (l *Linter) CheckFile(path string) ([]warn.Message, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.CheckString(path, string(data)), nil
+}
+
+// CheckURL retrieves a page over HTTP and checks it. The URL is used
+// as the file name in messages.
+func (l *Linter) CheckURL(url string) ([]warn.Message, error) {
+	resp, err := l.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lint: GET %s: %s", url, resp.Status)
+	}
+	return l.CheckReader(url, resp.Body)
+}

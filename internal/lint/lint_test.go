@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weblint/internal/config"
+	"weblint/internal/core"
+)
+
+const brokenPage = `<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>
+`
+
+func TestCheckStringSection42(t *testing.T) {
+	l := MustNew(Options{})
+	msgs := l.CheckString("test.html", brokenPage)
+	if len(msgs) != 7 {
+		t.Fatalf("got %d messages, want 7", len(msgs))
+	}
+	// Sorted by line.
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Line < msgs[i-1].Line {
+			t.Error("messages not sorted by line")
+		}
+	}
+	if msgs[0].File != "test.html" {
+		t.Errorf("file = %q", msgs[0].File)
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "page.html")
+	if err := os.WriteFile(path, []byte(brokenPage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := MustNew(Options{})
+	msgs, err := l.CheckFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 7 {
+		t.Errorf("got %d messages, want 7", len(msgs))
+	}
+	if msgs[0].File != path {
+		t.Errorf("file = %q", msgs[0].File)
+	}
+	if _, err := l.CheckFile(filepath.Join(dir, "missing.html")); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestCheckReader(t *testing.T) {
+	l := MustNew(Options{})
+	msgs, err := l.CheckReader("r.html", strings.NewReader(brokenPage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 7 {
+		t.Errorf("got %d messages, want 7", len(msgs))
+	}
+}
+
+func TestCheckURL(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			w.Header().Set("Content-Type", "text/html")
+			_, _ = w.Write([]byte(brokenPage))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	l := MustNew(Options{HTTPClient: srv.Client()})
+	msgs, err := l.CheckURL(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 7 {
+		t.Errorf("got %d messages, want 7", len(msgs))
+	}
+	if msgs[0].File != srv.URL+"/" {
+		t.Errorf("file = %q", msgs[0].File)
+	}
+
+	if _, err := l.CheckURL(srv.URL + "/missing"); err == nil {
+		t.Error("404 did not error")
+	}
+}
+
+func TestPedantic(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">" +
+		"</HEAD><BODY><P>see <A HREF=\"x.html\">here</A></P></BODY></HTML>"
+	def := MustNew(Options{})
+	if msgs := def.CheckString("p.html", src); len(msgs) != 0 {
+		t.Fatalf("default run produced %v", msgs)
+	}
+	ped := MustNew(Options{Pedantic: true})
+	msgs := ped.CheckString("p.html", src)
+	found := false
+	for _, m := range msgs {
+		if m.ID == "here-anchor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pedantic run missing here-anchor: %v", msgs)
+	}
+}
+
+func TestSettingsDrivenVersion(t *testing.T) {
+	s := config.NewSettings()
+	s.HTMLVersion = "3.2"
+	l, err := New(Options{Settings: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Spec().Version != "HTML 3.2" {
+		t.Errorf("spec = %s", l.Spec().Version)
+	}
+	// SPAN is 4.0-only: flagged as unknown under 3.2.
+	msgs := l.CheckString("v.html", "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><SPAN>x</SPAN></BODY></HTML>")
+	found := false
+	for _, m := range msgs {
+		if m.ID == "unknown-element" && strings.Contains(m.Text, "SPAN") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SPAN not flagged under 3.2: %v", msgs)
+	}
+}
+
+func TestUnknownVersionErrors(t *testing.T) {
+	s := config.NewSettings()
+	s.HTMLVersion = "5.0"
+	if _, err := New(Options{Settings: s}); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestSettingsDrivenExtensions(t *testing.T) {
+	s := config.NewSettings()
+	s.Extensions = []string{"netscape"}
+	l := MustNew(Options{Settings: s})
+	msgs := l.CheckString("x.html",
+		"<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><BLINK>hi</BLINK></BODY></HTML>")
+	for _, m := range msgs {
+		if m.ID == "extension-markup" {
+			t.Errorf("BLINK flagged despite netscape extension: %v", m)
+		}
+	}
+}
+
+func TestLocaleThroughSettings(t *testing.T) {
+	s := config.NewSettings()
+	s.Locale = "fr"
+	l, err := New(Options{Settings: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := l.CheckString("t.html", brokenPage)
+	if len(msgs) == 0 {
+		t.Fatal("no messages")
+	}
+	if msgs[0].Text != "le premier élément n'était pas la déclaration DOCTYPE" {
+		t.Errorf("translated message = %q", msgs[0].Text)
+	}
+	// Untranslated messages fall back to English.
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m.Text, "guillemets") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("odd-quotes translation missing")
+	}
+}
+
+func TestUnknownLocaleErrors(t *testing.T) {
+	s := config.NewSettings()
+	s.Locale = "xx"
+	if _, err := New(Options{Settings: s}); err == nil {
+		t.Error("unknown locale accepted")
+	}
+}
+
+func TestCSSPluginThroughLinter(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"d\"><META NAME=\"keywords\" CONTENT=\"k\">" +
+		"<STYLE TYPE=\"text/css\">P { colour: red }</STYLE>" +
+		"</HEAD><BODY><P>x</P></BODY></HTML>"
+	l := MustNew(Options{})
+	msgs := l.CheckString("s.html", src)
+	found := false
+	for _, m := range msgs {
+		if m.ID == "style-unknown-property" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CSS plugin not engaged: %v", msgs)
+	}
+	// And it can be switched off like any other checker.
+	off := MustNew(Options{NoBuiltinPlugins: true})
+	for _, m := range off.CheckString("s.html", src) {
+		if m.ID == "style-unknown-property" {
+			t.Error("plugin ran despite NoBuiltinPlugins")
+		}
+	}
+}
+
+func TestAblationOptionsPassThrough(t *testing.T) {
+	src := "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>" +
+		"<B><I><A HREF=\"x\">y</B></I></A></BODY></HTML>"
+	normal := MustNew(Options{}).CheckString("a.html", src)
+	ablated := MustNew(Options{DisableCascadeSuppression: true}).CheckString("a.html", src)
+	if len(ablated) <= len(normal) {
+		t.Errorf("ablated %d <= normal %d", len(ablated), len(normal))
+	}
+}
+
+func TestLinterIsReusable(t *testing.T) {
+	l := MustNew(Options{})
+	a := l.CheckString("a.html", brokenPage)
+	b := l.CheckString("b.html", brokenPage)
+	if len(a) != len(b) {
+		t.Errorf("reuse changed results: %d vs %d", len(a), len(b))
+	}
+	if b[0].File != "b.html" {
+		t.Errorf("file = %q", b[0].File)
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	l := MustNew(Options{})
+	done := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- len(l.CheckString("c.html", brokenPage))
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if n := <-done; n != 7 {
+			t.Errorf("concurrent check returned %d messages", n)
+		}
+	}
+}
+
+// TestCoreOptionsWiring verifies settings reach the checker.
+func TestCoreOptionsWiring(t *testing.T) {
+	s := config.NewSettings()
+	s.TitleLength = 5
+	if err := s.Set.Enable("title-length"); err != nil {
+		t.Fatal(err)
+	}
+	l := MustNew(Options{Settings: s})
+	msgs := l.CheckString("t.html",
+		"<!DOCTYPE HTML><HTML><HEAD><TITLE>much too long</TITLE></HEAD><BODY><P>x</P></BODY></HTML>")
+	found := false
+	for _, m := range msgs {
+		if m.ID == "title-length" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("title-length with custom limit not reported: %v", msgs)
+	}
+	_ = core.Options{} // package used for documentation of the wiring
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"os"
+	"testing"
+
+	"weblint/internal/config"
+	"weblint/internal/testsuite"
+	"weblint/internal/warn"
+)
+
+// TestSampleSuite runs the HTML sample suite under testdata/suite: the
+// paper's test-suite approach ("a large test set of HTML samples,
+// which are believed to be valid or invalid for specific versions of
+// HTML"), with expectations declared in each sample's leading
+// comments.
+func TestSampleSuite(t *testing.T) {
+	cases, err := testsuite.Load(os.DirFS("testdata"), "suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 25 {
+		t.Fatalf("only %d samples found; suite incomplete", len(cases))
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			s := config.NewSettings()
+			s.HTMLVersion = c.HTMLVersion
+			s.Extensions = c.Extensions
+			l, err := New(Options{Settings: s, Pedantic: c.Pedantic})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs := l.CheckString(c.Name, c.Source)
+			ids := make([]string, len(msgs))
+			for i, m := range msgs {
+				ids[i] = m.ID
+			}
+			for _, problem := range c.Diff(ids) {
+				t.Error(problem)
+			}
+			if t.Failed() {
+				for _, m := range msgs {
+					t.Logf("  got: %s [%s]", warn.Short{}.Format(m), m.ID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+// Package plugin defines weblint's content-checker plugin interface,
+// the paper's Section 6.1 item: "Support for 'plugins' which are used
+// to validate non-HTML content (e.g. to validate stylesheets)".
+//
+// A ContentChecker receives the raw content of elements it claims
+// (STYLE, SCRIPT, ...) and reports problems through the same message
+// registry as the HTML checks — plugins register their message
+// definitions with warn.Register at init time, so they participate in
+// enable/disable configuration, categories and formatting exactly like
+// built-in messages.
+package plugin
+
+// Report emits one message: a registered message identifier, the
+// 1-based line within the checked document, and the message's format
+// arguments.
+type Report func(id string, line int, args ...any)
+
+// ContentChecker validates the raw content of particular elements.
+type ContentChecker interface {
+	// Name identifies the plugin in diagnostics.
+	Name() string
+	// Elements returns the lower-case element names whose content
+	// the plugin checks.
+	Elements() []string
+	// Check validates content. baseLine is the document line the
+	// content starts on; the plugin adds its own relative offsets.
+	Check(content string, baseLine int, report Report)
+}
+
+// ForElement returns the first plugin claiming the element, or nil.
+func ForElement(plugins []ContentChecker, element string) ContentChecker {
+	for _, p := range plugins {
+		for _, e := range p.Elements() {
+			if e == element {
+				return p
+			}
+		}
+	}
+	return nil
+}

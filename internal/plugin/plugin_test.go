@@ -1,0 +1,55 @@
+package plugin
+
+import "testing"
+
+type fake struct {
+	name string
+	els  []string
+}
+
+func (f fake) Name() string       { return f.name }
+func (f fake) Elements() []string { return f.els }
+func (f fake) Check(content string, baseLine int, report Report) {
+	report("x", baseLine)
+}
+
+func TestForElement(t *testing.T) {
+	css := fake{"css", []string{"style"}}
+	js := fake{"js", []string{"script", "server"}}
+	plugins := []ContentChecker{css, js}
+
+	if got := ForElement(plugins, "style"); got == nil || got.Name() != "css" {
+		t.Errorf("style -> %v", got)
+	}
+	if got := ForElement(plugins, "script"); got == nil || got.Name() != "js" {
+		t.Errorf("script -> %v", got)
+	}
+	if got := ForElement(plugins, "server"); got == nil || got.Name() != "js" {
+		t.Errorf("server -> %v", got)
+	}
+	if ForElement(plugins, "xmp") != nil {
+		t.Error("unclaimed element matched")
+	}
+	if ForElement(nil, "style") != nil {
+		t.Error("nil plugin list matched")
+	}
+}
+
+func TestFirstClaimWins(t *testing.T) {
+	a := fake{"a", []string{"style"}}
+	b := fake{"b", []string{"style"}}
+	if got := ForElement([]ContentChecker{a, b}, "style"); got.Name() != "a" {
+		t.Errorf("first-registered plugin should win, got %s", got.Name())
+	}
+}
+
+func TestReportPassthrough(t *testing.T) {
+	var gotID string
+	var gotLine int
+	fake{"f", []string{"style"}}.Check("body", 7, func(id string, line int, args ...any) {
+		gotID, gotLine = id, line
+	})
+	if gotID != "x" || gotLine != 7 {
+		t.Errorf("report = %s@%d", gotID, gotLine)
+	}
+}

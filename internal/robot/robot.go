@@ -1,0 +1,265 @@
+// Package robot implements the web traversal engine used by poacher,
+// weblint's site-checking robot (the paper's WWW::Robot substitute):
+// a URL frontier with per-host politeness, the robots exclusion
+// protocol, bounded depth and page count, and a visitor callback which
+// receives each fetched page.
+package robot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"weblint/internal/linkcheck"
+)
+
+// Page is one fetched document delivered to the visitor.
+type Page struct {
+	// URL is the canonical fetched URL.
+	URL string
+	// Status is the HTTP status code.
+	Status int
+	// Body is the page content (only for HTML responses).
+	Body string
+	// ContentType is the response Content-Type header.
+	ContentType string
+	// Depth is the link distance from the start URL.
+	Depth int
+	// Links are the outbound links extracted from the body.
+	Links []linkcheck.Link
+	// Err is set when the fetch failed at the transport level.
+	Err error
+}
+
+// Robot crawls a web site. The zero value is usable; fields customise
+// behaviour.
+type Robot struct {
+	// Client is the HTTP client (nil: 15-second timeout).
+	Client *http.Client
+	// UserAgent identifies the robot (default "poacher/2.0").
+	UserAgent string
+	// MaxPages bounds the number of pages fetched (default 500).
+	MaxPages int
+	// MaxDepth bounds traversal depth (default 16).
+	MaxDepth int
+	// Delay is the politeness delay between requests to one host
+	// (default none, suitable for checking your own site).
+	Delay time.Duration
+	// SameHost restricts traversal to the start URL's host
+	// (default true via NewRobot; the zero value does not restrict).
+	SameHost bool
+	// IgnoreRobotsTxt skips the robots exclusion protocol; only
+	// appropriate when checking your own server.
+	IgnoreRobotsTxt bool
+}
+
+// NewRobot returns a Robot with the defaults used by poacher.
+func NewRobot() *Robot {
+	return &Robot{SameHost: true}
+}
+
+func (r *Robot) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &http.Client{Timeout: 15 * time.Second}
+}
+
+func (r *Robot) userAgent() string {
+	if r.UserAgent != "" {
+		return r.UserAgent
+	}
+	return "poacher/2.0"
+}
+
+// Crawl traverses the site breadth-first from start, invoking visit
+// for every fetched page (including error pages, so the visitor can
+// report broken links). It returns the number of pages fetched.
+func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
+	base, err := url.Parse(start)
+	if err != nil {
+		return 0, fmt.Errorf("robot: bad start URL: %w", err)
+	}
+	if base.Scheme != "http" && base.Scheme != "https" {
+		return 0, errors.New("robot: start URL must be http or https")
+	}
+
+	maxPages := r.MaxPages
+	if maxPages <= 0 {
+		maxPages = 500
+	}
+	maxDepth := r.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 16
+	}
+
+	var policy *RobotsPolicy
+	if !r.IgnoreRobotsTxt {
+		policy = r.fetchRobotsTxt(base)
+	}
+
+	type item struct {
+		u     *url.URL
+		depth int
+	}
+	queue := []item{{base, 0}}
+	seen := map[string]bool{canonical(base): true}
+	fetched := 0
+	var lastFetch time.Time
+
+	for len(queue) > 0 && fetched < maxPages {
+		it := queue[0]
+		queue = queue[1:]
+
+		if policy != nil && !policy.Allowed(it.u.Path) {
+			continue
+		}
+		if r.Delay > 0 {
+			if since := time.Since(lastFetch); since < r.Delay {
+				time.Sleep(r.Delay - since)
+			}
+		}
+		lastFetch = time.Now()
+
+		page := r.fetch(it.u, it.depth)
+		fetched++
+		visit(page)
+
+		if page.Err != nil || page.Status != http.StatusOK || it.depth >= maxDepth {
+			continue
+		}
+		for _, link := range page.Links {
+			next, err := it.u.Parse(link.URL)
+			if err != nil {
+				continue
+			}
+			next.Fragment = ""
+			if next.Scheme != "http" && next.Scheme != "https" {
+				continue
+			}
+			if r.SameHost && next.Host != base.Host {
+				continue
+			}
+			key := canonical(next)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			queue = append(queue, item{next, it.depth + 1})
+		}
+	}
+	return fetched, nil
+}
+
+// fetch retrieves one page and extracts its links when it is HTML.
+func (r *Robot) fetch(u *url.URL, depth int) Page {
+	page := Page{URL: u.String(), Depth: depth}
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		page.Err = err
+		return page
+	}
+	req.Header.Set("User-Agent", r.userAgent())
+	resp, err := r.client().Do(req)
+	if err != nil {
+		page.Err = err
+		return page
+	}
+	defer resp.Body.Close()
+	page.Status = resp.StatusCode
+	page.ContentType = resp.Header.Get("Content-Type")
+	if !strings.Contains(page.ContentType, "text/html") && page.ContentType != "" {
+		return page
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		page.Err = err
+		return page
+	}
+	page.Body = string(body)
+	page.Links = linkcheck.Extract(page.Body)
+	return page
+}
+
+// fetchRobotsTxt retrieves and parses the host's robots.txt; a missing
+// or unreadable file yields a permit-everything policy.
+func (r *Robot) fetchRobotsTxt(base *url.URL) *RobotsPolicy {
+	u := *base
+	u.Path = "/robots.txt"
+	u.RawQuery = ""
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return &RobotsPolicy{}
+	}
+	req.Header.Set("User-Agent", r.userAgent())
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return &RobotsPolicy{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &RobotsPolicy{}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return &RobotsPolicy{}
+	}
+	return ParseRobotsTxt(string(body), r.userAgent())
+}
+
+// canonical returns a canonical key for visited-set membership.
+func canonical(u *url.URL) string {
+	c := *u
+	c.Fragment = ""
+	if c.Path == "" {
+		c.Path = "/"
+	}
+	return c.String()
+}
+
+// CrawlStats summarises a crawl for reports.
+type CrawlStats struct {
+	Pages    int
+	Statuses map[int]int
+	ByHost   map[string]int
+	mu       sync.Mutex
+}
+
+// NewCrawlStats returns an empty stats collector.
+func NewCrawlStats() *CrawlStats {
+	return &CrawlStats{Statuses: map[int]int{}, ByHost: map[string]int{}}
+}
+
+// Record adds one page to the stats; safe for concurrent use.
+func (s *CrawlStats) Record(p Page) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Pages++
+	s.Statuses[p.Status]++
+	if u, err := url.Parse(p.URL); err == nil {
+		s.ByHost[u.Host]++
+	}
+}
+
+// Summary renders the stats as sorted "status: count" lines.
+func (s *CrawlStats) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var codes []int
+	for c := range s.Statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "pages fetched: %d\n", s.Pages)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  status %d: %d\n", c, s.Statuses[c])
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package robot
+
+import (
+	"bufio"
+	"strings"
+)
+
+// RobotsPolicy is a parsed robots.txt exclusion policy for one
+// user-agent.
+type RobotsPolicy struct {
+	// disallow and allow are path prefixes, in file order.
+	rules []robotsRule
+}
+
+type robotsRule struct {
+	allow  bool
+	prefix string
+}
+
+// ParseRobotsTxt parses the robots.txt body, returning the policy for
+// the given user agent (longest-matching User-agent group wins, "*"
+// matches everything).
+func ParseRobotsTxt(body, userAgent string) *RobotsPolicy {
+	userAgent = strings.ToLower(userAgent)
+	type grp struct {
+		agents []string
+		rules  []robotsRule
+	}
+	var groups []*grp
+	var cur *grp
+	sawRule := false
+
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		field := strings.ToLower(strings.TrimSpace(line[:colon]))
+		value := strings.TrimSpace(line[colon+1:])
+		switch field {
+		case "user-agent":
+			if cur == nil || sawRule {
+				cur = &grp{}
+				groups = append(groups, cur)
+				sawRule = false
+			}
+			cur.agents = append(cur.agents, strings.ToLower(value))
+		case "disallow", "allow":
+			if cur == nil {
+				cur = &grp{agents: []string{"*"}}
+				groups = append(groups, cur)
+			}
+			sawRule = true
+			if value == "" && field == "disallow" {
+				continue // empty Disallow means allow everything
+			}
+			cur.rules = append(cur.rules, robotsRule{allow: field == "allow", prefix: value})
+		}
+	}
+
+	// Pick the most specific matching group: exact substring match on
+	// agent name beats "*".
+	var starGroup, match *grp
+	matchLen := -1
+	for _, g := range groups {
+		for _, a := range g.agents {
+			if a == "*" {
+				if starGroup == nil {
+					starGroup = g
+				}
+				continue
+			}
+			if strings.Contains(userAgent, a) && len(a) > matchLen {
+				match = g
+				matchLen = len(a)
+			}
+		}
+	}
+	if match == nil {
+		match = starGroup
+	}
+	if match == nil {
+		return &RobotsPolicy{}
+	}
+	return &RobotsPolicy{rules: match.rules}
+}
+
+// Allowed reports whether the policy permits fetching path. The first
+// matching rule in file order wins, per the original robots exclusion
+// protocol.
+func (p *RobotsPolicy) Allowed(path string) bool {
+	if p == nil {
+		return true
+	}
+	if path == "" {
+		path = "/"
+	}
+	for _, r := range p.rules {
+		if strings.HasPrefix(path, r.prefix) {
+			return r.allow
+		}
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+// Package sitewalk implements weblint's -R switch: recursing through
+// all directories in the local filesystem so a set of pages or an
+// entire site can be checked with one command. The switch also enables
+// additional warnings, checking whether directories have index files,
+// and reporting orphan pages (which are not referred to by any other
+// page checked). Local relative links are verified against the
+// filesystem.
+package sitewalk
+
+import (
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"weblint/internal/linkcheck"
+	"weblint/internal/lint"
+	"weblint/internal/warn"
+)
+
+// Options configures a site walk.
+type Options struct {
+	// Linter checks each page; nil means a default Linter.
+	Linter *lint.Linter
+	// IndexNames are the file names accepted as directory indexes.
+	// Default: index.html, index.htm.
+	IndexNames []string
+	// Extensions are the file name extensions treated as HTML.
+	// Default: .html, .htm.
+	Extensions []string
+	// CheckLocalLinks verifies that relative link targets exist on
+	// disk (default true; set SkipLocalLinks to disable).
+	SkipLocalLinks bool
+	// CollectExternal gathers external URLs for a remote link
+	// checker to validate.
+	CollectExternal bool
+}
+
+// Report is the outcome of walking a site.
+type Report struct {
+	// Pages are the HTML files checked, relative to the root,
+	// sorted.
+	Pages []string
+	// Messages holds every message from every page, plus the
+	// site-level messages (no-index-file, orphan-page, bad-link).
+	Messages []warn.Message
+	// External are the distinct external URLs found, sorted (only
+	// when Options.CollectExternal was set).
+	External []string
+}
+
+// MessagesFor returns the messages whose File matches name.
+func (r *Report) MessagesFor(name string) []warn.Message {
+	var out []warn.Message
+	for _, m := range r.Messages {
+		if m.File == name {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Walk checks every HTML page under root.
+func Walk(root string, o Options) (*Report, error) {
+	if o.Linter == nil {
+		o.Linter = lint.MustNew(lint.Options{})
+	}
+	if len(o.IndexNames) == 0 {
+		o.IndexNames = []string{"index.html", "index.htm"}
+	}
+	if len(o.Extensions) == 0 {
+		o.Extensions = []string{".html", ".htm"}
+	}
+
+	rep := &Report{}
+	dirs := map[string][]string{} // dir (rel) -> html files within
+	var pages []string
+
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		ext := strings.ToLower(filepath.Ext(p))
+		for _, want := range o.Extensions {
+			if ext == want {
+				rel, rerr := filepath.Rel(root, p)
+				if rerr != nil {
+					return rerr
+				}
+				rel = filepath.ToSlash(rel)
+				pages = append(pages, rel)
+				dir := path.Dir(rel)
+				dirs[dir] = append(dirs[dir], path.Base(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pages)
+	rep.Pages = pages
+
+	pageSet := map[string]bool{}
+	for _, p := range pages {
+		pageSet[p] = true
+	}
+
+	// Per-page checks plus link graph construction.
+	referenced := map[string]bool{}
+	external := map[string]bool{}
+	anchors := map[string]map[string]bool{} // page -> defined anchors
+	type fragRef struct {
+		page, target, frag string
+		line               int
+	}
+	var fragRefs []fragRef
+	for _, page := range pages {
+		full := filepath.Join(root, filepath.FromSlash(page))
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		src := string(data)
+		rep.Messages = append(rep.Messages, o.Linter.CheckString(page, src)...)
+		anchors[page] = linkcheck.Anchors(src)
+
+		for _, link := range linkcheck.Extract(src) {
+			if linkcheck.IsExternal(link.URL) {
+				external[link.URL] = true
+				continue
+			}
+			if _, frag := linkcheck.SplitFragment(link.URL); frag != "" {
+				target := resolveLocal(page, link.URL)
+				if target == "" {
+					target = page // fragment-only: same page
+				}
+				fragRefs = append(fragRefs, fragRef{page, target, frag, link.Line})
+			}
+			target := resolveLocal(page, link.URL)
+			if target == "" {
+				continue // fragment-only or empty reference
+			}
+			// Directory references resolve through index files.
+			if resolved, ok := resolveIndex(root, target, o.IndexNames); ok {
+				target = resolved
+			}
+			if pageSet[target] {
+				if target != page {
+					referenced[target] = true
+				}
+				continue
+			}
+			if !o.SkipLocalLinks && !existsLocal(root, target) {
+				rep.Messages = append(rep.Messages, warn.Message{
+					ID: "bad-link", Category: warn.Error,
+					File: page, Line: link.Line,
+					Text: "target for anchor \"" + link.URL + "\" not found",
+				})
+			}
+		}
+	}
+
+	// Fragment targets: a link's #anchor must be defined in the page
+	// it points at.
+	for _, fr := range fragRefs {
+		defined, known := anchors[fr.target]
+		if !known {
+			continue // target missing entirely: bad-link covers it
+		}
+		if !defined[fr.frag] {
+			rep.Messages = append(rep.Messages, warn.Message{
+				ID: "bad-fragment", Category: warn.Warning,
+				File: fr.page, Line: fr.line,
+				Text: "anchor \"#" + fr.frag + "\" is not defined in " + fr.target,
+			})
+		}
+	}
+
+	// Directory index checks.
+	var dirNames []string
+	for d := range dirs {
+		dirNames = append(dirNames, d)
+	}
+	sort.Strings(dirNames)
+	for _, d := range dirNames {
+		if !hasIndex(dirs[d], o.IndexNames) {
+			display := d
+			if display == "." {
+				display = "./"
+			}
+			rep.Messages = append(rep.Messages, warn.Message{
+				ID: "no-index-file", Category: warn.Warning,
+				File: display, Line: 1,
+				Text: "directory " + display + " does not have an index file",
+			})
+		}
+	}
+
+	// Orphan pages: not referenced by any other page, and not a
+	// directory index (indexes are reachable via their directory).
+	for _, page := range pages {
+		if referenced[page] || isIndexName(path.Base(page), o.IndexNames) {
+			continue
+		}
+		rep.Messages = append(rep.Messages, warn.Message{
+			ID: "orphan-page", Category: warn.Warning,
+			File: page, Line: 1,
+			Text: "page " + page + " is not linked to by any other page checked",
+		})
+	}
+
+	if o.CollectExternal {
+		for u := range external {
+			rep.External = append(rep.External, u)
+		}
+		sort.Strings(rep.External)
+	}
+	return rep, nil
+}
+
+// resolveLocal resolves a relative link found in page (a root-relative
+// slash path) to a root-relative slash path. It returns "" for
+// fragment-only links.
+func resolveLocal(page, url string) string {
+	url, _ = linkcheck.SplitFragment(url)
+	url = linkcheck.StripQuery(url)
+	if url == "" {
+		return ""
+	}
+	if strings.HasPrefix(url, "/") {
+		return path.Clean(strings.TrimPrefix(url, "/"))
+	}
+	return path.Clean(path.Join(path.Dir(page), url))
+}
+
+// resolveIndex maps a directory reference to its index file.
+func resolveIndex(root, target string, indexNames []string) (string, bool) {
+	full := filepath.Join(root, filepath.FromSlash(target))
+	st, err := os.Stat(full)
+	if err != nil || !st.IsDir() {
+		return "", false
+	}
+	for _, idx := range indexNames {
+		cand := path.Join(target, idx)
+		if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(cand))); err == nil {
+			return cand, true
+		}
+	}
+	return "", false
+}
+
+// existsLocal reports whether a root-relative target exists on disk.
+func existsLocal(root, target string) bool {
+	_, err := os.Stat(filepath.Join(root, filepath.FromSlash(target)))
+	return err == nil
+}
+
+func hasIndex(files []string, indexNames []string) bool {
+	for _, f := range files {
+		if isIndexName(f, indexNames) {
+			return true
+		}
+	}
+	return false
+}
+
+func isIndexName(name string, indexNames []string) bool {
+	for _, idx := range indexNames {
+		if strings.EqualFold(name, idx) {
+			return true
+		}
+	}
+	return false
+}

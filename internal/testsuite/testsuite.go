@@ -1,0 +1,156 @@
+// Package testsuite provides the support routines for weblint's
+// sample-based test suite, the Go analogue of the paper's
+// Weblint::Test module: "a large test set of HTML samples, which are
+// believed to be valid or invalid for specific versions of HTML".
+//
+// A test case is an ordinary HTML file whose leading comments declare
+// what checking it should produce:
+//
+//	<!-- expect: unknown-element odd-quotes -->
+//	<!-- html-version: 3.2 -->
+//	<!-- extension: netscape -->
+//	<!-- pedantic -->
+//
+// "expect:" lists the message identifiers the checker must produce (as
+// a set; an empty list means the sample must check clean). Directives
+// may appear in any order; the first non-comment content ends the
+// header.
+package testsuite
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Case is one HTML sample with its expectations.
+type Case struct {
+	// Name is the file name relative to the suite root.
+	Name string
+	// Source is the full file content (header comments included —
+	// they are valid HTML comments and part of the sample).
+	Source string
+	// Expect is the sorted set of message IDs the checker must
+	// produce; empty means the sample must be clean.
+	Expect []string
+	// HTMLVersion selects the version to check against ("" =
+	// default).
+	HTMLVersion string
+	// Extensions are vendor extensions to enable.
+	Extensions []string
+	// Pedantic enables every warning for this case.
+	Pedantic bool
+}
+
+// Load reads every .html file under root in fsys as a Case.
+func Load(fsys fs.FS, root string) ([]Case, error) {
+	var cases []Case
+	err := fs.WalkDir(fsys, root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".html") {
+			return nil
+		}
+		data, err := fs.ReadFile(fsys, path)
+		if err != nil {
+			return err
+		}
+		c, err := ParseCase(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		c.Name = filepath.ToSlash(rel)
+		cases = append(cases, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases, nil
+}
+
+// ParseCase extracts the expectation header from a sample.
+func ParseCase(src string) (Case, error) {
+	c := Case{Source: src}
+	sawExpect := false
+	rest := src
+	for {
+		trimmed := strings.TrimLeft(rest, " \t\r\n")
+		if !strings.HasPrefix(trimmed, "<!--") {
+			break
+		}
+		end := strings.Index(trimmed, "-->")
+		if end < 0 {
+			break
+		}
+		body := strings.TrimSpace(trimmed[4:end])
+		rest = trimmed[end+3:]
+
+		directive, value, found := strings.Cut(body, ":")
+		directive = strings.TrimSpace(strings.ToLower(directive))
+		value = strings.TrimSpace(value)
+		switch {
+		case directive == "expect" && found:
+			sawExpect = true
+			c.Expect = append(c.Expect, strings.Fields(value)...)
+		case directive == "html-version" && found:
+			c.HTMLVersion = value
+		case directive == "extension" && found:
+			c.Extensions = append(c.Extensions, strings.Fields(value)...)
+		case directive == "pedantic" && !found:
+			c.Pedantic = true
+		default:
+			// An ordinary leading comment: part of the sample, not
+			// a directive. Stop scanning the header.
+			if sawExpect {
+				sort.Strings(c.Expect)
+			}
+			return c, nil
+		}
+	}
+	if !sawExpect {
+		return c, fmt.Errorf("testsuite: sample has no \"expect:\" header")
+	}
+	sort.Strings(c.Expect)
+	return c, nil
+}
+
+// Diff compares the message IDs a check produced against the case's
+// expectation set, returning human-readable problems (missing and
+// unexpected identifiers). Duplicates are collapsed: expectations are
+// about which problems are found, not how many times.
+func (c *Case) Diff(gotIDs []string) []string {
+	got := map[string]bool{}
+	for _, id := range gotIDs {
+		got[id] = true
+	}
+	want := map[string]bool{}
+	for _, id := range c.Expect {
+		want[id] = true
+	}
+	var problems []string
+	for _, id := range c.Expect {
+		if !got[id] {
+			problems = append(problems, "missing expected message "+id)
+		}
+	}
+	var unexpected []string
+	for id := range got {
+		if !want[id] {
+			unexpected = append(unexpected, id)
+		}
+	}
+	sort.Strings(unexpected)
+	for _, id := range unexpected {
+		problems = append(problems, "unexpected message "+id)
+	}
+	return problems
+}

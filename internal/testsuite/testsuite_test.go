@@ -1,0 +1,124 @@
+package testsuite
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+func TestParseCaseBasics(t *testing.T) {
+	c, err := ParseCase("<!-- expect: a b -->\n<HTML></HTML>\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Expect) != 2 || c.Expect[0] != "a" || c.Expect[1] != "b" {
+		t.Errorf("expect = %v", c.Expect)
+	}
+	if !strings.Contains(c.Source, "<HTML>") || !strings.Contains(c.Source, "expect:") {
+		t.Error("source truncated; header must stay part of the sample")
+	}
+}
+
+func TestParseCaseEmptyExpect(t *testing.T) {
+	c, err := ParseCase("<!-- expect: -->\n<P>clean</P>\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Expect) != 0 {
+		t.Errorf("expect = %v", c.Expect)
+	}
+}
+
+func TestParseCaseDirectives(t *testing.T) {
+	src := `<!-- expect: unknown-element -->
+<!-- html-version: 3.2 -->
+<!-- extension: netscape microsoft -->
+<!-- pedantic -->
+<HTML></HTML>`
+	c, err := ParseCase(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HTMLVersion != "3.2" {
+		t.Errorf("version = %q", c.HTMLVersion)
+	}
+	if len(c.Extensions) != 2 || c.Extensions[0] != "netscape" {
+		t.Errorf("extensions = %v", c.Extensions)
+	}
+	if !c.Pedantic {
+		t.Error("pedantic not parsed")
+	}
+}
+
+func TestParseCaseExpectSorted(t *testing.T) {
+	c, err := ParseCase("<!-- expect: zebra alpha middle -->\n<P>x</P>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(c.Expect, ",") != "alpha,middle,zebra" {
+		t.Errorf("expect = %v", c.Expect)
+	}
+}
+
+func TestParseCaseOrdinaryCommentEndsHeader(t *testing.T) {
+	c, err := ParseCase("<!-- expect: a -->\n<!-- just a comment -->\n<!-- pedantic -->\n<P>x</P>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pedantic {
+		t.Error("directive after ordinary comment must not be parsed")
+	}
+}
+
+func TestParseCaseMissingExpect(t *testing.T) {
+	if _, err := ParseCase("<HTML></HTML>"); err == nil {
+		t.Error("sample without expect header accepted")
+	}
+	if _, err := ParseCase("<!-- pedantic -->\n<HTML></HTML>"); err == nil {
+		t.Error("directives without expect accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	c := Case{Expect: []string{"a", "b"}}
+	if problems := c.Diff([]string{"b", "a", "a"}); len(problems) != 0 {
+		t.Errorf("duplicates should collapse: %v", problems)
+	}
+	problems := c.Diff([]string{"a", "c"})
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v", problems)
+	}
+	if !strings.Contains(problems[0], "missing expected message b") {
+		t.Errorf("problems[0] = %q", problems[0])
+	}
+	if !strings.Contains(problems[1], "unexpected message c") {
+		t.Errorf("problems[1] = %q", problems[1])
+	}
+}
+
+func TestLoad(t *testing.T) {
+	fsys := fstest.MapFS{
+		"suite/b.html":    {Data: []byte("<!-- expect: x -->\n<P>b</P>")},
+		"suite/a.html":    {Data: []byte("<!-- expect: -->\n<P>a</P>")},
+		"suite/notes.txt": {Data: []byte("ignored")},
+	}
+	cases, err := Load(fsys, "suite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	if cases[0].Name != "a.html" || cases[1].Name != "b.html" {
+		t.Errorf("order = %s, %s", cases[0].Name, cases[1].Name)
+	}
+}
+
+func TestLoadBadSample(t *testing.T) {
+	fsys := fstest.MapFS{
+		"suite/bad.html": {Data: []byte("<P>no header</P>")},
+	}
+	if _, err := Load(fsys, "suite"); err == nil {
+		t.Error("sample without header loaded")
+	}
+}

@@ -1,0 +1,124 @@
+package validator
+
+import "weblint/internal/dtd"
+
+// MatchModel reports whether a child sequence satisfies a content
+// model. Children are lower-case element names, with "#pcdata"
+// standing for character data runs.
+//
+// The matcher walks the model expression tree computing, for each
+// subexpression, the set of sequence positions reachable after
+// consuming it; occurrence indicators iterate that set to a fixed
+// point. Sequences in checked documents are short, so the position-set
+// approach is comfortably fast and handles the SGML '&' connector
+// (match all operands, any order) by recursive elimination.
+func MatchModel(m *dtd.Model, children []string) bool {
+	ends := advance(m, children, map[int]bool{0: true})
+	return ends[len(children)]
+}
+
+// advance returns the set of positions reachable by matching m
+// starting from every position in the from set.
+func advance(m *dtd.Model, seq []string, from map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for pos := range from {
+		for end := range advanceOnce(m, seq, pos) {
+			out[end] = true
+		}
+	}
+	// Occurrence indicators.
+	switch m.Occur {
+	case dtd.Opt:
+		for pos := range from {
+			out[pos] = true
+		}
+	case dtd.Star, dtd.Plus:
+		// Iterate to a fixed point.
+		frontier := copySet(out)
+		if m.Occur == dtd.Star {
+			for pos := range from {
+				out[pos] = true
+			}
+		}
+		for len(frontier) > 0 {
+			next := map[int]bool{}
+			for pos := range frontier {
+				for end := range advanceOnce(m, seq, pos) {
+					if !out[end] {
+						out[end] = true
+						next[end] = true
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	return out
+}
+
+// advanceOnce matches exactly one occurrence of m (ignoring its own
+// occurrence indicator) starting at pos.
+func advanceOnce(m *dtd.Model, seq []string, pos int) map[int]bool {
+	switch m.Kind {
+	case dtd.MName:
+		if pos < len(seq) && seq[pos] == m.Name {
+			return map[int]bool{pos + 1: true}
+		}
+		return nil
+	case dtd.MPCData:
+		if pos < len(seq) && seq[pos] == "#pcdata" {
+			return map[int]bool{pos + 1: true}
+		}
+		return nil
+	case dtd.MSeq:
+		cur := map[int]bool{pos: true}
+		for _, c := range m.Children {
+			cur = advance(c, seq, cur)
+			if len(cur) == 0 {
+				return nil
+			}
+		}
+		return cur
+	case dtd.MChoice:
+		out := map[int]bool{}
+		for _, c := range m.Children {
+			for end := range advance(c, seq, map[int]bool{pos: true}) {
+				out[end] = true
+			}
+		}
+		return out
+	case dtd.MAll:
+		return matchAll(m.Children, seq, pos)
+	}
+	return nil
+}
+
+// matchAll handles the SGML '&' connector: every operand must match
+// exactly once (subject to its own occurrence indicator), in any
+// order. It recursively tries each remaining operand at the current
+// position.
+func matchAll(operands []*dtd.Model, seq []string, pos int) map[int]bool {
+	if len(operands) == 0 {
+		return map[int]bool{pos: true}
+	}
+	out := map[int]bool{}
+	for i, op := range operands {
+		rest := make([]*dtd.Model, 0, len(operands)-1)
+		rest = append(rest, operands[:i]...)
+		rest = append(rest, operands[i+1:]...)
+		for mid := range advance(op, seq, map[int]bool{pos: true}) {
+			for end := range matchAll(rest, seq, mid) {
+				out[end] = true
+			}
+		}
+	}
+	return out
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package validator
+
+import (
+	"math/rand"
+	"testing"
+
+	"weblint/internal/dtd"
+)
+
+// generateValid walks a content model making random choices, emitting
+// a sequence the model must accept. depth bounds recursion.
+func generateValid(m *dtd.Model, rnd *rand.Rand, out *[]string, depth int) {
+	if depth > 6 {
+		return
+	}
+	reps := 1
+	switch m.Occur {
+	case dtd.Opt:
+		reps = rnd.Intn(2)
+	case dtd.Star:
+		reps = rnd.Intn(3)
+	case dtd.Plus:
+		reps = 1 + rnd.Intn(2)
+	}
+	for r := 0; r < reps; r++ {
+		switch m.Kind {
+		case dtd.MName:
+			*out = append(*out, m.Name)
+		case dtd.MPCData:
+			*out = append(*out, "#pcdata")
+		case dtd.MSeq:
+			for _, c := range m.Children {
+				generateValid(c, rnd, out, depth+1)
+			}
+		case dtd.MChoice:
+			generateValid(m.Children[rnd.Intn(len(m.Children))], rnd, out, depth+1)
+		case dtd.MAll:
+			// All operands, in a random order.
+			perm := rnd.Perm(len(m.Children))
+			for _, i := range perm {
+				generateValid(m.Children[i], rnd, out, depth+1)
+			}
+		}
+	}
+}
+
+// TestMatchModelAcceptsGeneratedSequences: every sequence produced by
+// walking a model must be accepted by the matcher — across all content
+// models of the embedded HTML 4.0 DTD, with many random walks each.
+func TestMatchModelAcceptsGeneratedSequences(t *testing.T) {
+	d := dtd.HTML40()
+	rnd := rand.New(rand.NewSource(1))
+	for _, name := range d.ElementNames() {
+		decl := d.Element(name)
+		if decl.Content != dtd.ContentModel || decl.Model == nil {
+			continue
+		}
+		for trial := 0; trial < 25; trial++ {
+			var seq []string
+			generateValid(decl.Model, rnd, &seq, 0)
+			if !MatchModel(decl.Model, seq) {
+				t.Fatalf("%s: matcher rejected generated-valid %v against %s",
+					name, seq, decl.Model)
+			}
+		}
+	}
+}
+
+// TestMatchModelRejectsForeignElements: appending an element that
+// appears nowhere in the model must always be rejected.
+func TestMatchModelRejectsForeignElements(t *testing.T) {
+	d := dtd.HTML40()
+	rnd := rand.New(rand.NewSource(2))
+	for _, name := range []string{"table", "ul", "dl", "select", "html", "tr"} {
+		decl := d.Element(name)
+		for trial := 0; trial < 10; trial++ {
+			var seq []string
+			generateValid(decl.Model, rnd, &seq, 0)
+			seq = append(seq, "zz-not-an-element")
+			if MatchModel(decl.Model, seq) {
+				t.Fatalf("%s: matcher accepted foreign element in %v", name, seq)
+			}
+		}
+	}
+}
+
+// TestMatchModelEmptyVsRequired: models with a required component must
+// reject the empty sequence; purely optional models must accept it.
+func TestMatchModelEmptyVsRequired(t *testing.T) {
+	d := dtd.HTML40()
+	mustReject := []string{"table", "ul", "ol", "dl", "select", "html"}
+	for _, name := range mustReject {
+		if MatchModel(d.Element(name).Model, nil) {
+			t.Errorf("%s accepts empty content but has required children", name)
+		}
+	}
+	mustAccept := []string{"p", "td", "body", "div"}
+	for _, name := range mustAccept {
+		if !MatchModel(d.Element(name).Model, nil) {
+			t.Errorf("%s rejects empty content but is (...)* style", name)
+		}
+	}
+}

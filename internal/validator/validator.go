@@ -1,0 +1,402 @@
+// Package validator implements a strict, DTD-driven HTML validator:
+// the class of tool weblint is contrasted with in the paper's Sections
+// 2 and 3. Strict validators "have the obvious advantage that you are
+// checking against the bible (the DTD); on the down-side, the warning
+// and error messages are usually straight from the parser, and require
+// a grounding in SGML to understand".
+//
+// The validator checks a token stream against a dtd.DTD: element
+// declarations, content models (with inclusion/exclusion exceptions),
+// tag omission rules, and attribute declarations. It deliberately has
+// no cascade suppression — every deviation is reported in SGML-parser
+// wording — which is exactly the behaviour the E6 experiment measures
+// weblint's heuristics against.
+package validator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"weblint/internal/dtd"
+	"weblint/internal/htmltoken"
+)
+
+// Message is one validation error, in SGML-parser style.
+type Message struct {
+	// File and Line position the error.
+	File string
+	Line int
+	// Text is the error text.
+	Text string
+}
+
+// String renders the message in nsgmls-like "file:line:E: text" form.
+func (m Message) String() string {
+	return fmt.Sprintf("%s:%d:E: %s", m.File, m.Line, m.Text)
+}
+
+// openElem is one entry on the validator's parse stack.
+type openElem struct {
+	name     string
+	decl     *dtd.ElementDecl
+	line     int
+	children []string // child sequence for content-model matching
+}
+
+// Validator validates documents against a DTD. Construct with New.
+type Validator struct {
+	dtd  *dtd.DTD
+	file string
+
+	stack []openElem
+	msgs  []Message
+}
+
+// New returns a Validator for the given DTD. A nil DTD means the
+// embedded HTML 4.0 transitional subset.
+func New(d *dtd.DTD) *Validator {
+	if d == nil {
+		d = dtd.HTML40()
+	}
+	return &Validator{dtd: d}
+}
+
+// Validate checks src and returns all errors found.
+func (v *Validator) Validate(file, src string) []Message {
+	v.file = file
+	v.stack = nil
+	v.msgs = nil
+
+	for _, tok := range htmltoken.Tokenize(src) {
+		v.token(tok)
+	}
+	v.finish()
+	return v.msgs
+}
+
+// Validate is a convenience wrapper using the embedded HTML 4.0 DTD.
+func Validate(file, src string) []Message {
+	return New(nil).Validate(file, src)
+}
+
+func (v *Validator) errorf(line int, format string, args ...any) {
+	v.msgs = append(v.msgs, Message{File: v.file, Line: line, Text: fmt.Sprintf(format, args...)})
+}
+
+func (v *Validator) token(tok htmltoken.Token) {
+	switch tok.Type {
+	case htmltoken.StartTag:
+		if tok.EmptyTag || tok.Unterminated {
+			v.errorf(tok.Line, "character \"<\" is the first character of a delimiter but occurred as data")
+			return
+		}
+		v.startTag(tok)
+	case htmltoken.EndTag:
+		if tok.Unterminated {
+			return
+		}
+		v.endTag(tok)
+	case htmltoken.Text:
+		if tok.RawText || strings.TrimSpace(tok.Text) == "" {
+			return
+		}
+		v.textContent(tok)
+	case htmltoken.Comment, htmltoken.Doctype, htmltoken.Declaration, htmltoken.ProcInst:
+		// Not subject to content models in this subset.
+	}
+}
+
+// startTag validates one opening tag against the DTD.
+func (v *Validator) startTag(tok htmltoken.Token) {
+	name := strings.ToLower(tok.Name)
+	display := strings.ToUpper(tok.Name)
+	decl := v.dtd.Element(name)
+	if decl == nil {
+		v.errorf(tok.Line, "element %q undefined", display)
+		return // not pushed: the close tag will also error (cascade)
+	}
+
+	v.placeElement(name, display, tok.Line)
+	v.checkAttrs(tok, decl, display)
+
+	if decl.Content == dtd.ContentEmpty {
+		return // EMPTY elements are not pushed
+	}
+	v.stack = append(v.stack, openElem{name: name, decl: decl, line: tok.Line})
+}
+
+// placeElement checks that name is allowed by the current element's
+// content model (or exceptions), applying legal implied end tags and
+// omitted start tags (SGML 'O' flags) along the way, and records the
+// child on its parent.
+func (v *Validator) placeElement(name, display string, line int) {
+	inferences := 0
+	for {
+		if len(v.stack) == 0 {
+			return // document element level: accept
+		}
+		top := &v.stack[len(v.stack)-1]
+		if v.excluded(name) {
+			v.errorf(line, "document type does not allow element %q here", display)
+			top.children = append(top.children, name)
+			return
+		}
+		if v.included(name) {
+			// Admitted via an inclusion exception: inclusions do
+			// not participate in the content model.
+			return
+		}
+		if top.decl.Content == dtd.ContentAny || v.allowedInModel(top.decl, name) {
+			top.children = append(top.children, name)
+			return
+		}
+		// Omitted start tags: <TABLE><TR> implies <TBODY> because
+		// TBODY is declared with an omissible start tag, is allowed
+		// in TABLE, and allows TR.
+		if inferences < 4 {
+			if mid := v.inferOpen(top.decl, name); mid != nil {
+				top.children = append(top.children, mid.Name)
+				v.stack = append(v.stack, openElem{name: mid.Name, decl: mid, line: line})
+				inferences++
+				continue
+			}
+		}
+		// Not allowed: if the open element's end tag is omissible
+		// and some ancestor allows the new element, imply the end.
+		if top.decl.OmitEnd && v.ancestorAllows(name) {
+			v.popTop()
+			continue
+		}
+		v.errorf(line, "document type does not allow element %q here", display)
+		top.children = append(top.children, name)
+		return
+	}
+}
+
+// inferOpen finds an element with an omissible start tag which is
+// allowed in parent's content and itself allows name. Candidates are
+// scanned in sorted order for determinism.
+func (v *Validator) inferOpen(parent *dtd.ElementDecl, name string) *dtd.ElementDecl {
+	if parent.Content != dtd.ContentModel || parent.Model == nil {
+		return nil
+	}
+	names := parent.Model.Names()
+	candidates := make([]string, 0, len(names))
+	for c := range names {
+		candidates = append(candidates, c)
+	}
+	sort.Strings(candidates)
+	for _, candidate := range candidates {
+		decl := v.dtd.Elements[candidate]
+		if decl == nil || !decl.OmitStart || candidate == name {
+			continue
+		}
+		if decl.Content == dtd.ContentModel && v.allowedInModel(decl, name) {
+			return decl
+		}
+	}
+	return nil
+}
+
+// allowedInModel reports whether name appears anywhere in the
+// element's content model.
+func (v *Validator) allowedInModel(decl *dtd.ElementDecl, name string) bool {
+	if decl.Content != dtd.ContentModel || decl.Model == nil {
+		return false
+	}
+	return decl.Model.Names()[name]
+}
+
+// excluded reports whether name is excluded by any open element's
+// exclusion exceptions.
+func (v *Validator) excluded(name string) bool {
+	for i := range v.stack {
+		for _, x := range v.stack[i].decl.Exclusions {
+			if x == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// included reports whether name is admitted by any open element's
+// inclusion exceptions.
+func (v *Validator) included(name string) bool {
+	for i := range v.stack {
+		for _, x := range v.stack[i].decl.Inclusions {
+			if x == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ancestorAllows reports whether any element below the top of the
+// stack could accept name, considering omissible end tags above it.
+func (v *Validator) ancestorAllows(name string) bool {
+	for i := len(v.stack) - 2; i >= 0; i-- {
+		e := &v.stack[i]
+		if e.decl.Content == dtd.ContentAny || v.allowedInModel(e.decl, name) {
+			return true
+		}
+		if !e.decl.OmitEnd {
+			return false
+		}
+	}
+	return false
+}
+
+// textContent validates character data placement.
+func (v *Validator) textContent(tok htmltoken.Token) {
+	if len(v.stack) == 0 {
+		v.errorf(tok.Line, "character data is not allowed here")
+		return
+	}
+	top := &v.stack[len(v.stack)-1]
+	switch top.decl.Content {
+	case dtd.ContentAny, dtd.ContentCDATA:
+		return
+	case dtd.ContentEmpty:
+		v.errorf(tok.Line, "character data is not allowed here")
+		return
+	}
+	if top.decl.Model != nil && modelAllowsPCData(top.decl.Model) {
+		top.children = append(top.children, "#pcdata")
+		return
+	}
+	v.errorf(tok.Line, "character data is not allowed here")
+}
+
+func modelAllowsPCData(m *dtd.Model) bool {
+	if m.Kind == dtd.MPCData {
+		return true
+	}
+	for _, c := range m.Children {
+		if modelAllowsPCData(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// endTag validates a closing tag: omitted end tags for intervening
+// elements are individually reported (no cascade suppression — this is
+// the strict behaviour weblint's heuristics are measured against).
+func (v *Validator) endTag(tok htmltoken.Token) {
+	name := strings.ToLower(tok.Name)
+	display := strings.ToUpper(tok.Name)
+
+	idx := -1
+	for i := len(v.stack) - 1; i >= 0; i-- {
+		if v.stack[i].name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		v.errorf(tok.Line, "end tag for element %q which is not open", display)
+		return
+	}
+	for len(v.stack) > idx+1 {
+		top := v.stack[len(v.stack)-1]
+		if !top.decl.OmitEnd {
+			v.errorf(tok.Line,
+				"end tag for %q omitted, but its declaration does not permit this; start tag was on line %d",
+				strings.ToUpper(top.name), top.line)
+		}
+		v.popTop()
+	}
+	v.popTop()
+}
+
+// popTop pops the stack, running the content model check for the
+// departing element.
+func (v *Validator) popTop() {
+	top := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	v.checkModel(top)
+}
+
+// checkModel verifies the completed child sequence of an element
+// against its declared content model.
+func (v *Validator) checkModel(e openElem) {
+
+	if e.decl.Content != dtd.ContentModel || e.decl.Model == nil {
+		return
+	}
+	if !MatchModel(e.decl.Model, e.children) {
+		v.errorf(e.line, "content of element %q does not match its declared content model",
+			strings.ToUpper(e.name))
+	}
+}
+
+// checkAttrs validates a tag's attributes against the ATTLIST.
+func (v *Validator) checkAttrs(tok htmltoken.Token, decl *dtd.ElementDecl, display string) {
+	seen := map[string]bool{}
+	for _, at := range tok.Attrs {
+		lower := strings.ToLower(at.Name)
+		if seen[lower] {
+			v.errorf(at.Line, "duplicate specification of attribute %q", strings.ToUpper(at.Name))
+			continue
+		}
+		seen[lower] = true
+		ad, ok := decl.Attrs[lower]
+		if !ok {
+			v.errorf(at.Line, "there is no attribute %q", strings.ToUpper(at.Name))
+			continue
+		}
+		if !at.HasValue {
+			continue // SGML minimized attribute; accepted
+		}
+		switch {
+		case ad.Type == "enum":
+			ok := false
+			for _, val := range ad.Enum {
+				if strings.EqualFold(val, at.Value) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				v.errorf(at.Line, "value %q of attribute %q cannot be %q; must be one of %s",
+					at.Value, strings.ToUpper(at.Name), at.Value, quoteList(ad.Enum))
+			}
+		case ad.Type == "NUMBER":
+			for i := 0; i < len(at.Value); i++ {
+				if at.Value[i] < '0' || at.Value[i] > '9' {
+					v.errorf(at.Line, "value %q of attribute %q is not a number", at.Value, strings.ToUpper(at.Name))
+					break
+				}
+			}
+		}
+	}
+	for _, req := range decl.RequiredAttrs() {
+		if !seen[req] {
+			v.errorf(tok.Line, "required attribute %q not specified", strings.ToUpper(req))
+		}
+	}
+}
+
+// finish reports elements left open at end of document.
+func (v *Validator) finish() {
+	for len(v.stack) > 0 {
+		top := v.stack[len(v.stack)-1]
+		if !top.decl.OmitEnd {
+			v.errorf(top.line,
+				"end tag for %q omitted at end of document, but its declaration does not permit this",
+				strings.ToUpper(top.name))
+		}
+		v.popTop()
+	}
+}
+
+func quoteList(vals []string) string {
+	out := make([]string, len(vals))
+	for i, s := range vals {
+		out[i] = fmt.Sprintf("%q", strings.ToUpper(s))
+	}
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,264 @@
+package validator
+
+import (
+	"strings"
+	"testing"
+
+	"weblint/internal/core"
+	"weblint/internal/corpus"
+	"weblint/internal/dtd"
+	"weblint/internal/warn"
+)
+
+func validDoc(body string) string {
+	return "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>" + body + "</BODY></HTML>"
+}
+
+func texts(msgs []Message) []string {
+	out := make([]string, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.Text
+	}
+	return out
+}
+
+func requireText(t *testing.T, msgs []Message, substr string) {
+	t.Helper()
+	for _, m := range msgs {
+		if strings.Contains(m.Text, substr) {
+			return
+		}
+	}
+	t.Fatalf("no message containing %q; got %v", substr, texts(msgs))
+}
+
+func TestValidDocumentPasses(t *testing.T) {
+	src := validDoc(`<H1>Title</H1><P>Text with <EM>emphasis</EM> and <A HREF="x.html">a link</A>.</P>` +
+		`<UL><LI>one</LI><LI>two</LI></UL>`)
+	msgs := Validate("v.html", src)
+	if len(msgs) != 0 {
+		t.Fatalf("valid document rejected: %v", texts(msgs))
+	}
+}
+
+func TestOmittedTagsAreLegal(t *testing.T) {
+	src := `<HTML><HEAD><TITLE>t</TITLE><BODY><P>one<P>two` +
+		`<UL><LI>a<LI>b</UL><TABLE><TR><TD>x<TD>y<TR><TD>z<TD>w</TABLE></BODY></HTML>`
+	msgs := Validate("v.html", src)
+	if len(msgs) != 0 {
+		t.Fatalf("legal omission rejected: %v", texts(msgs))
+	}
+}
+
+func TestUndefinedElement(t *testing.T) {
+	msgs := Validate("v.html", validDoc("<BLOCKQOUTE>x</BLOCKQOUTE>"))
+	requireText(t, msgs, `element "BLOCKQOUTE" undefined`)
+	// And the cascade: the close tag errors separately, unlike
+	// weblint.
+	requireText(t, msgs, `end tag for element "BLOCKQOUTE" which is not open`)
+}
+
+func TestElementNotAllowedHere(t *testing.T) {
+	// LI directly in BODY.
+	msgs := Validate("v.html", validDoc("<LI>loose"))
+	requireText(t, msgs, `document type does not allow element "LI" here`)
+}
+
+func TestHeadElementInBody(t *testing.T) {
+	msgs := Validate("v.html", validDoc(`<BASE HREF="http://x/">`))
+	requireText(t, msgs, `document type does not allow element "BASE" here`)
+}
+
+func TestExclusionEnforced(t *testing.T) {
+	// A may not nest inside A (the -(A) exception).
+	msgs := Validate("v.html", validDoc(`<A HREF="a"><A HREF="b">x</A></A>`))
+	requireText(t, msgs, `document type does not allow element "A" here`)
+}
+
+func TestInclusionAccepted(t *testing.T) {
+	// SCRIPT in HEAD is admitted via the +(%head.misc;) inclusion.
+	src := `<HTML><HEAD><TITLE>t</TITLE><SCRIPT TYPE="text/javascript">x()</SCRIPT></HEAD><BODY><P>x</P></BODY></HTML>`
+	msgs := Validate("v.html", src)
+	if len(msgs) != 0 {
+		t.Fatalf("inclusion rejected: %v", texts(msgs))
+	}
+}
+
+func TestMissingRequiredEndTag(t *testing.T) {
+	msgs := Validate("v.html", validDoc("<EM>never closed"))
+	requireText(t, msgs, `end tag for "EM" omitted`)
+}
+
+func TestEndTagNotOpen(t *testing.T) {
+	msgs := Validate("v.html", validDoc("x</STRONG>y"))
+	requireText(t, msgs, `end tag for element "STRONG" which is not open`)
+}
+
+func TestCharacterDataNotAllowed(t *testing.T) {
+	msgs := Validate("v.html", validDoc("<UL>loose text<LI>item</UL>"))
+	requireText(t, msgs, "character data is not allowed here")
+}
+
+func TestContentModelViolation(t *testing.T) {
+	// TABLE requires TBODY+ (i.e. at least one row); an empty TABLE
+	// violates the model.
+	msgs := Validate("v.html", validDoc("<TABLE></TABLE>"))
+	requireText(t, msgs, `content of element "TABLE" does not match`)
+}
+
+func TestRequiredAttributeMissing(t *testing.T) {
+	msgs := Validate("v.html", validDoc(`<IMG SRC="x.gif">`))
+	requireText(t, msgs, `required attribute "ALT" not specified`)
+}
+
+func TestUndeclaredAttribute(t *testing.T) {
+	msgs := Validate("v.html", validDoc(`<P BOGUS="1">x</P>`))
+	requireText(t, msgs, `there is no attribute "BOGUS"`)
+}
+
+func TestEnumAttributeValue(t *testing.T) {
+	msgs := Validate("v.html", validDoc(`<P ALIGN="middle">x</P>`))
+	requireText(t, msgs, `cannot be "middle"`)
+	if len(Validate("v.html", validDoc(`<P ALIGN="center">x</P>`))) != 0 {
+		t.Error("legal enum value rejected")
+	}
+}
+
+func TestNumberAttributeValue(t *testing.T) {
+	msgs := Validate("v.html", validDoc(`<TEXTAREA ROWS="many" COLS="5">x</TEXTAREA>`))
+	requireText(t, msgs, "is not a number")
+}
+
+func TestDuplicateAttribute(t *testing.T) {
+	msgs := Validate("v.html", validDoc(`<P ALIGN="left" ALIGN="right">x</P>`))
+	requireText(t, msgs, "duplicate specification")
+}
+
+func TestUnclosedAtEOF(t *testing.T) {
+	msgs := Validate("v.html", "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><EM>x")
+	requireText(t, msgs, "omitted at end of document")
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{File: "f.html", Line: 3, Text: "boom"}
+	if m.String() != "f.html:3:E: boom" {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestMatchModelSequence(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT X - - (A, B?, C+)>`)
+	m := d.Element("x").Model
+	good := [][]string{
+		{"a", "c"},
+		{"a", "b", "c"},
+		{"a", "c", "c", "c"},
+	}
+	bad := [][]string{
+		{},
+		{"a"},
+		{"a", "b"},
+		{"b", "c"},
+		{"a", "b", "b", "c"},
+		{"a", "c", "b"},
+	}
+	for _, seq := range good {
+		if !MatchModel(m, seq) {
+			t.Errorf("MatchModel rejected %v", seq)
+		}
+	}
+	for _, seq := range bad {
+		if MatchModel(m, seq) {
+			t.Errorf("MatchModel accepted %v", seq)
+		}
+	}
+}
+
+func TestMatchModelChoiceStar(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT X - - (A|B)*>`)
+	m := d.Element("x").Model
+	for _, seq := range [][]string{{}, {"a"}, {"b", "a", "b"}} {
+		if !MatchModel(m, seq) {
+			t.Errorf("rejected %v", seq)
+		}
+	}
+	if MatchModel(m, []string{"c"}) {
+		t.Error("accepted foreign element")
+	}
+}
+
+func TestMatchModelAllConnector(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT X - - (A & B? & C)>`)
+	m := d.Element("x").Model
+	good := [][]string{
+		{"a", "c"}, {"c", "a"}, {"a", "b", "c"}, {"b", "c", "a"},
+	}
+	bad := [][]string{
+		{"a"}, {"a", "a", "c"}, {"a", "b", "b", "c"}, {},
+	}
+	for _, seq := range good {
+		if !MatchModel(m, seq) {
+			t.Errorf("rejected %v", seq)
+		}
+	}
+	for _, seq := range bad {
+		if MatchModel(m, seq) {
+			t.Errorf("accepted %v", seq)
+		}
+	}
+}
+
+func TestMatchModelPCData(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT X - - (#PCDATA | A)*>`)
+	m := d.Element("x").Model
+	if !MatchModel(m, []string{"#pcdata", "a", "#pcdata"}) {
+		t.Error("mixed content rejected")
+	}
+}
+
+// TestE6StrictComparison is experiment E6: the strict validator and
+// weblint over the same defective corpus. The validator must produce
+// (a) more messages (cascades) and (b) SGML-flavoured wording, which
+// is the paper's Sections 2-3 contrast.
+func TestE6StrictComparison(t *testing.T) {
+	var strictTotal, lintTotal int
+	for seed := int64(0); seed < 10; seed++ {
+		src := corpus.Generate(corpus.Config{
+			Seed: seed, Sections: 4,
+			Errors: corpus.ErrorRates{Misspell: 0.5, Overlap: 0.4, DropClose: 0.3},
+		})
+		strictTotal += len(Validate("g.html", src))
+		em := warn.NewEmitter(nil)
+		core.Check(src, em, core.Options{Filename: "g.html"})
+		lintTotal += len(em.Messages())
+	}
+	if lintTotal == 0 || strictTotal == 0 {
+		t.Fatalf("degenerate experiment: strict=%d lint=%d", strictTotal, lintTotal)
+	}
+	if strictTotal <= lintTotal {
+		t.Errorf("strict validator (%d) should out-message weblint (%d) on broken input",
+			strictTotal, lintTotal)
+	}
+	t.Logf("E6: strict validator %d messages vs weblint %d (%.2fx) on the same corpus",
+		strictTotal, lintTotal, float64(strictTotal)/float64(lintTotal))
+}
+
+// TestValidCorpusPassesStrict ties the generator to the DTD: with no
+// error injection the generated documents are strictly valid.
+func TestValidCorpusPassesStrict(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := corpus.Generate(corpus.Config{Seed: seed, Sections: 3})
+		msgs := Validate("g.html", src)
+		if len(msgs) != 0 {
+			t.Fatalf("seed %d: valid corpus rejected by strict validator: %v",
+				seed, texts(msgs)[:min(3, len(msgs))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package warn
+
+// Localisation support, one of the paper's Section 6.1 items
+// ("Internationalisation and localisation. Masayasu Ishikawa has done
+// a lot of work in this area, which is being folded into Weblint 2").
+//
+// A Catalog maps message identifiers to translated format templates.
+// Catalogs are partial: messages absent from a catalog fall back to
+// the registered English template, so a translation can be grown
+// incrementally.
+
+import "sort"
+
+// Catalog maps message IDs to translated fmt templates. Translated
+// templates must preserve the order and verbs of the English
+// template's format arguments.
+type Catalog map[string]string
+
+// catalogs holds the built-in locales.
+var catalogs = map[string]Catalog{
+	"fr": frCatalog,
+	"de": deCatalog,
+}
+
+// Locale returns a built-in catalog by name ("fr", "de"); the boolean
+// result reports whether the locale is known. Unknown locales get a
+// nil catalog, which formats everything in English.
+func Locale(name string) (Catalog, bool) {
+	c, ok := catalogs[name]
+	return c, ok
+}
+
+// Locales lists the built-in locale names, sorted.
+func Locales() []string {
+	var out []string
+	for name := range catalogs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// frCatalog translates the most common messages into French.
+var frCatalog = Catalog{
+	"doctype-first":       "le premier élément n'était pas la déclaration DOCTYPE",
+	"unknown-element":     "élément inconnu <%s>",
+	"unknown-attribute":   "attribut \"%s\" inconnu pour l'élément <%s>",
+	"required-attribute":  "l'attribut %s est obligatoire pour l'élément <%s>",
+	"unclosed-element":    "aucune balise </%s> trouvée pour <%s> ouverte à la ligne %d",
+	"unmatched-close":     "balise </%s> sans balise ouvrante correspondante",
+	"heading-mismatch":    "titre mal formé - la balise ouvrante est <%s>, mais la fermante est </%s>",
+	"odd-quotes":          "nombre impair de guillemets dans l'élément %s",
+	"element-overlap":     "</%s> à la ligne %d semble chevaucher <%s>, ouvert à la ligne %d.",
+	"attribute-value":     "valeur illégale pour l'attribut %s de %s (%s)",
+	"body-colors":         "valeur illégale pour l'attribut %s de %s (%s)",
+	"empty-container":     "élément conteneur <%s> vide",
+	"img-alt":             "IMG sans texte ALT",
+	"img-size":            "IMG sans attributs WIDTH et HEIGHT",
+	"html-outer":          "les balises extérieures devraient être <HTML> .. </HTML>",
+	"require-title":       "pas de <TITLE> dans l'élément HEAD",
+	"require-head":        "aucun élément <HEAD> trouvé",
+	"here-anchor":         "mauvais style - le texte d'ancre \"%s\" est vide de sens",
+	"attribute-delimiter": "la valeur de l'attribut %s (%s) de l'élément %s devrait être entre guillemets (c.-à-d. %s=\"%s\")",
+	"markup-in-comment":   "du balisage dans un commentaire peut dérouter certains navigateurs",
+	"deprecated-element":  "<%s> est déconseillé - utilisez %s à la place",
+	"obsolete-element":    "<%s> est obsolète - utilisez %s à la place",
+}
+
+// deCatalog translates the most common messages into German.
+var deCatalog = Catalog{
+	"doctype-first":      "erstes Element war nicht die DOCTYPE-Angabe",
+	"unknown-element":    "unbekanntes Element <%s>",
+	"unknown-attribute":  "unbekanntes Attribut \"%s\" für Element <%s>",
+	"required-attribute": "das Attribut %s ist für das Element <%s> erforderlich",
+	"unclosed-element":   "kein schließendes </%s> für <%s> aus Zeile %d gefunden",
+	"unmatched-close":    "</%s> ohne passendes öffnendes Tag",
+	"heading-mismatch":   "fehlerhafte Überschrift - öffnendes Tag ist <%s>, schließendes ist </%s>",
+	"odd-quotes":         "ungerade Anzahl von Anführungszeichen im Element %s",
+	"element-overlap":    "</%s> in Zeile %d überlappt anscheinend <%s>, geöffnet in Zeile %d.",
+	"attribute-value":    "unzulässiger Wert für Attribut %s von %s (%s)",
+	"body-colors":        "unzulässiger Wert für Attribut %s von %s (%s)",
+	"empty-container":    "leeres Container-Element <%s>",
+	"img-alt":            "IMG ohne ALT-Text",
+	"html-outer":         "die äußeren Tags sollten <HTML> .. </HTML> sein",
+	"require-title":      "kein <TITLE> im HEAD-Element",
+	"here-anchor":        "schlechter Stil - Ankertext \"%s\" ist nichtssagend",
+}

@@ -1,0 +1,95 @@
+package warn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestLocaleLookup(t *testing.T) {
+	if _, ok := Locale("fr"); !ok {
+		t.Error("fr locale missing")
+	}
+	if _, ok := Locale("de"); !ok {
+		t.Error("de locale missing")
+	}
+	if _, ok := Locale("xx"); ok {
+		t.Error("unknown locale resolved")
+	}
+	locs := Locales()
+	if len(locs) != 2 || locs[0] != "de" || locs[1] != "fr" {
+		t.Errorf("Locales() = %v", locs)
+	}
+}
+
+// TestCatalogEntriesAreValid: every catalog entry must reference a
+// registered message and carry the same number (and order) of format
+// verbs as the English template, so translated messages format
+// correctly with the same arguments.
+func TestCatalogEntriesAreValid(t *testing.T) {
+	for _, name := range Locales() {
+		c, _ := Locale(name)
+		for id, format := range c {
+			d := Lookup(id)
+			if d == nil {
+				t.Errorf("%s: catalog entry for unregistered id %q", name, id)
+				continue
+			}
+			if got, want := verbs(format), verbs(d.Format); got != want {
+				t.Errorf("%s/%s: verbs %q, English has %q", name, id, got, want)
+			}
+		}
+	}
+}
+
+// verbs extracts the sequence of format verbs from a template.
+func verbs(format string) string {
+	var b strings.Builder
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' || i+1 >= len(format) {
+			continue
+		}
+		i++
+		if format[i] == '%' {
+			continue
+		}
+		b.WriteByte(format[i])
+	}
+	return b.String()
+}
+
+func TestEmitterCatalog(t *testing.T) {
+	e := NewEmitter(nil)
+	cat, _ := Locale("fr")
+	e.SetCatalog(cat)
+	e.Emit("doctype-first", "f.html", 1, 0)
+	got := e.Messages()[0].Text
+	if got != "le premier élément n'était pas la déclaration DOCTYPE" {
+		t.Errorf("translated text = %q", got)
+	}
+}
+
+func TestEmitterCatalogFallback(t *testing.T) {
+	e := NewEmitter(nil)
+	e.SetCatalog(Catalog{}) // empty catalog: everything falls back
+	e.Emit("doctype-first", "f.html", 1, 0)
+	if got := e.Messages()[0].Text; got != "first element was not DOCTYPE specification" {
+		t.Errorf("fallback text = %q", got)
+	}
+}
+
+func TestCatalogFormatsArgs(t *testing.T) {
+	e := NewEmitter(nil)
+	cat, _ := Locale("fr")
+	e.SetCatalog(cat)
+	e.Emit("unclosed-element", "f.html", 4, 0, "TITLE", "TITLE", 3)
+	got := e.Messages()[0].Text
+	want := "aucune balise </TITLE> trouvée pour <TITLE> ouverte à la ligne 3"
+	if got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+	if strings.Contains(got, "%!") {
+		t.Errorf("format error in translation: %s", got)
+	}
+	_ = fmt.Sprintf // documented dependency of the catalog contract
+}

@@ -1,0 +1,375 @@
+package warn
+
+// This file registers every output message weblint can produce. The
+// wording of the messages quoted in the paper's Section 4.2 example is
+// reproduced verbatim; identifiers follow weblint 1.020's conventions
+// where the paper or its examples name them, and are otherwise chosen
+// to be self-describing.
+//
+// Messages which are esoteric or overly pedantic are registered with
+// Default false, mirroring the paper's policy ("if a message seems
+// esoteric or overly pedantic, it will be disabled by default").
+
+func init() {
+	// ----------------------------------------------------------------
+	// Errors: incorrect use of syntax and other serious problems.
+	// ----------------------------------------------------------------
+	register(Def{
+		ID: "unknown-element", Category: Error, Default: true,
+		Format:  "unknown element <%s>",
+		Explain: "The element name is not defined by the HTML version being checked against (nor by any enabled vendor extension). This is most often a typo, such as <BLOCKQOUTE>.",
+	})
+	register(Def{
+		ID: "unknown-attribute", Category: Error, Default: true,
+		Format:  "unknown attribute \"%s\" for element <%s>",
+		Explain: "The attribute is not defined for this element in the HTML version being checked against. Check for typos, or enable a vendor extension if the attribute is vendor-specific.",
+	})
+	register(Def{
+		ID: "required-attribute", Category: Error, Default: true,
+		Format:  "the %s attribute is required for the <%s> element",
+		Explain: "The HTML specification requires this attribute to be present, for example ROWS and COLS on <TEXTAREA>.",
+	})
+	register(Def{
+		ID: "unclosed-element", Category: Error, Default: true,
+		Format:  "no closing </%s> seen for <%s> on line %d",
+		Explain: "A container element which requires an explicit closing tag was never closed before its enclosing structure ended.",
+	})
+	register(Def{
+		ID: "unmatched-close", Category: Error, Default: true,
+		Format:  "unmatched </%s> (no matching open tag seen)",
+		Explain: "A closing tag appeared with no corresponding open element on the stack.",
+	})
+	register(Def{
+		ID: "heading-mismatch", Category: Error, Default: true,
+		Format:  "malformed heading - open tag is <%s>, but closing is </%s>",
+		Explain: "A heading was opened at one level and closed at another, e.g. <H1>...</H2>.",
+	})
+	register(Def{
+		ID: "odd-quotes", Category: Error, Default: true,
+		Format:  "odd number of quotes in element %s",
+		Explain: "The tag contains an unbalanced quote character, usually a missing closing quote on an attribute value.",
+	})
+	register(Def{
+		ID: "element-overlap", Category: Error, Default: true,
+		Format:  "</%s> on line %d seems to overlap <%s>, opened on line %d.",
+		Explain: "Container elements must nest; here a close tag arrived while a more recently opened container was still open, e.g. <B><A>...</B></A>.",
+	})
+	register(Def{
+		ID: "attribute-value", Category: Error, Default: true,
+		Format:  "illegal value for %s attribute of %s (%s)",
+		Explain: "The attribute value does not match the set of legal values for the attribute in this HTML version.",
+	})
+	register(Def{
+		ID: "body-colors", Category: Error, Default: true,
+		Format:  "illegal value for %s attribute of %s (%s)",
+		Explain: "Color attributes must be either a color name or an RGB triplet of the form #rrggbb.",
+	})
+	register(Def{
+		ID: "empty-container", Category: Error, Default: true,
+		Format:  "empty container element <%s>",
+		Explain: "The container element has no content at all; this is usually an editing accident.",
+	})
+	register(Def{
+		ID: "required-context", Category: Error, Default: true,
+		Format:  "illegal context for <%s> - must appear in %s element",
+		Explain: "The element is only legal inside particular parents; for example <LI> must appear inside a list such as <UL> or <OL>.",
+	})
+	register(Def{
+		ID: "head-element", Category: Error, Default: true,
+		Format:  "<%s> can only appear in the HEAD element",
+		Explain: "Elements such as <TITLE>, <BASE> and <META> describe the document and belong in the HEAD, not the BODY.",
+	})
+	register(Def{
+		ID: "body-element", Category: Error, Default: true,
+		Format:  "<%s> should only appear in the BODY",
+		Explain: "Rendered markup belongs in the BODY element, not in the HEAD.",
+	})
+	register(Def{
+		ID: "nested-element", Category: Error, Default: true,
+		Format:  "<%s> cannot be nested - </%s> not yet seen for <%s> on line %d",
+		Explain: "Some elements, such as <A> and <FORM>, may not be nested within themselves.",
+	})
+	register(Def{
+		ID: "once-only", Category: Error, Default: true,
+		Format:  "<%s> element already seen on line %d",
+		Explain: "Elements such as <HTML>, <HEAD>, <BODY> and <TITLE> may appear only once per document.",
+	})
+	register(Def{
+		ID: "closing-attribute", Category: Error, Default: true,
+		Format:  "closing tag </%s> should not have any attributes specified",
+		Explain: "Attributes are only legal on opening tags.",
+	})
+	register(Def{
+		ID: "empty-element-close", Category: Error, Default: true,
+		Format:  "</%s> is not legal - <%s> is an empty element",
+		Explain: "Empty elements such as <BR> and <IMG> have no content and therefore no closing tag.",
+	})
+	register(Def{
+		ID: "repeated-attribute", Category: Error, Default: true,
+		Format:  "attribute %s is repeated in element <%s>",
+		Explain: "The same attribute appears more than once in the tag; only the first occurrence will be used by most browsers.",
+	})
+	register(Def{
+		ID: "unknown-entity", Category: Error, Default: true,
+		Format:  "unknown entity &%s;",
+		Explain: "The named character entity is not defined by the HTML version being checked against.",
+	})
+	register(Def{
+		ID: "unterminated-entity", Category: Error, Default: true,
+		Format:  "entity &%s is missing its closing ';'",
+		Explain: "Character entities must be terminated with a semicolon; some browsers accept the unterminated form, many don't.",
+	})
+	register(Def{
+		ID: "unterminated-comment", Category: Error, Default: true,
+		Format:  "unterminated comment opened on line %d",
+		Explain: "A comment was opened with <!-- but never closed with -->.",
+	})
+	register(Def{
+		ID: "malformed-tag", Category: Error, Default: true,
+		Format:  "malformed tag - '<' not followed by a tag name closed before end of document",
+		Explain: "A '<' introduced what looked like markup but no closing '>' was found before the end of the document.",
+	})
+	register(Def{
+		ID: "empty-tag", Category: Error, Default: true,
+		Format:  "empty tag \"<>\"",
+		Explain: "A bare <> pair is not legal markup.",
+	})
+	register(Def{
+		ID: "duplicate-id", Category: Error, Default: true,
+		Format:  "document ID \"%s\" already used on line %d",
+		Explain: "The ID attribute must be unique within a document.",
+	})
+	register(Def{
+		ID: "duplicate-anchor", Category: Error, Default: true,
+		Format:  "anchor name \"%s\" already used on line %d",
+		Explain: "Two anchors in the same document have the same NAME; fragment links to it are ambiguous.",
+	})
+	register(Def{
+		ID: "bad-link", Category: Error, Default: true,
+		Format:  "target for anchor \"%s\" not found",
+		Explain: "The link target does not exist. For local links the file was not found; for remote links the server reported failure.",
+	})
+
+	// ----------------------------------------------------------------
+	// Warnings: recommended optional syntax, portability problems,
+	// and questionable use of HTML.
+	// ----------------------------------------------------------------
+	register(Def{
+		ID: "doctype-first", Category: Warning, Default: true,
+		Format:  "first element was not DOCTYPE specification",
+		Explain: "The DOCTYPE declaration identifies the definition of HTML which your page uses and should precede all other markup.",
+	})
+	register(Def{
+		ID: "html-outer", Category: Warning, Default: true,
+		Format:  "outer tags should be <HTML> .. </HTML>",
+		Explain: "The entire document should be wrapped in a single HTML element.",
+	})
+	register(Def{
+		ID: "require-head", Category: Warning, Default: true,
+		Format:  "no <HEAD> element found",
+		Explain: "Documents should contain a HEAD element holding the TITLE and document metadata.",
+	})
+	register(Def{
+		ID: "require-title", Category: Warning, Default: true,
+		Format:  "no <TITLE> in HEAD element",
+		Explain: "Every document should have a title; it is used by browsers, bookmarks and search engines.",
+	})
+	register(Def{
+		ID: "empty-title", Category: Warning, Default: true,
+		Format:  "<TITLE> element is empty",
+		Explain: "The document title has no content.",
+	})
+	register(Def{
+		ID: "title-length", Category: Warning, Default: false,
+		Format:  "TITLE is %d characters long - many browsers display at most %d",
+		Explain: "Very long titles are truncated by browsers and search engines.",
+	})
+	register(Def{
+		ID: "attribute-delimiter", Category: Warning, Default: true,
+		Format:  "value for attribute %s (%s) of element %s should be quoted (i.e. %s=\"%s\")",
+		Explain: "Attribute values containing anything other than letters, digits, hyphens and periods must be quoted.",
+	})
+	register(Def{
+		ID: "single-quotes", Category: Warning, Default: true,
+		Format:  "use of single quotes around value for attribute %s of element %s (many clients can't handle them)",
+		Explain: "HTML allows attribute values to be quoted with single or double quotes, but many clients and HTML processors can't handle single quotes.",
+	})
+	register(Def{
+		ID: "img-alt", Category: Warning, Default: true,
+		Format:  "IMG does not have ALT text defined",
+		Explain: "ALT text is rendered by text-only browsers and speech clients, and shown while images load; every IMG should carry it.",
+	})
+	register(Def{
+		ID: "img-size", Category: Warning, Default: false,
+		Format:  "IMG does not have WIDTH and HEIGHT attributes specified",
+		Explain: "WIDTH and HEIGHT let browsers lay out the page before the image arrives, giving the impression of a faster loading page.",
+	})
+	register(Def{
+		ID: "markup-in-comment", Category: Warning, Default: true,
+		Format:  "markup embedded in a comment can confuse some browsers",
+		Explain: "It is legal to comment out markup, but quick and dirty parsers can be confused by it.",
+	})
+	register(Def{
+		ID: "nested-comment", Category: Warning, Default: true,
+		Format:  "\"--\" sequence within comment; possible nested comment",
+		Explain: "SGML comments use -- as delimiters; a -- inside a comment body may be parsed as the end of the comment by some browsers.",
+	})
+	register(Def{
+		ID: "deprecated-element", Category: Warning, Default: true,
+		Format:  "<%s> is deprecated - use %s instead",
+		Explain: "The element is deprecated in the HTML version being checked against in favour of a newer construct.",
+	})
+	register(Def{
+		ID: "obsolete-element", Category: Warning, Default: true,
+		Format:  "<%s> is obsolete - use %s instead",
+		Explain: "The element has been removed from HTML, e.g. <LISTING>, in place of which you should use <PRE>.",
+	})
+	register(Def{
+		ID: "deprecated-attribute", Category: Warning, Default: false,
+		Format:  "attribute %s of element <%s> is deprecated",
+		Explain: "The attribute is deprecated in the HTML version being checked against, usually in favour of style sheets.",
+	})
+	register(Def{
+		ID: "extension-markup", Category: Warning, Default: true,
+		Format:  "<%s> is %s-specific markup (not part of %s)",
+		Explain: "The element is a vendor extension and will not be understood by other browsers. Enable the extension with -x to accept it silently.",
+	})
+	register(Def{
+		ID: "extension-attribute", Category: Warning, Default: true,
+		Format:  "attribute %s of element <%s> is %s-specific (not part of %s)",
+		Explain: "The attribute is a vendor extension and will not be understood by other browsers.",
+	})
+	register(Def{
+		ID: "heading-order", Category: Warning, Default: true,
+		Format:  "bad style - heading <%s> follows <%s> - skipped heading level",
+		Explain: "Heading levels should descend one step at a time; an H3 directly after an H1 skips a level.",
+	})
+	register(Def{
+		ID: "spurious-slash", Category: Warning, Default: true,
+		Format:  "spurious trailing '/' in tag <%s>",
+		Explain: "A trailing slash inside a tag (as in <BR/>) is not legal in classic HTML and confuses older browsers.",
+	})
+	register(Def{
+		ID: "form-field-context", Category: Warning, Default: true,
+		Format:  "<%s> should only appear inside a <FORM> element",
+		Explain: "Form fields outside a FORM cannot be submitted anywhere.",
+	})
+	register(Def{
+		ID: "require-noframes", Category: Warning, Default: true,
+		Format:  "FRAMESET without NOFRAMES - content is inaccessible to clients without frames",
+		Explain: "Provide a NOFRAMES alternative so text browsers and robots can reach your content.",
+	})
+	register(Def{
+		ID: "metacharacter", Category: Warning, Default: true,
+		Format:  "literal '%s' in text should be written as %s",
+		Explain: "The SGML metacharacters <, > and & should be written as entities in document text.",
+	})
+	register(Def{
+		ID: "bad-url-scheme", Category: Warning, Default: true,
+		Format:  "unknown URL scheme \"%s\" in link \"%s\"",
+		Explain: "The link's scheme is not one of the well-known schemes; this is most often a typo like \"htpp:\".",
+	})
+	register(Def{
+		ID: "bad-text-context", Category: Warning, Default: true,
+		Format:  "text appears directly in the <%s> element",
+		Explain: "Document text must appear inside BODY content, not directly in HTML or HEAD.",
+	})
+	register(Def{
+		ID: "unexpected-open", Category: Warning, Default: true,
+		Format:  "unexpected <%s> - previous <%s> on line %d not closed",
+		Explain: "A new once-only structural element was opened while a previous one was still open.",
+	})
+	register(Def{
+		ID: "stray-doctype", Category: Warning, Default: true,
+		Format:  "DOCTYPE specification should appear only at the start of the document",
+		Explain: "The DOCTYPE declaration must be the very first thing in the document.",
+	})
+	register(Def{
+		ID: "meta-in-body", Category: Warning, Default: true,
+		Format:  "<META> should be used in the HEAD element",
+		Explain: "META elements provide document metadata and belong in the HEAD.",
+	})
+	register(Def{
+		ID: "bad-inline-directive", Category: Warning, Default: true,
+		Format:  "unrecognised weblint directive in comment (%s)",
+		Explain: "Page-embedded configuration comments have the form <!-- weblint: enable id ... --> or <!-- weblint: disable id ... -->.",
+	})
+	register(Def{
+		ID: "unhidden-script", Category: Warning, Default: false,
+		Format:  "contents of <%s> element should be hidden inside an SGML comment for older browsers",
+		Explain: "Browsers that predate SCRIPT/STYLE render their content as text unless it is wrapped in a comment.",
+	})
+
+	// ----------------------------------------------------------------
+	// Style: usage which at least one person thinks is questionable.
+	// ----------------------------------------------------------------
+	register(Def{
+		ID: "here-anchor", Category: Style, Default: false,
+		Format:  "bad style - anchor text \"%s\" is content-free",
+		Explain: "Anchor text such as \"here\" or \"click here\" carries no meaning; many search engines use anchor text, so make it descriptive.",
+	})
+	register(Def{
+		ID: "physical-font", Category: Style, Default: false,
+		Format:  "bad style - use logical markup (e.g. <%s>) rather than physical markup (<%s>)",
+		Explain: "Logical markup such as <STRONG> and <EM> expresses intent and renders sensibly everywhere; physical markup such as <B> and <I> does not.",
+	})
+	register(Def{
+		ID: "mailto-link", Category: Style, Default: false,
+		Format:  "mailto link \"%s\" - consider also giving the address as text",
+		Explain: "mailto: links are useless in browsers without configured mail; spell the address out as well.",
+	})
+	register(Def{
+		ID: "heading-in-anchor", Category: Style, Default: false,
+		Format:  "bad style - heading <%s> inside anchor; anchor should be inside the heading",
+		Explain: "Put the anchor inside the heading, not the heading inside the anchor.",
+	})
+	register(Def{
+		ID: "tag-case", Category: Style, Default: false,
+		Format:  "tag <%s> is not in %s case",
+		Explain: "A local style guide may require all element names to be in a consistent case; configure the preferred case with 'set tag-case'.",
+	})
+	register(Def{
+		ID: "attribute-case", Category: Style, Default: false,
+		Format:  "attribute %s of <%s> is not in %s case",
+		Explain: "A local style guide may require all attribute names in a consistent case.",
+	})
+	register(Def{
+		ID: "anchor-whitespace", Category: Style, Default: false,
+		Format:  "whitespace between anchor tag and anchor text",
+		Explain: "Leading or trailing whitespace inside an anchor is underlined by many browsers and looks sloppy.",
+	})
+	register(Def{
+		ID: "require-meta", Category: Style, Default: false,
+		Format:  "no <META NAME=\"%s\"> found in HEAD",
+		Explain: "META description and keywords improve how the page is presented by search engines.",
+	})
+	register(Def{
+		ID: "require-version", Category: Style, Default: false,
+		Format:  "DOCTYPE does not declare an HTML version",
+		Explain: "The DOCTYPE should reference a public HTML DTD identifier.",
+	})
+	register(Def{
+		ID: "container-whitespace", Category: Style, Default: false,
+		Format:  "%s whitespace in content of container element <%s>",
+		Explain: "Leading or trailing whitespace in containers such as headings is rendered by some browsers.",
+	})
+
+	// ----------------------------------------------------------------
+	// Site-mode messages (-R recursion and robot mode).
+	// ----------------------------------------------------------------
+	register(Def{
+		ID: "no-index-file", Category: Warning, Default: true,
+		Format:  "directory %s does not have an index file",
+		Explain: "Requests for the directory URL will show a server-generated listing (or an error) instead of a page you control.",
+	})
+	register(Def{
+		ID: "orphan-page", Category: Warning, Default: true,
+		Format:  "page %s is not linked to by any other page checked",
+		Explain: "No checked page links to this page; visitors can only reach it by typing the URL or via an external link.",
+	})
+	register(Def{
+		ID: "bad-fragment", Category: Warning, Default: true,
+		Format:  "anchor \"#%s\" is not defined in %s",
+		Explain: "The link's fragment does not match any <A NAME> or ID attribute in the target page; the browser will land at the top of the page.",
+	})
+}

@@ -1,0 +1,324 @@
+// Package warn implements weblint's warnings module: the registry of
+// output messages, their categories and default enablement, message
+// formatting, and the pluggable formatter mechanism that the gateway
+// uses to render warnings as HTML.
+//
+// Every output message has a stable identifier (e.g. "element-overlap")
+// which is used when enabling or disabling it, and belongs to one of
+// three categories: errors identify things you should fix, warnings
+// identify things you should think about fixing, and style comments can
+// be configured to match local guidelines.
+package warn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Category classifies an output message.
+type Category int
+
+const (
+	// Error identifies incorrect use of syntax and other serious
+	// problems which should be fixed.
+	Error Category = iota
+	// Warning identifies recommended optional syntax, potential
+	// portability problems, and questionable use of HTML.
+	Warning
+	// Style identifies usage which is questionable under commonly
+	// held style guidelines; stylistic comments are the most
+	// opinionated category and several are disabled by default.
+	Style
+)
+
+// String returns the lower-case category name used in terse output and
+// in configuration files.
+func (c Category) String() string {
+	switch c {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Style:
+		return "style"
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// ParseCategory converts a category name ("error", "warning", "style")
+// to a Category. The boolean result reports whether the name was valid.
+func ParseCategory(s string) (Category, bool) {
+	switch s {
+	case "error", "errors":
+		return Error, true
+	case "warning", "warnings":
+		return Warning, true
+	case "style":
+		return Style, true
+	}
+	return 0, false
+}
+
+// Def describes one registered output message.
+type Def struct {
+	// ID is the stable identifier used to enable or disable the
+	// message, e.g. "img-alt".
+	ID string
+	// Category is the message severity class.
+	Category Category
+	// Default reports whether the message is enabled by default.
+	// Messages which are esoteric or overly pedantic are registered
+	// with Default false.
+	Default bool
+	// Format is the fmt-style template the message text is built
+	// from.
+	Format string
+	// Explain is a longer human explanation used by verbose output
+	// and by the gateway.
+	Explain string
+}
+
+// Message is a single emitted diagnostic, positioned in a source
+// document.
+type Message struct {
+	// ID is the identifier of the message definition this was
+	// emitted from.
+	ID string
+	// Category is copied from the definition at emission time.
+	Category Category
+	// File names the checked document ("-" for stdin, a URL for
+	// remote checks).
+	File string
+	// Line is the 1-based line the problem was detected at.
+	Line int
+	// Col is the 1-based column, or 0 when unknown.
+	Col int
+	// Text is the fully formatted message body (without file/line
+	// prefix; formatters add that).
+	Text string
+}
+
+// registry holds all known message definitions, keyed by ID.
+var registry = map[string]*Def{}
+
+// order preserves registration order for deterministic listings.
+var order []string
+
+// register adds a definition to the package registry. It panics on
+// duplicate IDs, which would be a programming error in the tables.
+func register(d Def) {
+	if _, dup := registry[d.ID]; dup {
+		panic("warn: duplicate message id " + d.ID)
+	}
+	def := d
+	registry[d.ID] = &def
+	order = append(order, d.ID)
+}
+
+// Register adds a message definition from outside the package. It is
+// the extension point content plugins use to contribute their own
+// messages (the paper's Section 6.1 plugin idea); it must be called
+// during init, before any Set is constructed.
+func Register(d Def) {
+	register(d)
+}
+
+// Lookup returns the definition for id, or nil when id is not a
+// registered message.
+func Lookup(id string) *Def {
+	return registry[id]
+}
+
+// IDs returns all registered message IDs in registration order.
+func IDs() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// SortedIDs returns all registered message IDs in lexical order.
+func SortedIDs() []string {
+	out := IDs()
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the total number of registered messages.
+func Count() int { return len(registry) }
+
+// DefaultEnabledCount returns how many registered messages are enabled
+// by default.
+func DefaultEnabledCount() int {
+	n := 0
+	for _, d := range registry {
+		if d.Default {
+			n++
+		}
+	}
+	return n
+}
+
+// CountByCategory returns the number of registered messages in each
+// category.
+func CountByCategory() map[Category]int {
+	m := map[Category]int{}
+	for _, d := range registry {
+		m[d.Category]++
+	}
+	return m
+}
+
+// Set is an enable/disable selection over the registry. The zero value
+// is not useful; construct with NewSet.
+type Set struct {
+	enabled map[string]bool
+}
+
+// NewSet returns a Set with every message at its registered default.
+func NewSet() *Set {
+	s := &Set{enabled: make(map[string]bool, len(registry))}
+	for id, d := range registry {
+		s.enabled[id] = d.Default
+	}
+	return s
+}
+
+// AllEnabled returns a Set with every registered message enabled,
+// including those disabled by default (the CLI's -pedantic mode).
+func AllEnabled() *Set {
+	s := NewSet()
+	for id := range s.enabled {
+		s.enabled[id] = true
+	}
+	return s
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{enabled: make(map[string]bool, len(s.enabled))}
+	for k, v := range s.enabled {
+		c.enabled[k] = v
+	}
+	return c
+}
+
+// Enable turns on the message with the given ID, or every message in a
+// category when id names a category ("errors", "style", ...). It
+// returns an error for unknown identifiers so that configuration typos
+// are surfaced to the user.
+func (s *Set) Enable(id string) error { return s.set(id, true) }
+
+// Disable turns off the message with the given ID or category.
+func (s *Set) Disable(id string) error { return s.set(id, false) }
+
+func (s *Set) set(id string, v bool) error {
+	if id == "all" {
+		for k := range s.enabled {
+			s.enabled[k] = v
+		}
+		return nil
+	}
+	if cat, ok := ParseCategory(id); ok {
+		for k, d := range registry {
+			if d.Category == cat {
+				s.enabled[k] = v
+			}
+		}
+		return nil
+	}
+	if _, ok := registry[id]; !ok {
+		return fmt.Errorf("warn: unknown warning identifier %q", id)
+	}
+	s.enabled[id] = v
+	return nil
+}
+
+// Enabled reports whether the message with the given ID is currently
+// enabled. Unknown IDs report false.
+func (s *Set) Enabled(id string) bool { return s.enabled[id] }
+
+// EnabledIDs returns the identifiers of all enabled messages, sorted.
+func (s *Set) EnabledIDs() []string {
+	var out []string
+	for id, on := range s.enabled {
+		if on {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Emitter collects messages subject to an enablement Set. It is the
+// object the checker engine reports through; the zero value is not
+// useful, construct with NewEmitter.
+type Emitter struct {
+	set      *Set
+	catalog  Catalog
+	messages []Message
+}
+
+// NewEmitter returns an Emitter filtering through set. A nil set means
+// the package defaults.
+func NewEmitter(set *Set) *Emitter {
+	if set == nil {
+		set = NewSet()
+	}
+	return &Emitter{set: set}
+}
+
+// SetCatalog installs a localisation catalog; message templates found
+// in the catalog replace the registered English ones.
+func (e *Emitter) SetCatalog(c Catalog) { e.catalog = c }
+
+// Emit formats and records the message id at file:line:col with the
+// given arguments, unless id is disabled. Emitting an unregistered id
+// panics: checker code must only reference registered messages.
+func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
+	d := registry[id]
+	if d == nil {
+		panic("warn: emit of unregistered message id " + id)
+	}
+	if !e.set.Enabled(id) {
+		return
+	}
+	format := d.Format
+	if t, ok := e.catalog[id]; ok {
+		format = t
+	}
+	e.messages = append(e.messages, Message{
+		ID:       id,
+		Category: d.Category,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Text:     fmt.Sprintf(format, args...),
+	})
+}
+
+// Messages returns the messages collected so far, in emission order.
+// The returned slice is owned by the emitter; callers must not modify
+// it.
+func (e *Emitter) Messages() []Message { return e.messages }
+
+// Reset discards collected messages, retaining the enablement set.
+func (e *Emitter) Reset() { e.messages = e.messages[:0] }
+
+// Set returns the enablement set the emitter filters through.
+func (e *Emitter) Set() *Set { return e.set }
+
+// SortByLine orders messages by (file, line, col) while keeping
+// emission order for equal positions. Checkers emit end-of-document
+// messages after body messages; sorting presents them in source order
+// the way weblint's output reads.
+func SortByLine(ms []Message) {
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].File != ms[j].File {
+			return ms[i].File < ms[j].File
+		}
+		if ms[i].Line != ms[j].Line {
+			return ms[i].Line < ms[j].Line
+		}
+		return ms[i].Col < ms[j].Col
+	})
+}

@@ -1,0 +1,102 @@
+// Package weblint is a utility library for checking the syntax and
+// style of HTML pages, a Go implementation of the weblint tool
+// described in "Weblint: Just Another Perl Hack" (Neil Bowers, USENIX
+// 1998). It was inspired by lint, which performs a similar function
+// for C programmers. Weblint does not aspire to be a strict SGML
+// validator, but to provide helpful comments for humans.
+//
+// The simplest use mirrors the paper's three-line example:
+//
+//	l := weblint.MustNew(weblint.Options{})
+//	msgs, err := l.CheckFile("test.html")
+//	for _, m := range msgs {
+//		fmt.Println(weblint.LintStyle.Format(m))
+//	}
+//
+// Every output message has an identifier and belongs to one of three
+// categories (errors, warnings, style comments); everything can be
+// turned on or off, per the tool's philosophy that it "should not
+// impose any specific definition of style". See the warn registry for
+// the full message inventory and cmd/weblint for the command-line
+// tool.
+package weblint
+
+import (
+	"weblint/internal/config"
+	"weblint/internal/lint"
+	"weblint/internal/plugin"
+	"weblint/internal/warn"
+)
+
+// Message is one diagnostic produced by a check.
+type Message = warn.Message
+
+// Category classifies messages as errors, warnings or style comments.
+type Category = warn.Category
+
+// Message categories.
+const (
+	Error   = warn.Error
+	Warning = warn.Warning
+	Style   = warn.Style
+)
+
+// Options configures a Linter.
+type Options = lint.Options
+
+// Settings carries layered configuration (see the config package and
+// the .weblintrc syntax).
+type Settings = config.Settings
+
+// Linter checks HTML documents. It is safe for concurrent use.
+type Linter = lint.Linter
+
+// Formatter renders messages; see the formatter values below.
+type Formatter = warn.Formatter
+
+// ContentChecker is the plugin interface for validating non-HTML
+// content embedded in documents (style sheets, scripts); register
+// implementations through Options.Plugins. Plugin messages must be
+// registered with RegisterMessage during init.
+type ContentChecker = plugin.ContentChecker
+
+// MessageDef describes a registrable output message.
+type MessageDef = warn.Def
+
+// RegisterMessage adds a message definition to the registry; plugins
+// call this from init for the messages they emit.
+func RegisterMessage(d MessageDef) { warn.Register(d) }
+
+// Locale returns a built-in message translation catalog by name
+// ("fr", "de").
+func Locale(name string) (warn.Catalog, bool) { return warn.Locale(name) }
+
+// Built-in message formatters: the traditional lint style
+// ("file(line): text"), the -s short style ("line N: text"), the -t
+// terse style ("file:line:id"), and a verbose style with explanations.
+var (
+	LintStyle    Formatter = warn.Lint{}
+	ShortStyle   Formatter = warn.Short{}
+	TerseStyle   Formatter = warn.Terse{}
+	VerboseStyle Formatter = warn.Verbose{}
+)
+
+// New builds a Linter.
+func New(o Options) (*Linter, error) { return lint.New(o) }
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(o Options) *Linter { return lint.MustNew(o) }
+
+// NewSettings returns default settings, ready for Config layering or
+// direct field adjustment.
+func NewSettings() *Settings { return config.NewSettings() }
+
+// CheckString checks an in-memory document with default options.
+func CheckString(name, src string) []Message {
+	return lint.MustNew(lint.Options{}).CheckString(name, src)
+}
+
+// CheckFile checks a file on disk with default options.
+func CheckFile(path string) ([]Message, error) {
+	return lint.MustNew(lint.Options{}).CheckFile(path)
+}

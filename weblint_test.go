@@ -1,0 +1,74 @@
+package weblint
+
+import (
+	"strings"
+	"testing"
+)
+
+const section42 = `<HTML>
+<HEAD>
+<TITLE>example page
+</HEAD>
+<BODY BGCOLOR="fffff" TEXT=#00ff00>
+<H1>My Example</H2>
+Click <B><A HREF="a.html>here</B></A>
+for more details.
+</BODY>
+</HTML>
+`
+
+// TestPublicAPIQuickstart exercises the package-level convenience API
+// the README documents.
+func TestPublicAPIQuickstart(t *testing.T) {
+	msgs := CheckString("test.html", section42)
+	if len(msgs) != 7 {
+		t.Fatalf("got %d messages, want 7", len(msgs))
+	}
+	out := LintStyle.Format(msgs[0])
+	if out != "test.html(1): first element was not DOCTYPE specification" {
+		t.Errorf("formatted = %q", out)
+	}
+	if ShortStyle.Format(msgs[0]) != "line 1: first element was not DOCTYPE specification" {
+		t.Errorf("short = %q", ShortStyle.Format(msgs[0]))
+	}
+	if !strings.Contains(TerseStyle.Format(msgs[0]), "doctype-first") {
+		t.Errorf("terse = %q", TerseStyle.Format(msgs[0]))
+	}
+}
+
+func TestPublicAPILinter(t *testing.T) {
+	l := MustNew(Options{Pedantic: true})
+	msgs := l.CheckString("x.html", section42)
+	if len(msgs) < 7 {
+		t.Errorf("pedantic produced %d messages", len(msgs))
+	}
+	var sawStyle bool
+	for _, m := range msgs {
+		if m.Category == Style {
+			sawStyle = true
+		}
+	}
+	if !sawStyle {
+		t.Error("pedantic run produced no style comments (here-anchor expected)")
+	}
+}
+
+func TestPublicAPISettings(t *testing.T) {
+	s := NewSettings()
+	if err := s.Set.Disable("all"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Options{Settings: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := l.CheckString("x.html", section42); len(msgs) != 0 {
+		t.Errorf("all-disabled run produced %d messages", len(msgs))
+	}
+}
+
+func TestCategoriesExposed(t *testing.T) {
+	if Error == Warning || Warning == Style {
+		t.Error("category constants collide")
+	}
+}
