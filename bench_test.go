@@ -183,6 +183,52 @@ func BenchmarkE7Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkE7RawText measures raw-text-heavy checking across document
+// sizes. With the allocation-free case-insensitive scan the cost is
+// linear: MB/s holds roughly constant as the document grows. The seed
+// implementation re-lower-cased everything after each SCRIPT block
+// (quadratic total), so its MB/s fell in proportion to size.
+func BenchmarkE7RawText(b *testing.B) {
+	for _, blocks := range []int{4, 16, 64, 256} {
+		src := corpus.GenerateRawText(blocks)
+		b.Run(fmt.Sprintf("blocks-%d", blocks), func(b *testing.B) {
+			l := lint.MustNew(lint.Options{})
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l.CheckString("raw.html", src)
+			}
+		})
+	}
+}
+
+// BenchmarkE9GatewayParallel is the gateway-shaped concurrency
+// benchmark: many goroutines checking documents through one shared
+// Linter, the way the CGI gateway serves requests. It exercises the
+// shared-spec, pooled-state hot path across cores.
+func BenchmarkE9GatewayParallel(b *testing.B) {
+	l := lint.MustNew(lint.Options{})
+	b.SetBytes(int64(len(section42)))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if got := len(l.CheckString("test.html", section42)); got != 7 {
+				b.Errorf("got %d messages, want 7", got)
+			}
+		}
+	})
+}
+
+// BenchmarkLinterNew measures linter construction. With the memoized
+// shared specs this is O(1) — building a linter per request is cheap —
+// where the seed rebuilt the whole HTML version table each time.
+func BenchmarkLinterNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lint.MustNew(lint.Options{})
+	}
+}
+
 // BenchmarkE7Tokenizer isolates the tokenizer substrate.
 func BenchmarkE7Tokenizer(b *testing.B) {
 	src := corpus.GenerateSized(99, 128<<10, corpus.ErrorRates{})

@@ -1,0 +1,3 @@
+module weblint
+
+go 1.24

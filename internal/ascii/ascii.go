@@ -1,0 +1,213 @@
+// Package ascii provides allocation-conscious ASCII case helpers for
+// the lint hot path: case folding, case-insensitive comparison, and
+// case-insensitive substring search.
+//
+// HTML element names, attribute names, and vendor identifiers are
+// ASCII by construction, so these helpers deliberately fold only the
+// byte range 'A'..'Z'. They are not Unicode-correct (strings.EqualFold
+// folds the Kelvin sign; these do not) and must not be used on
+// arbitrary user text where that matters.
+//
+// The key contracts, relied on by htmltoken and htmlspec:
+//
+//   - ToLower and ToUpper return the input string unchanged (no copy,
+//     no allocation) when it is already in the requested case.
+//   - EqualFold and IndexFold never allocate.
+package ascii
+
+import "strings"
+
+// lowerByte folds one byte to lower case.
+func lowerByte(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + ('a' - 'A')
+	}
+	return c
+}
+
+// upperByte folds one byte to upper case.
+func upperByte(c byte) byte {
+	if 'a' <= c && c <= 'z' {
+		return c - ('a' - 'A')
+	}
+	return c
+}
+
+// IsLower reports whether s contains no upper-case ASCII letters.
+func IsLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUpper reports whether s contains no lower-case ASCII letters.
+func IsUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'a' <= c && c <= 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// ToLower returns s with ASCII upper-case letters folded to lower
+// case. When s is already lower-case the input string is returned
+// unchanged, without allocating.
+func ToLower(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:i])
+	for ; i < len(s); i++ {
+		b.WriteByte(lowerByte(s[i]))
+	}
+	return b.String()
+}
+
+// ToUpper returns s with ASCII lower-case letters folded to upper
+// case. When s is already upper-case the input string is returned
+// unchanged, without allocating.
+func ToUpper(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; 'a' <= c && c <= 'z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:i])
+	for ; i < len(s); i++ {
+		b.WriteByte(upperByte(s[i]))
+	}
+	return b.String()
+}
+
+// AppendLower appends the lower-case folding of s to dst.
+func AppendLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		dst = append(dst, lowerByte(s[i]))
+	}
+	return dst
+}
+
+// EqualFoldBytes reports whether b and s are equal under ASCII
+// case-folding. It never allocates.
+func EqualFoldBytes(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		cb, cs := b[i], s[i]
+		if cb == cs {
+			continue
+		}
+		if lowerByte(cb) != lowerByte(cs) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualFold reports whether a and b are equal under ASCII
+// case-folding. It never allocates.
+func EqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca == cb {
+			continue
+		}
+		if lowerByte(ca) != lowerByte(cb) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefixFold reports whether s begins with prefix under ASCII
+// case-folding.
+func HasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && EqualFold(s[:len(prefix)], prefix)
+}
+
+// IndexFold returns the byte index of the first occurrence of substr
+// in s under ASCII case-folding, or -1 when absent. It never
+// allocates, unlike the strings.Index(strings.ToLower(s), ...) idiom
+// it replaces, which copies the whole of s per call, and its IndexByte
+// work is amortised linear in len(s): the next occurrence of each case
+// variant of the first needle byte is cached across candidate
+// positions, never re-scanned per candidate (searching for "html" in a
+// long run of 'h's would otherwise go quadratic).
+func IndexFold(s, substr string) int {
+	n := len(substr)
+	switch {
+	case n == 0:
+		return 0
+	case n > len(s):
+		return -1
+	}
+	lo := lowerByte(substr[0])
+	up := upperByte(lo)
+	last := len(s) - n
+	// nextLo/nextUp track the nearest occurrence of each case variant
+	// at or after the scan position: -2 not yet searched, -1 absent
+	// from the rest of s. IndexByte (SIMD-accelerated in the runtime)
+	// only runs when the cached position falls behind the scan, and
+	// successive searches cover disjoint ranges of s.
+	nextLo, nextUp := -2, -2
+	if lo == up {
+		nextUp = -1
+	}
+	for i := 0; i <= last; {
+		if nextLo != -1 && nextLo < i {
+			if j := strings.IndexByte(s[i:], lo); j >= 0 {
+				nextLo = i + j
+			} else {
+				nextLo = -1
+			}
+		}
+		if nextUp != -1 && nextUp < i {
+			if j := strings.IndexByte(s[i:], up); j >= 0 {
+				nextUp = i + j
+			} else {
+				nextUp = -1
+			}
+		}
+		j := nextLo
+		if j < 0 || (nextUp >= 0 && nextUp < j) {
+			j = nextUp
+		}
+		if j < 0 || j > last {
+			return -1
+		}
+		i = j
+		if EqualFold(s[i:i+n], substr) {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// ContainsFold reports whether substr occurs in s under ASCII
+// case-folding.
+func ContainsFold(s, substr string) bool {
+	return IndexFold(s, substr) >= 0
+}

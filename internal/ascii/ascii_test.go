@@ -1,0 +1,217 @@
+package ascii
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestToLower(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"script", "script"},
+		{"SCRIPT", "script"},
+		{"ScRiPt", "script"},
+		{"a-b.c:d_9", "a-b.c:d_9"},
+		{"MIXED text 123", "mixed text 123"},
+		{"caf\xc3\xa9", "caf\xc3\xa9"},         // UTF-8 bytes pass through
+		{"CAF\xc3\x89", "caf\xc3\x89"},         // only ASCII letters fold
+		{"\x00\x7f\x80\xff", "\x00\x7f\x80\xff"}, // non-letter bytes untouched
+	}
+	for _, c := range cases {
+		if got := ToLower(c.in); got != c.want {
+			t.Errorf("ToLower(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Already-lower inputs must be returned without copying.
+	in := "already lower"
+	if out := ToLower(in); out != in {
+		t.Errorf("ToLower fast path returned %q", out)
+	}
+}
+
+func TestToUpper(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"TITLE", "TITLE"},
+		{"title", "TITLE"},
+		{"TiTlE", "TITLE"},
+		{"h1", "H1"},
+		{"caf\xc3\xa9", "CAF\xc3\xa9"},
+	}
+	for _, c := range cases {
+		if got := ToUpper(c.in); got != c.want {
+			t.Errorf("ToUpper(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsLowerIsUpper(t *testing.T) {
+	if !IsLower("abc-123") || IsLower("aBc") {
+		t.Error("IsLower wrong")
+	}
+	if !IsUpper("ABC-123") || IsUpper("AbC") {
+		t.Error("IsUpper wrong")
+	}
+	if !IsLower("") || !IsUpper("") {
+		t.Error("empty string should be both")
+	}
+	// Non-ASCII bytes are neither upper nor lower.
+	if !IsLower("\xc3\x89") || !IsUpper("\xc3\xa9") {
+		t.Error("non-ASCII bytes must not affect case tests")
+	}
+}
+
+func TestAppendLower(t *testing.T) {
+	got := AppendLower([]byte("x:"), "AbC")
+	if string(got) != "x:abc" {
+		t.Errorf("AppendLower = %q", got)
+	}
+}
+
+func TestEqualFold(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "", true},
+		{"script", "SCRIPT", true},
+		{"ScRiPt", "sCrIpT", true},
+		{"script", "scripts", false},
+		{"a", "b", false},
+		{"K", "k", true},
+		// Unlike strings.EqualFold, the Kelvin sign does not fold.
+		{"K", "k", false},
+		{"caf\xc3\xa9", "CAF\xc3\xa9", true},
+		{"\xc3\xa9", "\xc3\x89", false}, // é vs É: non-ASCII, no fold
+	}
+	for _, c := range cases {
+		if got := EqualFold(c.a, c.b); got != c.want {
+			t.Errorf("EqualFold(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualFoldBytes(t *testing.T) {
+	if !EqualFoldBytes([]byte("here"), "HERE") || EqualFoldBytes([]byte("here"), "her") {
+		t.Error("EqualFoldBytes wrong")
+	}
+	if EqualFoldBytes([]byte("caf\xc3\xa9"), "CAF\xc3\x89") {
+		t.Error("EqualFoldBytes must not fold non-ASCII bytes")
+	}
+}
+
+func TestHasPrefixFold(t *testing.T) {
+	if !HasPrefixFold("</SCRIPT>", "</script") {
+		t.Error("mixed-case closing tag prefix not matched")
+	}
+	if HasPrefixFold("</scrip", "</script") {
+		t.Error("short string matched longer prefix")
+	}
+}
+
+func TestIndexFold(t *testing.T) {
+	cases := []struct {
+		s, substr string
+		want      int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"", "a", -1},
+		{"hello </script> bye", "</script", 6},
+		{"hello </SCRIPT> bye", "</script", 6},
+		{"hello </ScRiPt> bye", "</script", 6},
+		// Needle exactly at end of input.
+		{"var x = 1; </script", "</script", 11},
+		{"</script", "</script", 0},
+		// Needle longer than haystack.
+		{"</scrip", "</script", -1},
+		// Absent needle, with near misses.
+		{"</scr </scrip </scri", "</script", -1},
+		// First byte is not a letter: single-variant scan.
+		{"aaa<b<B</x", "</x", 7},
+		// Repeated false starts sharing the first byte.
+		{"sss sss sscript script", "script", 9},
+		{"SSS SSS SSCRIPT SCRIPT", "script", 9},
+		// Long single-letter runs (both cases): every position is a
+		// candidate; the scan must stay linear and still answer right.
+		{strings.Repeat("h", 4096), "html", -1},
+		{strings.Repeat("H", 4096), "html", -1},
+		{strings.Repeat("h", 4096) + "tml", "html", 4095},
+		{strings.Repeat("H", 4096) + "TML", "html", 4095},
+		// Candidates alternating between the two case variants.
+		{strings.Repeat("hH", 2048) + "html", "html", 4096},
+		// Non-ASCII bytes in the haystack are opaque.
+		{"caf\xc3\xa9 </STYLE>", "</style", 6},
+		{"\xc3\xa9\xc3\xa9", "\xc3\xa9", 0},
+		// 0x80-0xFF bytes must not fold onto ASCII letters.
+		{"\xe9", "i", -1},
+		{"abc\xff", "\xff", 3},
+	}
+	for _, c := range cases {
+		if got := IndexFold(c.s, c.substr); got != c.want {
+			t.Errorf("IndexFold(%q, %q) = %d, want %d", c.s, c.substr, got, c.want)
+		}
+	}
+}
+
+// TestIndexFoldAgainstReference cross-checks IndexFold with the
+// strings.Index(strings.ToLower(...)) idiom it replaces, over ASCII
+// inputs where the two must agree.
+func TestIndexFoldAgainstReference(t *testing.T) {
+	haystacks := []string{
+		"", "x", "<script>var s = '</scr';</script>",
+		"AAAA</SCRIPT", "</sCrIpT</sCrIpT", "just text, no tags at all",
+		strings.Repeat("pad ", 100) + "</Style>",
+		strings.Repeat("s", 300), strings.Repeat("S", 300),
+		strings.Repeat("sS", 150) + "style",
+	}
+	needles := []string{"", "</script", "</style", "s", "T", "</", "style"}
+	for _, h := range haystacks {
+		for _, n := range needles {
+			want := strings.Index(strings.ToLower(h), strings.ToLower(n))
+			if got := IndexFold(h, n); got != want {
+				t.Errorf("IndexFold(%q, %q) = %d, want %d", h, n, got, want)
+			}
+		}
+	}
+}
+
+func TestContainsFold(t *testing.T) {
+	if !ContainsFold("<!DOCTYPE html PUBLIC>", "html") {
+		t.Error("ContainsFold missed html")
+	}
+	if ContainsFold("nothing here", "doctype") {
+		t.Error("ContainsFold false positive")
+	}
+}
+
+func BenchmarkIndexFold(b *testing.B) {
+	src := strings.Repeat("var x = 'no closing tag here';\n", 2000) + "</script>"
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if IndexFold(src, "</script") < 0 {
+			b.Fatal("not found")
+		}
+	}
+}
+
+// BenchmarkIndexFoldLetterNeedle is the adversarial case: a letter-led
+// needle over a haystack where every byte is a candidate position.
+// MB/s collapsing as size grows here means the scan has gone
+// super-linear.
+func BenchmarkIndexFoldLetterNeedle(b *testing.B) {
+	for _, size := range []int{1 << 12, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("size-%d", size), func(b *testing.B) {
+			src := strings.Repeat("h", size)
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if IndexFold(src, "html") >= 0 {
+					b.Fatal("unexpected hit")
+				}
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"strings"
 
+	"weblint/internal/ascii"
 	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
 	"weblint/internal/plugin"
@@ -62,12 +63,12 @@ type Options struct {
 // open is one entry on the main or secondary stack.
 type open struct {
 	name    string // lower-case element name
-	display string // name as written in the source
+	display string // upper-case display name for messages
 	line    int
 	col     int
 	info    *htmlspec.ElementInfo // nil for unknown elements
 	content bool                  // element has direct content
-	text    strings.Builder       // accumulated text (TITLE, A)
+	text    []byte                // accumulated text (TITLE, A); reused
 }
 
 // requiresClose reports whether popping this element without its close
@@ -79,8 +80,9 @@ func (o *open) requiresClose() bool {
 	return !o.info.Empty && !o.info.OmitClose
 }
 
-// Checker checks one document. Construct with New; a Checker is
-// single-use.
+// Checker checks one document. Construct with New; re-arm for further
+// documents with Reset, which retains the internal maps, stacks and
+// buffers so a pooled checker stops allocating once warm.
 type Checker struct {
 	opts Options
 	spec *htmlspec.Spec
@@ -89,6 +91,11 @@ type Checker struct {
 
 	stack   []*open
 	pending []*open // the secondary stack of unresolved tags
+
+	// slab backs the open entries pointed at by stack and pending.
+	// Entries are handed out in document order and recycled wholesale
+	// by Reset; their text buffers survive recycling.
+	slab []open
 
 	firstElement bool // a non-doctype element has been seen
 	doctypeSeen  bool
@@ -114,11 +121,27 @@ type Checker struct {
 
 	metaNames map[string]bool
 
+	attrSeen map[string]*htmltoken.Attr // per-tag duplicate tracking, reused
+
 	lastLine int
 }
 
 // New returns a Checker which reports through em.
 func New(em *warn.Emitter, opts Options) *Checker {
+	c := &Checker{
+		seenOnce:  map[string]int{},
+		ids:       map[string]int{},
+		anchors:   map[string]int{},
+		metaNames: map[string]bool{},
+		attrSeen:  map[string]*htmltoken.Attr{},
+	}
+	c.Reset(em, opts)
+	return c
+}
+
+// Reset re-arms the checker for a new document reporting through em,
+// keeping allocated state (maps, stacks, text buffers) for reuse.
+func (c *Checker) Reset(em *warn.Emitter, opts Options) {
 	spec := opts.Spec
 	if spec == nil {
 		spec = htmlspec.Default()
@@ -127,29 +150,85 @@ func New(em *warn.Emitter, opts Options) *Checker {
 	if file == "" {
 		file = "-"
 	}
-	return &Checker{
-		opts:      opts,
-		spec:      spec,
-		em:        em,
-		file:      file,
-		seenOnce:  map[string]int{},
-		ids:       map[string]int{},
-		anchors:   map[string]int{},
-		metaNames: map[string]bool{},
-		lastLine:  1,
+	c.opts = opts
+	c.spec = spec
+	c.em = em
+	c.file = file
+	c.stack = c.stack[:0]
+	c.pending = c.pending[:0]
+	c.slab = c.slab[:0]
+	c.firstElement = false
+	c.doctypeSeen = false
+	clear(c.seenOnce)
+	c.seenHTML = false
+	c.seenHead = false
+	c.seenBody = false
+	c.seenTitle = false
+	c.titleLine = 0
+	c.seenFrameset = false
+	c.seenNoframes = false
+	c.headContent = false
+	c.lastHeading = 0
+	c.lastHeadingName = ""
+	clear(c.ids)
+	clear(c.anchors)
+	clear(c.metaNames)
+	clear(c.attrSeen)
+	c.lastLine = 1
+}
+
+// Release drops every reference the checker retains into the last
+// checked document — map keys, slab entry names, attribute pointers —
+// while keeping the allocated capacity for reuse. Pools should call it
+// before parking a checker: Reset alone truncates, leaving the old
+// document's substrings reachable through spare slab capacity until
+// the entry is next used.
+func (c *Checker) Release() {
+	clear(c.seenOnce)
+	clear(c.ids)
+	clear(c.anchors)
+	clear(c.metaNames)
+	clear(c.attrSeen)
+	c.lastHeadingName = ""
+	c.stack = c.stack[:0]
+	c.pending = c.pending[:0]
+	slab := c.slab[:cap(c.slab)]
+	for i := range slab {
+		slab[i] = open{text: slab[i].text[:0]}
 	}
+	c.slab = c.slab[:0]
+}
+
+// newOpen allocates a stack entry from the slab, reusing entries (and
+// their text buffers) recycled by Reset.
+func (c *Checker) newOpen(name, display string, line, col int, info *htmlspec.ElementInfo) *open {
+	var o *open
+	if n := len(c.slab); n < cap(c.slab) {
+		c.slab = c.slab[:n+1]
+		o = &c.slab[n]
+	} else {
+		c.slab = append(c.slab, open{})
+		o = &c.slab[n]
+	}
+	text := o.text[:0]
+	*o = open{name: name, display: display, line: line, col: col, info: info, text: text}
+	return o
 }
 
 // Check runs the checker over a whole document.
 func Check(src string, em *warn.Emitter, opts Options) {
 	c := New(em, opts)
 	tz := htmltoken.New(src)
-	for {
-		tok, ok := tz.Next()
-		if !ok {
-			break
-		}
-		c.Token(tok)
+	c.Run(tz)
+}
+
+// Run feeds every token from tz through the checker and finishes the
+// document. It is the streaming core of Check, exposed so callers with
+// pooled tokenizers and checkers can drive it without reallocating.
+func (c *Checker) Run(tz *htmltoken.Tokenizer) {
+	var tok htmltoken.Token
+	for tz.NextInto(&tok) {
+		c.token(&tok)
 	}
 	c.Finish()
 }
@@ -160,7 +239,11 @@ func (c *Checker) emit(id string, line int, args ...any) {
 }
 
 // Token feeds one token to the checker.
-func (c *Checker) Token(tok htmltoken.Token) {
+func (c *Checker) Token(tok htmltoken.Token) { c.token(&tok) }
+
+// token is the dispatch core; the token is passed by pointer so the
+// (large) Token struct is copied once per token, not once per layer.
+func (c *Checker) token(tok *htmltoken.Token) {
 	if tok.EndLine > c.lastLine {
 		c.lastLine = tok.EndLine
 	}
@@ -195,13 +278,13 @@ func (c *Checker) noteElement(line int) {
 }
 
 // doctype handles a <!DOCTYPE> declaration.
-func (c *Checker) doctype(tok htmltoken.Token) {
+func (c *Checker) doctype(tok *htmltoken.Token) {
 	if c.firstElement {
 		c.emit("stray-doctype", tok.Line)
 		return
 	}
 	c.doctypeSeen = true
-	if !strings.Contains(strings.ToUpper(tok.Text), "HTML") {
+	if !ascii.ContainsFold(tok.Text, "html") {
 		c.emit("require-version", tok.Line)
 	}
 }
@@ -213,7 +296,7 @@ func (c *Checker) doctype(tok htmltoken.Token) {
 //	<!-- weblint: disable img-alt -->
 //	<IMG SRC="decoration.gif">
 //	<!-- weblint: enable img-alt -->
-func (c *Checker) comment(tok htmltoken.Token) {
+func (c *Checker) comment(tok *htmltoken.Token) {
 	if tok.Unterminated {
 		c.emit("unterminated-comment", tok.Line, tok.Line)
 		return
@@ -231,8 +314,8 @@ func (c *Checker) comment(tok htmltoken.Token) {
 }
 
 // inlineDirective applies one "weblint:" comment directive. The
-// mutation is scoped to this check run: checkers always operate on a
-// per-run clone of the enablement set.
+// mutation is scoped to this check run: it goes into the emitter's
+// copy-on-write overlay, never into the shared enablement set.
 func (c *Checker) inlineDirective(text string, line int) {
 	fields := strings.Fields(text)
 	if len(fields) < 2 {
@@ -242,9 +325,9 @@ func (c *Checker) inlineDirective(text string, line int) {
 	var apply func(string) error
 	switch fields[0] {
 	case "enable":
-		apply = c.em.Set().Enable
+		apply = c.em.Enable
 	case "disable":
-		apply = c.em.Set().Disable
+		apply = c.em.Disable
 	default:
 		c.emit("bad-inline-directive", line, strings.TrimSpace(text))
 		return
@@ -303,14 +386,14 @@ func (c *Checker) Finish() {
 			c.popChecks(o)
 		}
 	}
-	c.stack = nil
+	c.stack = c.stack[:0]
 	for i := len(c.pending) - 1; i >= 0; i-- {
 		o := c.pending[i]
 		if o.requiresClose() {
 			c.emit("unclosed-element", c.lastLine, o.display, o.display, o.line)
 		}
 	}
-	c.pending = nil
+	c.pending = c.pending[:0]
 
 	if !c.seenHTML {
 		c.emit("html-outer", 1)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"strings"
 
+	"weblint/internal/ascii"
 	"weblint/internal/htmltoken"
 )
 
@@ -10,11 +12,11 @@ import (
 // live: matching against the main stack, implied closes of omissible
 // elements, the overlap-vs-unclosed distinction, and silent resolution
 // of tags previously moved to the secondary stack.
-func (c *Checker) endTag(tok htmltoken.Token) {
+func (c *Checker) endTag(tok *htmltoken.Token) {
 	c.noteElement(tok.Line)
 
-	name := strings.ToLower(tok.Name)
-	display := strings.ToUpper(tok.Name)
+	name := tok.Lower
+	display := c.spec.Display(name)
 	info := c.spec.Element(name)
 
 	if tok.Unterminated {
@@ -101,7 +103,7 @@ func (c *Checker) endTag(tok htmltoken.Token) {
 // unmatchedClose handles a close tag with no matching open element:
 // heading cross-matching, secondary-stack resolution, and finally the
 // unmatched-close message.
-func (c *Checker) unmatchedClose(tok htmltoken.Token, name, display string, unknown bool) {
+func (c *Checker) unmatchedClose(tok *htmltoken.Token, name, display string, unknown bool) {
 	// </H2> closing an open <H1> is reported as a malformed heading
 	// rather than a stray close tag.
 	if headingLevel(name) > 0 {
@@ -157,18 +159,25 @@ func (c *Checker) popChecks(o *open) {
 
 // checkContainerWhitespace reports leading or trailing whitespace in
 // the content of a container such as a heading (style, off by
-// default).
+// default). The leading/trailing test uses the historical " \t\r\n"
+// set; the emptiness gate is full Unicode whitespace, as before.
 func (c *Checker) checkContainerWhitespace(o *open) {
-	raw := o.text.String()
-	if raw == "" || strings.TrimSpace(raw) == "" {
+	raw := o.text
+	if len(bytes.TrimSpace(raw)) == 0 {
 		return
 	}
-	if strings.TrimLeft(raw, " \t\r\n") != raw {
+	if isStyleSpace(raw[0]) {
 		c.emit("container-whitespace", o.line, "leading", o.display)
 	}
-	if strings.TrimRight(raw, " \t\r\n") != raw {
+	if isStyleSpace(raw[len(raw)-1]) {
 		c.emit("container-whitespace", o.line, "trailing", o.display)
 	}
+}
+
+// isStyleSpace matches the whitespace set the container-whitespace
+// check has always used.
+func isStyleSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
 }
 
 // checkTitleText checks the accumulated TITLE content length.
@@ -177,8 +186,7 @@ func (c *Checker) checkTitleText(o *open) {
 	if limit <= 0 {
 		limit = defaultTitleLength
 	}
-	text := strings.TrimSpace(o.text.String())
-	if n := len(text); n > limit {
+	if n := len(bytes.TrimSpace(o.text)); n > limit {
 		c.emit("title-length", o.line, n, limit)
 	}
 }
@@ -186,22 +194,60 @@ func (c *Checker) checkTitleText(o *open) {
 // checkAnchorText checks anchor content for content-free phrases and
 // sloppy whitespace.
 func (c *Checker) checkAnchorText(o *open) {
-	raw := o.text.String()
-	text := strings.TrimSpace(raw)
-	if text == "" {
+	trimmed := bytes.TrimSpace(o.text)
+	if len(trimmed) == 0 {
 		return
 	}
-	if raw != text {
+	if len(trimmed) != len(o.text) {
 		c.emit("anchor-whitespace", o.line)
 	}
-	norm := strings.Join(strings.Fields(strings.ToLower(text)), " ")
+	if c.isHereText(trimmed) {
+		c.emit("here-anchor", o.line, string(trimmed))
+	}
+}
+
+// isHereText reports whether anchor text, whitespace-normalised and
+// lower-cased, is one of the content-free phrases. Anchor text that is
+// already normalised — pure ASCII, no upper-case letters, no
+// whitespace beyond single spaces, the overwhelmingly common shape —
+// is matched without copying; anything else takes the exact
+// Fields/ToLower path the check has always used.
+func (c *Checker) isHereText(trimmed []byte) bool {
+	if anchorTextNormalised(trimmed) {
+		if hereWords[string(trimmed)] {
+			return true
+		}
+		for _, w := range c.opts.HereWords {
+			if ascii.EqualFoldBytes(trimmed, w) {
+				return true
+			}
+		}
+		return false
+	}
+	norm := strings.Join(strings.Fields(strings.ToLower(string(trimmed))), " ")
 	for _, w := range c.opts.HereWords {
 		if norm == strings.ToLower(w) {
-			c.emit("here-anchor", o.line, text)
-			return
+			return true
 		}
 	}
-	if hereWords[norm] {
-		c.emit("here-anchor", o.line, text)
+	return hereWords[norm]
+}
+
+// anchorTextNormalised reports whether b is already in normalised
+// form: ASCII-only, no upper-case letters, and no whitespace other
+// than single spaces. Non-ASCII bytes and exotic whitespace send the
+// text down the exact slow path instead.
+func anchorTextNormalised(b []byte) bool {
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 0x80 || 'A' <= c && c <= 'Z':
+			return false
+		case c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v':
+			return false
+		case c == ' ' && i+1 < len(b) && b[i+1] == ' ':
+			return false
+		}
 	}
+	return true
 }

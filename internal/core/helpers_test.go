@@ -19,7 +19,5 @@ func spec32(t *testing.T) *htmlspec.Spec {
 // specWithExt returns an HTML 4.0 spec with a vendor extension enabled.
 func specWithExt(t *testing.T, vendor string) *htmlspec.Spec {
 	t.Helper()
-	s := htmlspec.HTML40()
-	s.EnableExtension(vendor)
-	return s
+	return htmlspec.HTML40().WithExtensions(vendor)
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"weblint/internal/htmltoken"
+	"weblint/internal/warn"
+)
+
+// stateHeavyDocs exercise every piece of cross-token checker state:
+// once-only tracking, ids, anchors, meta names, heading order, the
+// secondary (pending) stack, accumulated TITLE/anchor text, and inline
+// directives.
+var stateHeavyDocs = []string{
+	`<!DOCTYPE HTML PUBLIC "html"><HTML><HEAD><TITLE>first</TITLE>
+<META NAME="description" CONTENT="x"></HEAD><BODY>
+<H1>one</H1><H3>skip</H3>
+<P ID="p1">a<P ID="p1">b
+<A NAME="top">x</A><A NAME="top">y</A>
+<B><A HREF="z.html">overlap</B></A>
+<!-- weblint: disable img-alt --><IMG SRC="i.gif">
+</BODY></HTML>`,
+	`<HTML><HEAD></HEAD><BODY>
+<P ID="p1">not a duplicate in this document
+<A NAME="top">not a duplicate either</A>
+<H1>fresh heading state</H1>
+<IMG SRC="i.gif">
+</BODY></HTML>`,
+	`<P>tiny fragment`,
+}
+
+func checkWith(t *testing.T, c *Checker, src string) []warn.Message {
+	t.Helper()
+	em := warn.NewEmitter(nil)
+	if c == nil {
+		c = New(em, Options{Filename: "t.html"})
+	} else {
+		c.Reset(em, Options{Filename: "t.html"})
+	}
+	c.Run(htmltoken.New(src))
+	return em.CopyMessages()
+}
+
+// TestCheckerResetMatchesFresh guards the pooled-checker invariant: a
+// Reset checker must behave exactly like a freshly constructed one,
+// in every document order. Any Checker field added without a matching
+// Reset line leaks one document's state into the next and fails here.
+func TestCheckerResetMatchesFresh(t *testing.T) {
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 1}, {0, 0, 0}}
+	for _, order := range orders {
+		reused := New(warn.NewEmitter(nil), Options{})
+		for _, di := range order {
+			src := stateHeavyDocs[di]
+			want := checkWith(t, nil, src)
+			got := checkWith(t, reused, src)
+			if len(got) != len(want) {
+				t.Fatalf("order %v doc %d: reused checker produced %d messages, fresh %d\n got: %v\nwant: %v",
+					order, di, len(got), len(want), idList(got), idList(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || got[i].Line != want[i].Line || got[i].Text != want[i].Text {
+					t.Errorf("order %v doc %d msg %d: reused %+v, fresh %+v", order, di, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func idList(ms []warn.Message) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// TestAnchorWhitespaceSemantics pins the textual checks to their
+// historical whitespace behaviour (strings.TrimSpace / strings.Fields),
+// which the zero-copy fast path must not change: form feeds and other
+// exotic whitespace still normalise, and here-anchor still matches.
+func TestAnchorWhitespaceSemantics(t *testing.T) {
+	check := func(src string) map[string]bool {
+		em := warn.NewEmitter(warn.AllEnabled())
+		Check(src, em, Options{Filename: "t.html"})
+		got := map[string]bool{}
+		for _, m := range em.Messages() {
+			got[m.ID] = true
+		}
+		return got
+	}
+	base := "<!DOCTYPE HTML PUBLIC \"html\"><HTML><HEAD><TITLE>t</TITLE>" +
+		"<META NAME=\"description\" CONTENT=\"x\"><META NAME=\"keywords\" CONTENT=\"x\">" +
+		"</HEAD><BODY>%s</BODY></HTML>"
+
+	// Form feed between words: Fields-normalised to one space, so the
+	// phrase is still content-free.
+	got := check(strings.Replace(base, "%s", "<A HREF=\"x.html\">click\fhere</A>", 1))
+	if !got["here-anchor"] {
+		t.Error("form-feed-separated \"click here\" no longer triggers here-anchor")
+	}
+	// Form-feed padding trims away: anchor-whitespace fires, and the
+	// padded phrase still matches.
+	got = check(strings.Replace(base, "%s", "<A HREF=\"x.html\">\fhere\f</A>", 1))
+	if !got["anchor-whitespace"] || !got["here-anchor"] {
+		t.Errorf("form-feed padding: got %v, want anchor-whitespace and here-anchor", got)
+	}
+	// Mixed case still folds on the slow path.
+	got = check(strings.Replace(base, "%s", "<A HREF=\"x.html\">Click Here</A>", 1))
+	if !got["here-anchor"] {
+		t.Error("mixed-case \"Click Here\" no longer triggers here-anchor")
+	}
+}

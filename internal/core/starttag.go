@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 
+	"weblint/internal/ascii"
 	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
 )
@@ -10,15 +11,15 @@ import (
 // startTag handles an opening tag: tokenizer-recovery diagnostics,
 // implied closes, element identity and context checks, attribute
 // checks, and stack maintenance.
-func (c *Checker) startTag(tok htmltoken.Token) {
+func (c *Checker) startTag(tok *htmltoken.Token) {
 	if tok.EmptyTag {
 		c.emit("empty-tag", tok.Line)
 		return
 	}
 	c.noteElement(tok.Line)
 
-	name := strings.ToLower(tok.Name)
-	display := strings.ToUpper(tok.Name)
+	name := tok.Lower
+	display := c.spec.Display(name)
 	info := c.spec.Element(name)
 
 	if tok.Unterminated {
@@ -69,13 +70,7 @@ func (c *Checker) startTag(tok htmltoken.Token) {
 	if info != nil && info.Empty {
 		return // empty elements are never pushed
 	}
-	c.stack = append(c.stack, &open{
-		name:    name,
-		display: display,
-		line:    tok.Line,
-		col:     tok.Col,
-		info:    info,
-	})
+	c.stack = append(c.stack, c.newOpen(name, display, tok.Line, tok.Col, info))
 }
 
 // applyImpliedClose pops open elements whose end is implied by the
@@ -195,11 +190,11 @@ func (c *Checker) trackDocumentState(name string, line int) {
 func (c *Checker) checkTagCase(written, display string, line int) {
 	switch c.opts.TagCase {
 	case "upper":
-		if written != strings.ToUpper(written) {
+		if !ascii.IsUpper(written) {
 			c.emit("tag-case", line, display, "upper")
 		}
 	case "lower":
-		if written != strings.ToLower(written) {
+		if !ascii.IsLower(written) {
 			c.emit("tag-case", line, display, "lower")
 		}
 	}
@@ -208,7 +203,7 @@ func (c *Checker) checkTagCase(written, display string, line int) {
 // checkAttrs checks the attribute list of a start tag. The checks run
 // in two passes to match weblint's output order: quoting style first,
 // then attribute identity and value legality.
-func (c *Checker) checkAttrs(tok htmltoken.Token, name, display string, info *htmlspec.ElementInfo) {
+func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *htmlspec.ElementInfo) {
 	// Pass 1: quoting.
 	for _, at := range tok.Attrs {
 		if !at.HasValue {
@@ -224,11 +219,13 @@ func (c *Checker) checkAttrs(tok htmltoken.Token, name, display string, info *ht
 		}
 	}
 
-	// Pass 2: identity, duplication, and value legality.
-	seen := map[string]*htmltoken.Attr{}
+	// Pass 2: identity, duplication, and value legality. The seen map
+	// is owned by the checker and recycled per tag.
+	seen := c.attrSeen
+	clear(seen)
 	for i := range tok.Attrs {
 		at := &tok.Attrs[i]
-		lower := strings.ToLower(at.Name)
+		lower := at.Lower
 		if _, dup := seen[lower]; dup {
 			c.emit("repeated-attribute", at.Line, at.Name, display)
 			continue
@@ -285,24 +282,24 @@ func (c *Checker) checkAttrValue(at *htmltoken.Attr, ai *htmlspec.AttrInfo, disp
 		if scheme, bad := badScheme(at.Value); bad {
 			c.emit("bad-url-scheme", at.Line, scheme, at.Value)
 		}
-		if strings.HasPrefix(strings.ToLower(at.Value), "mailto:") {
+		if ascii.HasPrefixFold(at.Value, "mailto:") {
 			c.emit("mailto-link", at.Line, at.Value)
 		}
 	}
 }
 
 // checkAttrCase implements the optional attribute-case style check.
-func (c *Checker) checkAttrCase(tok htmltoken.Token, display string) {
+func (c *Checker) checkAttrCase(tok *htmltoken.Token, display string) {
 	switch c.opts.AttrCase {
 	case "upper":
 		for _, at := range tok.Attrs {
-			if at.Name != strings.ToUpper(at.Name) {
+			if !ascii.IsUpper(at.Name) {
 				c.emit("attribute-case", at.Line, at.Name, display, "upper")
 			}
 		}
 	case "lower":
 		for _, at := range tok.Attrs {
-			if at.Name != strings.ToLower(at.Name) {
+			if !ascii.IsLower(at.Name) {
 				c.emit("attribute-case", at.Line, at.Name, display, "lower")
 			}
 		}
@@ -311,7 +308,7 @@ func (c *Checker) checkAttrCase(tok htmltoken.Token, display string) {
 
 // checkSpecialAttrs holds the per-element attribute checks: IMG's ALT
 // and sizing, duplicate IDs and anchor names, META bookkeeping.
-func (c *Checker) checkSpecialAttrs(tok htmltoken.Token, name string, seen map[string]*htmltoken.Attr) {
+func (c *Checker) checkSpecialAttrs(tok *htmltoken.Token, name string, seen map[string]*htmltoken.Attr) {
 	switch name {
 	case "img":
 		if _, ok := seen["alt"]; !ok {
@@ -332,7 +329,7 @@ func (c *Checker) checkSpecialAttrs(tok htmltoken.Token, name string, seen map[s
 		}
 	case "meta":
 		if at, ok := seen["name"]; ok && at.HasValue {
-			c.metaNames[strings.ToLower(at.Value)] = true
+			c.metaNames[ascii.ToLower(at.Value)] = true
 		}
 	}
 	if at, ok := seen["id"]; ok && at.HasValue {

@@ -1,6 +1,10 @@
 package core
 
-import "strings"
+import (
+	"strings"
+
+	"weblint/internal/ascii"
+)
 
 // defaultTitleLength is the TITLE length beyond which title-length
 // warns; many browsers of the era displayed at most about 64
@@ -64,7 +68,7 @@ func badScheme(u string) (scheme string, bad bool) {
 			return "", false // not a scheme at all (e.g. a path with ':')
 		}
 	}
-	if knownSchemes[strings.ToLower(s)] {
+	if knownSchemes[ascii.ToLower(s)] {
 		return s, false
 	}
 	return s, true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 
 	"weblint/internal/entity"
@@ -11,7 +12,7 @@ import (
 // text handles a document text token: content bookkeeping for the
 // enclosing elements, placement checks, and entity / metacharacter
 // scanning.
-func (c *Checker) text(tok htmltoken.Token) {
+func (c *Checker) text(tok *htmltoken.Token) {
 	t := c.top()
 
 	if tok.RawText {
@@ -27,6 +28,18 @@ func (c *Checker) text(tok htmltoken.Token) {
 			// to a checker claiming this element.
 			if p := plugin.ForElement(c.opts.Plugins, t.name); p != nil {
 				p.Check(tok.Text, tok.Line, func(id string, line int, args ...any) {
+					// The emitter's formatter takes string/int/bool
+					// only; stringify anything else (error, Stringer,
+					// float, ...) here on the cold plugin path so
+					// third-party checkers keep Report's fmt-style
+					// argument behaviour.
+					for i, a := range args {
+						switch a.(type) {
+						case string, int, bool:
+						default:
+							args[i] = fmt.Sprint(a)
+						}
+					}
 					c.emit(id, line, args...)
 				})
 			}
@@ -40,7 +53,7 @@ func (c *Checker) text(tok htmltoken.Token) {
 	for i := len(c.stack) - 1; i >= 0; i-- {
 		n := c.stack[i].name
 		if n == "title" || n == "a" || headingLevel(n) > 0 {
-			c.stack[i].text.WriteString(tok.Text)
+			c.stack[i].text = append(c.stack[i].text, tok.Text...)
 			break
 		}
 	}

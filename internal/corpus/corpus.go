@@ -96,6 +96,28 @@ func Generate(cfg Config) string {
 	return g.b.String()
 }
 
+// GenerateRawText produces a document whose bulk is raw SCRIPT
+// content, the workload that stresses the tokenizer's raw-text scan:
+// blocks script elements of 16 lines each, separated by ordinary
+// markup. It is deterministic (no error injection) so benchmark runs
+// are comparable.
+func GenerateRawText(blocks int) string {
+	var b strings.Builder
+	b.WriteString("<HTML><HEAD><TITLE>raw text</TITLE>\n")
+	b.WriteString(`<META NAME="description" CONTENT="x">`)
+	b.WriteString(`<META NAME="keywords" CONTENT="x">`)
+	b.WriteString("</HEAD><BODY>\n")
+	for i := 0; i < blocks; i++ {
+		b.WriteString("<SCRIPT>\n<!--\n")
+		for j := 0; j < 16; j++ {
+			fmt.Fprintf(&b, "var v%d_%d = 'raw < text & with > markup-ish bytes';\n", i, j)
+		}
+		b.WriteString("// -->\n</SCRIPT>\n<P>between blocks\n")
+	}
+	b.WriteString("</BODY></HTML>\n")
+	return b.String()
+}
+
 // GenerateSized produces a document of at least n bytes by scaling the
 // section count.
 func GenerateSized(seed int64, n int, errors ErrorRates) string {

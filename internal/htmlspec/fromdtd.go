@@ -52,7 +52,7 @@ func FromDTD(d *dtd.DTD, version string) *Spec {
 		Elements:          m,
 		EnabledExtensions: map[string]bool{},
 	}
-	return spec
+	return spec.finalize()
 }
 
 // attrFromDecl converts a DTD attribute declaration to an AttrInfo.

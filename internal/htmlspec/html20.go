@@ -5,8 +5,9 @@ package htmlspec
 // FONT, no DIV/CENTER, no CLASS/ID — checking a modern page against
 // 2.0 is the strictest portability test the tool offers.
 
-// HTML20 returns the HTML 2.0 spec.
-func HTML20() *Spec {
+// buildHTML20 constructs the HTML 2.0 element tables. Called once,
+// via the memoized HTML20.
+func buildHTML20() *Spec {
 	m := map[string]*ElementInfo{}
 
 	add(m,

@@ -7,8 +7,9 @@ package htmlspec
 
 func core32() []AttrInfo { return group(aNameTok("id")) } // ID only where noted
 
-// HTML32 returns the HTML 3.2 spec.
-func HTML32() *Spec {
+// buildHTML32 constructs the HTML 3.2 element tables. Called once,
+// via the memoized HTML32.
+func buildHTML32() *Spec {
 	m := map[string]*ElementInfo{}
 
 	align3 := group(aEnum("align", "left", "center", "right"))

@@ -46,9 +46,9 @@ var blockLevel = []string{
 	"form", "hr", "table", "address", "fieldset", "isindex",
 }
 
-// HTML40 returns the HTML 4.0 transitional spec (with frameset
-// elements), the version weblint checks against by default.
-func HTML40() *Spec {
+// buildHTML40 constructs the HTML 4.0 transitional element tables
+// (with frameset elements). Called once, via the memoized HTML40.
+func buildHTML40() *Spec {
 	m := map[string]*ElementInfo{}
 
 	// ---- Document structure ----

@@ -10,9 +10,28 @@
 // Netscape and Microsoft extensions layered in as vendor-tagged entries
 // (enable an extension to accept its markup silently; leave it disabled
 // to have uses of it reported).
+//
+// # Immutability and sharing
+//
+// The HTML20, HTML32 and HTML40 version tables are built exactly once,
+// on first use, and the same *Spec is returned to every caller — the
+// constructors are O(1) after the first call, which keeps building a
+// Linter cheap enough for per-request use. In exchange, a Spec and
+// everything reachable from it (ElementInfo, AttrInfo, the slices they
+// hold) is immutable: callers must never modify a Spec obtained from
+// this package. Per-linter variation is expressed as an overlay: the
+// WithExtensions method returns a shallow copy carrying its own
+// extension-enablement set while sharing the element tables, so two
+// linters with different extensions enabled never observe each other's
+// configuration.
 package htmlspec
 
-import "strings"
+import (
+	"strings"
+	"sync"
+
+	"weblint/internal/ascii"
+)
 
 // ValueType classifies how an attribute's value is validated.
 type ValueType int
@@ -139,17 +158,32 @@ type ElementInfo struct {
 	// Extension names the vendor when the element is not part of
 	// standard HTML.
 	Extension string
+
+	// requiredAttrs is the precomputed RequiredAttrs result, filled
+	// by Spec.finalize so the hot path never re-derives it.
+	requiredAttrs []string
+	reqDone       bool
 }
 
-// Attr returns the definition of the named attribute (lower-cased), or
-// nil when the attribute is not defined for the element.
+// Attr returns the definition of the named attribute
+// (case-insensitively), or nil when the attribute is not defined for
+// the element. Lookups with an already lower-case name never allocate.
 func (e *ElementInfo) Attr(name string) *AttrInfo {
-	return e.Attrs[strings.ToLower(name)]
+	return foldLookup(e.Attrs, name)
 }
 
-// RequiredAttrs returns the names of all required attributes, in table
-// order (sorted for determinism).
+// RequiredAttrs returns the names of all required attributes, sorted.
+// For specs built by this package the list is precomputed once;
+// callers must treat it as read-only.
 func (e *ElementInfo) RequiredAttrs() []string {
+	if e.reqDone {
+		return e.requiredAttrs
+	}
+	return requiredAttrsOf(e)
+}
+
+// requiredAttrsOf computes the sorted required-attribute list.
+func requiredAttrsOf(e *ElementInfo) []string {
 	var out []string
 	for _, a := range e.Attrs {
 		if a.Required {
@@ -185,8 +219,34 @@ func (e *ElementInfo) InContext(parent string) bool {
 	return false
 }
 
+// maxFoldKey is the longest name the zero-allocation case-folding map
+// lookups handle on the stack; longer names fall back to
+// strings.ToLower.
+const maxFoldKey = 32
+
+// foldLookup is the shared zero-allocation case-insensitive map
+// lookup: exact hit first; no second probe when a miss is already
+// lower-case (folding would produce the same key); a stack-buffer fold
+// for names up to maxFoldKey; strings.ToLower beyond that.
+func foldLookup[V any](m map[string]V, name string) V {
+	if v, ok := m[name]; ok {
+		return v
+	}
+	if ascii.IsLower(name) {
+		var zero V
+		return zero
+	}
+	if len(name) <= maxFoldKey {
+		var buf [maxFoldKey]byte
+		return m[string(ascii.AppendLower(buf[:0], name))]
+	}
+	return m[strings.ToLower(name)]
+}
+
 // Spec is a complete description of one HTML version, optionally with
-// vendor extensions enabled.
+// vendor extensions enabled. Specs returned by this package are shared
+// and immutable — see the package comment; derive per-linter variants
+// with WithExtensions instead of mutating.
 type Spec struct {
 	// Version is the human name, e.g. "HTML 4.0".
 	Version string
@@ -194,30 +254,79 @@ type Spec struct {
 	HTML40 bool
 	// Elements maps lower-case element names to their definitions.
 	Elements map[string]*ElementInfo
-	// EnabledExtensions marks vendor extensions which have been
-	// enabled; markup from enabled vendors is accepted silently.
+	// EnabledExtensions marks vendor extensions (lower-case keys)
+	// which have been enabled; markup from enabled vendors is
+	// accepted silently. It is owned by exactly one Spec value:
+	// WithExtensions copies it, never shares it.
 	EnabledExtensions map[string]bool
+
+	// displays maps lower-case element names to their upper-case
+	// display form, precomputed so the checker does not re-uppercase
+	// every tag it reports on.
+	displays map[string]string
 }
 
 // Element looks up an element by name, case-insensitively. It returns
-// nil for unknown elements.
+// nil for unknown elements. Lookups with an already lower-case name
+// never allocate.
 func (s *Spec) Element(name string) *ElementInfo {
-	return s.Elements[strings.ToLower(name)]
+	return foldLookup(s.Elements, name)
 }
 
-// EnableExtension turns on a vendor extension ("netscape" or
-// "microsoft", case-insensitive). Unknown extension names are ignored
-// so configuration remains forward-compatible.
-func (s *Spec) EnableExtension(vendor string) {
-	if s.EnabledExtensions == nil {
-		s.EnabledExtensions = map[string]bool{}
+// Display returns the upper-case display form of an element name the
+// way weblint prints it in messages (lower-case "img" → "IMG").
+// Known element names resolve from a precomputed table without
+// allocating.
+func (s *Spec) Display(name string) string {
+	if d, ok := s.displays[name]; ok {
+		return d
 	}
-	s.EnabledExtensions[strings.ToLower(vendor)] = true
+	return ascii.ToUpper(name)
 }
 
-// ExtensionEnabled reports whether the vendor's extension is enabled.
+// WithExtensions returns a spec with the given vendor extensions
+// ("netscape", "microsoft"; case-insensitive) enabled in addition to
+// any already enabled on s. The element tables are shared, not copied;
+// s itself is not modified, so the shared memoized specs stay pristine.
+// Unknown extension names are accepted and recorded so configuration
+// remains forward-compatible. With no vendors to add, s is returned
+// unchanged.
+func (s *Spec) WithExtensions(vendors ...string) *Spec {
+	if len(vendors) == 0 {
+		return s
+	}
+	c := *s
+	c.EnabledExtensions = make(map[string]bool, len(s.EnabledExtensions)+len(vendors))
+	for v := range s.EnabledExtensions {
+		c.EnabledExtensions[v] = true
+	}
+	for _, v := range vendors {
+		c.EnabledExtensions[ascii.ToLower(v)] = true
+	}
+	return &c
+}
+
+// ExtensionEnabled reports whether the vendor's extension is enabled
+// (case-insensitive). It never allocates, so the checker can consult
+// it per vendor-tagged element or attribute.
 func (s *Spec) ExtensionEnabled(vendor string) bool {
-	return s.EnabledExtensions[strings.ToLower(vendor)]
+	if len(s.EnabledExtensions) == 0 {
+		return false
+	}
+	return foldLookup(s.EnabledExtensions, vendor)
+}
+
+// finalize precomputes the hot-path caches (required-attribute lists,
+// display names) after a spec's tables are fully built. It must be
+// called before the spec is shared; finalized specs are immutable.
+func (s *Spec) finalize() *Spec {
+	s.displays = make(map[string]string, len(s.Elements))
+	for name, e := range s.Elements {
+		e.requiredAttrs = requiredAttrsOf(e)
+		e.reqDone = true
+		s.displays[name] = strings.ToUpper(name)
+	}
+	return s
 }
 
 // ElementNames returns all element names in the spec, sorted.
@@ -228,6 +337,36 @@ func (s *Spec) ElementNames() []string {
 	}
 	sortStrings(out)
 	return out
+}
+
+// Memoization: each version table is built exactly once and shared.
+// The builders run a few hundred microseconds and allocate the whole
+// element graph; doing that per lint.New made constructing a linter
+// the most expensive step of a gateway request.
+var (
+	html20Once, html32Once, html40Once sync.Once
+	html20Spec, html32Spec, html40Spec *Spec
+)
+
+// HTML20 returns the shared, immutable HTML 2.0 spec. The tables are
+// built on first use; every call returns the same *Spec.
+func HTML20() *Spec {
+	html20Once.Do(func() { html20Spec = buildHTML20().finalize() })
+	return html20Spec
+}
+
+// HTML32 returns the shared, immutable HTML 3.2 spec.
+func HTML32() *Spec {
+	html32Once.Do(func() { html32Spec = buildHTML32().finalize() })
+	return html32Spec
+}
+
+// HTML40 returns the shared, immutable HTML 4.0 transitional spec
+// (with frameset elements), the version weblint checks against by
+// default.
+func HTML40() *Spec {
+	html40Once.Do(func() { html40Spec = buildHTML40().finalize() })
+	return html40Spec
 }
 
 // Default returns the spec weblint checks against when not otherwise

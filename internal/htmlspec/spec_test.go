@@ -204,14 +204,58 @@ func TestVendorExtensions(t *testing.T) {
 	}
 }
 
-func TestEnableExtension(t *testing.T) {
+func TestWithExtensions(t *testing.T) {
 	s := HTML40()
 	if s.ExtensionEnabled("netscape") {
 		t.Error("extension enabled by default")
 	}
-	s.EnableExtension("Netscape")
-	if !s.ExtensionEnabled("netscape") || !s.ExtensionEnabled("NETSCAPE") {
+	e := s.WithExtensions("Netscape")
+	if !e.ExtensionEnabled("netscape") || !e.ExtensionEnabled("NETSCAPE") {
 		t.Error("extension enablement not case-insensitive")
+	}
+	if s.ExtensionEnabled("netscape") {
+		t.Error("WithExtensions mutated the shared base spec")
+	}
+	if e.Elements["img"] != s.Elements["img"] {
+		t.Error("WithExtensions should share element tables, not copy them")
+	}
+	// Overlays accumulate without touching their parent.
+	both := e.WithExtensions("Microsoft")
+	if !both.ExtensionEnabled("netscape") || !both.ExtensionEnabled("microsoft") {
+		t.Error("extension sets should accumulate")
+	}
+	if e.ExtensionEnabled("microsoft") {
+		t.Error("derived overlay mutated its parent")
+	}
+}
+
+func TestMemoizedSpecsShared(t *testing.T) {
+	if HTML40() != HTML40() || HTML32() != HTML32() || HTML20() != HTML20() {
+		t.Error("version constructors should return the shared memoized spec")
+	}
+	if Default() != HTML40() {
+		t.Error("Default should be the shared HTML 4.0 spec")
+	}
+	if v, ok := ByVersion("3.2"); !ok || v != HTML32() {
+		t.Error("ByVersion should return the shared memoized spec")
+	}
+}
+
+func TestSharedSpecIsolation(t *testing.T) {
+	// Two overlays over the same memoized base must not see each
+	// other's extensions — the cross-linter contamination bug that
+	// spec sharing would otherwise introduce.
+	ns := HTML40().WithExtensions("netscape")
+	ms := HTML40().WithExtensions("microsoft")
+	if ns.ExtensionEnabled("microsoft") || ms.ExtensionEnabled("netscape") {
+		t.Error("extension overlays leaked across derived specs")
+	}
+	if HTML40().ExtensionEnabled("netscape") || HTML40().ExtensionEnabled("microsoft") {
+		t.Error("extension overlays leaked into the shared base spec")
+	}
+	// The shared element tables are visible through every overlay.
+	if ns.Element("marquee") == nil || ms.Element("blink") == nil {
+		t.Error("overlay should expose all vendor-tagged elements")
 	}
 }
 

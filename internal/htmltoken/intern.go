@@ -1,0 +1,92 @@
+package htmltoken
+
+import "weblint/internal/ascii"
+
+// Tag and attribute name interning.
+//
+// Real documents of the weblint era write markup in upper case (<BODY
+// BGCOLOR=...>), so the tokenizer would otherwise allocate a fresh
+// lower-cased string for every tag and attribute it hands to the
+// checker. internLower resolves any case variant of a known HTML name
+// to one canonical lower-case string without allocating; unknown names
+// fall back to ascii.ToLower (which itself is allocation-free for
+// already-lower input). The table is purely a cache: correctness never
+// depends on a name being present in it.
+
+// maxInternLen is the longest name the stack-buffer lookup handles;
+// the longest interned name ("onmousemove") is 11 bytes.
+const maxInternLen = 16
+
+// internNames lists the element names of every HTML version weblint
+// knows (2.0, 3.2, 4.0, Netscape and Microsoft extensions) and the
+// attribute names that appear on them.
+var internNames = []string{
+	// Elements.
+	"a", "abbr", "acronym", "address", "applet", "area", "b", "base",
+	"basefont", "bdo", "bgsound", "big", "blink", "blockquote", "body",
+	"br", "button", "caption", "center", "cite", "code", "col",
+	"colgroup", "comment", "dd", "del", "dfn", "dir", "div", "dl",
+	"dt", "em", "embed", "fieldset", "font", "form", "frame",
+	"frameset", "h1", "h2", "h3", "h4", "h5", "h6", "head", "hr",
+	"html", "i", "iframe", "ilayer", "img", "input", "ins", "isindex",
+	"kbd", "keygen", "label", "layer", "legend", "li", "link",
+	"listing", "map", "marquee", "menu", "meta", "multicol", "nextid",
+	"nobr", "noembed", "noframes", "nolayer", "noscript", "object",
+	"ol", "optgroup", "option", "p", "param", "plaintext", "pre", "q",
+	"s", "samp", "script", "select", "server", "small", "spacer",
+	"span", "strike", "strong", "style", "sub", "sup", "table",
+	"tbody", "td", "textarea", "tfoot", "th", "thead", "title", "tr",
+	"tt", "u", "ul", "var", "wbr", "xmp",
+	// Attributes.
+	"abbr", "accept", "accesskey", "action", "align", "alink", "alt",
+	"archive", "autostart", "axis", "background", "balance",
+	"behavior", "bgcolor", "bgproperties", "border", "bordercolor",
+	"bordercolordark", "bordercolorlight", "bottommargin", "cellpadding",
+	"cellspacing", "challenge", "char", "charoff", "charset", "checked",
+	"cite", "class", "classid", "clear", "code", "codebase", "codetype",
+	"color", "cols", "colspan", "compact", "content", "coords", "data",
+	"datetime", "declare", "defer", "dir", "direction", "disabled",
+	"dynsrc", "enctype", "face", "for", "frame", "frameborder",
+	"gutter", "headers", "height", "hidden", "href", "hreflang",
+	"hspace", "http-equiv", "id", "ismap", "label", "lang", "language",
+	"left", "leftmargin", "link", "longdesc", "loop", "lowsrc",
+	"marginheight", "marginwidth", "maxlength", "media", "method",
+	"methods", "multiple", "n", "name", "nohref", "noresize",
+	"noshade", "nowrap", "object", "onblur", "onchange", "onclick",
+	"ondblclick", "onfocus", "onkeydown", "onkeypress", "onkeyup",
+	"onload", "onmousedown", "onmousemove", "onmouseout",
+	"onmouseover", "onmouseup", "onreset", "onselect", "onsubmit",
+	"onunload", "palette", "pluginspage", "profile", "prompt",
+	"readonly", "rel", "rev", "rightmargin", "rows", "rowspan",
+	"rules", "scheme", "scope", "scrollamount", "scrolldelay",
+	"scrolling", "selected", "shape", "size", "span", "src",
+	"standby", "start", "style", "summary", "tabindex", "target",
+	"text", "title", "top", "topmargin", "truespeed", "type", "urn",
+	"usemap", "valign", "value", "valuetype", "version", "visibility",
+	"vlink", "volume", "vspace", "width", "z-index",
+}
+
+// internTable maps a lower-case name to its canonical string.
+var internTable = func() map[string]string {
+	m := make(map[string]string, len(internNames))
+	for _, n := range internNames {
+		m[n] = n
+	}
+	return m
+}()
+
+// internLower returns the ASCII lower-case form of s, resolving known
+// HTML names to a canonical interned string. It allocates only for
+// unknown mixed- or upper-case names.
+func internLower(s string) string {
+	if ascii.IsLower(s) {
+		return s
+	}
+	if len(s) <= maxInternLen {
+		var buf [maxInternLen]byte
+		if canon, ok := internTable[string(ascii.AppendLower(buf[:0], s))]; ok {
+			return canon
+		}
+	}
+	return ascii.ToLower(s)
+}

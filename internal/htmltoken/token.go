@@ -8,6 +8,17 @@
 // checker can turn recoveries into diagnostics while continuing to
 // check the rest of the document. All tokens carry 1-based line and
 // column positions.
+//
+// # Allocation and ownership
+//
+// The tokenizer is built for a zero-allocation streaming hot path:
+// token text is sliced out of the source (never copied), tag and
+// attribute names carry interned lower-case forms, raw-text scanning
+// is case-insensitive in place, and a Tokenizer can be Reset and
+// reused so its line-index and attribute buffers warm up once. The one
+// contract this imposes on streaming callers: a Token's Attrs slice is
+// only valid until the next call to Next. Tokenize returns fully
+// independent tokens.
 package htmltoken
 
 import "strings"
@@ -58,6 +69,10 @@ func (t Type) String() string {
 type Attr struct {
 	// Name is the attribute name as written in the source.
 	Name string
+	// Lower is the ASCII lower-case form of Name, interned for known
+	// HTML attribute names so checkers can use it as a map key
+	// without re-folding (and re-allocating) per attribute.
+	Lower string
 	// Value is the attribute value with surrounding quotes removed
 	// and entities left undecoded.
 	Value string
@@ -81,6 +96,10 @@ type Token struct {
 	// Name is the tag name as written (original case) for start and
 	// end tags, and "DOCTYPE" for doctype tokens.
 	Name string
+	// Lower is the ASCII lower-case form of Name for start and end
+	// tags, interned for known HTML element names. It is the form
+	// spec lookups key on.
+	Lower string
 	// Text is the content for Text and Comment tokens, and the full
 	// declaration body for Doctype/Declaration tokens.
 	Text string

@@ -1,8 +1,9 @@
 package htmltoken
 
 import (
-	"sort"
 	"strings"
+
+	"weblint/internal/ascii"
 )
 
 // Quote-recovery limits: when a quoted attribute value runs past this
@@ -14,7 +15,9 @@ const (
 	quoteMaxBytes    = 300
 )
 
-// Tokenizer scans an HTML document into tokens. Construct with New.
+// Tokenizer scans an HTML document into tokens. Construct with New;
+// reuse across documents with Reset, which keeps the internal buffers
+// and makes a warm tokenizer allocation-free for typical markup.
 type Tokenizer struct {
 	src string
 	pos int
@@ -24,8 +27,14 @@ type Tokenizer struct {
 	lineStarts []int
 
 	// rawUntil, when non-empty, is the lower-case element name whose
-	// closing tag ends raw-text mode.
-	rawUntil string
+	// closing tag ends raw-text mode; rawNeedle is the "</name"
+	// search needle for it.
+	rawUntil  string
+	rawNeedle string
+
+	// attrBuf backs the Attrs slices of returned tokens; see the
+	// ownership note on Next.
+	attrBuf []Attr
 
 	// RawTextElements configures which elements switch the tokenizer
 	// into raw-text mode. Defaults to DefaultRawTextElements.
@@ -34,17 +43,44 @@ type Tokenizer struct {
 
 // New returns a Tokenizer over src.
 func New(src string) *Tokenizer {
-	t := &Tokenizer{src: src, RawTextElements: DefaultRawTextElements}
-	t.lineStarts = append(t.lineStarts, 0)
+	t := &Tokenizer{RawTextElements: DefaultRawTextElements}
+	t.Reset(src)
+	return t
+}
+
+// Reset re-arms the tokenizer over a new document, retaining the
+// line-index and attribute buffers so that a pooled tokenizer does not
+// reallocate them per document.
+func (t *Tokenizer) Reset(src string) {
+	t.src = src
+	t.pos = 0
+	t.rawUntil = ""
+	t.rawNeedle = ""
+	t.lineStarts = append(t.lineStarts[:0], 0)
 	for i := 0; i < len(src); i++ {
 		if src[i] == '\n' {
 			t.lineStarts = append(t.lineStarts, i+1)
 		}
 	}
-	return t
 }
 
-// Tokenize scans the whole of src and returns all tokens.
+// Release drops the references a parked tokenizer retains into the
+// last document: the source string itself and the attribute substrings
+// left in spare attrBuf capacity. Pools should call it before storing
+// a tokenizer; buffer capacity is kept so the next Reset stays
+// allocation-free.
+func (t *Tokenizer) Release() {
+	t.Reset("")
+	buf := t.attrBuf[:cap(t.attrBuf)]
+	for i := range buf {
+		buf[i] = Attr{}
+	}
+	t.attrBuf = t.attrBuf[:0]
+}
+
+// Tokenize scans the whole of src and returns all tokens. The returned
+// tokens are fully independent of the tokenizer (attribute slices are
+// copied out of the reused buffer).
 func Tokenize(src string) []Token {
 	tz := New(src)
 	var out []Token
@@ -53,14 +89,27 @@ func Tokenize(src string) []Token {
 		if !ok {
 			return out
 		}
+		if len(tok.Attrs) > 0 {
+			tok.Attrs = append([]Attr(nil), tok.Attrs...)
+		}
 		out = append(out, tok)
 	}
 }
 
 // position translates a byte offset into a 1-based line and column.
+// Open-coded binary search: this runs several times per token, and the
+// sort.Search closure showed up in profiles.
 func (t *Tokenizer) position(off int) (line, col int) {
-	i := sort.Search(len(t.lineStarts), func(i int) bool { return t.lineStarts[i] > off }) - 1
-	return i + 1, off - t.lineStarts[i] + 1
+	lo, hi := 0, len(t.lineStarts) // invariant: lineStarts[lo] <= off < lineStarts[hi]
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.lineStarts[mid] <= off {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1, off - t.lineStarts[lo] + 1
 }
 
 // lineAt returns just the 1-based line of a byte offset.
@@ -71,17 +120,36 @@ func (t *Tokenizer) lineAt(off int) int {
 
 // Next returns the next token. The boolean result is false at end of
 // input.
+//
+// Ownership: the returned token's Attrs slice points into a buffer the
+// tokenizer reuses on the following Next call. Callers which process
+// tokens one at a time (the checker) need not care; callers which
+// retain tokens must copy Attrs first (Tokenize does).
 func (t *Tokenizer) Next() (Token, bool) {
+	var tok Token
+	ok := t.NextInto(&tok)
+	return tok, ok
+}
+
+// NextInto scans the next token into *tok, returning false at end of
+// input. It is Next without the struct-copy per call layer: streaming
+// callers reuse one Token value across the whole document. The Attrs
+// ownership note on Next applies.
+func (t *Tokenizer) NextInto(tok *Token) bool {
 	if t.pos >= len(t.src) {
-		return Token{}, false
+		return false
 	}
+	*tok = Token{}
 	if t.rawUntil != "" {
-		return t.nextRaw(), true
+		t.nextRaw(tok)
+		return true
 	}
 	if t.src[t.pos] == '<' && t.startsMarkup(t.pos) {
-		return t.nextMarkup(), true
+		t.nextMarkup(tok)
+		return true
 	}
-	return t.nextText(), true
+	t.nextText(tok)
+	return true
 }
 
 // startsMarkup reports whether the '<' at off begins markup rather
@@ -95,7 +163,7 @@ func (t *Tokenizer) startsMarkup(off int) bool {
 }
 
 // nextText consumes document text up to the next markup-starting '<'.
-func (t *Tokenizer) nextText() Token {
+func (t *Tokenizer) nextText(tok *Token) {
 	start := t.pos
 	i := start
 	for i < len(t.src) {
@@ -106,42 +174,40 @@ func (t *Tokenizer) nextText() Token {
 	}
 	t.pos = i
 	line, col := t.position(start)
-	return Token{
-		Type:    Text,
-		Text:    t.src[start:i],
-		Raw:     t.src[start:i],
-		Line:    line,
-		Col:     col,
-		EndLine: t.lineAt(max(start, i-1)),
-	}
+	tok.Type = Text
+	tok.Text = t.src[start:i]
+	tok.Raw = t.src[start:i]
+	tok.Line = line
+	tok.Col = col
+	tok.EndLine = t.lineAt(max(start, i-1))
 }
 
 // nextRaw consumes raw text until the closing tag of the raw element.
-func (t *Tokenizer) nextRaw() Token {
+// The scan is case-insensitive without lower-casing (and so copying)
+// the rest of the document, which made raw-text-heavy pages quadratic:
+// every SCRIPT element re-copied everything after it.
+func (t *Tokenizer) nextRaw(tok *Token) {
 	start := t.pos
-	needle := "</" + t.rawUntil
-	lower := strings.ToLower(t.src[start:])
-	idx := strings.Index(lower, needle)
+	idx := ascii.IndexFold(t.src[start:], t.rawNeedle)
 	end := len(t.src)
 	if idx >= 0 {
 		end = start + idx
 	}
 	t.pos = end
 	t.rawUntil = ""
+	t.rawNeedle = ""
 	line, col := t.position(start)
-	return Token{
-		Type:    Text,
-		Text:    t.src[start:end],
-		Raw:     t.src[start:end],
-		Line:    line,
-		Col:     col,
-		EndLine: t.lineAt(max(start, end-1)),
-		RawText: true,
-	}
+	tok.Type = Text
+	tok.Text = t.src[start:end]
+	tok.Raw = t.src[start:end]
+	tok.Line = line
+	tok.Col = col
+	tok.EndLine = t.lineAt(max(start, end-1))
+	tok.RawText = true
 }
 
 // nextMarkup consumes one tag, comment, or declaration.
-func (t *Tokenizer) nextMarkup() Token {
+func (t *Tokenizer) nextMarkup(tok *Token) {
 	start := t.pos
 	line, col := t.position(start)
 	next := t.src[start+1]
@@ -149,29 +215,30 @@ func (t *Tokenizer) nextMarkup() Token {
 	switch {
 	case next == '>': // "<>"
 		t.pos = start + 2
-		return Token{
-			Type: StartTag, Raw: t.src[start:t.pos],
-			Line: line, Col: col, EndLine: line, EmptyTag: true,
-		}
+		tok.Type = StartTag
+		tok.Raw = t.src[start:t.pos]
+		tok.Line, tok.Col, tok.EndLine = line, col, line
+		tok.EmptyTag = true
 	case next == '!':
 		if strings.HasPrefix(t.src[start:], "<!--") {
-			return t.nextComment(start, line, col)
+			t.nextComment(tok, start, line, col)
+			return
 		}
-		return t.nextDeclaration(start, line, col)
+		t.nextDeclaration(tok, start, line, col)
 	case next == '?':
-		return t.nextProcInst(start, line, col)
+		t.nextProcInst(tok, start, line, col)
 	case next == '/':
-		return t.nextTag(start, line, col, true)
+		t.nextTag(tok, start, line, col, true)
 	default:
-		return t.nextTag(start, line, col, false)
+		t.nextTag(tok, start, line, col, false)
 	}
 }
 
 // nextComment consumes an SGML comment.
-func (t *Tokenizer) nextComment(start, line, col int) Token {
+func (t *Tokenizer) nextComment(tok *Token, start, line, col int) {
 	bodyStart := start + 4 // past "<!--"
 	idx := strings.Index(t.src[bodyStart:], "-->")
-	tok := Token{Type: Comment, Line: line, Col: col}
+	tok.Type, tok.Line, tok.Col = Comment, line, col
 	if idx < 0 {
 		tok.Text = t.src[bodyStart:]
 		tok.Raw = t.src[start:]
@@ -184,46 +251,40 @@ func (t *Tokenizer) nextComment(start, line, col int) Token {
 		t.pos = end
 	}
 	tok.EndLine = t.lineAt(max(start, t.pos-1))
-	return tok
 }
 
 // nextDeclaration consumes <! ...> declarations, classifying DOCTYPE.
-func (t *Tokenizer) nextDeclaration(start, line, col int) Token {
+func (t *Tokenizer) nextDeclaration(tok *Token, start, line, col int) {
 	end, odd, unterminated := t.scanToGT(start + 2)
 	body := t.src[start+2 : end]
 	t.pos = end
 	if !unterminated {
 		t.pos = end + 1
 	}
-	tok := Token{
-		Type: Declaration, Text: body, Raw: t.src[start:t.pos],
-		Line: line, Col: col, EndLine: t.lineAt(max(start, t.pos-1)),
-		OddQuotes: odd, Unterminated: unterminated,
-	}
-	fields := strings.Fields(body)
-	if len(fields) > 0 && strings.EqualFold(fields[0], "doctype") {
+	tok.Type, tok.Text, tok.Raw = Declaration, body, t.src[start:t.pos]
+	tok.Line, tok.Col, tok.EndLine = line, col, t.lineAt(max(start, t.pos-1))
+	tok.OddQuotes, tok.Unterminated = odd, unterminated
+	if rest := strings.TrimLeft(body, " \t\r\n\f\v"); ascii.HasPrefixFold(rest, "doctype") &&
+		(len(rest) == len("doctype") || isSpace(rest[len("doctype")]) || rest[len("doctype")] == '\v') {
 		tok.Type = Doctype
 		tok.Name = "DOCTYPE"
 	}
-	return tok
 }
 
 // nextProcInst consumes a <? ... > processing instruction.
-func (t *Tokenizer) nextProcInst(start, line, col int) Token {
+func (t *Tokenizer) nextProcInst(tok *Token, start, line, col int) {
 	end, _, unterminated := t.scanToGT(start + 2)
 	t.pos = end
 	if !unterminated {
 		t.pos = end + 1
 	}
-	return Token{
-		Type: ProcInst, Text: t.src[start+2 : end], Raw: t.src[start:t.pos],
-		Line: line, Col: col, EndLine: t.lineAt(max(start, t.pos-1)),
-		Unterminated: unterminated,
-	}
+	tok.Type, tok.Text, tok.Raw = ProcInst, t.src[start+2:end], t.src[start:t.pos]
+	tok.Line, tok.Col, tok.EndLine = line, col, t.lineAt(max(start, t.pos-1))
+	tok.Unterminated = unterminated
 }
 
 // nextTag consumes a start or end tag, parsing its attributes.
-func (t *Tokenizer) nextTag(start, line, col int, closing bool) Token {
+func (t *Tokenizer) nextTag(tok *Token, start, line, col int, closing bool) {
 	nameStart := start + 1
 	if closing {
 		nameStart++
@@ -233,6 +294,7 @@ func (t *Tokenizer) nextTag(start, line, col int, closing bool) Token {
 		nameEnd++
 	}
 	name := t.src[nameStart:nameEnd]
+	lower := internLower(name)
 
 	end, odd, unterminated := t.scanToGT(nameEnd)
 	body := t.src[nameEnd:end]
@@ -241,12 +303,10 @@ func (t *Tokenizer) nextTag(start, line, col int, closing bool) Token {
 		t.pos = end + 1
 	}
 
-	tok := Token{
-		Type: StartTag, Name: name,
-		Raw:  t.src[start:t.pos],
-		Line: line, Col: col, EndLine: t.lineAt(max(start, t.pos-1)),
-		OddQuotes: odd, Unterminated: unterminated,
-	}
+	tok.Type, tok.Name, tok.Lower = StartTag, name, lower
+	tok.Raw = t.src[start:t.pos]
+	tok.Line, tok.Col, tok.EndLine = line, col, t.lineAt(max(start, t.pos-1))
+	tok.OddQuotes, tok.Unterminated = odd, unterminated
 	if closing {
 		tok.Type = EndTag
 	}
@@ -261,10 +321,27 @@ func (t *Tokenizer) nextTag(start, line, col int, closing bool) Token {
 
 	tok.Attrs = t.parseAttrs(body, nameEnd)
 
-	if tok.Type == StartTag && !unterminated && t.RawTextElements[strings.ToLower(name)] {
-		t.rawUntil = strings.ToLower(name)
+	if tok.Type == StartTag && !unterminated && t.RawTextElements[lower] {
+		t.rawUntil = lower
+		t.rawNeedle = rawNeedleFor(lower)
 	}
-	return tok
+}
+
+// rawNeedles precomputes the "</name" search needle for the default
+// raw-text elements; custom elements fall back to concatenation.
+var rawNeedles = func() map[string]string {
+	m := make(map[string]string, len(DefaultRawTextElements))
+	for name := range DefaultRawTextElements {
+		m[name] = "</" + name
+	}
+	return m
+}()
+
+func rawNeedleFor(lower string) string {
+	if n, ok := rawNeedles[lower]; ok {
+		return n
+	}
+	return "</" + lower
 }
 
 // scanToGT scans from off for the '>' terminating a tag, honouring
@@ -329,9 +406,11 @@ func (t *Tokenizer) scanToGT(off int) (end int, oddQuotes, unterminated bool) {
 }
 
 // parseAttrs parses the attribute section of a tag. base is the byte
-// offset of the section within the source, used for positions.
+// offset of the section within the source, used for positions. The
+// returned slice aliases t.attrBuf and is valid until the next Next
+// call.
 func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
-	var attrs []Attr
+	attrs := t.attrBuf[:0]
 	i := 0
 	for i < len(body) {
 		for i < len(body) && isSpace(body[i]) {
@@ -350,7 +429,7 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 			continue
 		}
 		line, col := t.position(base + nameStart)
-		attr := Attr{Name: name, Line: line, Col: col}
+		attr := Attr{Name: name, Lower: internLower(name), Line: line, Col: col}
 
 		j := i
 		for j < len(body) && isSpace(body[j]) {
@@ -386,6 +465,7 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 		}
 		attrs = append(attrs, attr)
 	}
+	t.attrBuf = attrs[:0]
 	return attrs
 }
 

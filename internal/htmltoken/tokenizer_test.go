@@ -395,3 +395,105 @@ func TestTypeString(t *testing.T) {
 		}
 	}
 }
+
+// TestTokenLowerInterned verifies tokens carry the lower-case tag and
+// attribute names the checker keys on, for every case variant.
+func TestTokenLowerInterned(t *testing.T) {
+	toks := Tokenize(`<IMG SRC="x.gif" Alt="y"><p CLASS="z"></P>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if toks[0].Lower != "img" || toks[1].Lower != "p" || toks[2].Lower != "p" {
+		t.Errorf("tag Lower = %q, %q, %q", toks[0].Lower, toks[1].Lower, toks[2].Lower)
+	}
+	if toks[0].Attrs[0].Lower != "src" || toks[0].Attrs[1].Lower != "alt" {
+		t.Errorf("attr Lower = %q, %q", toks[0].Attrs[0].Lower, toks[0].Attrs[1].Lower)
+	}
+	// Unknown names still get a correct lower-case form.
+	toks = Tokenize(`<CUSTOMWIDGET DATA-Thing="v">`)
+	if toks[0].Lower != "customwidget" || toks[0].Attrs[0].Lower != "data-thing" {
+		t.Errorf("unknown-name Lower = %q / %q", toks[0].Lower, toks[0].Attrs[0].Lower)
+	}
+}
+
+// TestRawTextMixedCaseCloseAtEOF exercises the indexFold scan edges:
+// a mixed-case closing tag, and raw text whose closing tag sits at the
+// very end of the input.
+func TestRawTextMixedCaseCloseAtEOF(t *testing.T) {
+	toks := Tokenize("<script>var s = 1;</ScRiPt>")
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if !toks[1].RawText || toks[1].Text != "var s = 1;" {
+		t.Errorf("raw token = %+v", toks[1])
+	}
+	if toks[2].Type != EndTag || toks[2].Lower != "script" {
+		t.Errorf("close token = %+v", toks[2])
+	}
+
+	// Needle truncated at EOF must not match: raw text runs out.
+	toks = Tokenize("<script>var s = 1;</scrip")
+	if len(toks) != 2 || toks[1].Text != "var s = 1;</scrip" {
+		t.Errorf("truncated close: %+v", toks)
+	}
+}
+
+// TestTokenizerReset verifies a reused tokenizer produces the same
+// stream a fresh one does, including line positions and raw-text state
+// left over from a previous document.
+func TestTokenizerReset(t *testing.T) {
+	docs := []string{
+		"<HTML>\n<BODY>\n<P>one</P>\n</BODY>\n</HTML>",
+		"<script>unclosed raw text",
+		"<P>plain\ntext</P>",
+	}
+	tz := New("")
+	for _, doc := range docs {
+		want := Tokenize(doc)
+		tz.Reset(doc)
+		var got []Token
+		var tok Token
+		for tz.NextInto(&tok) {
+			cp := tok
+			if len(cp.Attrs) > 0 {
+				cp.Attrs = append([]Attr(nil), cp.Attrs...)
+			}
+			got = append(got, cp)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("doc %q: got %d tokens, want %d", doc, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Type != want[i].Type || got[i].Raw != want[i].Raw ||
+				got[i].Line != want[i].Line || got[i].Col != want[i].Col {
+				t.Errorf("doc %q token %d: got %+v, want %+v", doc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTokenizeCopiesAttrs verifies Tokenize returns tokens whose Attrs
+// survive further scanning (they must not alias the reused buffer).
+func TestTokenizeCopiesAttrs(t *testing.T) {
+	toks := Tokenize(`<A HREF="one"><B></B><A HREF="two">`)
+	if toks[0].Attrs[0].Value != "one" || toks[3].Attrs[0].Value != "two" {
+		t.Errorf("attrs clobbered: %+v / %+v", toks[0].Attrs, toks[3].Attrs)
+	}
+}
+
+// TestDoctypeExoticWhitespace pins DOCTYPE classification for ASCII
+// whitespace variants between "<!" and the keyword.
+func TestDoctypeExoticWhitespace(t *testing.T) {
+	for _, src := range []string{
+		"<!DOCTYPE HTML>", "<! DOCTYPE HTML>", "<!\tDOCTYPE HTML>",
+		"<!\vDOCTYPE HTML>", "<!\fDOCTYPE\vHTML>",
+	} {
+		toks := Tokenize(src)
+		if len(toks) != 1 || toks[0].Type != Doctype {
+			t.Errorf("%q: got %v, want Doctype", src, toks[0].Type)
+		}
+	}
+	if toks := Tokenize("<!DOCTYPES HTML>"); toks[0].Type != Declaration {
+		t.Errorf("DOCTYPES prefix wrongly classified as Doctype")
+	}
+}

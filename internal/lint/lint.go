@@ -15,12 +15,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"weblint/internal/config"
 	"weblint/internal/core"
 	"weblint/internal/csslint"
 	"weblint/internal/htmlspec"
+	"weblint/internal/htmltoken"
 	"weblint/internal/plugin"
 	"weblint/internal/warn"
 )
@@ -48,13 +50,29 @@ type Options struct {
 
 // Linter checks HTML documents against a configured HTML version and
 // warning selection. A Linter is safe for concurrent use: each check
-// uses its own emitter and checker state.
+// borrows a private emitter/checker/tokenizer bundle from an internal
+// pool, so concurrent CheckString calls share nothing but the
+// immutable spec and the read-only warning set, and repeated checks
+// reuse the bundle's warmed-up buffers instead of reallocating them.
 type Linter struct {
 	set      *warn.Set
 	spec     *htmlspec.Spec
 	catalog  warn.Catalog
 	coreOpts core.Options
 	client   *http.Client
+
+	states sync.Pool // of *checkState
+}
+
+// releaseThreshold is the document size in bytes above which a pooled
+// checkState's document references are dropped before parking it.
+const releaseThreshold = 64 << 10
+
+// checkState is the per-check mutable machinery a Linter pools.
+type checkState struct {
+	em *warn.Emitter
+	ck *core.Checker
+	tz *htmltoken.Tokenizer
 }
 
 // New builds a Linter from options.
@@ -80,9 +98,9 @@ func New(o Options) (*Linter, error) {
 		}
 		spec = v
 	}
-	for _, ext := range s.Extensions {
-		spec.EnableExtension(ext)
-	}
+	// The version specs are shared and immutable; extensions go into a
+	// per-linter overlay so linters never contaminate each other.
+	spec = spec.WithExtensions(s.Extensions...)
 
 	client := o.HTTPClient
 	if client == nil {
@@ -98,7 +116,11 @@ func New(o Options) (*Linter, error) {
 		catalog = c
 	}
 
-	plugins := o.Plugins
+	// Copy the caller's plugin slice: appending the built-in checker
+	// to o.Plugins directly could write into (and clobber) spare
+	// capacity of the caller's backing array.
+	plugins := make([]plugin.ContentChecker, 0, len(o.Plugins)+1)
+	plugins = append(plugins, o.Plugins...)
 	if !o.NoBuiltinPlugins {
 		plugins = append(plugins, csslint.Checker{})
 	}
@@ -139,13 +161,39 @@ func (l *Linter) Set() *warn.Set { return l.set }
 
 // CheckString checks a document held in memory. name is used as the
 // file name in messages. Messages are returned in source order.
+//
+// The emitter, checker and tokenizer driving the check come from a
+// per-linter pool: the emitter reads the linter's warning set through
+// a read-only view (in-document "weblint:" directives land in a
+// per-check overlay, not in the shared set), and all per-document
+// state is recycled across calls.
 func (l *Linter) CheckString(name, src string) []warn.Message {
-	em := warn.NewEmitter(l.set.Clone())
-	em.SetCatalog(l.catalog)
+	st, _ := l.states.Get().(*checkState)
+	if st == nil {
+		em := warn.NewEmitter(l.set)
+		em.SetCatalog(l.catalog)
+		st = &checkState{
+			em: em,
+			ck: core.New(em, l.coreOpts),
+			tz: htmltoken.New(""),
+		}
+	}
 	opts := l.coreOpts
 	opts.Filename = name
-	core.Check(src, em, opts)
-	msgs := em.Messages()
+	st.em.Reset()
+	st.ck.Reset(st.em, opts)
+	st.tz.Reset(src)
+	st.ck.Run(st.tz)
+	msgs := st.em.CopyMessages()
+	// Drop the bundle's references into a large checked document
+	// before pooling it: an idle pool entry must not pin a huge source
+	// string until the next check happens to draw it. Below the
+	// threshold the sweep would cost more than the memory it frees.
+	if len(src) >= releaseThreshold {
+		st.tz.Release()
+		st.ck.Release()
+	}
+	l.states.Put(st)
 	warn.SortByLine(msgs)
 	return msgs
 }

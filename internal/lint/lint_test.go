@@ -10,6 +10,8 @@ import (
 
 	"weblint/internal/config"
 	"weblint/internal/core"
+	"weblint/internal/csslint"
+	"weblint/internal/plugin"
 )
 
 const brokenPage = `<HTML>
@@ -284,4 +286,85 @@ func TestCoreOptionsWiring(t *testing.T) {
 		t.Errorf("title-length with custom limit not reported: %v", msgs)
 	}
 	_ = core.Options{} // package used for documentation of the wiring
+}
+
+// TestLinterExtensionIsolation verifies that two linters with
+// different extensions enabled never observe each other's
+// configuration — the cross-linter contamination hazard the shared
+// memoized specs would otherwise introduce.
+func TestLinterExtensionIsolation(t *testing.T) {
+	mk := func(exts ...string) *Linter {
+		s := config.NewSettings()
+		s.Extensions = exts
+		return MustNew(Options{Settings: s})
+	}
+	plain := mk()
+	ns := mk("netscape")
+	ms := mk("microsoft")
+
+	const doc = "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>" +
+		"<BLINK>x</BLINK><MARQUEE>y</MARQUEE></BODY></HTML>"
+	count := func(l *Linter) map[string]int {
+		got := map[string]int{}
+		for _, m := range l.CheckString("t.html", doc) {
+			got[m.ID]++
+		}
+		return got
+	}
+
+	if got := count(ns); got["extension-markup"] != 1 {
+		t.Errorf("netscape linter: want 1 extension-markup (MARQUEE), got %v", got)
+	}
+	if got := count(ms); got["extension-markup"] != 1 {
+		t.Errorf("microsoft linter: want 1 extension-markup (BLINK), got %v", got)
+	}
+	// The plain linter must still report both, even after the other
+	// two linters were built from the same shared spec.
+	if got := count(plain); got["extension-markup"] != 2 {
+		t.Errorf("plain linter: want 2 extension-markup, got %v", got)
+	}
+}
+
+// TestPluginsSliceNotAliased verifies New copies the caller's plugin
+// slice rather than appending the built-in CSS checker into its spare
+// capacity, which would clobber the caller's backing array.
+func TestPluginsSliceNotAliased(t *testing.T) {
+	backing := make([]plugin.ContentChecker, 1, 2)
+	backing[0] = csslint.Checker{}
+	sentinel := backing[:2][1] // spare capacity, currently nil
+	if sentinel != nil {
+		t.Fatal("test setup: spare slot not nil")
+	}
+	MustNew(Options{Plugins: backing[:1]})
+	if got := backing[:2][1]; got != nil {
+		t.Errorf("New wrote %T into the caller's backing array", got)
+	}
+}
+
+// TestInlineDirectiveDoesNotLeak verifies a document's "weblint:"
+// directives affect only that check: the linter's shared warning set
+// must not be mutated, so the next document sees defaults again.
+func TestInlineDirectiveDoesNotLeak(t *testing.T) {
+	l := MustNew(Options{})
+	const silenced = "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>" +
+		"<!-- weblint: disable img-alt --><IMG SRC=\"x.gif\"></BODY></HTML>"
+	const plain = "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>" +
+		"<IMG SRC=\"x.gif\"></BODY></HTML>"
+	for _, m := range l.CheckString("a.html", silenced) {
+		if m.ID == "img-alt" {
+			t.Error("inline disable ignored")
+		}
+	}
+	found := false
+	for _, m := range l.CheckString("b.html", plain) {
+		if m.ID == "img-alt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inline disable leaked into the next check")
+	}
+	if !l.Set().Enabled("img-alt") {
+		t.Error("inline directive mutated the linter's shared set")
+	}
 }

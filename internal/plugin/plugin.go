@@ -12,7 +12,10 @@ package plugin
 
 // Report emits one message: a registered message identifier, the
 // 1-based line within the checked document, and the message's format
-// arguments.
+// arguments. String, int and bool arguments format allocation-free
+// (they are the types the registered %s/%d templates take, see
+// warn.Emitter.Emit); any other value is rendered with fmt.Sprint
+// before formatting.
 type Report func(id string, line int, args ...any)
 
 // ContentChecker validates the raw content of particular elements.

@@ -12,7 +12,9 @@ package warn
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
+	"strings"
 )
 
 // Category classifies an output message.
@@ -139,7 +141,7 @@ func IDs() []string {
 // SortedIDs returns all registered message IDs in lexical order.
 func SortedIDs() []string {
 	out := IDs()
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -168,17 +170,24 @@ func CountByCategory() map[Category]int {
 	return m
 }
 
+// setEntry pairs a message definition with its enablement, so the hot
+// path resolves both with one map lookup.
+type setEntry struct {
+	def *Def
+	on  bool
+}
+
 // Set is an enable/disable selection over the registry. The zero value
 // is not useful; construct with NewSet.
 type Set struct {
-	enabled map[string]bool
+	entries map[string]*setEntry
 }
 
 // NewSet returns a Set with every message at its registered default.
 func NewSet() *Set {
-	s := &Set{enabled: make(map[string]bool, len(registry))}
+	s := &Set{entries: make(map[string]*setEntry, len(registry))}
 	for id, d := range registry {
-		s.enabled[id] = d.Default
+		s.entries[id] = &setEntry{def: d, on: d.Default}
 	}
 	return s
 }
@@ -187,17 +196,18 @@ func NewSet() *Set {
 // including those disabled by default (the CLI's -pedantic mode).
 func AllEnabled() *Set {
 	s := NewSet()
-	for id := range s.enabled {
-		s.enabled[id] = true
+	for _, e := range s.entries {
+		e.on = true
 	}
 	return s
 }
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
-	c := &Set{enabled: make(map[string]bool, len(s.enabled))}
-	for k, v := range s.enabled {
-		c.enabled[k] = v
+	c := &Set{entries: make(map[string]*setEntry, len(s.entries))}
+	for k, e := range s.entries {
+		cp := *e
+		c.entries[k] = &cp
 	}
 	return c
 }
@@ -213,112 +223,311 @@ func (s *Set) Disable(id string) error { return s.set(id, false) }
 
 func (s *Set) set(id string, v bool) error {
 	if id == "all" {
-		for k := range s.enabled {
-			s.enabled[k] = v
+		for _, e := range s.entries {
+			e.on = v
 		}
 		return nil
 	}
 	if cat, ok := ParseCategory(id); ok {
-		for k, d := range registry {
+		for rid, d := range registry {
 			if d.Category == cat {
-				s.enabled[k] = v
+				s.entry(rid, d).on = v
 			}
 		}
 		return nil
 	}
-	if _, ok := registry[id]; !ok {
+	d := registry[id]
+	if d == nil {
 		return fmt.Errorf("warn: unknown warning identifier %q", id)
 	}
-	s.enabled[id] = v
+	s.entry(id, d).on = v
 	return nil
+}
+
+// entry returns the set's entry for id, materialising one (at the
+// registered default) for a message registered after the Set was
+// built — plugin registrations must remain configurable through any
+// existing Set, as they were when the set was a plain id→bool map.
+func (s *Set) entry(id string, d *Def) *setEntry {
+	if e, ok := s.entries[id]; ok {
+		return e
+	}
+	e := &setEntry{def: d, on: d.Default}
+	s.entries[id] = e
+	return e
 }
 
 // Enabled reports whether the message with the given ID is currently
 // enabled. Unknown IDs report false.
-func (s *Set) Enabled(id string) bool { return s.enabled[id] }
+func (s *Set) Enabled(id string) bool {
+	e := s.entries[id]
+	return e != nil && e.on
+}
 
 // EnabledIDs returns the identifiers of all enabled messages, sorted.
 func (s *Set) EnabledIDs() []string {
 	var out []string
-	for id, on := range s.enabled {
-		if on {
+	for id, e := range s.entries {
+		if e.on {
 			out = append(out, id)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
 // Emitter collects messages subject to an enablement Set. It is the
 // object the checker engine reports through; the zero value is not
 // useful, construct with NewEmitter.
+//
+// The emitter holds a read-only view of its Set: it never mutates the
+// set it was constructed with, so one Set can back any number of
+// emitters (and checks) concurrently. Runtime enablement changes — the
+// in-document "weblint:" directives — go through the emitter's own
+// Enable/Disable, which record the change in a private copy-on-write
+// overlay scoped to this emitter.
 type Emitter struct {
-	set      *Set
+	base     *Set            // read-only enablement baseline
+	overlay  map[string]bool // copy-on-write runtime overrides
 	catalog  Catalog
 	messages []Message
+	buf      []byte // scratch buffer for message formatting
 }
 
 // NewEmitter returns an Emitter filtering through set. A nil set means
-// the package defaults.
+// a fresh Set at the package defaults, private to this emitter. The
+// emitter holds set read-only; callers sharing one Set across several
+// emitters must not mutate it while checks are running (use the
+// emitter's Enable/Disable for per-check changes).
 func NewEmitter(set *Set) *Emitter {
 	if set == nil {
 		set = NewSet()
 	}
-	return &Emitter{set: set}
+	return &Emitter{base: set}
 }
 
 // SetCatalog installs a localisation catalog; message templates found
 // in the catalog replace the registered English ones.
 func (e *Emitter) SetCatalog(c Catalog) { e.catalog = c }
 
+// Enabled reports whether the message id is enabled for this emitter:
+// the runtime overlay wins, then the base set.
+func (e *Emitter) Enabled(id string) bool {
+	if e.overlay != nil {
+		if v, ok := e.overlay[id]; ok {
+			return v
+		}
+	}
+	return e.base.Enabled(id)
+}
+
+// Enable turns on a message ID or category for this emitter only. The
+// base set is untouched — the change lives in the emitter's overlay
+// and is dropped by Reset.
+func (e *Emitter) Enable(id string) error { return e.override(id, true) }
+
+// Disable turns off a message ID or category for this emitter only.
+func (e *Emitter) Disable(id string) error { return e.override(id, false) }
+
+func (e *Emitter) override(id string, v bool) error {
+	if id != "all" {
+		if cat, ok := ParseCategory(id); ok {
+			if e.overlay == nil {
+				e.overlay = make(map[string]bool, 16)
+			}
+			for k, d := range registry {
+				if d.Category == cat {
+					e.overlay[k] = v
+				}
+			}
+			return nil
+		}
+		if _, ok := registry[id]; !ok {
+			return fmt.Errorf("warn: unknown warning identifier %q", id)
+		}
+		if e.overlay == nil {
+			e.overlay = make(map[string]bool, 16)
+		}
+		e.overlay[id] = v
+		return nil
+	}
+	if e.overlay == nil {
+		e.overlay = make(map[string]bool, len(registry))
+	}
+	for k := range registry {
+		e.overlay[k] = v
+	}
+	return nil
+}
+
 // Emit formats and records the message id at file:line:col with the
 // given arguments, unless id is disabled. Emitting an unregistered id
 // panics: checker code must only reference registered messages.
+//
+// Args must be string, int, or bool values — the types the registered
+// %s/%d templates take. The restriction is what keeps the hot path
+// allocation-free: the formatter never hands args to fmt, so the
+// compiler can keep the variadic slice and its boxed values on the
+// caller's stack.
 func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
-	d := registry[id]
-	if d == nil {
-		panic("warn: emit of unregistered message id " + id)
+	var (
+		on bool
+		d  *Def
+	)
+	if ent := e.base.entries[id]; ent != nil {
+		on, d = ent.on, ent.def
+	} else {
+		// The id was registered after the base set was built. It is
+		// disabled until explicitly enabled — the behaviour a plain
+		// id→bool set always had for ids it doesn't know.
+		d = registry[id]
+		if d == nil {
+			panic("warn: emit of unregistered message id " + id)
+		}
 	}
-	if !e.set.Enabled(id) {
+	if e.overlay != nil {
+		if v, ok := e.overlay[id]; ok {
+			on = v
+		}
+	}
+	if !on {
 		return
 	}
 	format := d.Format
-	if t, ok := e.catalog[id]; ok {
-		format = t
+	if e.catalog != nil {
+		if t, ok := e.catalog[id]; ok {
+			format = t
+		}
 	}
+	e.buf = appendFormat(e.buf[:0], format, args)
 	e.messages = append(e.messages, Message{
 		ID:       id,
 		Category: d.Category,
 		File:     file,
 		Line:     line,
 		Col:      col,
-		Text:     fmt.Sprintf(format, args...),
+		Text:     string(e.buf),
 	})
+}
+
+// appendFormat renders a registered message template. It supports the
+// %s, %d and %% verbs the message tables use, mirroring fmt's
+// "%!s(MISSING)" notation for arity mismatches. It must never pass
+// args (or an element of args) to another function that retains them:
+// Emit's zero-allocation contract depends on args not escaping.
+func appendFormat(dst []byte, format string, args []any) []byte {
+	ai := 0
+	for i := 0; i < len(format); {
+		j := indexByteFrom(format, i, '%')
+		if j < 0 || j+1 >= len(format) {
+			dst = append(dst, format[i:]...)
+			break
+		}
+		dst = append(dst, format[i:j]...)
+		verb := format[j+1]
+		i = j + 2
+		switch verb {
+		case '%':
+			dst = append(dst, '%')
+			continue
+		case 's', 'd':
+			if ai >= len(args) {
+				dst = append(dst, "%!"...)
+				dst = append(dst, verb)
+				dst = append(dst, "(MISSING)"...)
+				continue
+			}
+			dst = appendArg(dst, verb, args[ai])
+			ai++
+		default:
+			// Not a verb the tables use; emit it literally so the
+			// problem is visible in the output.
+			dst = append(dst, '%', verb)
+		}
+	}
+	for ; ai < len(args); ai++ {
+		dst = append(dst, "%!(EXTRA "...)
+		dst = appendArg(dst, 'v', args[ai])
+		dst = append(dst, ')')
+	}
+	return dst
+}
+
+// indexByteFrom is strings.IndexByte over format[i:], returning an
+// index into format.
+func indexByteFrom(s string, i int, c byte) int {
+	j := strings.IndexByte(s[i:], c)
+	if j < 0 {
+		return -1
+	}
+	return i + j
+}
+
+// appendArg renders one argument. Only string, int and bool are
+// supported (see Emit); other types render as a diagnostic placeholder
+// rather than being handed to fmt, which would defeat escape analysis
+// for every Emit call site.
+func appendArg(dst []byte, verb byte, arg any) []byte {
+	switch v := arg.(type) {
+	case string:
+		return append(dst, v...)
+	case int:
+		return strconv.AppendInt(dst, int64(v), 10)
+	case bool:
+		return strconv.AppendBool(dst, v)
+	default:
+		dst = append(dst, "%!"...)
+		dst = append(dst, verb)
+		return append(dst, "(UNSUPPORTED)"...)
+	}
 }
 
 // Messages returns the messages collected so far, in emission order.
 // The returned slice is owned by the emitter; callers must not modify
-// it.
+// it, and it is only valid until the next Reset.
 func (e *Emitter) Messages() []Message { return e.messages }
 
-// Reset discards collected messages, retaining the enablement set.
-func (e *Emitter) Reset() { e.messages = e.messages[:0] }
+// CopyMessages returns an independent copy of the collected messages,
+// safe to retain after the emitter is Reset or returned to a pool.
+func (e *Emitter) CopyMessages() []Message {
+	if len(e.messages) == 0 {
+		return nil
+	}
+	out := make([]Message, len(e.messages))
+	copy(out, e.messages)
+	return out
+}
 
-// Set returns the enablement set the emitter filters through.
-func (e *Emitter) Set() *Set { return e.set }
+// Reset discards collected messages and any runtime Enable/Disable
+// overrides, retaining the base enablement set (and the message
+// capacity, so pooled emitters stop allocating once warm).
+func (e *Emitter) Reset() {
+	e.messages = e.messages[:0]
+	if len(e.overlay) > 0 {
+		clear(e.overlay)
+	}
+}
+
+// Set returns the base enablement set the emitter filters through.
+// The set is a read-only view: use the emitter's Enable/Disable for
+// runtime changes.
+func (e *Emitter) Set() *Set { return e.base }
 
 // SortByLine orders messages by (file, line, col) while keeping
 // emission order for equal positions. Checkers emit end-of-document
 // messages after body messages; sorting presents them in source order
 // the way weblint's output reads.
 func SortByLine(ms []Message) {
-	sort.SliceStable(ms, func(i, j int) bool {
-		if ms[i].File != ms[j].File {
-			return ms[i].File < ms[j].File
+	slices.SortStableFunc(ms, func(a, b Message) int {
+		if a.File != b.File {
+			if a.File < b.File {
+				return -1
+			}
+			return 1
 		}
-		if ms[i].Line != ms[j].Line {
-			return ms[i].Line < ms[j].Line
+		if a.Line != b.Line {
+			return a.Line - b.Line
 		}
-		return ms[i].Col < ms[j].Col
+		return a.Col - b.Col
 	})
 }

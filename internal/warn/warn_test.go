@@ -305,3 +305,50 @@ func TestWrap(t *testing.T) {
 		t.Errorf("wrap single word = %v", one)
 	}
 }
+
+// TestLateRegistrationConfigurable verifies a message registered after
+// a Set was built can still be enabled/disabled through that Set, and
+// stays silent until explicitly enabled (the semantics of the original
+// id→bool set).
+func TestLateRegistrationConfigurable(t *testing.T) {
+	s := NewSet()
+	Register(Def{
+		ID: "late-test-check", Category: Warning, Default: true,
+		Format: "late check: %s",
+	})
+	e := NewEmitter(s)
+	e.Emit("late-test-check", "f", 1, 0, "x")
+	if len(e.Messages()) != 0 {
+		t.Error("late-registered id emitted without being enabled in the set")
+	}
+	if err := s.Enable("late-test-check"); err != nil {
+		t.Fatalf("Enable of late-registered id: %v", err)
+	}
+	if !s.Enabled("late-test-check") {
+		t.Error("late-registered id not enabled after Enable")
+	}
+	e.Emit("late-test-check", "f", 1, 0, "x")
+	if len(e.Messages()) != 1 || e.Messages()[0].Text != "late check: x" {
+		t.Errorf("messages = %+v", e.Messages())
+	}
+	if err := s.Disable("late-test-check"); err != nil {
+		t.Fatalf("Disable of late-registered id: %v", err)
+	}
+	if s.Enabled("late-test-check") {
+		t.Error("still enabled after Disable")
+	}
+}
+
+// TestEmitterSetIsPrivate verifies NewEmitter(nil) emitters do not
+// share mutable state: disabling through one emitter's Set must not
+// affect another.
+func TestEmitterSetIsPrivate(t *testing.T) {
+	a := NewEmitter(nil)
+	b := NewEmitter(nil)
+	if err := a.Set().Disable("img-alt"); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Set().Enabled("img-alt") {
+		t.Error("mutating one nil-set emitter's Set affected another")
+	}
+}
