@@ -17,6 +17,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -24,6 +25,7 @@ import (
 	"weblint/internal/core"
 	"weblint/internal/corpus"
 	"weblint/internal/dtd"
+	"weblint/internal/engine"
 	"weblint/internal/gateway"
 	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
@@ -326,6 +328,59 @@ func BenchmarkE8SiteWalk(b *testing.B) {
 	}
 }
 
+// writeBenchSite materialises a generated site under a temp root and
+// returns the root, the page paths in sorted order, and total bytes.
+func writeBenchSite(b *testing.B, cfg corpus.SiteConfig) (root string, paths []string, bytes int64) {
+	b.Helper()
+	root = b.TempDir()
+	pages := corpus.GenerateSite(cfg)
+	for rel, content := range pages {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		paths = append(paths, full)
+		bytes += int64(len(content))
+	}
+	sort.Strings(paths)
+	return root, paths, bytes
+}
+
+// BenchmarkE10Batch measures the batch engine over a generated corpus
+// tree: whole-corpus MB/s is the number the ROADMAP's fleet workloads
+// care about. Run with -cpu 1,2,4 to see scaling; the worker count
+// follows GOMAXPROCS, and results are always in input order.
+func BenchmarkE10Batch(b *testing.B) {
+	_, paths, total := writeBenchSite(b, corpus.SiteConfig{
+		Seed: 17, Pages: 64, Subdirs: 4,
+		Errors: corpus.ErrorRates{Overlap: 0.2, DropClose: 0.2},
+	})
+	jobs := make([]engine.Job, len(paths))
+	for i, p := range paths {
+		jobs[i] = engine.Job{Path: p}
+	}
+	eng := engine.New(lint.MustNew(lint.Options{}))
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		eng.Run(jobs, func(r engine.Result) bool {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			n++
+			return true
+		})
+		if n != len(jobs) {
+			b.Fatalf("delivered %d results", n)
+		}
+	}
+}
+
 // BenchmarkE9RobotCrawl measures the poacher robot over a 25-page
 // httptest site, linting every page as it goes.
 func BenchmarkE9RobotCrawl(b *testing.B) {
@@ -352,6 +407,7 @@ func BenchmarkE9RobotCrawl(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := robot.NewRobot()
 		r.Client = srv.Client()
+		r.Prefetch = 4
 		fetched, err := r.Crawl(srv.URL+"/", func(p robot.Page) {
 			if p.Status == http.StatusOK {
 				l.CheckString(p.URL, p.Body)
@@ -363,6 +419,54 @@ func BenchmarkE9RobotCrawl(b *testing.B) {
 		if fetched != 25 {
 			b.Fatalf("fetched = %d", fetched)
 		}
+	}
+}
+
+// BenchmarkE8SiteWalkParallel is E8 with the parallel per-page phase:
+// same 30-page site, Workers following GOMAXPROCS (run with
+// -cpu 1,2,4). The Report is identical to the sequential walk's.
+func BenchmarkE8SiteWalkParallel(b *testing.B) {
+	root, _, total := writeBenchSite(b, corpus.SiteConfig{
+		Seed: 5, Pages: 30, Orphans: 2, BrokenLinks: 3, Subdirs: 3,
+	})
+	l := lint.MustNew(lint.Options{})
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sitewalk.Walk(root, sitewalk.Options{Linter: l})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Pages) != 30 {
+			b.Fatalf("pages = %d", len(rep.Pages))
+		}
+	}
+}
+
+// BenchmarkE7CheckFile measures a warm whole-file check. With the
+// pooled read buffer and the zero-copy CheckBytes bridge, a warm 1 MB
+// CheckFile no longer allocates for the document at all; the seed
+// paid an os.ReadFile allocation plus a full string(data) copy — two
+// megabytes of garbage per check at this size.
+func BenchmarkE7CheckFile(b *testing.B) {
+	for _, size := range []int{16 << 10, 1 << 20} {
+		src := corpus.GenerateSized(99, size, corpus.ErrorRates{})
+		dir := b.TempDir()
+		path := filepath.Join(dir, "doc.html")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("size-%dKB", size/1024), func(b *testing.B) {
+			l := lint.MustNew(lint.Options{})
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.CheckFile(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

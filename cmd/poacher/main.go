@@ -30,6 +30,7 @@ func run(args []string) int {
 	maxPages := fs.Int("max-pages", 200, "maximum pages to fetch")
 	maxDepth := fs.Int("max-depth", 16, "maximum link depth")
 	delay := fs.Duration("delay", 0, "politeness delay between requests")
+	prefetch := fs.Int("prefetch", 4, "pages fetched ahead of the linter (1 disables pipelining)")
 	checkExternal := fs.Bool("check-external", false, "also validate off-site links with HEAD requests")
 	quiet := fs.Bool("q", false, "only report problems, not progress")
 	short := fs.Bool("s", false, "short messages")
@@ -57,6 +58,7 @@ func run(args []string) int {
 	r.MaxPages = *maxPages
 	r.MaxDepth = *maxDepth
 	r.Delay = *delay
+	r.Prefetch = *prefetch
 
 	stats := robot.NewCrawlStats()
 	problems := false

@@ -8,6 +8,7 @@
 //
 //	weblint-bench          # run every experiment
 //	weblint-bench -e e5    # run one experiment
+//	weblint-bench -e e11   # batch engine corpus throughput
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"weblint/internal/config"
 	"weblint/internal/core"
 	"weblint/internal/corpus"
+	"weblint/internal/engine"
 	"weblint/internal/lint"
 	"weblint/internal/sitewalk"
 	"weblint/internal/validator"
@@ -55,7 +58,7 @@ var paperMessages = []string{
 }
 
 func main() {
-	which := flag.String("e", "all", "experiment to run (e1..e9 or all)")
+	which := flag.String("e", "all", "experiment to run (e1..e11 or all)")
 	flag.Parse()
 
 	experiments := []struct {
@@ -73,6 +76,7 @@ func main() {
 		{"e8", "-R site recursion (Section 4.5)", e8},
 		{"e9", "robot traversal (Section 4.5)", e9},
 		{"e10", "hot-path scaling (raw text + parallel gateway)", e10},
+		{"e11", "batch engine corpus throughput", e11},
 	}
 
 	ran := 0
@@ -303,6 +307,66 @@ func e10() {
 		total := workers * docsPerWorker
 		fmt.Printf("  %2d goroutines: %8.0f docs/sec\n",
 			workers, float64(total)/elapsed.Seconds())
+	}
+}
+
+// e11 is the batch mode: corpus-level MB/s through the parallel
+// engine, not single-document ns/op. It materialises a generated site
+// tree and lints the whole corpus at increasing worker counts; on
+// multi-core hardware MB/s scales with workers while the output
+// remains byte-identical (results are delivered in input order).
+func e11() {
+	root, err := os.MkdirTemp("", "weblint-e11")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer os.RemoveAll(root)
+	pages := corpus.GenerateSite(corpus.SiteConfig{
+		Seed: 17, Pages: 64, Subdirs: 4,
+		Errors: corpus.ErrorRates{Overlap: 0.2, DropClose: 0.2},
+	})
+	var jobs []engine.Job
+	var total int64
+	var rels []string
+	for rel := range pages {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		_ = os.MkdirAll(filepath.Dir(full), 0o755)
+		_ = os.WriteFile(full, []byte(pages[rel]), 0o644)
+		jobs = append(jobs, engine.Job{Path: full})
+		total += int64(len(pages[rel]))
+	}
+
+	l := lint.MustNew(lint.Options{})
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	fmt.Printf("corpus: %d pages, %.1f KB total\n", len(jobs), float64(total)/1024)
+	fmt.Printf("%-10s %12s %12s %10s\n", "workers", "time/corpus", "MB/s", "messages")
+	const rounds = 10
+	for _, workers := range workerCounts {
+		eng := &engine.Engine{Linter: l, Workers: workers}
+		msgs := 0
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			msgs = 0
+			eng.Run(jobs, func(r engine.Result) bool {
+				if r.Err != nil {
+					fmt.Fprintln(os.Stderr, "weblint-bench:", r.Err)
+					os.Exit(2)
+				}
+				msgs += len(r.Messages)
+				return true
+			})
+		}
+		per := time.Since(start) / rounds
+		mbs := float64(total) / per.Seconds() / 1e6
+		fmt.Printf("%-10d %12s %12.1f %10d\n", workers, per.Round(time.Microsecond), mbs, msgs)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"weblint/internal/config"
+	"weblint/internal/engine"
 	"weblint/internal/lint"
 	"weblint/internal/sitewalk"
 	"weblint/internal/warn"
@@ -46,6 +47,7 @@ type cli struct {
 	urlMode  bool
 	list     bool
 	version  bool
+	jobs     int
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -66,6 +68,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.urlMode, "u", false, "arguments are URLs to retrieve and check")
 	fs.BoolVar(&c.list, "l", false, "list supported warnings and their state, then exit")
 	fs.BoolVar(&c.version, "version", false, "print version and exit")
+	fs.IntVar(&c.jobs, "j", 0, "parallel lint workers (default: number of CPUs for files and -R, 1 for -u; output order is unaffected)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: weblint [options] file.html ... | -u URL ... | -R dir | -\n")
 		fs.PrintDefaults()
@@ -111,6 +114,39 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Multi-document runs go through the batch engine: documents are
+	// linted on -j workers (default: all CPUs) and reported in input
+	// order, so the output is byte-identical to a sequential run.
+	if jobs, ok := batchJobs(&c, files); ok {
+		workers := c.jobs
+		if workers <= 0 && c.urlMode {
+			// URL batches stay sequential unless -j asks for more:
+			// parallel GETs against someone's server must be opt-in,
+			// the same politeness default the robot keeps.
+			workers = 1
+		}
+		eng := &engine.Engine{Linter: linter, Workers: workers}
+		var firstErr error
+		eng.Run(jobs, func(r engine.Result) bool {
+			if r.Err != nil {
+				// Stop the batch like the sequential path stops: no
+				// further files are read (or URLs fetched).
+				firstErr = r.Err
+				return false
+			}
+			report(r.Messages)
+			return true
+		})
+		if firstErr != nil {
+			fmt.Fprintf(stderr, "weblint: %v\n", firstErr)
+			return 2
+		}
+		if problems {
+			return 1
+		}
+		return 0
+	}
+
 	for _, arg := range files {
 		switch {
 		case arg == "-":
@@ -138,7 +174,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "weblint: %s is a directory (use -R to check a site)\n", arg)
 					return 2
 				}
-				rep, err := sitewalk.Walk(arg, sitewalk.Options{Linter: linter})
+				rep, err := sitewalk.Walk(arg, sitewalk.Options{Linter: linter, Workers: c.jobs})
 				if err != nil {
 					fmt.Fprintf(stderr, "weblint: %v\n", err)
 					return 2
@@ -159,6 +195,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// batchJobs decides whether the argument list can run through the
+// batch engine and builds its jobs. Only multi-argument runs over
+// plain files (or, with -u, URLs) batch; stdin, directories and
+// unstattable arguments keep the sequential path so error handling is
+// exactly the seed behaviour.
+func batchJobs(c *cli, files []string) ([]engine.Job, bool) {
+	if len(files) < 2 {
+		return nil, false
+	}
+	jobs := make([]engine.Job, len(files))
+	for i, arg := range files {
+		if arg == "-" {
+			return nil, false
+		}
+		if c.urlMode {
+			jobs[i] = engine.Job{URL: arg}
+			continue
+		}
+		st, err := os.Stat(arg)
+		if err != nil || st.IsDir() {
+			return nil, false
+		}
+		jobs[i] = engine.Job{Path: arg}
+	}
+	return jobs, true
 }
 
 // buildSettings performs the configuration layering of the paper's

@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 const section42 = `<HTML>
@@ -250,5 +253,106 @@ func TestMissingFileError(t *testing.T) {
 	code, _, stderr := runCLI(t, "", "-norc", "/nonexistent/file.html")
 	if code != 2 || stderr == "" {
 		t.Errorf("missing file: code=%d", code)
+	}
+}
+
+// TestBatchMultiFile checks the -j batch path: many files on the
+// command line produce exactly the output of checking them one at a
+// time, in argument order, for any worker count.
+func TestBatchMultiFile(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 12; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("p%02d.html", i))
+		if err := os.WriteFile(p, []byte(section42), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	_, want, _ := runCLI(t, "", append([]string{"-norc", "-t", "-j", "1"}, paths...)...)
+	if want == "" {
+		t.Fatal("sequential run produced no output")
+	}
+	for _, j := range []string{"0", "4", "32"} {
+		code, out, stderr := runCLI(t, "", append([]string{"-norc", "-t", "-j", j}, paths...)...)
+		if code != 1 {
+			t.Errorf("-j %s: code=%d stderr=%q", j, code, stderr)
+		}
+		if out != want {
+			t.Errorf("-j %s output differs from sequential run", j)
+		}
+	}
+}
+
+// TestBatchErrorMidRun: a failing document mid-batch reports earlier
+// documents' messages, then the error, with exit 2 — like the
+// sequential path — and cancels the rest of the batch. URL mode is
+// used because URL jobs always take the engine path (file jobs that
+// fail os.Stat fall back to the sequential loop by design).
+func TestBatchErrorMidRun(t *testing.T) {
+	var served atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		if strings.HasPrefix(r.URL.Path, "/bad") {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = io.WriteString(w, section42)
+	}))
+	defer srv.Close()
+
+	args := []string{"-norc", "-t", "-j", "2", srv.URL + "/ok", srv.URL + "/bad"}
+	for i := 0; i < 30; i++ {
+		args = append(args, fmt.Sprintf("%s/p%d", srv.URL, i))
+	}
+	code, out, stderr := runCLI(t, "", append([]string{"-u"}, args...)...)
+	if code != 2 {
+		t.Errorf("code = %d, want 2 (stderr=%q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "/bad") {
+		t.Errorf("stderr does not name the failing URL: %q", stderr)
+	}
+	// The first URL's messages were reported before the failure.
+	if !strings.Contains(out, srv.URL+"/ok:1:doctype-first") {
+		t.Errorf("messages before the failing URL missing: %q", out)
+	}
+	// The error cancelled the batch: far fewer than all 32 URLs were
+	// ever requested.
+	if n := served.Load(); n > 16 {
+		t.Errorf("%d URLs fetched after a mid-batch error cancelled the run", n)
+	}
+}
+
+// TestURLModeSequentialDefault: without -j, URL batches run one fetch
+// at a time (politeness), so requests arrive strictly sequentially.
+func TestURLModeSequentialDefault(t *testing.T) {
+	var inflight, maxInflight atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			old := maxInflight.Load()
+			if cur <= old || maxInflight.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = io.WriteString(w, "<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x</P></BODY></HTML>")
+	}))
+	defer srv.Close()
+
+	args := []string{"-norc"}
+	for i := 0; i < 8; i++ {
+		args = append(args, fmt.Sprintf("%s/p%d", srv.URL, i))
+	}
+	code, _, stderr := runCLI(t, "", append([]string{"-u"}, args...)...)
+	if code != 0 {
+		t.Fatalf("code = %d, stderr=%q", code, stderr)
+	}
+	if maxInflight.Load() > 1 {
+		t.Errorf("URL mode without -j ran %d concurrent fetches, want 1", maxInflight.Load())
 	}
 }

@@ -14,8 +14,8 @@ func TestToLower(t *testing.T) {
 		{"ScRiPt", "script"},
 		{"a-b.c:d_9", "a-b.c:d_9"},
 		{"MIXED text 123", "mixed text 123"},
-		{"caf\xc3\xa9", "caf\xc3\xa9"},         // UTF-8 bytes pass through
-		{"CAF\xc3\x89", "caf\xc3\x89"},         // only ASCII letters fold
+		{"caf\xc3\xa9", "caf\xc3\xa9"},           // UTF-8 bytes pass through
+		{"CAF\xc3\x89", "caf\xc3\x89"},           // only ASCII letters fold
 		{"\x00\x7f\x80\xff", "\x00\x7f\x80\xff"}, // non-letter bytes untouched
 	}
 	for _, c := range cases {

@@ -1,0 +1,43 @@
+// Package bytestr is the zero-copy boundary between []byte I/O and
+// the string-typed lint pipeline.
+//
+// Documents arrive as []byte (os.ReadFile, HTTP bodies, upload forms)
+// but the tokenizer, checker and link extractor all slice strings out
+// of the source. Converting with string(data) copies the whole
+// document once per check — the single largest allocation on the
+// intake path. String provides the bridge without the copy.
+//
+// # Safety contract
+//
+// String(b) aliases b's backing array. The caller must not mutate b
+// while any code is reading the returned string. In this codebase the
+// contract is easy to honour because a check is synchronous: lint
+// holds the source only for the duration of the Check* call, every
+// emitted message copies the text it needs (warn.Emitter formats into
+// its own buffer), and linkcheck.Scan clones extracted values — so
+// once a Check* call returns, the caller may reuse or recycle the
+// buffer freely. Pooled tokenizer/checker state may retain stale
+// references into a recycled buffer between checks, but that state is
+// Reset before it is ever read again.
+package bytestr
+
+import "unsafe"
+
+// String returns a string view of b without copying. See the package
+// comment for the aliasing contract.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// Bytes returns a []byte view of s without copying. The result must
+// be treated as read-only: writing through it would mutate string
+// memory, which the runtime assumes is immutable.
+func Bytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}

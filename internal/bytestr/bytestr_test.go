@@ -1,0 +1,35 @@
+package bytestr
+
+import "testing"
+
+func TestStringAliases(t *testing.T) {
+	b := []byte("hello")
+	s := String(b)
+	if s != "hello" {
+		t.Fatalf("String = %q", s)
+	}
+	b[0] = 'j'
+	if s != "jello" {
+		t.Fatalf("String does not alias its input: %q", s)
+	}
+}
+
+func TestStringEmpty(t *testing.T) {
+	if got := String(nil); got != "" {
+		t.Fatalf("String(nil) = %q", got)
+	}
+	if got := String([]byte{}); got != "" {
+		t.Fatalf("String(empty) = %q", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := "abc"
+	b := Bytes(s)
+	if string(b) != "abc" {
+		t.Fatalf("Bytes = %q", b)
+	}
+	if Bytes("") != nil {
+		t.Fatal("Bytes(\"\") should be nil")
+	}
+}

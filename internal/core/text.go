@@ -32,13 +32,28 @@ func (c *Checker) text(tok *htmltoken.Token) {
 					// only; stringify anything else (error, Stringer,
 					// float, ...) here on the cold plugin path so
 					// third-party checkers keep Report's fmt-style
-					// argument behaviour.
-					for i, a := range args {
+					// argument behaviour. Stringify into a copy: a
+					// spread slice shares the caller's backing array,
+					// which the plugin may still own and reuse.
+					needCopy := false
+					for _, a := range args {
 						switch a.(type) {
 						case string, int, bool:
 						default:
-							args[i] = fmt.Sprint(a)
+							needCopy = true
 						}
+					}
+					if needCopy {
+						cp := make([]any, len(args))
+						for i, a := range args {
+							switch a.(type) {
+							case string, int, bool:
+								cp[i] = a
+							default:
+								cp[i] = fmt.Sprint(a)
+							}
+						}
+						args = cp
 					}
 					c.emit(id, line, args...)
 				})

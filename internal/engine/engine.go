@@ -1,0 +1,301 @@
+// Package engine implements weblint's parallel batch-lint engine: a
+// bounded worker pool that takes a stream of lint jobs (a path, a URL,
+// or in-memory bytes), checks them on GOMAXPROCS workers through one
+// shared Linter, and streams results back in deterministic input
+// order.
+//
+// Every fleet surface in the repo lints a corpus, not a page: the
+// multi-file command line, the -R site recursion, and the poacher
+// robot. The engine is the shared substrate: it owns the scheduling,
+// the surfaces own the jobs. Ordering is part of the contract — the
+// output of a parallel run is byte-identical to the sequential run
+// regardless of how the scheduler interleaves workers, so adding -j
+// can never change what a build log or a diff-based test sees.
+//
+// # Concurrency model
+//
+// One Linter is shared by all workers; it is safe for concurrent use
+// (each check borrows pooled per-check state, and the spec and warning
+// set are read-only). Results are buffered per input slot: the
+// dispatcher allocates a single-result cell per job and queues the
+// cells in input order, workers fill cells as they finish, and the
+// collector drains cells strictly in queue order. A window bounds how
+// far computation may run ahead of the collector, so a slow early
+// document cannot make a fast batch buffer unbounded results.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"weblint/internal/lint"
+	"weblint/internal/warn"
+)
+
+// Job names one document for the engine. Exactly one of Src, Path and
+// URL should be set; they are consulted in that order.
+type Job struct {
+	// Name labels the document in messages. When empty it defaults to
+	// Path or URL.
+	Name string
+	// Path is a file to read from disk.
+	Path string
+	// URL is a page to retrieve over HTTP.
+	URL string
+	// Src is an in-memory document, checked zero-copy; it must not be
+	// mutated until the job's Result has been delivered.
+	Src []byte
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Index is the job's position in the input stream, counting from
+	// zero. Results are always delivered in increasing Index order.
+	Index int
+	// Name is the document name messages carry.
+	Name string
+	// Messages are the diagnostics, in source order.
+	Messages []warn.Message
+	// Err is set when the document could not be obtained (unreadable
+	// file, failed fetch) or the check panicked. An errored job never
+	// stops the batch: remaining jobs still run and deliver.
+	Err error
+}
+
+// Engine is a reusable batch-lint configuration. The zero value lints
+// with a default Linter on GOMAXPROCS workers; an Engine may be shared
+// and its Run/Stream methods called concurrently.
+type Engine struct {
+	// Linter checks the documents; nil means a default Linter,
+	// constructed once on first use.
+	Linter *lint.Linter
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Window bounds how many results may be buffered ahead of the
+	// collector; <= 0 means 4x the worker count.
+	Window int
+
+	defaultOnce   sync.Once
+	defaultLinter *lint.Linter
+}
+
+// New returns an Engine checking through l (nil for a default Linter).
+func New(l *lint.Linter) *Engine {
+	return &Engine{Linter: l}
+}
+
+func (e *Engine) linter() *lint.Linter {
+	if e.Linter != nil {
+		return e.Linter
+	}
+	e.defaultOnce.Do(func() { e.defaultLinter = lint.MustNew(lint.Options{}) })
+	return e.defaultLinter
+}
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) window() int {
+	if e.Window > 0 {
+		return e.Window
+	}
+	return 4 * e.workers()
+}
+
+// Run lints every job and calls emit once per job, in input order,
+// from the calling goroutine. Returning false from emit cancels the
+// batch: no further jobs are dispatched, already-dispatched jobs
+// finish and are discarded, and Run returns once the pool drains.
+func (e *Engine) Run(jobs []Job, emit func(Result) bool) {
+	OrderedSlice(e.workers(), e.window(), jobs, e.lintJob, func(_ int, r Result) bool { return emit(r) })
+}
+
+// RunAll lints every job and returns the results in input order; a
+// convenience for batches small enough to hold in memory at once.
+func (e *Engine) RunAll(jobs []Job) []Result {
+	out := make([]Result, 0, len(jobs))
+	e.Run(jobs, func(r Result) bool { out = append(out, r); return true })
+	return out
+}
+
+// Stream lints jobs as they arrive on the channel and delivers results
+// on the returned channel in input order. The result channel is closed
+// once the input channel has been closed and every job delivered.
+//
+// The caller must either drain the result channel or call cancel
+// (idempotent, safe to defer): a consumer that simply stops reading
+// would otherwise wedge the collector and leak the pool. After cancel,
+// remaining input is drained unprocessed and the result channel is
+// closed once in-flight jobs finish. The jobs channel must still be
+// closed by the caller — cancel releases the workers, but a drain
+// goroutine stays parked on jobs until it closes.
+func (e *Engine) Stream(jobs <-chan Job) (results <-chan Result, cancel func()) {
+	out := make(chan Result)
+	quit := make(chan struct{})
+	var once sync.Once
+	cancel = func() { once.Do(func() { close(quit) }) }
+	seq := make(chan indexed[Job])
+	go func() {
+		defer close(seq)
+		i := 0
+		for j := range jobs {
+			select {
+			case seq <- indexed[Job]{i, j}:
+				i++
+			case <-quit:
+				// Unblock the caller's feeder before bowing out.
+				for range jobs {
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		defer close(out)
+		Ordered(e.workers(), e.window(), seq,
+			func(sj indexed[Job]) Result { return e.lintJob(sj.i, sj.r) },
+			func(r Result) bool {
+				select {
+				case out <- r:
+					return true
+				case <-quit:
+					return false
+				}
+			})
+	}()
+	return out, cancel
+}
+
+// lintJob checks one job, recovering panics into Result.Err so a
+// poisoned document cannot wedge the pool.
+func (e *Engine) lintJob(idx int, j Job) (res Result) {
+	res.Index = idx
+	res.Name = j.Name
+	defer func() {
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("engine: check of %s panicked: %v", res.Name, p)
+		}
+	}()
+	l := e.linter()
+	switch {
+	case j.Src != nil:
+		if res.Name == "" {
+			res.Name = "-"
+		}
+		res.Messages = l.CheckBytes(res.Name, j.Src)
+	case j.Path != "":
+		if res.Name == "" {
+			res.Name = j.Path
+		}
+		res.Messages, res.Err = l.CheckFile(j.Path)
+	case j.URL != "":
+		if res.Name == "" {
+			res.Name = j.URL
+		}
+		res.Messages, res.Err = l.CheckURL(j.URL)
+	default:
+		res.Err = errors.New("engine: job has no source (Src, Path or URL)")
+	}
+	return res
+}
+
+// Ordered is the fan-out/fan-in core: it runs fn over the jobs channel
+// on `workers` goroutines and calls emit with every result, in input
+// order, from the calling goroutine. Each job gets a one-slot result
+// cell; cells enter a queue in dispatch order and the caller drains
+// them in that order, so emission overlaps the computation of later
+// jobs but never reorders. window bounds how many jobs may be past
+// dispatch and not yet emitted.
+//
+// Returning false from emit cancels the run: dispatch stops (a job or
+// two already racing past the window may still run), in-flight jobs
+// finish and are discarded, and any remaining input is drained
+// unprocessed so the feeding goroutine is never stranded. Ordered
+// returns when the workers have exited.
+func Ordered[J, R any](workers, window int, jobs <-chan J, fn func(J) R, emit func(R) bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	if window < workers {
+		window = workers
+	}
+	type task struct {
+		j    J
+		cell chan R
+	}
+	tasks := make(chan task)
+	order := make(chan chan R, window)
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				t.cell <- fn(t.j)
+			}
+		}()
+	}
+	go func() {
+	dispatch:
+		for j := range jobs {
+			// The unconditional check first: once stop is closed, at
+			// most one more job (already past this line) dispatches,
+			// even when the window also has room.
+			select {
+			case <-stop:
+				break dispatch
+			default:
+			}
+			cell := make(chan R, 1)
+			select {
+			case <-stop:
+				break dispatch
+			case order <- cell: // blocks when the window is full
+			}
+			tasks <- task{j, cell}
+		}
+		close(tasks)
+		// Unblock the feeder: after a cancel there may be unread input.
+		for range jobs {
+		}
+		wg.Wait()
+		close(order)
+	}()
+	stopped := false
+	for cell := range order {
+		r := <-cell
+		if !stopped && !emit(r) {
+			stopped = true
+			close(stop)
+		}
+	}
+}
+
+// indexed pairs a value with its input position.
+type indexed[R any] struct {
+	i int
+	r R
+}
+
+// OrderedSlice is Ordered over a slice, passing each element's index
+// through to fn and emit.
+func OrderedSlice[J, R any](workers, window int, jobs []J, fn func(int, J) R, emit func(int, R) bool) {
+	ch := make(chan int)
+	go func() {
+		for i := range jobs {
+			ch <- i
+		}
+		close(ch)
+	}()
+	Ordered(workers, window, ch,
+		func(i int) indexed[R] { return indexed[R]{i, fn(i, jobs[i])} },
+		func(out indexed[R]) bool { return emit(out.i, out.r) })
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"weblint/internal/ascii"
+	"weblint/internal/bytestr"
 )
 
 // Quote-recovery limits: when a quoted attribute value runs past this
@@ -64,6 +65,13 @@ func (t *Tokenizer) Reset(src string) {
 	}
 }
 
+// ResetBytes is Reset over a byte slice, without copying it. Token
+// substrings alias src: the caller must not mutate src until the last
+// token from this document has been consumed (see bytestr).
+func (t *Tokenizer) ResetBytes(src []byte) {
+	t.Reset(bytestr.String(src))
+}
+
 // Release drops the references a parked tokenizer retains into the
 // last document: the source string itself and the attribute substrings
 // left in spare attrBuf capacity. Pools should call it before storing
@@ -94,6 +102,13 @@ func Tokenize(src string) []Token {
 		}
 		out = append(out, tok)
 	}
+}
+
+// TokenizeBytes is Tokenize over a byte slice, without copying it.
+// Token substrings alias src; the caller must not mutate src while the
+// tokens are in use.
+func TokenizeBytes(src []byte) []Token {
+	return Tokenize(bytestr.String(src))
 }
 
 // position translates a byte offset into a 1-based line and column.

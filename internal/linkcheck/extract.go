@@ -8,6 +8,7 @@ package linkcheck
 import (
 	"strings"
 
+	"weblint/internal/bytestr"
 	"weblint/internal/htmltoken"
 )
 
@@ -21,6 +22,18 @@ type Link struct {
 	// (lower-case), e.g. "a"/"href" or "img"/"src".
 	Element, Attr string
 }
+
+// linkElem maps any case-folded element name in linkAttrs to a
+// canonical string constant, so Link.Element never aliases the
+// scanned document (tok.Lower is a source substring for lower-case
+// markup — see Scan's no-aliasing contract).
+var linkElem = func() map[string]string {
+	m := make(map[string]string, len(linkAttrs))
+	for name := range linkAttrs {
+		m[name] = name
+	}
+	return m
+}()
 
 // linkAttrs maps element names to the attributes which hold URLs.
 var linkAttrs = map[string][]string{
@@ -48,50 +61,70 @@ var linkAttrs = map[string][]string{
 	"del":        {"cite"},
 }
 
-// Extract returns every outbound link in the document, in source
-// order.
-func Extract(src string) []Link {
-	var out []Link
-	for _, tok := range htmltoken.Tokenize(src) {
-		if tok.Type != htmltoken.StartTag || tok.OddQuotes {
+// Scan extracts the outbound links and the defined fragment anchors
+// (<A NAME=...> and ID attributes) of a document in one tokenizer
+// pass. The seed walked the token stream once per question; the site
+// walker asks both, so Scan answers both.
+//
+// Nothing in the result aliases src: every URL and anchor name is
+// copied out, so the caller may drop or recycle the source the moment
+// Scan returns. That property is what keeps a large site walk's
+// memory flat — the link graph retains kilobytes of extracted
+// strings, not every page's full text.
+func Scan(src string) (links []Link, anchors map[string]bool) {
+	anchors = map[string]bool{}
+	tz := htmltoken.New(src)
+	var tok htmltoken.Token
+	for tz.NextInto(&tok) {
+		if tok.Type != htmltoken.StartTag {
 			continue
 		}
-		attrs, ok := linkAttrs[strings.ToLower(tok.Name)]
+		if tok.Lower == "a" {
+			if at := tok.Attr("name"); at != nil && at.HasValue {
+				anchors[strings.Clone(at.Value)] = true
+			}
+		}
+		if at := tok.Attr("id"); at != nil && at.HasValue {
+			anchors[strings.Clone(at.Value)] = true
+		}
+		if tok.OddQuotes {
+			continue
+		}
+		attrs, ok := linkAttrs[tok.Lower]
 		if !ok {
 			continue
 		}
 		for _, name := range attrs {
 			if at := tok.Attr(name); at != nil && at.HasValue && at.Value != "" {
-				out = append(out, Link{
-					URL:     at.Value,
+				links = append(links, Link{
+					URL:     strings.Clone(at.Value),
 					Line:    at.Line,
-					Element: strings.ToLower(tok.Name),
+					Element: linkElem[tok.Lower],
 					Attr:    name,
 				})
 			}
 		}
 	}
-	return out
+	return links, anchors
+}
+
+// ScanBytes is Scan over a byte slice, without copying the document.
+func ScanBytes(src []byte) (links []Link, anchors map[string]bool) {
+	return Scan(bytestr.String(src))
+}
+
+// Extract returns every outbound link in the document, in source
+// order. The returned URLs are copies; they never alias src.
+func Extract(src string) []Link {
+	links, _ := Scan(src)
+	return links
 }
 
 // Anchors returns the fragment anchor names defined in the document
 // (<A NAME=...> and ID attributes), for fragment link validation.
 func Anchors(src string) map[string]bool {
-	out := map[string]bool{}
-	for _, tok := range htmltoken.Tokenize(src) {
-		if tok.Type != htmltoken.StartTag {
-			continue
-		}
-		if strings.EqualFold(tok.Name, "a") {
-			if at := tok.Attr("name"); at != nil && at.HasValue {
-				out[at.Value] = true
-			}
-		}
-		if at := tok.Attr("id"); at != nil && at.HasValue {
-			out[at.Value] = true
-		}
-	}
-	return out
+	_, anchors := Scan(src)
+	return anchors
 }
 
 // IsExternal reports whether a link leaves the local filesystem: it

@@ -11,6 +11,7 @@
 package lint
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +19,8 @@ import (
 	"sync"
 	"time"
 
+	"weblint/internal/bufpool"
+	"weblint/internal/bytestr"
 	"weblint/internal/config"
 	"weblint/internal/core"
 	"weblint/internal/csslint"
@@ -198,22 +201,48 @@ func (l *Linter) CheckString(name, src string) []warn.Message {
 	return msgs
 }
 
-// CheckReader checks a document read from r.
-func (l *Linter) CheckReader(name string, r io.Reader) ([]warn.Message, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("lint: reading %s: %w", name, err)
-	}
-	return l.CheckString(name, string(data)), nil
+// CheckBytes checks an in-memory document without copying it: the
+// tokenizer reads src through a zero-copy string view (see bytestr).
+// src must not be mutated while the call is in progress; once it
+// returns, every message owns its text and the caller may reuse or
+// recycle the buffer freely.
+func (l *Linter) CheckBytes(name string, src []byte) []warn.Message {
+	return l.CheckString(name, bytestr.String(src))
 }
 
-// CheckFile checks a document on disk.
+// CheckReader checks a document read from r. The read buffer comes
+// from a shared pool, so a warm server checks each request without a
+// per-document io.ReadAll allocation.
+func (l *Linter) CheckReader(name string, r io.Reader) ([]warn.Message, error) {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", name, err)
+	}
+	return l.CheckBytes(name, buf.Bytes()), nil
+}
+
+// CheckFile checks a document on disk, reading it into a pooled
+// buffer: a warm CheckFile does not allocate for the document at all
+// (the seed paid one allocation for the read plus a full string(data)
+// copy per file).
 func (l *Linter) CheckFile(path string) ([]warn.Message, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return l.CheckString(path, string(data)), nil
+	defer f.Close()
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if st, err := f.Stat(); err == nil && st.Size() > 0 && st.Size() < int64(^uint(0)>>1)-bytes.MinRead {
+		// The MinRead margin lets ReadFrom hit EOF without one last
+		// grow-and-copy of the whole buffer.
+		buf.Grow(int(st.Size()) + bytes.MinRead)
+	}
+	if _, err := buf.ReadFrom(f); err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", path, err)
+	}
+	return l.CheckBytes(path, buf.Bytes()), nil
 }
 
 // CheckURL retrieves a page over HTTP and checks it. The URL is used

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"weblint/internal/bytestr"
 	"weblint/internal/linkcheck"
 )
 
@@ -57,6 +58,15 @@ type Robot struct {
 	// IgnoreRobotsTxt skips the robots exclusion protocol; only
 	// appropriate when checking your own server.
 	IgnoreRobotsTxt bool
+	// Prefetch bounds how many page fetches may be in flight ahead of
+	// the visitor, overlapping network latency with the visitor's
+	// linting. Zero or one means strictly sequential requests — the
+	// polite default for a robot — and a politeness Delay forces
+	// sequential fetching regardless; poacher opts into a pipeline of
+	// 4. Pages are still delivered to the visitor in exact
+	// breadth-first order, so prefetching never changes what a crawl
+	// reports.
+	Prefetch int
 }
 
 // NewRobot returns a Robot with the defaults used by poacher.
@@ -81,6 +91,14 @@ func (r *Robot) userAgent() string {
 // Crawl traverses the site breadth-first from start, invoking visit
 // for every fetched page (including error pages, so the visitor can
 // report broken links). It returns the number of pages fetched.
+//
+// Fetching is pipelined: up to Prefetch pages from the front of the
+// frontier are retrieved concurrently while the visitor processes
+// earlier ones, so network latency overlaps linting. Delivery order
+// is still exact breadth-first order — each in-flight fetch has its
+// own result slot and the visitor drains slots in dispatch order — so
+// a pipelined crawl visits the same pages in the same order as a
+// sequential one.
 func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
 	base, err := url.Parse(start)
 	if err != nil {
@@ -98,6 +116,12 @@ func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
 	if maxDepth <= 0 {
 		maxDepth = 16
 	}
+	prefetch := r.Prefetch
+	if prefetch <= 0 || r.Delay > 0 {
+		// Sequential by default, and always under a politeness delay:
+		// one request at a time, spaced out.
+		prefetch = 1
+	}
 
 	var policy *RobotsPolicy
 	if !r.IgnoreRobotsTxt {
@@ -113,29 +137,54 @@ func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
 	fetched := 0
 	var lastFetch time.Time
 
-	for len(queue) > 0 && fetched < maxPages {
-		it := queue[0]
-		queue = queue[1:]
-
-		if policy != nil && !policy.Allowed(it.u.Path) {
-			continue
-		}
-		if r.Delay > 0 {
-			if since := time.Since(lastFetch); since < r.Delay {
-				time.Sleep(r.Delay - since)
+	// inflight holds one result slot per dispatched fetch, in dispatch
+	// order. dispatch fills the pipeline from the frontier; the main
+	// loop drains the oldest slot, visits, and extends the frontier.
+	type slot struct {
+		ch    chan Page
+		u     *url.URL
+		depth int
+	}
+	var inflight []slot
+	dispatched := 0
+	dispatch := func() {
+		for len(inflight) < prefetch && len(queue) > 0 && dispatched < maxPages {
+			it := queue[0]
+			queue = queue[1:]
+			if policy != nil && !policy.Allowed(it.u.Path) {
+				continue
 			}
+			if r.Delay > 0 {
+				if since := time.Since(lastFetch); since < r.Delay {
+					time.Sleep(r.Delay - since)
+				}
+			}
+			lastFetch = time.Now()
+			ch := make(chan Page, 1)
+			inflight = append(inflight, slot{ch, it.u, it.depth})
+			dispatched++
+			go func(u *url.URL, depth int) {
+				ch <- r.fetch(u, depth)
+			}(it.u, it.depth)
 		}
-		lastFetch = time.Now()
+	}
 
-		page := r.fetch(it.u, it.depth)
+	for {
+		dispatch()
+		if len(inflight) == 0 {
+			break
+		}
+		s := inflight[0]
+		inflight = inflight[1:]
+		page := <-s.ch
 		fetched++
 		visit(page)
 
-		if page.Err != nil || page.Status != http.StatusOK || it.depth >= maxDepth {
+		if page.Err != nil || page.Status != http.StatusOK || s.depth >= maxDepth {
 			continue
 		}
 		for _, link := range page.Links {
-			next, err := it.u.Parse(link.URL)
+			next, err := s.u.Parse(link.URL)
 			if err != nil {
 				continue
 			}
@@ -151,7 +200,7 @@ func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
 				continue
 			}
 			seen[key] = true
-			queue = append(queue, item{next, it.depth + 1})
+			queue = append(queue, item{next, s.depth + 1})
 		}
 	}
 	return fetched, nil
@@ -182,7 +231,9 @@ func (r *Robot) fetch(u *url.URL, depth int) Page {
 		page.Err = err
 		return page
 	}
-	page.Body = string(body)
+	// The freshly read buffer is never written again: view it as a
+	// string instead of copying all 4 MB-worth of page once more.
+	page.Body = bytestr.String(body)
 	page.Links = linkcheck.Extract(page.Body)
 	return page
 }

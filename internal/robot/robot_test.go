@@ -348,3 +348,62 @@ func TestCrawlRejectsBadStart(t *testing.T) {
 		t.Error("malformed start accepted")
 	}
 }
+
+// TestPrefetchOrderEquivalence: the pipelined crawl must visit exactly
+// the pages a sequential crawl visits, in the same breadth-first
+// order, for any prefetch depth.
+func TestPrefetchOrderEquivalence(t *testing.T) {
+	pages := corpus.GenerateSite(corpus.SiteConfig{
+		Seed: 21, Pages: 18, BrokenLinks: 2, Subdirs: 2,
+	})
+	srv := siteServer(t, pages, "")
+	defer srv.Close()
+
+	crawl := func(prefetch int) []string {
+		r := NewRobot()
+		r.Client = srv.Client()
+		r.Prefetch = prefetch
+		var order []string
+		if _, err := r.Crawl(srv.URL+"/", func(p Page) { order = append(order, p.URL) }); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+
+	want := crawl(1)
+	if len(want) == 0 {
+		t.Fatal("sequential crawl visited nothing")
+	}
+	for _, prefetch := range []int{2, 8, 64} {
+		got := crawl(prefetch)
+		if len(got) != len(want) {
+			t.Fatalf("prefetch=%d visited %d pages, sequential %d", prefetch, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("prefetch=%d: visit %d is %s, sequential visited %s", prefetch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPrefetchMaxPages: the pipeline must not fetch past MaxPages even
+// with a deep prefetch window.
+func TestPrefetchMaxPages(t *testing.T) {
+	pages := corpus.GenerateSite(corpus.SiteConfig{Seed: 4, Pages: 20})
+	srv := siteServer(t, pages, "")
+	defer srv.Close()
+
+	r := NewRobot()
+	r.Client = srv.Client()
+	r.MaxPages = 5
+	r.Prefetch = 16
+	visited := 0
+	fetched, err := r.Crawl(srv.URL+"/", func(p Page) { visited++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetched != 5 || visited != 5 {
+		t.Errorf("fetched=%d visited=%d, want 5", fetched, visited)
+	}
+}

@@ -5,6 +5,14 @@
 // and reporting orphan pages (which are not referred to by any other
 // page checked). Local relative links are verified against the
 // filesystem.
+//
+// The per-page phase (read, lint, extract links and anchors) runs on a
+// bounded worker pool — Options.Workers, default GOMAXPROCS — and the
+// link graph is merged in page order after each page completes, so the
+// Report is identical to a sequential walk regardless of scheduling.
+// Each page's source is read into a pooled buffer and dropped as soon
+// as its links and anchors have been extracted: the walk's memory is
+// bounded by the in-flight window, not by the size of the site.
 package sitewalk
 
 import (
@@ -12,9 +20,12 @@ import (
 	"os"
 	"path"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
+	"weblint/internal/bufpool"
+	"weblint/internal/engine"
 	"weblint/internal/linkcheck"
 	"weblint/internal/lint"
 	"weblint/internal/warn"
@@ -36,6 +47,10 @@ type Options struct {
 	// CollectExternal gathers external URLs for a remote link
 	// checker to validate.
 	CollectExternal bool
+	// Workers is the number of parallel workers for the per-page
+	// read/lint/extract phase; 0 means GOMAXPROCS, 1 forces a
+	// sequential walk. The Report is identical for every value.
+	Workers int
 }
 
 // Report is the outcome of walking a site.
@@ -112,59 +127,45 @@ func Walk(root string, o Options) (*Report, error) {
 		pageSet[p] = true
 	}
 
-	// Per-page checks plus link graph construction.
+	// Per-page phase: read, lint, extract links and anchors, and
+	// resolve link targets, in parallel. Each worker drops the page
+	// source (a pooled buffer) before returning — only the extracted
+	// strings survive into the merge. Results are merged in page order,
+	// so the link graph and the message stream come out exactly as a
+	// sequential walk produces them.
 	referenced := map[string]bool{}
 	external := map[string]bool{}
 	anchors := map[string]map[string]bool{} // page -> defined anchors
-	type fragRef struct {
-		page, target, frag string
-		line               int
-	}
 	var fragRefs []fragRef
-	for _, page := range pages {
-		full := filepath.Join(root, filepath.FromSlash(page))
-		data, err := os.ReadFile(full)
-		if err != nil {
-			return nil, err
-		}
-		src := string(data)
-		rep.Messages = append(rep.Messages, o.Linter.CheckString(page, src)...)
-		anchors[page] = linkcheck.Anchors(src)
-
-		for _, link := range linkcheck.Extract(src) {
-			if linkcheck.IsExternal(link.URL) {
-				external[link.URL] = true
-				continue
+	var walkErr error
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	engine.OrderedSlice(workers, 0, pages,
+		func(_ int, page string) pageResult {
+			return checkPage(root, page, &o, pageSet)
+		},
+		func(_ int, res pageResult) bool {
+			if res.err != nil {
+				// Cancel the batch: in-flight pages finish and are
+				// discarded, undispatched pages are never read.
+				walkErr = res.err
+				return false
 			}
-			if _, frag := linkcheck.SplitFragment(link.URL); frag != "" {
-				target := resolveLocal(page, link.URL)
-				if target == "" {
-					target = page // fragment-only: same page
-				}
-				fragRefs = append(fragRefs, fragRef{page, target, frag, link.Line})
+			rep.Messages = append(rep.Messages, res.msgs...)
+			anchors[res.page] = res.anchors
+			for _, t := range res.refs {
+				referenced[t] = true
 			}
-			target := resolveLocal(page, link.URL)
-			if target == "" {
-				continue // fragment-only or empty reference
+			for _, u := range res.external {
+				external[u] = true
 			}
-			// Directory references resolve through index files.
-			if resolved, ok := resolveIndex(root, target, o.IndexNames); ok {
-				target = resolved
-			}
-			if pageSet[target] {
-				if target != page {
-					referenced[target] = true
-				}
-				continue
-			}
-			if !o.SkipLocalLinks && !existsLocal(root, target) {
-				rep.Messages = append(rep.Messages, warn.Message{
-					ID: "bad-link", Category: warn.Error,
-					File: page, Line: link.Line,
-					Text: "target for anchor \"" + link.URL + "\" not found",
-				})
-			}
-		}
+			fragRefs = append(fragRefs, res.fragRefs...)
+			return true
+		})
+	if walkErr != nil {
+		return nil, walkErr
 	}
 
 	// Fragment targets: a link's #anchor must be defined in the page
@@ -223,6 +224,89 @@ func Walk(root string, o Options) (*Report, error) {
 		sort.Strings(rep.External)
 	}
 	return rep, nil
+}
+
+// fragRef records a link to a fragment anchor, validated after every
+// page's anchors are known.
+type fragRef struct {
+	page, target, frag string
+	line               int
+}
+
+// pageResult carries everything the merge phase needs from one page.
+// It deliberately holds only extracted strings, never the source.
+type pageResult struct {
+	page     string
+	err      error
+	msgs     []warn.Message  // lint messages, then bad-link messages
+	anchors  map[string]bool // fragment anchors defined in the page
+	refs     []string        // local pages this page references
+	external []string        // external URLs found
+	fragRefs []fragRef
+}
+
+// checkPage reads, lints and link-scans one page. It runs on a worker
+// goroutine: everything it touches is either private, immutable for
+// the duration of the walk (Options, pageSet), or safe for concurrent
+// use (the Linter, os.Stat). The page source lives in a pooled buffer
+// that is released before returning — messages own their text and the
+// link scan clones what it extracts.
+func checkPage(root, page string, o *Options, pageSet map[string]bool) pageResult {
+	res := pageResult{page: page}
+	full := filepath.Join(root, filepath.FromSlash(page))
+	f, err := os.Open(full)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	_, err = buf.ReadFrom(f)
+	f.Close()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	src := buf.Bytes()
+	res.msgs = o.Linter.CheckBytes(page, src)
+	var links []linkcheck.Link
+	links, res.anchors = linkcheck.ScanBytes(src)
+
+	for _, link := range links {
+		if linkcheck.IsExternal(link.URL) {
+			res.external = append(res.external, link.URL)
+			continue
+		}
+		target := resolveLocal(page, link.URL)
+		if _, frag := linkcheck.SplitFragment(link.URL); frag != "" {
+			fragTarget := target
+			if fragTarget == "" {
+				fragTarget = page // fragment-only: same page
+			}
+			res.fragRefs = append(res.fragRefs, fragRef{page, fragTarget, frag, link.Line})
+		}
+		if target == "" {
+			continue // fragment-only or empty reference
+		}
+		// Directory references resolve through index files.
+		if resolved, ok := resolveIndex(root, target, o.IndexNames); ok {
+			target = resolved
+		}
+		if pageSet[target] {
+			if target != page {
+				res.refs = append(res.refs, target)
+			}
+			continue
+		}
+		if !o.SkipLocalLinks && !existsLocal(root, target) {
+			res.msgs = append(res.msgs, warn.Message{
+				ID: "bad-link", Category: warn.Error,
+				File: page, Line: link.Line,
+				Text: "target for anchor \"" + link.URL + "\" not found",
+			})
+		}
+	}
+	return res
 }
 
 // resolveLocal resolves a relative link found in page (a root-relative

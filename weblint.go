@@ -19,10 +19,44 @@
 // impose any specific definition of style". See the warn registry for
 // the full message inventory and cmd/weblint for the command-line
 // tool.
+//
+// # Zero-copy intake
+//
+// Documents that already exist as bytes — files, HTTP bodies, upload
+// buffers — are checked without a string conversion copy through
+// [Linter.CheckBytes]. The contract is simple because a check is
+// synchronous: the caller must not mutate the slice while the call is
+// in progress, and once it returns every Message owns its text, so
+// the buffer may be reused or recycled immediately. CheckFile and
+// CheckReader are built on it and read documents into pooled buffers:
+// a warm check does not allocate for the document at all.
+//
+// # Checking a corpus
+//
+// Every real weblint deployment checks a fleet of documents: weblint
+// *.html, the -R site recursion, the poacher robot. The batch engine
+// lints a stream of jobs on GOMAXPROCS workers (one shared Linter —
+// safe for concurrent use; the HTML spec and warning set are read-only
+// and per-check state is pooled) and delivers results in deterministic
+// input order — results are buffered per input slot, so the output of
+// a parallel run is byte-identical to the sequential run however the
+// scheduler interleaves workers:
+//
+//	eng := weblint.NewBatchEngine(l) // Workers defaults to GOMAXPROCS
+//	eng.Run(jobs, func(r weblint.BatchResult) bool {
+//		for _, m := range r.Messages {
+//			fmt.Println(weblint.LintStyle.Format(m))
+//		}
+//		return true // false cancels the rest of the batch
+//	})
+//
+// The command-line tool exposes the same engine as weblint -j N, and
+// sitewalk.Walk runs its per-page phase on it.
 package weblint
 
 import (
 	"weblint/internal/config"
+	"weblint/internal/engine"
 	"weblint/internal/lint"
 	"weblint/internal/plugin"
 	"weblint/internal/warn"
@@ -91,9 +125,32 @@ func MustNew(o Options) *Linter { return lint.MustNew(o) }
 // direct field adjustment.
 func NewSettings() *Settings { return config.NewSettings() }
 
+// BatchJob names one document for the batch engine: set exactly one
+// of Src (in-memory bytes, checked zero-copy), Path, or URL.
+type BatchJob = engine.Job
+
+// BatchResult is the outcome of one batch job, delivered in input
+// order.
+type BatchResult = engine.Result
+
+// BatchEngine lints a stream of jobs on a bounded worker pool and
+// delivers results in deterministic input order. See NewBatchEngine.
+type BatchEngine = engine.Engine
+
+// NewBatchEngine returns a batch engine checking through l (nil for a
+// default Linter) on GOMAXPROCS workers.
+func NewBatchEngine(l *Linter) *BatchEngine { return engine.New(l) }
+
 // CheckString checks an in-memory document with default options.
 func CheckString(name, src string) []Message {
 	return lint.MustNew(lint.Options{}).CheckString(name, src)
+}
+
+// CheckBytes checks an in-memory document with default options,
+// without copying it; see Linter.CheckBytes for the aliasing
+// contract.
+func CheckBytes(name string, src []byte) []Message {
+	return lint.MustNew(lint.Options{}).CheckBytes(name, src)
 }
 
 // CheckFile checks a file on disk with default options.
