@@ -490,3 +490,45 @@ func BenchmarkE9Gateway(b *testing.B) {
 		_ = resp.Body.Close()
 	}
 }
+
+// BenchmarkE12Streaming measures the streaming seam on a large
+// multi-finding document: CheckStringTo with a counting sink delivers
+// every message incrementally without materialising the slice, so the
+// only per-message cost left is the message text itself. The slice
+// sub-benchmark is the same document through the collect-and-sort
+// API, for comparison.
+func BenchmarkE12Streaming(b *testing.B) {
+	var doc strings.Builder
+	doc.WriteString("<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>\n")
+	for i := 0; i < 20000; i++ {
+		doc.WriteString("<IMG SRC=\"x.gif\">\n") // img-alt + img-size per line
+	}
+	doc.WriteString("</BODY></HTML>\n")
+	src := doc.String()
+
+	l := lint.MustNew(lint.Options{})
+	const wantMin = 20000 // one img-alt per generated line
+
+	b.Run("sink", func(b *testing.B) {
+		var count int
+		sink := warn.SinkFunc(func(warn.Message) bool { count++; return true })
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count = 0
+			l.CheckStringTo("big.html", src, sink)
+			if count < wantMin {
+				b.Fatalf("streamed %d messages", count)
+			}
+		}
+	})
+	b.Run("slice", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := len(l.CheckString("big.html", src)); got < wantMin {
+				b.Fatalf("collected %d messages", got)
+			}
+		}
+	})
+}

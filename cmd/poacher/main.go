@@ -2,6 +2,12 @@
 // accessible pages on a site, runs weblint over each, and performs
 // basic link validation, as described in the paper's Section 4.5.
 //
+// Diagnostics — lint findings, broken pages, broken external links —
+// flow through one renderer sink, so the crawl can report as human
+// text or as a machine-readable stream (-format json, -format sarif)
+// for CI. Exit status follows -fail-on: 0 when no finding reaches the
+// threshold, 1 when one does, 2 on operational errors.
+//
 // Usage:
 //
 //	poacher [-max-pages 200] [-delay 500ms] [-check-external] http://site/
@@ -17,6 +23,7 @@ import (
 
 	"weblint/internal/linkcheck"
 	"weblint/internal/lint"
+	"weblint/internal/render"
 	"weblint/internal/robot"
 	"weblint/internal/warn"
 )
@@ -33,7 +40,9 @@ func run(args []string) int {
 	prefetch := fs.Int("prefetch", 4, "pages fetched ahead of the linter (1 disables pipelining)")
 	checkExternal := fs.Bool("check-external", false, "also validate off-site links with HEAD requests")
 	quiet := fs.Bool("q", false, "only report problems, not progress")
-	short := fs.Bool("s", false, "short messages")
+	short := fs.Bool("s", false, "short messages (same as -format short)")
+	format := fs.String("format", "", "output format: lint, short, terse, verbose, json, sarif")
+	failOn := fs.String("fail-on", "any", "lowest severity that fails the crawl: error, warning, style (or any), never")
 	pedantic := fs.Bool("pedantic", false, "enable all warnings")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,14 +53,52 @@ func run(args []string) int {
 	}
 	start := fs.Arg(0)
 
+	style := *format
+	if style == "" {
+		style = "lint"
+		if *short {
+			style = "short"
+		}
+	}
+	threshold, ok := warn.ParseFailOn(*failOn)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "poacher: unknown -fail-on threshold %q\n", *failOn)
+		return 2
+	}
+
 	linter, err := lint.New(lint.Options{Pedantic: *pedantic})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
 		return 2
 	}
-	var formatter warn.Formatter = warn.Lint{}
-	if *short {
-		formatter = warn.Short{}
+	renderer, err := render.New(style, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
+		return 2
+	}
+	var sum warn.Summary
+	counting := sum.Sink(renderer)
+	// write honours the sink contract: once the renderer cancels,
+	// nothing more is written and the crawl stops instead of politely
+	// fetching pages nobody will see. Line-based renderers cancel as
+	// soon as the output dies (closed pipe); sarif only writes at
+	// Close, so a dead output surfaces there as an exit-2 error.
+	cancelled := false
+	write := func(m warn.Message) bool {
+		if cancelled {
+			return false
+		}
+		if !counting.Write(m) {
+			cancelled = true
+		}
+		return !cancelled
+	}
+
+	// Machine-readable stdout must stay a pure diagnostics document:
+	// progress and crawl statistics move to stderr for json/sarif.
+	aux := os.Stdout
+	if style == "json" || style == "sarif" {
+		aux = os.Stderr
 	}
 
 	r := robot.NewRobot()
@@ -61,40 +108,45 @@ func run(args []string) int {
 	r.Prefetch = *prefetch
 
 	stats := robot.NewCrawlStats()
-	problems := false
 	external := map[string]bool{}
 
-	_, err = r.Crawl(start, func(p robot.Page) {
+	_, err = r.CrawlWhile(start, func(p robot.Page) bool {
 		stats.Record(p)
 		switch {
 		case p.Err != nil:
-			fmt.Printf("%s: fetch error: %v\n", p.URL, p.Err)
-			problems = true
-			return
+			return write(warn.Message{
+				ID: "bad-link", Category: warn.Error,
+				File: p.URL, Line: 1,
+				Text: fmt.Sprintf("fetch error: %v", p.Err),
+			})
 		case p.Status != http.StatusOK:
-			fmt.Printf("%s: HTTP %d\n", p.URL, p.Status)
-			problems = true
-			return
+			return write(warn.Message{
+				ID: "bad-link", Category: warn.Error,
+				File: p.URL, Line: 1,
+				Text: fmt.Sprintf("HTTP %d", p.Status),
+			})
 		}
 		if !*quiet {
-			fmt.Printf("checking %s (%d links)\n", p.URL, len(p.Links))
+			fmt.Fprintf(aux, "checking %s (%d links)\n", p.URL, len(p.Links))
 		}
 		for _, m := range linter.CheckString(p.URL, p.Body) {
-			fmt.Println(formatter.Format(m))
-			problems = true
+			if !write(m) {
+				return false
+			}
 		}
 		for _, l := range p.Links {
 			if linkcheck.IsExternal(l.URL) {
 				external[l.URL] = true
 			}
 		}
+		return true
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
 		return 2
 	}
 
-	if *checkExternal && len(external) > 0 {
+	if *checkExternal && !cancelled && len(external) > 0 {
 		var urls []string
 		for u := range external {
 			urls = append(urls, u)
@@ -104,19 +156,28 @@ func run(args []string) int {
 			UserAgent: "poacher/2.0",
 			Client:    &http.Client{Timeout: 10 * time.Second},
 		}
-		for u, res := range checker.CheckAll(urls) {
-			if !res.OK {
-				fmt.Printf("broken external link: %s\n", res.String())
-				problems = true
+		results := checker.CheckAll(urls)
+		for _, u := range urls { // sorted: deterministic stream order
+			if res, ok := results[u]; ok && !res.OK {
+				if !write(warn.Message{
+					ID: "bad-link", Category: warn.Error,
+					File: res.URL, Line: 1,
+					Text: "broken external link: " + res.String(),
+				}) {
+					break
+				}
 			}
-			_ = u
 		}
 	}
 
-	if !*quiet {
-		fmt.Print(stats.Summary())
+	if err := renderer.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
+		return 2
 	}
-	if problems {
+	if !*quiet {
+		fmt.Fprint(aux, stats.Summary())
+	}
+	if sum.Failures(threshold) > 0 {
 		return 1
 	}
 	return 0

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"weblint/internal/corpus"
@@ -102,5 +104,88 @@ func TestPoacherBadStartURL(t *testing.T) {
 	code, _ := capture(t, "ftp://example.org/")
 	if code != 2 {
 		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestPoacherJSONFormat: -format json keeps stdout a pure JSON Lines
+// diagnostics stream (progress and stats move to stderr) and reports
+// broken pages as bad-link findings.
+func TestPoacherJSONFormat(t *testing.T) {
+	srv := testSite(t)
+	code, out := capture(t, "-format", "json", srv.URL+"/")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	sawLint, sawBroken := false, false
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		var m struct {
+			ID       string `json:"id"`
+			Category string `json:"category"`
+			File     string `json:"file"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("stdout line %q is not JSON: %v", line, err)
+		}
+		if m.ID == "bad-link" && m.Category == "error" {
+			sawBroken = true
+		}
+		if m.ID == "unknown-element" {
+			sawLint = true
+		}
+	}
+	if !sawLint || !sawBroken {
+		t.Errorf("stream missing findings (lint=%v broken=%v):\n%s", sawLint, sawBroken, out)
+	}
+}
+
+// TestPoacherFailOn: -fail-on never reports but exits 0.
+func TestPoacherFailOn(t *testing.T) {
+	srv := testSite(t)
+	code, out := capture(t, "-fail-on", "never", "-s", srv.URL+"/")
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 under -fail-on never", code)
+	}
+	if !strings.Contains(out, "unknown element") {
+		t.Errorf("findings still reported under -fail-on never: %s", out)
+	}
+	if code, _ := capture(t, "-fail-on", "fatal", srv.URL+"/"); code != 2 {
+		t.Errorf("bad -fail-on exit = %d, want 2", code)
+	}
+}
+
+// TestPoacherStopsOnClosedPipe: when stdout goes away mid-crawl (the
+// `poacher ... | head` case), the renderer sink cancels and the crawl
+// stops promptly instead of fetching the rest of the site.
+func TestPoacherStopsOnClosedPipe(t *testing.T) {
+	var served atomic.Int32
+	var srvURL string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "text/html")
+		// Broken page (no doctype/title) with a link chain, so every
+		// page writes findings and extends the frontier.
+		fmt.Fprintf(w, `<HTML><BODY><A HREF="%s/p%d">next</A></BODY></HTML>`, srvURL, served.Load())
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	srvURL = srv.URL
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Close() // reader gone: the first flushed write fails
+	os.Stdout = w
+	code := run([]string{"-q", "-max-pages", "200", srvURL + "/"})
+	_ = w.Close()
+	os.Stdout = old
+
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 (write failure is operational)", code)
+	}
+	if n := served.Load(); n > 20 {
+		t.Errorf("%d pages fetched after stdout closed; crawl did not cancel", n)
 	}
 }

@@ -7,8 +7,16 @@
 //	weblint -R site-directory
 //	weblint - < page.html
 //
-// Exit status is 0 when no problems were found, 1 when problems were
-// reported, and 2 on usage or I/O errors.
+// Diagnostics stream through a renderer sink selected with -format:
+// the traditional human styles (lint, short, terse, verbose) or the
+// machine-readable json (JSON Lines) and sarif (SARIF 2.1.0, the
+// format GitHub code scanning ingests). Output is identical for any
+// -j worker count.
+//
+// Exit status is policy-driven via -fail-on: 0 when no finding
+// reaches the threshold, 1 when one does, and 2 on operational errors
+// (usage mistakes, unreadable files, failed fetches) — operational
+// errors are never conflated with findings.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"weblint/internal/config"
 	"weblint/internal/engine"
 	"weblint/internal/lint"
+	"weblint/internal/render"
 	"weblint/internal/sitewalk"
 	"weblint/internal/warn"
 )
@@ -36,6 +45,8 @@ type cli struct {
 	short    bool
 	terse    bool
 	verbose  bool
+	format   string
+	failOn   string
 	enable   string
 	disable  string
 	pedantic bool
@@ -54,9 +65,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var c cli
 	fs := flag.NewFlagSet("weblint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fs.BoolVar(&c.short, "s", false, "short messages (\"line N: ...\")")
-	fs.BoolVar(&c.terse, "t", false, "terse machine-readable messages (file:line:id)")
-	fs.BoolVar(&c.verbose, "v", false, "verbose messages with explanations")
+	fs.BoolVar(&c.short, "s", false, "short messages (\"line N: ...\"; same as -format short)")
+	fs.BoolVar(&c.terse, "t", false, "terse machine-readable messages (file:line:id; same as -format terse)")
+	fs.BoolVar(&c.verbose, "v", false, "verbose messages with explanations (same as -format verbose)")
+	fs.StringVar(&c.format, "format", "", "output format: lint, short, terse, verbose, json, sarif")
+	fs.StringVar(&c.failOn, "fail-on", "", "lowest severity that fails the run: error, warning, style (or any, the default), never")
 	fs.StringVar(&c.enable, "e", "", "enable comma-separated warnings or categories")
 	fs.StringVar(&c.disable, "d", "", "disable comma-separated warnings or categories")
 	fs.BoolVar(&c.pedantic, "pedantic", false, "enable all warnings, even the esoteric ones")
@@ -93,7 +106,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	formatter := pickFormatter(&c, settings)
+	style, err := pickStyle(&c, settings)
+	if err != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", err)
+		return 2
+	}
+	threshold, err := pickFailOn(&c, settings)
+	if err != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", err)
+		return 2
+	}
 
 	if c.list {
 		listWarnings(stdout, linter.Set())
@@ -106,18 +128,42 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	problems := false
-	report := func(msgs []warn.Message) {
-		for _, m := range msgs {
-			fmt.Fprintln(stdout, formatter.Format(m))
-			problems = true
-		}
+	// The whole run streams through one pipeline: messages flow into a
+	// severity-counting sink wrapping the selected renderer, and the
+	// exit code falls out of the summary at the end.
+	renderer, err := render.New(style, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", err)
+		return 2
 	}
+	var sum warn.Summary
+	sink := sum.Sink(renderer)
 
+	opErr := checkArgs(&c, files, linter, stdin, sink)
+	// Close even after an operational error: a partial SARIF/JSON
+	// document with the findings seen so far beats a truncated one.
+	if cerr := renderer.Close(); cerr != nil && opErr == nil {
+		opErr = cerr
+	}
+	if opErr != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", opErr)
+		return 2
+	}
+	if sum.Failures(threshold) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkArgs checks every argument, streaming all diagnostics into
+// sink. It returns the first operational error (unreadable file,
+// failed fetch, usage mistake), at which point checking stops — later
+// arguments are never read, matching the tool's historical behaviour.
+func checkArgs(c *cli, files []string, linter *lint.Linter, stdin io.Reader, sink warn.Sink) error {
 	// Multi-document runs go through the batch engine: documents are
-	// linted on -j workers (default: all CPUs) and reported in input
+	// linted on -j workers (default: all CPUs) and streamed in input
 	// order, so the output is byte-identical to a sequential run.
-	if jobs, ok := batchJobs(&c, files); ok {
+	if jobs, ok := batchJobs(c, files); ok {
 		workers := c.jobs
 		if workers <= 0 && c.urlMode {
 			// URL batches stay sequential unless -j asks for more:
@@ -126,25 +172,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			workers = 1
 		}
 		eng := &engine.Engine{Linter: linter, Workers: workers}
-		var firstErr error
-		eng.Run(jobs, func(r engine.Result) bool {
-			if r.Err != nil {
-				// Stop the batch like the sequential path stops: no
-				// further files are read (or URLs fetched).
-				firstErr = r.Err
-				return false
-			}
-			report(r.Messages)
-			return true
-		})
-		if firstErr != nil {
-			fmt.Fprintf(stderr, "weblint: %v\n", firstErr)
-			return 2
-		}
-		if problems {
-			return 1
-		}
-		return 0
+		return eng.RunTo(jobs, sink)
 	}
 
 	for _, arg := range files {
@@ -152,49 +180,64 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		case arg == "-":
 			msgs, err := linter.CheckReader("-", stdin)
 			if err != nil {
-				fmt.Fprintf(stderr, "weblint: %v\n", err)
-				return 2
+				return err
 			}
-			report(msgs)
+			if !writeAll(sink, msgs) {
+				return nil
+			}
 		case c.urlMode:
 			msgs, err := linter.CheckURL(arg)
 			if err != nil {
-				fmt.Fprintf(stderr, "weblint: %v\n", err)
-				return 2
+				return err
 			}
-			report(msgs)
+			if !writeAll(sink, msgs) {
+				return nil
+			}
 		default:
 			st, err := os.Stat(arg)
 			if err != nil {
-				fmt.Fprintf(stderr, "weblint: %v\n", err)
-				return 2
+				return err
 			}
 			if st.IsDir() {
 				if !c.recurse {
-					fmt.Fprintf(stderr, "weblint: %s is a directory (use -R to check a site)\n", arg)
-					return 2
+					return fmt.Errorf("%s is a directory (use -R to check a site)", arg)
 				}
-				rep, err := sitewalk.Walk(arg, sitewalk.Options{Linter: linter, Workers: c.jobs})
+				// The walk streams directly: page messages as each
+				// page's turn comes up, site-level messages at the end.
+				rep, err := sitewalk.Walk(arg, sitewalk.Options{
+					Linter: linter, Workers: c.jobs, Sink: sink,
+				})
 				if err != nil {
-					fmt.Fprintf(stderr, "weblint: %v\n", err)
-					return 2
+					return err
 				}
-				report(rep.Messages)
+				if rep.Cancelled {
+					// The sink is dead (e.g. stdout closed): checking
+					// further arguments would be wasted I/O.
+					return nil
+				}
 			} else {
 				msgs, err := linter.CheckFile(arg)
 				if err != nil {
-					fmt.Fprintf(stderr, "weblint: %v\n", err)
-					return 2
+					return err
 				}
-				report(msgs)
+				if !writeAll(sink, msgs) {
+					return nil
+				}
 			}
 		}
 	}
+	return nil
+}
 
-	if problems {
-		return 1
+// writeAll streams a document's messages into sink, reporting whether
+// the stream may continue.
+func writeAll(sink warn.Sink, msgs []warn.Message) bool {
+	for _, m := range msgs {
+		if !sink.Write(m) {
+			return false
+		}
 	}
-	return 0
+	return true
 }
 
 // batchJobs decides whether the argument list can run through the
@@ -265,24 +308,47 @@ func buildSettings(c *cli) (*config.Settings, error) {
 	return settings, nil
 }
 
-func pickFormatter(c *cli, settings *config.Settings) warn.Formatter {
+// pickStyle resolves the output format: -format wins, then the -s/-t/
+// -v shorthands, then the configuration file's output-style, then the
+// traditional lint style.
+func pickStyle(c *cli, settings *config.Settings) (string, error) {
+	if c.format != "" {
+		if !render.Valid(c.format) {
+			return "", fmt.Errorf("unknown output format %q (expected one of %s)",
+				c.format, strings.Join(render.Styles(), ", "))
+		}
+		return c.format, nil
+	}
 	switch {
 	case c.terse:
-		return warn.Terse{}
+		return "terse", nil
 	case c.short:
-		return warn.Short{}
+		return "short", nil
 	case c.verbose:
-		return warn.Verbose{}
+		return "verbose", nil
 	}
-	switch settings.OutputStyle {
-	case "short":
-		return warn.Short{}
-	case "terse":
-		return warn.Terse{}
-	case "verbose":
-		return warn.Verbose{}
+	if settings.OutputStyle != "" {
+		return settings.OutputStyle, nil
 	}
-	return warn.Lint{}
+	return "lint", nil
+}
+
+// pickFailOn resolves the severity threshold: -fail-on wins, then the
+// configuration file, then "any" (every finding fails — the
+// historical behaviour).
+func pickFailOn(c *cli, settings *config.Settings) (warn.FailOn, error) {
+	name := c.failOn
+	if name == "" {
+		name = settings.FailOn
+	}
+	if name == "" {
+		return warn.FailOnStyle, nil
+	}
+	threshold, ok := warn.ParseFailOn(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown -fail-on threshold %q (expected error, warning, style, any or never)", name)
+	}
+	return threshold, nil
 }
 
 // listWarnings prints the message inventory with enabled state, like

@@ -14,6 +14,8 @@
 //	html-version 3.2
 //	set tag-case upper
 //	set title-length 48
+//	set output-style sarif
+//	set fail-on warning
 //	add here-words "more info" "click me"
 //
 // Identifiers may be separated by spaces or commas. Category names
@@ -218,8 +220,14 @@ type Settings struct {
 	TitleLength int
 	// HereWords extends the content-free anchor text list.
 	HereWords []string
-	// OutputStyle is "lint", "short", "terse" or "verbose".
+	// OutputStyle selects the diagnostics renderer: "lint", "short",
+	// "terse", "verbose", or the machine-readable "json" (JSON Lines)
+	// and "sarif" (SARIF 2.1.0).
 	OutputStyle string
+	// FailOn is the severity threshold that turns findings into a
+	// failing exit: "error", "warning", "style" (or "any", the
+	// default), or "never".
+	FailOn string
 	// Locale selects a message translation catalog ("" = English).
 	Locale string
 }
@@ -274,11 +282,17 @@ func (s *Settings) applyOp(cfg *Config, o op) error {
 		case "output-style":
 			v := strings.ToLower(o.value)
 			switch v {
-			case "lint", "short", "terse", "verbose":
+			case "lint", "short", "terse", "verbose", "json", "sarif":
 				s.OutputStyle = v
 			default:
 				return wrap(fmt.Errorf("unknown output-style %q", o.value))
 			}
+		case "fail-on":
+			v := strings.ToLower(o.value)
+			if _, ok := warn.ParseFailOn(v); !ok {
+				return wrap(fmt.Errorf("unknown fail-on threshold %q", o.value))
+			}
+			s.FailOn = v
 		case "locale":
 			v := strings.ToLower(o.value)
 			if v != "en" && v != "" {

@@ -290,3 +290,43 @@ func TestSplitDirective(t *testing.T) {
 		}
 	}
 }
+
+// TestFailOnSetting: "set fail-on" layers into Settings.FailOn with
+// validation.
+func TestFailOnSetting(t *testing.T) {
+	s := NewSettings()
+	cfg, err := Parse(strings.NewReader("set fail-on warning\n"), "rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s.FailOn != "warning" {
+		t.Errorf("FailOn = %q, want warning", s.FailOn)
+	}
+	bad, err := Parse(strings.NewReader("set fail-on fatal\n"), "rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewSettings().Apply(bad); err == nil {
+		t.Error("unknown fail-on threshold accepted")
+	}
+}
+
+// TestMachineOutputStyles: output-style accepts the machine formats.
+func TestMachineOutputStyles(t *testing.T) {
+	for _, style := range []string{"json", "sarif"} {
+		s := NewSettings()
+		cfg, err := Parse(strings.NewReader("set output-style "+style+"\n"), "rc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if s.OutputStyle != style {
+			t.Errorf("OutputStyle = %q, want %s", s.OutputStyle, style)
+		}
+	}
+}

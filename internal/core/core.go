@@ -233,17 +233,33 @@ func CheckBytes(src []byte, em *warn.Emitter, opts Options) {
 // Run feeds every token from tz through the checker and finishes the
 // document. It is the streaming core of Check, exposed so callers with
 // pooled tokenizers and checkers can drive it without reallocating.
+//
+// When the emitter's sink cancels the stream (Write returned false),
+// Run stops tokenizing promptly and skips the end-of-document checks:
+// a cancelled check never pays for the rest of the document.
 func (c *Checker) Run(tz *htmltoken.Tokenizer) {
 	var tok htmltoken.Token
 	for tz.NextInto(&tok) {
 		c.token(&tok)
+		if c.em.Cancelled() {
+			return
+		}
 	}
 	c.Finish()
 }
 
-// emit reports a message at a position in the checked file.
+// emit reports a message at a line in the checked file, with no column
+// information.
 func (c *Checker) emit(id string, line int, args ...any) {
 	c.em.Emit(id, c.file, line, 0, args...)
+}
+
+// emitAt reports a message at a line and column in the checked file.
+// The start-tag and attribute checks use it with tokenizer offsets so
+// structured output (JSON, SARIF) carries real columns; columns never
+// affect output order (see warn.SortByLine).
+func (c *Checker) emitAt(id string, line, col int, args ...any) {
+	c.em.Emit(id, c.file, line, col, args...)
 }
 
 // Token feeds one token to the checker.

@@ -20,15 +20,15 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 	info := c.spec.Element(name)
 
 	if tok.Unterminated {
-		c.emit("malformed-tag", tok.Line)
+		c.emitAt("malformed-tag", tok.Line, tok.Col)
 		return
 	}
 	if tok.OddQuotes {
-		c.emit("odd-quotes", tok.Line, tok.Raw)
+		c.emitAt("odd-quotes", tok.Line, tok.Col, tok.Raw)
 	} else if len(tok.Attrs) > 0 {
-		c.emit("closing-attribute", tok.Line, display)
+		c.emitAt("closing-attribute", tok.Line, tok.Col, display)
 	}
-	c.checkTagCase(tok.Name, display, tok.Line)
+	c.checkTagCase(tok.Name, display, tok.Line, tok.Col)
 
 	// Close tags for empty elements are never legal.
 	if info != nil && info.Empty {

@@ -13,7 +13,7 @@ import (
 // checks, and stack maintenance.
 func (c *Checker) startTag(tok *htmltoken.Token) {
 	if tok.EmptyTag {
-		c.emit("empty-tag", tok.Line)
+		c.emitAt("empty-tag", tok.Line, tok.Col)
 		return
 	}
 	c.noteElement(tok.Line)
@@ -23,27 +23,27 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 	info := c.spec.Element(name)
 
 	if tok.Unterminated {
-		c.emit("malformed-tag", tok.Line)
+		c.emitAt("malformed-tag", tok.Line, tok.Col)
 		return
 	}
 	if tok.OddQuotes {
-		c.emit("odd-quotes", tok.Line, tok.Raw)
+		c.emitAt("odd-quotes", tok.Line, tok.Col, tok.Raw)
 	}
 	if tok.SlashClose {
-		c.emit("spurious-slash", tok.Line, display)
+		c.emitAt("spurious-slash", tok.Line, tok.Col, display)
 	}
-	c.checkTagCase(tok.Name, display, tok.Line)
+	c.checkTagCase(tok.Name, display, tok.Line, tok.Col)
 
 	// Element identity.
 	switch {
 	case info == nil:
-		c.emit("unknown-element", tok.Line, display)
+		c.emitAt("unknown-element", tok.Line, tok.Col, display)
 	case info.Extension != "" && !c.spec.ExtensionEnabled(info.Extension):
-		c.emit("extension-markup", tok.Line, display, info.Extension, c.spec.Version)
+		c.emitAt("extension-markup", tok.Line, tok.Col, display, info.Extension, c.spec.Version)
 	case info.Obsolete:
-		c.emit("obsolete-element", tok.Line, display, info.Replacement)
+		c.emitAt("obsolete-element", tok.Line, tok.Col, display, info.Replacement)
 	case info.Deprecated:
-		c.emit("deprecated-element", tok.Line, display, info.Replacement)
+		c.emitAt("deprecated-element", tok.Line, tok.Col, display, info.Replacement)
 	}
 
 	// Implied closes: opening this element legally ends some open
@@ -51,7 +51,7 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 	c.applyImpliedClose(name, tok.Line)
 
 	if info != nil {
-		c.checkStructure(name, display, info, tok.Line)
+		c.checkStructure(name, display, info, tok.Line, tok.Col)
 	}
 
 	// Mark content on the parent before pushing.
@@ -93,11 +93,11 @@ func (c *Checker) applyImpliedClose(name string, line int) {
 // checkStructure performs the element-level structure checks: once
 // only elements, head/body placement, required context, self-nesting,
 // heading order.
-func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInfo, line int) {
+func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInfo, line, col int) {
 	// Once-only elements (HTML, HEAD, BODY, TITLE).
 	if info.OnceOnly {
 		if first, dup := c.seenOnce[name]; dup {
-			c.emit("once-only", line, display, first)
+			c.emitAt("once-only", line, col, display, first)
 		} else {
 			c.seenOnce[name] = line
 		}
@@ -108,15 +108,15 @@ func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInf
 		c.headContent = true
 		if c.inElement("head") == nil && (c.seenBody || c.inElement("body") != nil) {
 			if name == "meta" {
-				c.emit("meta-in-body", line)
+				c.emitAt("meta-in-body", line, col)
 			} else {
-				c.emit("head-element", line, display)
+				c.emitAt("head-element", line, col, display)
 			}
 		}
 	} else if !info.Empty && c.inElement("head") != nil &&
 		name != "html" && name != "script" && name != "noscript" && !info.HeadOnly {
 		// Rendered markup inside the HEAD.
-		c.emit("body-element", line, display)
+		c.emitAt("body-element", line, col, display)
 	}
 
 	// Required parent context (LI in lists, TD in TR, ...).
@@ -126,44 +126,44 @@ func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInf
 			parent = t.name
 		}
 		if !info.InContext(parent) {
-			c.emit("required-context", line, display, contextList(info.Context))
+			c.emitAt("required-context", line, col, display, contextList(info.Context))
 		}
 	}
 
 	// Form fields outside any FORM.
 	if info.FormField && c.inElement("form") == nil {
-		c.emit("form-field-context", line, display)
+		c.emitAt("form-field-context", line, col, display)
 	}
 
 	// Elements which may not nest within themselves.
 	if info.NoSelfNest {
 		if prev := c.inElement(name); prev != nil {
-			c.emit("nested-element", line, display, display, display, prev.line)
+			c.emitAt("nested-element", line, col, display, display, display, prev.line)
 		}
 	}
 
 	// Heading order and headings inside anchors.
 	if lvl := headingLevel(name); lvl > 0 {
 		if c.lastHeading > 0 && lvl > c.lastHeading+1 {
-			c.emit("heading-order", line, display, c.lastHeadingName)
+			c.emitAt("heading-order", line, col, display, c.lastHeadingName)
 		}
 		c.lastHeading = lvl
 		c.lastHeadingName = display
 		if c.inElement("a") != nil {
-			c.emit("heading-in-anchor", line, display)
+			c.emitAt("heading-in-anchor", line, col, display)
 		}
 	}
 
 	// BODY and FRAMESET are mutually exclusive document styles.
 	if name == "frameset" {
 		if b := c.inElement("body"); b != nil {
-			c.emit("unexpected-open", line, display, "BODY", b.line)
+			c.emitAt("unexpected-open", line, col, display, "BODY", b.line)
 		}
 	}
 
 	// Physical vs. logical markup (style, off by default).
 	if logical, ok := PhysicalToLogical[name]; ok {
-		c.emit("physical-font", line, logical, display)
+		c.emitAt("physical-font", line, col, logical, display)
 	}
 }
 
@@ -187,15 +187,15 @@ func (c *Checker) trackDocumentState(name string, line int) {
 }
 
 // checkTagCase implements the optional tag-case style check.
-func (c *Checker) checkTagCase(written, display string, line int) {
+func (c *Checker) checkTagCase(written, display string, line, col int) {
 	switch c.opts.TagCase {
 	case "upper":
 		if !ascii.IsUpper(written) {
-			c.emit("tag-case", line, display, "upper")
+			c.emitAt("tag-case", line, col, display, "upper")
 		}
 	case "lower":
 		if !ascii.IsLower(written) {
-			c.emit("tag-case", line, display, "lower")
+			c.emitAt("tag-case", line, col, display, "lower")
 		}
 	}
 }
@@ -212,10 +212,10 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		switch at.Quote {
 		case 0:
 			if !isNameTokenValue(at.Value) {
-				c.emit("attribute-delimiter", at.Line, at.Name, at.Value, display, at.Name, at.Value)
+				c.emitAt("attribute-delimiter", at.Line, at.Col, at.Name, at.Value, display, at.Name, at.Value)
 			}
 		case '\'':
-			c.emit("single-quotes", at.Line, at.Name, display)
+			c.emitAt("single-quotes", at.Line, at.Col, at.Name, display)
 		}
 	}
 
@@ -227,7 +227,7 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		at := &tok.Attrs[i]
 		lower := at.Lower
 		if _, dup := seen[lower]; dup {
-			c.emit("repeated-attribute", at.Line, at.Name, display)
+			c.emitAt("repeated-attribute", at.Line, at.Col, at.Name, display)
 			continue
 		}
 		seen[lower] = at
@@ -237,13 +237,13 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		}
 		ai := info.Attr(lower)
 		if ai == nil {
-			c.emit("unknown-attribute", at.Line, at.Name, display)
+			c.emitAt("unknown-attribute", at.Line, at.Col, at.Name, display)
 			continue
 		}
 		if ai.Extension != "" && !c.spec.ExtensionEnabled(ai.Extension) {
-			c.emit("extension-attribute", at.Line, at.Name, display, ai.Extension, c.spec.Version)
+			c.emitAt("extension-attribute", at.Line, at.Col, at.Name, display, ai.Extension, c.spec.Version)
 		} else if ai.Deprecated {
-			c.emit("deprecated-attribute", at.Line, at.Name, display)
+			c.emitAt("deprecated-attribute", at.Line, at.Col, at.Name, display)
 		}
 		if at.HasValue {
 			c.checkAttrValue(at, ai, display)
@@ -257,7 +257,7 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 	// Required attributes.
 	for _, reqName := range info.RequiredAttrs() {
 		if _, ok := seen[reqName]; !ok {
-			c.emit("required-attribute", tok.Line, strings.ToUpper(reqName), display)
+			c.emitAt("required-attribute", tok.Line, tok.Col, strings.ToUpper(reqName), display)
 		}
 	}
 
@@ -272,7 +272,7 @@ func (c *Checker) checkAttrValue(at *htmltoken.Attr, ai *htmlspec.AttrInfo, disp
 		if ai.Type == htmlspec.Color {
 			id = "body-colors"
 		}
-		c.emit(id, at.Line, strings.ToUpper(at.Name), display, at.Value)
+		c.emitAt(id, at.Line, at.Col, strings.ToUpper(at.Name), display, at.Value)
 		return
 	}
 	// Entity references inside the value.
@@ -280,10 +280,10 @@ func (c *Checker) checkAttrValue(at *htmltoken.Attr, ai *htmlspec.AttrInfo, disp
 
 	if ai.Type == htmlspec.URL && at.Value != "" {
 		if scheme, bad := badScheme(at.Value); bad {
-			c.emit("bad-url-scheme", at.Line, scheme, at.Value)
+			c.emitAt("bad-url-scheme", at.Line, at.Col, scheme, at.Value)
 		}
 		if ascii.HasPrefixFold(at.Value, "mailto:") {
-			c.emit("mailto-link", at.Line, at.Value)
+			c.emitAt("mailto-link", at.Line, at.Col, at.Value)
 		}
 	}
 }
@@ -294,13 +294,13 @@ func (c *Checker) checkAttrCase(tok *htmltoken.Token, display string) {
 	case "upper":
 		for _, at := range tok.Attrs {
 			if !ascii.IsUpper(at.Name) {
-				c.emit("attribute-case", at.Line, at.Name, display, "upper")
+				c.emitAt("attribute-case", at.Line, at.Col, at.Name, display, "upper")
 			}
 		}
 	case "lower":
 		for _, at := range tok.Attrs {
 			if !ascii.IsLower(at.Name) {
-				c.emit("attribute-case", at.Line, at.Name, display, "lower")
+				c.emitAt("attribute-case", at.Line, at.Col, at.Name, display, "lower")
 			}
 		}
 	}
@@ -312,17 +312,17 @@ func (c *Checker) checkSpecialAttrs(tok *htmltoken.Token, name string, seen map[
 	switch name {
 	case "img":
 		if _, ok := seen["alt"]; !ok {
-			c.emit("img-alt", tok.Line)
+			c.emitAt("img-alt", tok.Line, tok.Col)
 		}
 		_, w := seen["width"]
 		_, h := seen["height"]
 		if !w || !h {
-			c.emit("img-size", tok.Line)
+			c.emitAt("img-size", tok.Line, tok.Col)
 		}
 	case "a":
 		if at, ok := seen["name"]; ok && at.HasValue {
 			if first, dup := c.anchors[at.Value]; dup {
-				c.emit("duplicate-anchor", at.Line, at.Value, first)
+				c.emitAt("duplicate-anchor", at.Line, at.Col, at.Value, first)
 			} else {
 				c.anchors[at.Value] = at.Line
 			}
@@ -334,7 +334,7 @@ func (c *Checker) checkSpecialAttrs(tok *htmltoken.Token, name string, seen map[
 	}
 	if at, ok := seen["id"]; ok && at.HasValue {
 		if first, dup := c.ids[at.Value]; dup {
-			c.emit("duplicate-id", at.Line, at.Value, first)
+			c.emitAt("duplicate-id", at.Line, at.Col, at.Value, first)
 		} else {
 			c.ids[at.Value] = at.Line
 		}

@@ -59,8 +59,10 @@ type Result struct {
 	// Messages are the diagnostics, in source order.
 	Messages []warn.Message
 	// Err is set when the document could not be obtained (unreadable
-	// file, failed fetch) or the check panicked. An errored job never
-	// stops the batch: remaining jobs still run and deliver.
+	// file, failed fetch) or the check panicked. The engine itself
+	// never stops on an errored job — every job runs and delivers —
+	// but the consumer decides: Run's emit callback may cancel, and
+	// RunTo cancels the batch on the first error it sees.
 	Err error
 }
 
@@ -122,6 +124,36 @@ func (e *Engine) RunAll(jobs []Job) []Result {
 	out := make([]Result, 0, len(jobs))
 	e.Run(jobs, func(r Result) bool { out = append(out, r); return true })
 	return out
+}
+
+// RunTo lints every job and streams every message into sink: each
+// job's messages are written, in source order, as soon as the job's
+// turn in the input order comes up, so a consumer sees findings the
+// moment each document completes instead of after the whole batch.
+// Within-batch lookahead is bounded by the engine window, so memory
+// stays bounded however large the batch is.
+//
+// The first operational failure (unreadable file, failed fetch, check
+// panic) cancels the batch — matching sequential CLI semantics, no
+// further documents are read or fetched — and is returned. The sink
+// returning false also cancels the batch; RunTo then returns nil.
+func (e *Engine) RunTo(jobs []Job, sink warn.Sink) error {
+	var firstErr error
+	e.Run(jobs, func(r Result) bool {
+		if r.Err != nil {
+			// Job errors already name their document (path, URL, or
+			// panic recovery text), so no extra wrapping.
+			firstErr = r.Err
+			return false
+		}
+		for _, m := range r.Messages {
+			if !sink.Write(m) {
+				return false
+			}
+		}
+		return true
+	})
+	return firstErr
 }
 
 // Stream lints jobs as they arrive on the channel and delivers results

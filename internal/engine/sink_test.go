@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"weblint/internal/warn"
+)
+
+// TestRunToStreamsInOrder: RunTo delivers every job's messages to the
+// sink in input order, identical to concatenating the RunAll slices,
+// for any worker count.
+func TestRunToStreamsInOrder(t *testing.T) {
+	docs := genDocs(24)
+	jobs := make([]Job, len(docs))
+	for i, d := range docs {
+		jobs[i] = Job{Name: filepath.Join("docs", "d"+string(rune('a'+i%26))+".html"), Src: d}
+	}
+
+	seq := New(nil)
+	seq.Workers = 1
+	var want []warn.Message
+	for _, r := range seq.RunAll(jobs) {
+		want = append(want, r.Messages...)
+	}
+	if len(want) == 0 {
+		t.Fatal("corpus produced no messages")
+	}
+
+	for _, workers := range adversarialWorkerCounts {
+		e := New(nil)
+		e.Workers = workers
+		var c warn.Collector
+		if err := e.RunTo(jobs, &c); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(c.Messages, want) {
+			t.Errorf("workers=%d: streamed messages differ from sequential run", workers)
+		}
+	}
+}
+
+// TestRunToError: an unreadable document cancels the batch and the
+// error comes back; messages from documents before it were delivered.
+func TestRunToError(t *testing.T) {
+	docs := genDocs(4)
+	jobs := []Job{
+		{Name: "ok.html", Src: docs[0]},
+		{Path: "/nonexistent/batch.html"},
+		{Name: "never.html", Src: docs[1]},
+	}
+	e := New(nil)
+	e.Workers = 2
+	var c warn.Collector
+	err := e.RunTo(jobs, &c)
+	if err == nil {
+		t.Fatal("RunTo swallowed the job error")
+	}
+	if len(c.Messages) == 0 || c.Messages[0].File != "ok.html" {
+		t.Errorf("messages before the failing job were not delivered: %+v", c.Messages)
+	}
+	for _, m := range c.Messages {
+		if m.File == "never.html" {
+			t.Error("messages after the failing job were delivered")
+		}
+	}
+}
+
+// TestRunToSinkCancel: the sink returning false stops the batch with a
+// nil error.
+func TestRunToSinkCancel(t *testing.T) {
+	docs := genDocs(8)
+	jobs := make([]Job, len(docs))
+	for i, d := range docs {
+		jobs[i] = Job{Name: "d.html", Src: d}
+	}
+	e := New(nil)
+	e.Workers = 2
+	n := 0
+	err := e.RunTo(jobs, warn.SinkFunc(func(warn.Message) bool {
+		n++
+		return n < 3
+	}))
+	if err != nil {
+		t.Fatalf("sink cancellation surfaced as an error: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("sink saw %d messages after cancelling at 3", n)
+	}
+}

@@ -1,0 +1,143 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// postForm submits pasted HTML with an output format and returns the
+// response.
+func postForm(t *testing.T, h *Handler, html, format string) *httptest.ResponseRecorder {
+	t.Helper()
+	form := url.Values{"html": {html}}
+	if format != "" {
+		form.Set("format", format)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestPostJSONFormat: format=json streams one JSON object per finding.
+func TestPostJSONFormat(t *testing.T) {
+	rec := postForm(t, NewHandler(nil), brokenPage, "json")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(rec.Body.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON lines in response")
+	}
+	sawHeading := false
+	for _, line := range lines {
+		var m struct {
+			ID   string `json:"id"`
+			File string `json:"file"`
+			Line int    `json:"line"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if m.ID == "heading-mismatch" {
+			sawHeading = true
+		}
+	}
+	if !sawHeading {
+		t.Error("heading-mismatch finding missing from JSON stream")
+	}
+}
+
+// TestPostSARIFFormat: format=sarif answers with a parseable SARIF log.
+func TestPostSARIFFormat(t *testing.T) {
+	rec := postForm(t, NewHandler(nil), brokenPage, "sarif")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/sarif+json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF response is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Errorf("degenerate SARIF log: %+v", log)
+	}
+}
+
+func TestPostUnknownFormat(t *testing.T) {
+	rec := postForm(t, NewHandler(nil), brokenPage, "yaml")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", rec.Code)
+	}
+}
+
+// TestReportSummaryCounts: the HTML report carries per-category counts.
+func TestReportSummaryCounts(t *testing.T) {
+	rec := postForm(t, NewHandler(nil), brokenPage, "")
+	body := rec.Body.String()
+	if !strings.Contains(body, "error") || !strings.Contains(body, "warning") {
+		t.Errorf("summary counts missing from report: %s", body)
+	}
+}
+
+// TestConcurrentSubmissions drives the handler over a real loopback
+// HTTP server with a burst of concurrent submissions: every response
+// must be 200 with an identical report (the shared Linter's pooled
+// per-check state must never bleed between requests).
+func TestConcurrentSubmissions(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil))
+	defer srv.Close()
+
+	post := func() (string, error) {
+		resp, err := http.PostForm(srv.URL, url.Values{"html": {brokenPage}})
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return string(b), nil
+	}
+
+	const n = 24
+	results := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = post()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("response %d differs from response 0 under concurrency", i)
+		}
+	}
+}

@@ -162,15 +162,12 @@ func (l *Linter) Spec() *htmlspec.Spec { return l.spec }
 // Set returns the warning enablement set the linter uses.
 func (l *Linter) Set() *warn.Set { return l.set }
 
-// CheckString checks a document held in memory. name is used as the
-// file name in messages. Messages are returned in source order.
-//
-// The emitter, checker and tokenizer driving the check come from a
-// per-linter pool: the emitter reads the linter's warning set through
-// a read-only view (in-document "weblint:" directives land in a
-// per-check overlay, not in the shared set), and all per-document
-// state is recycled across calls.
-func (l *Linter) CheckString(name, src string) []warn.Message {
+// run drives one check over src through a pooled emitter/checker/
+// tokenizer bundle, streaming diagnostics into sink. A nil sink keeps
+// the emitter's default internal collector, which is how the
+// slice-returning APIs accumulate. The caller must hand the returned
+// state back with release.
+func (l *Linter) run(name, src string, sink warn.Sink) *checkState {
 	st, _ := l.states.Get().(*checkState)
 	if st == nil {
 		em := warn.NewEmitter(l.set)
@@ -184,21 +181,58 @@ func (l *Linter) CheckString(name, src string) []warn.Message {
 	opts := l.coreOpts
 	opts.Filename = name
 	st.em.Reset()
+	if sink != nil {
+		st.em.SetSink(sink)
+	}
 	st.ck.Reset(st.em, opts)
 	st.tz.Reset(src)
 	st.ck.Run(st.tz)
-	msgs := st.em.CopyMessages()
-	// Drop the bundle's references into a large checked document
-	// before pooling it: an idle pool entry must not pin a huge source
-	// string until the next check happens to draw it. Below the
-	// threshold the sweep would cost more than the memory it frees.
-	if len(src) >= releaseThreshold {
+	return st
+}
+
+// release parks a check bundle back in the pool. It detaches any
+// caller sink (Reset would too, but the pool entry must not retain a
+// reference meanwhile) and drops the bundle's references into a large
+// checked document: an idle pool entry must not pin a huge source
+// string until the next check happens to draw it. Below the threshold
+// the sweep would cost more than the memory it frees.
+func (l *Linter) release(st *checkState, srcLen int) {
+	st.em.SetSink(nil)
+	if srcLen >= releaseThreshold {
 		st.tz.Release()
 		st.ck.Release()
 	}
 	l.states.Put(st)
+}
+
+// CheckString checks a document held in memory. name is used as the
+// file name in messages. Messages are returned in source order.
+//
+// The emitter, checker and tokenizer driving the check come from a
+// per-linter pool: the emitter reads the linter's warning set through
+// a read-only view (in-document "weblint:" directives land in a
+// per-check overlay, not in the shared set), and all per-document
+// state is recycled across calls. It is the collect-sink wrapper over
+// [Linter.CheckStringTo]: the emitter streams into its pooled internal
+// collector, and the result is copied out and sorted.
+func (l *Linter) CheckString(name, src string) []warn.Message {
+	st := l.run(name, src, nil)
+	msgs := st.em.CopyMessages()
+	l.release(st, len(src))
 	warn.SortByLine(msgs)
 	return msgs
+}
+
+// CheckStringTo checks a document held in memory, streaming each
+// diagnostic into sink the moment it is produced: nothing accumulates,
+// so memory stays flat however many findings a pathological document
+// generates. Messages arrive in emission order — document order for
+// body checks, with the end-of-document checks (require-title, ...)
+// last — not the (file, line)-sorted order the slice APIs return.
+// The sink returning false cancels the check: tokenizing stops
+// promptly and no further messages are delivered.
+func (l *Linter) CheckStringTo(name, src string, sink warn.Sink) {
+	l.release(l.run(name, src, sink), len(src))
 }
 
 // CheckBytes checks an in-memory document without copying it: the
@@ -208,6 +242,12 @@ func (l *Linter) CheckString(name, src string) []warn.Message {
 // recycle the buffer freely.
 func (l *Linter) CheckBytes(name string, src []byte) []warn.Message {
 	return l.CheckString(name, bytestr.String(src))
+}
+
+// CheckBytesTo is CheckStringTo over a byte slice, zero-copy; see
+// CheckBytes for the aliasing contract.
+func (l *Linter) CheckBytesTo(name string, src []byte, sink warn.Sink) {
+	l.CheckStringTo(name, bytestr.String(src), sink)
 }
 
 // CheckReader checks a document read from r. The read buffer comes
@@ -222,39 +262,92 @@ func (l *Linter) CheckReader(name string, r io.Reader) ([]warn.Message, error) {
 	return l.CheckBytes(name, buf.Bytes()), nil
 }
 
+// CheckReaderTo checks a document read from r, streaming diagnostics
+// into sink (see CheckStringTo for the delivery contract).
+func (l *Linter) CheckReaderTo(name string, r io.Reader, sink warn.Sink) error {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
+		return fmt.Errorf("lint: reading %s: %w", name, err)
+	}
+	l.CheckBytesTo(name, buf.Bytes(), sink)
+	return nil
+}
+
 // CheckFile checks a document on disk, reading it into a pooled
 // buffer: a warm CheckFile does not allocate for the document at all
 // (the seed paid one allocation for the read plus a full string(data)
 // copy per file).
 func (l *Linter) CheckFile(path string) ([]warn.Message, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
 	buf := bufpool.Get()
 	defer bufpool.Put(buf)
+	if err := l.readFile(path, buf); err != nil {
+		return nil, err
+	}
+	return l.CheckBytes(path, buf.Bytes()), nil
+}
+
+// CheckFileTo checks a document on disk, streaming diagnostics into
+// sink (see CheckStringTo for the delivery contract).
+func (l *Linter) CheckFileTo(path string, sink warn.Sink) error {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if err := l.readFile(path, buf); err != nil {
+		return err
+	}
+	l.CheckBytesTo(path, buf.Bytes(), sink)
+	return nil
+}
+
+// readFile reads path into the pooled buffer buf.
+func (l *Linter) readFile(path string, buf *bytes.Buffer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
 	if st, err := f.Stat(); err == nil && st.Size() > 0 && st.Size() < int64(^uint(0)>>1)-bytes.MinRead {
 		// The MinRead margin lets ReadFrom hit EOF without one last
 		// grow-and-copy of the whole buffer.
 		buf.Grow(int(st.Size()) + bytes.MinRead)
 	}
 	if _, err := buf.ReadFrom(f); err != nil {
-		return nil, fmt.Errorf("lint: reading %s: %w", path, err)
+		return fmt.Errorf("lint: reading %s: %w", path, err)
 	}
-	return l.CheckBytes(path, buf.Bytes()), nil
+	return nil
 }
 
 // CheckURL retrieves a page over HTTP and checks it. The URL is used
 // as the file name in messages.
 func (l *Linter) CheckURL(url string) ([]warn.Message, error) {
-	resp, err := l.client.Get(url)
+	resp, err := l.fetch(url)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	return l.CheckReader(url, resp.Body)
+}
+
+// CheckURLTo retrieves a page over HTTP and checks it, streaming
+// diagnostics into sink (see CheckStringTo for the delivery contract).
+func (l *Linter) CheckURLTo(url string, sink warn.Sink) error {
+	resp, err := l.fetch(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return l.CheckReaderTo(url, resp.Body, sink)
+}
+
+// fetch retrieves url, turning non-200 statuses into errors.
+func (l *Linter) fetch(url string) (*http.Response, error) {
+	resp, err := l.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
 	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
 		return nil, fmt.Errorf("lint: GET %s: %s", url, resp.Status)
 	}
-	return l.CheckReader(url, resp.Body)
+	return resp, nil
 }

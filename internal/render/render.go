@@ -1,0 +1,308 @@
+// Package render provides the pluggable diagnostics renderers of the
+// streaming pipeline: every renderer is a warn.Sink that writes one
+// representation of the message stream to an io.Writer.
+//
+// Four renderers wrap the traditional human formatters (lint, short,
+// terse, verbose); two emit machine-readable output for CI and editor
+// tooling: "json" writes one JSON object per message (JSON Lines), and
+// "sarif" writes a SARIF 2.1.0 log, the interchange format GitHub code
+// scanning and most editor problem-matchers consume.
+//
+// Renderers are streaming where the format allows it: the line-based
+// renderers (including json) write each message as it arrives and
+// buffer nothing. SARIF is a single JSON document, so that renderer
+// accumulates results and writes the log at Close. Either way the
+// producer drives them identically: Write each message, then Close
+// exactly once.
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+
+	"weblint/internal/warn"
+)
+
+// Renderer consumes a stream of diagnostics and renders it to the
+// writer it was constructed over. Close must be called once after the
+// last Write; document formats (SARIF) write their output there, and
+// every renderer reports its first write error there.
+type Renderer interface {
+	warn.Sink
+	// Close finishes the rendering and returns the first error
+	// encountered, if any.
+	Close() error
+}
+
+// Styles returns the recognised renderer names, in menu order.
+func Styles() []string {
+	return []string{"lint", "short", "terse", "verbose", "json", "sarif"}
+}
+
+// Valid reports whether style names a renderer.
+func Valid(style string) bool {
+	return slices.Contains(Styles(), style)
+}
+
+// New returns a renderer writing the named style to w. The recognised
+// styles are those of Styles; anything else is an error naming the
+// style.
+func New(style string, w io.Writer) (Renderer, error) {
+	switch style {
+	case "lint":
+		return NewFormatter(warn.Lint{}, w), nil
+	case "short":
+		return NewFormatter(warn.Short{}, w), nil
+	case "terse":
+		return NewFormatter(warn.Terse{}, w), nil
+	case "verbose":
+		return NewFormatter(warn.Verbose{}, w), nil
+	case "json":
+		return NewJSON(w), nil
+	case "sarif":
+		return NewSARIF(w), nil
+	}
+	return nil, fmt.Errorf("render: unknown output format %q", style)
+}
+
+// formatterRenderer wraps a warn.Formatter as a streaming Renderer.
+type formatterRenderer struct {
+	*warn.WriterSink
+}
+
+// NewFormatter returns a streaming renderer writing each message
+// through f, one line at a time. It is how the traditional human
+// formatters — and any user-supplied warn.Formatter, such as the
+// gateway's HTML formatter — plug into the sink pipeline.
+func NewFormatter(f warn.Formatter, w io.Writer) Renderer {
+	return formatterRenderer{warn.NewWriterSink(f, w)}
+}
+
+// Close reports the first write error; line renderers have nothing to
+// flush.
+func (r formatterRenderer) Close() error { return r.Err() }
+
+// jsonMessage is the JSON Lines shape of one diagnostic. The field
+// order is fixed, so output is byte-stable for a given stream.
+type jsonMessage struct {
+	ID       string `json:"id"`
+	Category string `json:"category"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Text     string `json:"text"`
+}
+
+// jsonRenderer streams one JSON object per message.
+type jsonRenderer struct {
+	w   io.Writer
+	err error
+}
+
+// NewJSON returns a streaming JSON Lines renderer: one JSON object per
+// message, one message per line, nothing buffered. Message text — which
+// can embed attacker-controlled markup such as attribute values — is
+// escaped by encoding/json, including the <, > and & HTML escapes, so
+// the output is safe to embed.
+func NewJSON(w io.Writer) Renderer {
+	return &jsonRenderer{w: w}
+}
+
+func (r *jsonRenderer) Write(m warn.Message) bool {
+	if r.err != nil {
+		return false
+	}
+	line, err := json.Marshal(jsonMessage{
+		ID:       m.ID,
+		Category: m.Category.String(),
+		File:     m.File,
+		Line:     m.Line,
+		Col:      m.Col,
+		Text:     m.Text,
+	})
+	if err == nil {
+		line = append(line, '\n')
+		_, err = r.w.Write(line)
+	}
+	if err != nil {
+		r.err = err
+		return false
+	}
+	return true
+}
+
+func (r *jsonRenderer) Close() error { return r.err }
+
+// SARIF 2.1.0 document shapes (the subset weblint emits).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID                   string           `json:"id"`
+	ShortDescription     *sarifText       `json:"shortDescription,omitempty"`
+	FullDescription      *sarifText       `json:"fullDescription,omitempty"`
+	DefaultConfiguration *sarifRuleConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifRuleConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps weblint's categories onto SARIF result levels:
+// errors are "error", warnings "warning", and style comments "note".
+func sarifLevel(c warn.Category) string {
+	switch c {
+	case warn.Error:
+		return "error"
+	case warn.Warning:
+		return "warning"
+	case warn.Style:
+		return "note"
+	}
+	return "none"
+}
+
+// sarifRenderer accumulates the stream and writes one SARIF log at
+// Close. The rules table contains exactly the message definitions the
+// stream referenced, sorted by ID, so two runs over the same stream
+// produce byte-identical logs.
+type sarifRenderer struct {
+	w    io.Writer
+	msgs []warn.Message
+}
+
+// NewSARIF returns a renderer producing a SARIF 2.1.0 log. SARIF is a
+// single JSON document, so the log is written at Close; everything
+// else about driving the renderer matches the streaming ones.
+func NewSARIF(w io.Writer) Renderer {
+	return &sarifRenderer{w: w}
+}
+
+func (r *sarifRenderer) Write(m warn.Message) bool {
+	r.msgs = append(r.msgs, m)
+	return true
+}
+
+func (r *sarifRenderer) Close() error {
+	// Rules: the distinct IDs referenced, sorted for determinism.
+	idSet := map[string]int{}
+	var ids []string
+	for _, m := range r.msgs {
+		if _, ok := idSet[m.ID]; !ok {
+			idSet[m.ID] = 0
+			ids = append(ids, m.ID)
+		}
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, len(ids))
+	for i, id := range ids {
+		idSet[id] = i
+		rule := sarifRule{ID: id}
+		if d := warn.Lookup(id); d != nil {
+			rule.DefaultConfiguration = &sarifRuleConfig{Level: sarifLevel(d.Category)}
+			if d.Format != "" {
+				rule.ShortDescription = &sarifText{Text: d.Format}
+			}
+			if d.Explain != "" {
+				rule.FullDescription = &sarifText{Text: d.Explain}
+			}
+		}
+		rules[i] = rule
+	}
+
+	results := make([]sarifResult, len(r.msgs))
+	for i, m := range r.msgs {
+		res := sarifResult{
+			RuleID:    m.ID,
+			RuleIndex: idSet[m.ID],
+			Level:     sarifLevel(m.Category),
+			Message:   sarifText{Text: m.Text},
+		}
+		region := &sarifRegion{StartLine: m.Line, StartColumn: m.Col}
+		if region.StartLine < 1 {
+			// SARIF requires startLine >= 1; document-level messages
+			// anchor at the top.
+			region.StartLine = 1
+		}
+		res.Locations = []sarifLocation{{
+			PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: m.File},
+				Region:           region,
+			},
+		}}
+		results[i] = res
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "weblint",
+				Version:        "2.0",
+				InformationURI: "https://www.usenix.org/conference/1998-usenix-annual-technical-conference",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = r.w.Write(out)
+	return err
+}

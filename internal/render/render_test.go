@@ -1,0 +1,254 @@
+package render
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weblint/internal/config"
+	"weblint/internal/lint"
+	"weblint/internal/warn"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureDoc exercises all three categories and pushes
+// attacker-controlled attribute values into message text: the ALIGN
+// value carries a double quote, markup metacharacters and a backslash,
+// all of which must come out of the JSON renderers escaped.
+const fixtureDoc = `<HTML>
+<HEAD><TITLE>fixture</TITLE></HEAD>
+<BODY>
+<IMG SRC="x.gif">
+<P ALIGN='evil"<script>&\'>text</P>
+<B>bold</B>
+</BODY>
+</HTML>
+`
+
+// fixtureMessages lints the fixture the way the CLI does: slice API,
+// source order, with the style check physical-font enabled so the
+// stream carries every category.
+func fixtureMessages(t *testing.T) []warn.Message {
+	t.Helper()
+	s := config.NewSettings()
+	if err := s.Set.Enable("physical-font"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.New(lint.Options{Settings: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := l.CheckString("fixture.html", fixtureDoc)
+	if len(msgs) == 0 {
+		t.Fatal("fixture produced no messages")
+	}
+	var have [3]bool
+	for _, m := range msgs {
+		have[m.Category] = true
+	}
+	if !have[warn.Error] || !have[warn.Warning] || !have[warn.Style] {
+		t.Fatalf("fixture must produce all three categories, got %+v", msgs)
+	}
+	return msgs
+}
+
+// renderAll streams msgs through a fresh renderer of the given style.
+func renderAll(t *testing.T, style string, msgs []warn.Message) string {
+	t.Helper()
+	var b bytes.Buffer
+	r, err := New(style, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if !r.Write(m) {
+			t.Fatalf("%s renderer cancelled mid-stream", style)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("%s Close: %v", style, err)
+	}
+	return b.String()
+}
+
+// TestGolden renders the fixture stream in every style and compares
+// against the checked-in golden files. Run with -update to regenerate.
+func TestGolden(t *testing.T) {
+	msgs := fixtureMessages(t)
+	for _, style := range Styles() {
+		t.Run(style, func(t *testing.T) {
+			got := renderAll(t, style, msgs)
+			golden := filepath.Join("testdata", style+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/render -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output differs from golden:\n--- got ---\n%s--- want ---\n%s", style, got, want)
+			}
+		})
+	}
+}
+
+// TestJSONEscaping: the attacker-controlled attribute value round-trips
+// through the JSON renderer intact, and the raw bytes never contain
+// unescaped markup.
+func TestJSONEscaping(t *testing.T) {
+	msgs := fixtureMessages(t)
+	out := renderAll(t, "json", msgs)
+	if strings.Contains(out, "<script>") {
+		t.Error("JSON output contains unescaped <script>")
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		var m jsonMessage
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		if strings.Contains(m.Text, `evil"<script>&\`) {
+			found = true
+		}
+		if m.ID == "" || m.File != "fixture.html" || m.Line < 1 {
+			t.Errorf("degenerate JSON message: %+v", m)
+		}
+	}
+	if !found {
+		t.Error("attribute value did not round-trip through JSON")
+	}
+}
+
+// TestSARIFMapping: the SARIF log parses, carries one result per
+// message, and maps every category to its SARIF level.
+func TestSARIFMapping(t *testing.T) {
+	msgs := fixtureMessages(t)
+	out := renderAll(t, "sarif", msgs)
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID                   string `json:"id"`
+						DefaultConfiguration struct {
+							Level string `json:"level"`
+						} `json:"defaultConfiguration"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version = %q schema = %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "weblint" {
+		t.Fatalf("runs = %+v", log.Runs)
+	}
+	run := log.Runs[0]
+	if len(run.Results) != len(msgs) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(msgs))
+	}
+
+	wantLevel := map[warn.Category]string{
+		warn.Error:   "error",
+		warn.Warning: "warning",
+		warn.Style:   "note",
+	}
+	seenLevels := map[string]bool{}
+	for i, res := range run.Results {
+		m := msgs[i]
+		if res.RuleID != m.ID || res.Level != wantLevel[m.Category] {
+			t.Errorf("result %d: ruleId=%s level=%s, want %s/%s", i, res.RuleID, res.Level, m.ID, wantLevel[m.Category])
+		}
+		seenLevels[res.Level] = true
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[res.RuleIndex].ID != m.ID {
+			t.Errorf("result %d: ruleIndex %d does not resolve to %s", i, res.RuleIndex, m.ID)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != "fixture.html" || loc.Region.StartLine != m.Line {
+			t.Errorf("result %d location = %+v", i, loc)
+		}
+	}
+	for _, lvl := range []string{"error", "warning", "note"} {
+		if !seenLevels[lvl] {
+			t.Errorf("no result with level %q", lvl)
+		}
+	}
+	// Rules must be sorted and carry default levels.
+	rules := run.Tool.Driver.Rules
+	for i := 1; i < len(rules); i++ {
+		if rules[i-1].ID >= rules[i].ID {
+			t.Errorf("rules not sorted: %s >= %s", rules[i-1].ID, rules[i].ID)
+		}
+	}
+}
+
+// TestRenderersDeterministic: rendering the same stream twice produces
+// identical bytes for every style.
+func TestRenderersDeterministic(t *testing.T) {
+	msgs := fixtureMessages(t)
+	for _, style := range Styles() {
+		if a, b := renderAll(t, style, msgs), renderAll(t, style, msgs); a != b {
+			t.Errorf("%s output is not deterministic", style)
+		}
+	}
+}
+
+func TestNewUnknownStyle(t *testing.T) {
+	if _, err := New("yaml", &bytes.Buffer{}); err == nil {
+		t.Error("New accepted an unknown style")
+	}
+	if Valid("yaml") || !Valid("sarif") {
+		t.Error("Valid misclassifies styles")
+	}
+}
+
+func TestEmptySARIF(t *testing.T) {
+	var b bytes.Buffer
+	r := NewSARIF(&b)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(b.Bytes(), &log); err != nil {
+		t.Fatalf("empty SARIF log is not valid JSON: %v", err)
+	}
+	if !strings.Contains(b.String(), `"results": []`) {
+		t.Errorf("empty log must carry an empty results array:\n%s", b.String())
+	}
+}

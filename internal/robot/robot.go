@@ -100,6 +100,15 @@ func (r *Robot) userAgent() string {
 // a pipelined crawl visits the same pages in the same order as a
 // sequential one.
 func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
+	return r.CrawlWhile(start, func(p Page) bool { visit(p); return true })
+}
+
+// CrawlWhile is Crawl with cancellation, mirroring the sink contract
+// of the diagnostics pipeline: returning false from visit stops the
+// crawl promptly — no further pages are fetched, in-flight prefetches
+// are discarded undelivered, and the count of pages fetched so far is
+// returned.
+func (r *Robot) CrawlWhile(start string, visit func(Page) bool) (int, error) {
 	base, err := url.Parse(start)
 	if err != nil {
 		return 0, fmt.Errorf("robot: bad start URL: %w", err)
@@ -178,7 +187,12 @@ func (r *Robot) Crawl(start string, visit func(Page)) (int, error) {
 		inflight = inflight[1:]
 		page := <-s.ch
 		fetched++
-		visit(page)
+		if !visit(page) {
+			// Abandoning in-flight fetches is safe: every slot channel
+			// is buffered, so the fetch goroutines complete and are
+			// collected without a reader.
+			break
+		}
 
 		if page.Err != nil || page.Status != http.StatusOK || s.depth >= maxDepth {
 			continue

@@ -1,0 +1,86 @@
+package sitewalk
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"weblint/internal/warn"
+)
+
+// buildSinkSite writes a small site with page-level findings, a broken
+// fragment, a directory without an index, and an orphan page.
+func buildSinkSite(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	pages := map[string]string{
+		"index.html": `<HTML><HEAD><TITLE>i</TITLE></HEAD><BODY>
+<A HREF="a.html#nowhere">a</A><IMG SRC="x.gif"></BODY></HTML>`,
+		"a.html":            `<HTML><HEAD><TITLE>a</TITLE></HEAD><BODY><P>a</P></BODY></HTML>`,
+		"orphan.html":       `<HTML><HEAD><TITLE>o</TITLE></HEAD><BODY><P>o</P></BODY></HTML>`,
+		"sub/noindex.html":  `<HTML><HEAD><TITLE>n</TITLE></HEAD><BODY><P>n</P></BODY></HTML>`,
+		"sub/noindex2.html": `<HTML><HEAD><TITLE>n</TITLE></HEAD><BODY><P>n</P></BODY></HTML>`,
+	}
+	for rel, src := range pages {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestWalkSinkMatchesReport: streaming a walk through a sink delivers
+// exactly the Report.Messages stream, for sequential and parallel
+// walks, and leaves Report.Messages empty.
+func TestWalkSinkMatchesReport(t *testing.T) {
+	root := buildSinkSite(t)
+	want, err := Walk(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Messages) == 0 {
+		t.Fatal("fixture site produced no messages")
+	}
+
+	for _, workers := range []int{1, 4} {
+		var c warn.Collector
+		rep, err := Walk(root, Options{Workers: workers, Sink: &c})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rep.Messages) != 0 {
+			t.Errorf("workers=%d: Report.Messages accumulated %d messages while streaming", workers, len(rep.Messages))
+		}
+		if !reflect.DeepEqual(c.Messages, want.Messages) {
+			t.Errorf("workers=%d: streamed walk differs from Report\n got %+v\nwant %+v", workers, c.Messages, want.Messages)
+		}
+		if !reflect.DeepEqual(rep.Pages, want.Pages) {
+			t.Errorf("workers=%d: Pages differ", workers)
+		}
+	}
+}
+
+// TestWalkSinkCancel: the sink returning false stops the walk without
+// error and without the remaining messages.
+func TestWalkSinkCancel(t *testing.T) {
+	root := buildSinkSite(t)
+	n := 0
+	rep, err := Walk(root, Options{Sink: warn.SinkFunc(func(warn.Message) bool {
+		n++
+		return false
+	})})
+	if err != nil {
+		t.Fatalf("cancelled walk errored: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("sink saw %d messages after cancelling at the first", n)
+	}
+	if rep == nil || !rep.Cancelled {
+		t.Errorf("cancelled walk must return a report with Cancelled set, got %+v", rep)
+	}
+}

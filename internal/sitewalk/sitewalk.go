@@ -51,6 +51,14 @@ type Options struct {
 	// read/lint/extract phase; 0 means GOMAXPROCS, 1 forces a
 	// sequential walk. The Report is identical for every value.
 	Workers int
+	// Sink, when set, streams every message — each page's as soon as
+	// the page's turn in walk order comes up, the site-level messages
+	// (bad-fragment, no-index-file, orphan-page) after the last page —
+	// instead of accumulating them in Report.Messages. The message
+	// stream is identical to the Report slice for every worker count.
+	// The sink returning false cancels the walk: undispatched pages
+	// are never read, and Walk returns the report built so far.
+	Sink warn.Sink
 }
 
 // Report is the outcome of walking a site.
@@ -64,6 +72,11 @@ type Report struct {
 	// External are the distinct external URLs found, sorted (only
 	// when Options.CollectExternal was set).
 	External []string
+	// Cancelled reports that Options.Sink stopped the walk early by
+	// returning false: the report covers only what ran before the
+	// cancellation, and callers driving several walks into one sink
+	// should stop too.
+	Cancelled bool
 }
 
 // MessagesFor returns the messages whose File matches name.
@@ -138,6 +151,20 @@ func Walk(root string, o Options) (*Report, error) {
 	anchors := map[string]map[string]bool{} // page -> defined anchors
 	var fragRefs []fragRef
 	var walkErr error
+	// emit delivers one message: into the caller's sink when streaming,
+	// into Report.Messages otherwise. Returning false cancels the walk
+	// and marks the report.
+	emit := func(m warn.Message) bool {
+		if o.Sink != nil {
+			if !o.Sink.Write(m) {
+				rep.Cancelled = true
+				return false
+			}
+			return true
+		}
+		rep.Messages = append(rep.Messages, m)
+		return true
+	}
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -153,7 +180,11 @@ func Walk(root string, o Options) (*Report, error) {
 				walkErr = res.err
 				return false
 			}
-			rep.Messages = append(rep.Messages, res.msgs...)
+			for _, m := range res.msgs {
+				if !emit(m) {
+					return false
+				}
+			}
 			anchors[res.page] = res.anchors
 			for _, t := range res.refs {
 				referenced[t] = true
@@ -167,6 +198,9 @@ func Walk(root string, o Options) (*Report, error) {
 	if walkErr != nil {
 		return nil, walkErr
 	}
+	if rep.Cancelled {
+		return rep, nil
+	}
 
 	// Fragment targets: a link's #anchor must be defined in the page
 	// it points at.
@@ -176,11 +210,13 @@ func Walk(root string, o Options) (*Report, error) {
 			continue // target missing entirely: bad-link covers it
 		}
 		if !defined[fr.frag] {
-			rep.Messages = append(rep.Messages, warn.Message{
+			if !emit(warn.Message{
 				ID: "bad-fragment", Category: warn.Warning,
 				File: fr.page, Line: fr.line,
 				Text: "anchor \"#" + fr.frag + "\" is not defined in " + fr.target,
-			})
+			}) {
+				return rep, nil
+			}
 		}
 	}
 
@@ -196,11 +232,13 @@ func Walk(root string, o Options) (*Report, error) {
 			if display == "." {
 				display = "./"
 			}
-			rep.Messages = append(rep.Messages, warn.Message{
+			if !emit(warn.Message{
 				ID: "no-index-file", Category: warn.Warning,
 				File: display, Line: 1,
 				Text: "directory " + display + " does not have an index file",
-			})
+			}) {
+				return rep, nil
+			}
 		}
 	}
 
@@ -210,11 +248,13 @@ func Walk(root string, o Options) (*Report, error) {
 		if referenced[page] || isIndexName(path.Base(page), o.IndexNames) {
 			continue
 		}
-		rep.Messages = append(rep.Messages, warn.Message{
+		if !emit(warn.Message{
 			ID: "orphan-page", Category: warn.Warning,
 			File: page, Line: 1,
 			Text: "page " + page + " is not linked to by any other page checked",
-		})
+		}) {
+			return rep, nil
+		}
 	}
 
 	if o.CollectExternal {

@@ -1,0 +1,175 @@
+package warn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEmitterStreamsToSink: messages reach an installed sink the
+// moment they are emitted, and nothing accumulates in the emitter.
+func TestEmitterStreamsToSink(t *testing.T) {
+	e := NewEmitter(nil)
+	var got []Message
+	e.SetSink(SinkFunc(func(m Message) bool {
+		got = append(got, m)
+		return true
+	}))
+	e.Emit("html-outer", "f", 1, 0)
+	e.Emit("require-title", "f", 1, 0)
+	if len(got) != 2 || got[0].ID != "html-outer" || got[1].ID != "require-title" {
+		t.Fatalf("sink received %+v", got)
+	}
+	if len(e.Messages()) != 0 {
+		t.Errorf("emitter accumulated %d messages while a sink was installed", len(e.Messages()))
+	}
+}
+
+// TestEmitterSinkCancel: a sink returning false cancels the stream —
+// further emits are dropped and Cancelled reports true.
+func TestEmitterSinkCancel(t *testing.T) {
+	e := NewEmitter(nil)
+	n := 0
+	e.SetSink(SinkFunc(func(Message) bool {
+		n++
+		return false
+	}))
+	e.Emit("html-outer", "f", 1, 0)
+	e.Emit("require-title", "f", 1, 0)
+	if n != 1 {
+		t.Errorf("sink called %d times after cancelling, want 1", n)
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after sink returned false")
+	}
+	e.Reset()
+	if e.Cancelled() {
+		t.Error("cancellation survived Reset")
+	}
+	e.Emit("html-outer", "f", 1, 0)
+	if len(e.Messages()) != 1 {
+		t.Error("Reset did not restore the default collector sink")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	if !c.Write(Message{ID: "a"}) || !c.Write(Message{ID: "b"}) {
+		t.Fatal("Collector cancelled")
+	}
+	if len(c.Messages) != 2 || c.Messages[0].ID != "a" {
+		t.Fatalf("collected %+v", c.Messages)
+	}
+	c.Reset()
+	if len(c.Messages) != 0 {
+		t.Error("Reset kept messages")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("pipe closed")
+	}
+	return len(p), nil
+}
+
+func TestWriterSink(t *testing.T) {
+	var b strings.Builder
+	s := NewWriterSink(Terse{}, &b)
+	if !s.Write(Message{ID: "img-alt", File: "a.html", Line: 3}) {
+		t.Fatal("healthy writer cancelled")
+	}
+	if b.String() != "a.html:3:img-alt\n" {
+		t.Errorf("output = %q", b.String())
+	}
+
+	fw := &failWriter{}
+	s = NewWriterSink(Terse{}, fw)
+	if !s.Write(Message{ID: "x-one", File: "f", Line: 1}) {
+		t.Fatal("first write cancelled")
+	}
+	if s.Write(Message{ID: "x-two", File: "f", Line: 2}) {
+		t.Error("failed write did not cancel")
+	}
+	if s.Err() == nil {
+		t.Error("Err() lost the write error")
+	}
+	if s.Write(Message{ID: "x-three", File: "f", Line: 3}) {
+		t.Error("sink kept accepting after an error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	sink := s.Sink(nil)
+	for _, m := range []Message{
+		{Category: Error}, {Category: Error},
+		{Category: Warning},
+		{Category: Style},
+	} {
+		if !sink.Write(m) {
+			t.Fatal("counting sink cancelled")
+		}
+	}
+	if s.Errors != 2 || s.Warnings != 1 || s.Style != 1 || s.Total() != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := s.String(); got != "2 errors, 1 warning, 1 style" {
+		t.Errorf("String() = %q", got)
+	}
+
+	cases := []struct {
+		f    FailOn
+		want int
+	}{
+		{FailOnError, 2},
+		{FailOnWarning, 3},
+		{FailOnStyle, 4},
+		{FailOnNever, 0},
+	}
+	for _, c := range cases {
+		if got := s.Failures(c.f); got != c.want {
+			t.Errorf("Failures(%s) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+// TestSummarySinkForwards: the counting sink passes messages (and
+// cancellation) through to the wrapped sink.
+func TestSummarySinkForwards(t *testing.T) {
+	var s Summary
+	var c Collector
+	sink := s.Sink(&c)
+	sink.Write(Message{ID: "a", Category: Error})
+	if len(c.Messages) != 1 || s.Errors != 1 {
+		t.Fatalf("forwarding sink: collected=%d errors=%d", len(c.Messages), s.Errors)
+	}
+	stop := s.Sink(SinkFunc(func(Message) bool { return false }))
+	if stop.Write(Message{Category: Warning}) {
+		t.Error("cancellation not propagated")
+	}
+	if s.Warnings != 1 {
+		t.Error("cancelled message not counted")
+	}
+}
+
+func TestParseFailOn(t *testing.T) {
+	cases := map[string]FailOn{
+		"error": FailOnError, "errors": FailOnError,
+		"warning": FailOnWarning, "warnings": FailOnWarning,
+		"style": FailOnStyle, "any": FailOnStyle,
+		"never": FailOnNever, "none": FailOnNever,
+	}
+	for in, want := range cases {
+		got, ok := ParseFailOn(in)
+		if !ok || got != want {
+			t.Errorf("ParseFailOn(%q) = %v, %v", in, got, ok)
+		}
+	}
+	if _, ok := ParseFailOn("fatal"); ok {
+		t.Error("ParseFailOn accepted an unknown threshold")
+	}
+}

@@ -276,9 +276,16 @@ func (s *Set) EnabledIDs() []string {
 	return out
 }
 
-// Emitter collects messages subject to an enablement Set. It is the
-// object the checker engine reports through; the zero value is not
-// useful, construct with NewEmitter.
+// Emitter streams messages, subject to an enablement Set, into a Sink.
+// It is the object the checker engine reports through; the zero value
+// is not useful, construct with NewEmitter.
+//
+// By default the emitter writes into its own internal Collector, which
+// is how the slice-returning check APIs are built: run the check, then
+// read Messages/CopyMessages. Installing a different destination with
+// SetSink turns the same emitter into a true streaming source — each
+// message is delivered the moment it is emitted, nothing accumulates,
+// and a sink returning false cancels the rest of the check.
 //
 // The emitter holds a read-only view of its Set: it never mutates the
 // set it was constructed with, so one Set can back any number of
@@ -287,11 +294,13 @@ func (s *Set) EnabledIDs() []string {
 // Enable/Disable, which record the change in a private copy-on-write
 // overlay scoped to this emitter.
 type Emitter struct {
-	base     *Set            // read-only enablement baseline
-	overlay  map[string]bool // copy-on-write runtime overrides
-	catalog  Catalog
-	messages []Message
-	buf      []byte // scratch buffer for message formatting
+	base      *Set            // read-only enablement baseline
+	overlay   map[string]bool // copy-on-write runtime overrides
+	catalog   Catalog
+	collect   Collector // default destination: accumulate in order
+	sink      Sink      // current destination; &collect unless SetSink
+	cancelled bool      // the sink returned false; emit nothing more
+	buf       []byte    // scratch buffer for message formatting
 }
 
 // NewEmitter returns an Emitter filtering through set. A nil set means
@@ -303,8 +312,26 @@ func NewEmitter(set *Set) *Emitter {
 	if set == nil {
 		set = NewSet()
 	}
-	return &Emitter{base: set}
+	e := &Emitter{base: set}
+	e.sink = &e.collect
+	return e
 }
+
+// SetSink installs the destination messages are written to. A nil sink
+// restores the default internal Collector. Reset also restores the
+// default, so pooled emitters never leak a caller's sink into the next
+// check.
+func (e *Emitter) SetSink(s Sink) {
+	if s == nil {
+		s = &e.collect
+	}
+	e.sink = s
+}
+
+// Cancelled reports whether the sink has cancelled the stream by
+// returning false from Write. Once cancelled, Emit is a no-op until
+// Reset.
+func (e *Emitter) Cancelled() bool { return e.cancelled }
 
 // SetCatalog installs a localisation catalog; message templates found
 // in the catalog replace the registered English ones.
@@ -360,9 +387,10 @@ func (e *Emitter) override(id string, v bool) error {
 	return nil
 }
 
-// Emit formats and records the message id at file:line:col with the
-// given arguments, unless id is disabled. Emitting an unregistered id
-// panics: checker code must only reference registered messages.
+// Emit formats the message id at file:line:col with the given
+// arguments and writes it to the sink, unless id is disabled or the
+// sink has cancelled the stream. Emitting an unregistered id panics:
+// checker code must only reference registered messages.
 //
 // Args must be string, int, or bool values — the types the registered
 // %s/%d templates take. The restriction is what keeps the hot path
@@ -370,6 +398,9 @@ func (e *Emitter) override(id string, v bool) error {
 // compiler can keep the variadic slice and its boxed values on the
 // caller's stack.
 func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
+	if e.cancelled {
+		return
+	}
 	var (
 		on bool
 		d  *Def
@@ -400,14 +431,16 @@ func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
 		}
 	}
 	e.buf = appendFormat(e.buf[:0], format, args)
-	e.messages = append(e.messages, Message{
+	if !e.sink.Write(Message{
 		ID:       id,
 		Category: d.Category,
 		File:     file,
 		Line:     line,
 		Col:      col,
 		Text:     string(e.buf),
-	})
+	}) {
+		e.cancelled = true
+	}
 }
 
 // appendFormat renders a registered message template. It supports the
@@ -483,26 +516,32 @@ func appendArg(dst []byte, verb byte, arg any) []byte {
 }
 
 // Messages returns the messages collected so far, in emission order.
+// Only the default internal Collector accumulates: after SetSink the
+// messages went to the caller's sink and this returns nothing new.
 // The returned slice is owned by the emitter; callers must not modify
 // it, and it is only valid until the next Reset.
-func (e *Emitter) Messages() []Message { return e.messages }
+func (e *Emitter) Messages() []Message { return e.collect.Messages }
 
 // CopyMessages returns an independent copy of the collected messages,
 // safe to retain after the emitter is Reset or returned to a pool.
 func (e *Emitter) CopyMessages() []Message {
-	if len(e.messages) == 0 {
+	if len(e.collect.Messages) == 0 {
 		return nil
 	}
-	out := make([]Message, len(e.messages))
-	copy(out, e.messages)
+	out := make([]Message, len(e.collect.Messages))
+	copy(out, e.collect.Messages)
 	return out
 }
 
-// Reset discards collected messages and any runtime Enable/Disable
-// overrides, retaining the base enablement set (and the message
-// capacity, so pooled emitters stop allocating once warm).
+// Reset discards collected messages, any runtime Enable/Disable
+// overrides, cancellation, and any installed sink (the default
+// internal Collector is restored), retaining the base enablement set
+// and the message capacity, so pooled emitters stop allocating once
+// warm.
 func (e *Emitter) Reset() {
-	e.messages = e.messages[:0]
+	e.collect.Reset()
+	e.sink = &e.collect
+	e.cancelled = false
 	if len(e.overlay) > 0 {
 		clear(e.overlay)
 	}
@@ -513,10 +552,13 @@ func (e *Emitter) Reset() {
 // runtime changes.
 func (e *Emitter) Set() *Set { return e.base }
 
-// SortByLine orders messages by (file, line, col) while keeping
-// emission order for equal positions. Checkers emit end-of-document
-// messages after body messages; sorting presents them in source order
-// the way weblint's output reads.
+// SortByLine orders messages by (file, line) while keeping emission
+// order for equal positions. Checkers emit end-of-document messages
+// after body messages; sorting presents them in source order the way
+// weblint's output reads. Columns deliberately do not participate:
+// the checker's within-line emission order (quoting problems before
+// identity problems, matching the paper's output) is part of the
+// output contract, and column metadata must not reorder it.
 func SortByLine(ms []Message) {
 	slices.SortStableFunc(ms, func(a, b Message) int {
 		if a.File != b.File {
@@ -525,9 +567,6 @@ func SortByLine(ms []Message) {
 			}
 			return 1
 		}
-		if a.Line != b.Line {
-			return a.Line - b.Line
-		}
-		return a.Col - b.Col
+		return a.Line - b.Line
 	})
 }

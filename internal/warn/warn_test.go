@@ -235,11 +235,13 @@ func TestSortByLine(t *testing.T) {
 		{File: "a", Line: 2, Col: 1},
 	}
 	SortByLine(ms)
-	if ms[0].File != "a" || ms[0].Line != 2 || ms[0].Col != 1 {
+	// Same (file, line) keeps emission order: columns never reorder
+	// (the checker's within-line order is part of the output contract).
+	if ms[0].File != "a" || ms[0].Line != 2 || ms[0].Col != 5 {
 		t.Errorf("sort order wrong: %+v", ms)
 	}
-	if ms[3].File != "b" {
-		t.Errorf("file order wrong: %+v", ms)
+	if ms[1].Col != 1 || ms[3].File != "b" {
+		t.Errorf("stability/file order wrong: %+v", ms)
 	}
 }
 

@@ -52,13 +52,46 @@
 //
 // The command-line tool exposes the same engine as weblint -j N, and
 // sitewalk.Walk runs its per-page phase on it.
+//
+// # Streaming diagnostics
+//
+// Every check is a stream of messages underneath, and the [Sink]
+// interface is the universal channel: Write receives each message the
+// moment it is produced, and returning false cancels the rest of the
+// check. The slice-returning APIs are collect-sink wrappers; the
+// streaming variants ([Linter.CheckStringTo], CheckBytesTo,
+// CheckReaderTo, CheckFileTo, CheckURLTo, and the batch engine's
+// RunTo) deliver incrementally, so memory stays flat however many
+// findings a pathological document generates:
+//
+//	var sum weblint.Summary
+//	l.CheckFileTo("big.html", sum.Sink(nil)) // count without buffering
+//
+// Renderers are sinks too: NewRenderer builds one of the pluggable
+// output formats — the traditional lint/short/terse/verbose text
+// styles, JSON Lines ("json"), or SARIF 2.1.0 ("sarif") — over any
+// io.Writer. Compose them with a [Summary] for severity policy:
+//
+//	r, _ := weblint.NewRenderer("sarif", os.Stdout)
+//	var sum weblint.Summary
+//	sink := sum.Sink(r)
+//	// ... stream one or many checks into sink ...
+//	r.Close()
+//	if sum.Failures(weblint.FailOnWarning) > 0 { os.Exit(1) }
+//
+// Plugin authors writing custom renderers, filters or forwarders only
+// need to implement Sink; see the warn package documentation for the
+// delivery contract.
 package weblint
 
 import (
+	"io"
+
 	"weblint/internal/config"
 	"weblint/internal/engine"
 	"weblint/internal/lint"
 	"weblint/internal/plugin"
+	"weblint/internal/render"
 	"weblint/internal/warn"
 )
 
@@ -87,6 +120,55 @@ type Linter = lint.Linter
 
 // Formatter renders messages; see the formatter values below.
 type Formatter = warn.Formatter
+
+// FormatterFunc adapts a function to the Formatter interface.
+type FormatterFunc = warn.FormatterFunc
+
+// Sink is the universal streaming diagnostics channel: Write consumes
+// one message and returning false cancels the check feeding it.
+type Sink = warn.Sink
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc = warn.SinkFunc
+
+// Collector is a Sink that accumulates messages in order.
+type Collector = warn.Collector
+
+// Summary counts diagnostics by category; combine with a FailOn
+// threshold for policy-driven exit codes.
+type Summary = warn.Summary
+
+// FailOn is the severity threshold that turns findings into a failing
+// exit.
+type FailOn = warn.FailOn
+
+// Severity thresholds for Summary.Failures.
+const (
+	FailOnError   = warn.FailOnError
+	FailOnWarning = warn.FailOnWarning
+	FailOnStyle   = warn.FailOnStyle
+	FailOnNever   = warn.FailOnNever
+)
+
+// ParseFailOn converts a threshold name ("error", "warning", "style",
+// "any", "never") to a FailOn.
+func ParseFailOn(s string) (FailOn, bool) { return warn.ParseFailOn(s) }
+
+// Renderer is a Sink that renders the diagnostics stream to a writer;
+// Close must be called once after the last Write.
+type Renderer = render.Renderer
+
+// NewRenderer builds a renderer for one of the output styles listed by
+// RenderStyles: "lint", "short", "terse", "verbose", "json" (JSON
+// Lines) or "sarif" (SARIF 2.1.0).
+func NewRenderer(style string, w io.Writer) (Renderer, error) { return render.New(style, w) }
+
+// RenderStyles returns the recognised renderer names.
+func RenderStyles() []string { return render.Styles() }
+
+// NewFormatterSink wraps any Formatter as a streaming Renderer writing
+// one line per message to w — the hook for custom output styles.
+func NewFormatterSink(f Formatter, w io.Writer) Renderer { return render.NewFormatter(f, w) }
 
 // ContentChecker is the plugin interface for validating non-HTML
 // content embedded in documents (style sheets, scripts); register

@@ -72,3 +72,73 @@ func TestCategoriesExposed(t *testing.T) {
 		t.Error("category constants collide")
 	}
 }
+
+// TestPublicAPIStreaming exercises the streaming pipeline through the
+// public surface: Linter.CheckStringTo into a Summary-counting
+// renderer sink, severity policy, and the formatter-sink hook.
+func TestPublicAPIStreaming(t *testing.T) {
+	l := MustNew(Options{})
+	var out strings.Builder
+	r, err := NewRenderer("json", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	l.CheckStringTo("t.html", "<HTML><BODY><IMG SRC=x.gif></BODY></HTML>", sum.Sink(r))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total() == 0 || out.Len() == 0 {
+		t.Fatalf("streaming check produced nothing (summary %+v)", sum)
+	}
+	if sum.Failures(FailOnNever) != 0 {
+		t.Error("FailOnNever reported failures")
+	}
+	if sum.Failures(FailOnStyle) != sum.Total() {
+		t.Error("FailOnStyle did not count every finding")
+	}
+	if f, ok := ParseFailOn("warning"); !ok || f != FailOnWarning {
+		t.Error("ParseFailOn(warning) broken")
+	}
+
+	var custom strings.Builder
+	fr := NewFormatterSink(FormatterFunc(func(m Message) string {
+		return "X:" + m.ID
+	}), &custom)
+	l.CheckStringTo("t.html", "<HTML><BODY><IMG SRC=x.gif></BODY></HTML>", fr)
+	if err := fr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(custom.String(), "X:img-alt") {
+		t.Errorf("formatter sink output = %q", custom.String())
+	}
+}
+
+// TestBatchEngineRunTo: the public batch engine streams messages in
+// input order into a sink.
+func TestBatchEngineRunTo(t *testing.T) {
+	eng := NewBatchEngine(nil)
+	jobs := []BatchJob{
+		{Name: "a.html", Src: []byte("<HTML><BODY><IMG SRC=x.gif></BODY></HTML>")},
+		{Name: "b.html", Src: []byte("<HTML><BODY><P>t</P></BODY></HTML>")},
+	}
+	var c Collector
+	if err := eng.RunTo(jobs, &c); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Messages) == 0 {
+		t.Fatal("no messages streamed")
+	}
+	lastA := -1
+	firstB := len(c.Messages)
+	for i, m := range c.Messages {
+		if m.File == "a.html" {
+			lastA = i
+		} else if i < firstB {
+			firstB = i
+		}
+	}
+	if lastA > firstB {
+		t.Error("job messages interleaved out of input order")
+	}
+}
