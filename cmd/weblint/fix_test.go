@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixableDoc carries several mechanically fixable problems: a bare
+// metacharacter, a missing ALT, single quotes, a spurious slash, and
+// an unclosed FORM.
+const fixableDoc = `<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0//EN">
+<HTML><HEAD><TITLE>t</TITLE>
+<META NAME="description" CONTENT="d"><META NAME="keywords" CONTENT="k">
+</HEAD>
+<BODY>
+fish & chips
+<IMG SRC="x.gif">
+<A HREF='y.html'>link</A><BR/>
+<FORM ACTION="/s" METHOD="get"><INPUT TYPE="text" NAME="q">
+</BODY></HTML>
+`
+
+// TestFixDryRunPrintsDiff: -fix-dry-run prints a unified diff and
+// leaves the file untouched, exit 0.
+func TestFixDryRunPrintsDiff(t *testing.T) {
+	path := writeTemp(t, "page.html", fixableDoc)
+	code, out, stderr := runCLI(t, "", "-norc", "-fix-dry-run", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr=%q", code, stderr)
+	}
+	for _, want := range []string{
+		"--- " + path + "\n",
+		"+++ " + path + " (fixed)\n",
+		"@@ -",
+		"+fish &amp; chips",
+		`ALT=""`,
+		"</FORM>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != fixableDoc {
+		t.Errorf("dry run modified the file (err=%v)", err)
+	}
+	if _, err := os.Stat(path + ".orig"); !os.IsNotExist(err) {
+		t.Errorf("dry run created a backup")
+	}
+}
+
+// TestFixInPlace: -fix rewrites the file, keeps a .orig backup, and a
+// second run is a no-op (the fixed document has nothing fixable).
+func TestFixInPlace(t *testing.T) {
+	path := writeTemp(t, "page.html", fixableDoc)
+	code, out, stderr := runCLI(t, "", "-norc", "-fix", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr=%q", code, stderr)
+	}
+	if !strings.Contains(out, path+": ") || !strings.Contains(out, "applied") {
+		t.Errorf("no per-file report: %q", out)
+	}
+	orig, err := os.ReadFile(path + ".orig")
+	if err != nil || string(orig) != fixableDoc {
+		t.Errorf(".orig backup wrong (err=%v)", err)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fixed) == fixableDoc {
+		t.Fatalf("file not rewritten")
+	}
+	for _, want := range []string{"&amp;", `ALT=""`, `HREF="y.html"`, "<BR>", "</FORM>"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed file missing %q:\n%s", want, fixed)
+		}
+	}
+
+	// Second run: nothing fixable remains, nothing is written.
+	code, out, stderr = runCLI(t, "", "-norc", "-fix", path)
+	if code != 0 || out != "" {
+		t.Errorf("second -fix run: code=%d out=%q stderr=%q", code, out, stderr)
+	}
+	after, _ := os.ReadFile(path)
+	if string(after) != string(fixed) {
+		t.Errorf("second -fix run changed the file")
+	}
+}
+
+// TestFixDryRunDeterministicAcrossJobs: the -fix-dry-run diff stream
+// is byte-identical between -j 1 and -j 4 over the same file list —
+// the same determinism contract the renderers keep.
+func TestFixDryRunDeterministicAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 9; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("p%02d.html", i))
+		src := fixableDoc
+		if i%3 == 1 {
+			src = section42
+		}
+		if i%3 == 2 {
+			src = strings.Repeat("line of text\n", 40) + fixableDoc
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	code, want, stderr := runCLI(t, "", append([]string{"-norc", "-fix-dry-run", "-j", "1"}, paths...)...)
+	if code != 0 {
+		t.Fatalf("-j 1: exit %d, stderr=%q", code, stderr)
+	}
+	if want == "" {
+		t.Fatal("no diff output")
+	}
+	for run := 0; run < 3; run++ {
+		code, got, stderr := runCLI(t, "", append([]string{"-norc", "-fix-dry-run", "-j", "4"}, paths...)...)
+		if code != 0 {
+			t.Fatalf("-j 4: exit %d, stderr=%q", code, stderr)
+		}
+		if got != want {
+			t.Fatalf("-fix-dry-run output differs between -j 1 and -j 4")
+		}
+	}
+}
+
+// TestFixModeValidation: fix modes reject stdin, URLs, directories and
+// each other.
+func TestFixModeValidation(t *testing.T) {
+	path := writeTemp(t, "page.html", fixableDoc)
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-norc", "-fix", "-fix-dry-run", path},
+		{"-norc", "-fix", "-u", "http://example.org/"},
+		{"-norc", "-fix", "-R", dir},
+		{"-norc", "-fix", "-"},
+		{"-norc", "-fix", dir},
+		{"-norc", "-fix", filepath.Join(dir, "missing.html")},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, "", args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr=%q)", args, code, stderr)
+		}
+		if stderr == "" {
+			t.Errorf("args %v: no error message", args)
+		}
+	}
+}
+
+// TestFixErrorMidBatch: an unreadable file cancels the fix run with
+// exit 2; files after it in the argument order are left untouched.
+func TestFixErrorMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "a.html")
+	gone := filepath.Join(dir, "gone.html")
+	last := filepath.Join(dir, "z.html")
+	for _, p := range []string{first, gone, last} {
+		if err := os.WriteFile(p, []byte(fixableDoc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "", "-norc", "-fix", first, gone, last)
+	if code != 2 || !strings.Contains(stderr, "gone.html") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	after, _ := os.ReadFile(last)
+	if string(after) != fixableDoc {
+		t.Errorf("file after the failure was rewritten")
+	}
+}

@@ -18,7 +18,8 @@ const warningsOnly = `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x</P></BODY></
 `
 
 // TestFormatJSON: -format json emits one valid JSON object per finding
-// with structured id/category/file/line fields.
+// with structured id/category/file/line fields, then a trailing
+// summary line with the per-category counts.
 func TestFormatJSON(t *testing.T) {
 	path := writeTemp(t, "test.html", section42)
 	code, out, stderr := runCLI(t, "", "-norc", "-format", "json", path)
@@ -29,7 +30,24 @@ func TestFormatJSON(t *testing.T) {
 	if len(lines) < 5 {
 		t.Fatalf("only %d JSON lines", len(lines))
 	}
-	for _, line := range lines {
+
+	// The last line is the run summary.
+	var tail struct {
+		Summary *struct {
+			Errors     int            `json:"errors"`
+			Warnings   int            `json:"warnings"`
+			Style      int            `json:"style"`
+			Suppressed map[string]int `json:"suppressed"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil || tail.Summary == nil {
+		t.Fatalf("last line is not a summary: %q (%v)", lines[len(lines)-1], err)
+	}
+	if got := tail.Summary.Errors + tail.Summary.Warnings + tail.Summary.Style; got != len(lines)-1 {
+		t.Errorf("summary counts %d findings, stream has %d", got, len(lines)-1)
+	}
+
+	for _, line := range lines[:len(lines)-1] {
 		var m struct {
 			ID       string `json:"id"`
 			Category string `json:"category"`
@@ -250,4 +268,62 @@ func TestFormatFlagPrecedence(t *testing.T) {
 	if !strings.Contains(out, "[doctype-first, warning]") {
 		t.Errorf("rc output-style verbose ignored: %q", out)
 	}
+}
+
+// TestSuppressionStats: disabled rules are counted per ID and
+// surfaced by the verbose footer and the JSON summary line, on both
+// the sequential and the -j engine path.
+func TestSuppressionStats(t *testing.T) {
+	const doc = `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><IMG SRC="a.gif"><IMG SRC="b.gif"></BODY></HTML>
+`
+	path := writeTemp(t, "imgs.html", doc)
+
+	// Default-disabled rules (img-size, require-meta) count too: the
+	// footer reports every emission a disabled rule dropped.
+	_, out, _ := runCLI(t, "", "-norc", "-d", "img-alt", "-v", path)
+	if !strings.Contains(out, "suppressed: 6 emission(s) from disabled rules (img-alt x2, img-size x2, require-meta x2)") {
+		t.Errorf("verbose footer missing suppression stats:\n%s", out)
+	}
+
+	// Without -d img-alt those findings are delivered, not counted.
+	_, out, _ = runCLI(t, "", "-norc", "-v", path)
+	if strings.Contains(out, "img-alt x") {
+		t.Errorf("delivered rule counted as suppressed:\n%s", out)
+	}
+	if !strings.Contains(out, "suppressed: 4 emission(s)") {
+		t.Errorf("default-disabled rules not counted:\n%s", out)
+	}
+
+	check := func(out string, wantAlt int) {
+		t.Helper()
+		lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		var tail struct {
+			Summary struct {
+				Suppressed map[string]int `json:"suppressed"`
+			} `json:"summary"`
+		}
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil {
+			t.Fatalf("summary line: %v", err)
+		}
+		if got := tail.Summary.Suppressed["img-alt"]; got != wantAlt {
+			t.Errorf("json summary img-alt = %d, want %d (%v)", got, wantAlt, tail.Summary.Suppressed)
+		}
+	}
+	_, out, _ = runCLI(t, "", "-norc", "-d", "img-alt", "-format", "json", path)
+	check(out, 2)
+
+	// The -j batch path forwards the same stats through the engine.
+	path2 := writeTemp(t, "imgs2.html", doc)
+	_, out, _ = runCLI(t, "", "-norc", "-d", "img-alt", "-format", "json", "-j", "4", path, path2)
+	check(out, 4)
+
+	// The -R sitewalk path forwards them too.
+	dir := t.TempDir()
+	for _, name := range []string{"index.html", "a.html"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, out, _ = runCLI(t, "", "-norc", "-R", "-d", "img-alt", "-format", "json", dir)
+	check(out, 4)
 }

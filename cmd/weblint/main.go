@@ -23,12 +23,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
+	"weblint/internal/bytestr"
 	"weblint/internal/config"
 	"weblint/internal/engine"
+	"weblint/internal/fixit"
 	"weblint/internal/lint"
 	"weblint/internal/render"
 	"weblint/internal/sitewalk"
@@ -59,6 +64,8 @@ type cli struct {
 	list     bool
 	version  bool
 	jobs     int
+	fix      bool
+	fixDry   bool
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -82,6 +89,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.list, "l", false, "list supported warnings and their state, then exit")
 	fs.BoolVar(&c.version, "version", false, "print version and exit")
 	fs.IntVar(&c.jobs, "j", 0, "parallel lint workers (default: number of CPUs for files and -R, 1 for -u; output order is unaffected)")
+	fs.BoolVar(&c.fix, "fix", false, "apply machine-applicable fixes in place, backing each file up as file.orig")
+	fs.BoolVar(&c.fixDry, "fix-dry-run", false, "print the fixes as a unified diff to stdout without touching any file")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: weblint [options] file.html ... | -u URL ... | -R dir | -\n")
 		fs.PrintDefaults()
@@ -128,6 +137,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if c.fix || c.fixDry {
+		if err := validateFixMode(&c, files); err != nil {
+			fmt.Fprintf(stderr, "weblint: %v\n", err)
+			return 2
+		}
+		return runFix(&c, files, linter, stdout, stderr)
+	}
+
 	// The whole run streams through one pipeline: messages flow into a
 	// severity-counting sink wrapping the selected renderer, and the
 	// exit code falls out of the summary at the end.
@@ -149,8 +166,150 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "weblint: %v\n", opErr)
 		return 2
 	}
+	writeSummaryFooter(style, stdout, &sum)
 	if sum.Failures(threshold) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// writeSummaryFooter surfaces the run summary for the styles that
+// carry one. The json renderer writes its own machine-readable
+// summary line at Close (so the gateway and poacher streams get it
+// too); verbose gets a human footer with the per-rule suppression
+// stats when any emission was dropped by a disabled rule.
+func writeSummaryFooter(style string, stdout io.Writer, sum *warn.Summary) {
+	if style != "verbose" || sum.SuppressedTotal() == 0 {
+		return
+	}
+	ids := make([]string, 0, len(sum.Suppressed))
+	for id := range sum.Suppressed {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(stdout, "suppressed: %d emission(s) from disabled rules (", sum.SuppressedTotal())
+	for i, id := range ids {
+		if i > 0 {
+			io.WriteString(stdout, ", ")
+		}
+		fmt.Fprintf(stdout, "%s x%d", id, sum.Suppressed[id])
+	}
+	io.WriteString(stdout, ")\n")
+}
+
+// validateFixMode rejects flag combinations the fix modes do not
+// support: fixes rewrite local files, so every argument must be a
+// plain file.
+func validateFixMode(c *cli, files []string) error {
+	if c.fix && c.fixDry {
+		return fmt.Errorf("-fix and -fix-dry-run are mutually exclusive")
+	}
+	flagName := "-fix"
+	if c.fixDry {
+		flagName = "-fix-dry-run"
+	}
+	if c.urlMode {
+		return fmt.Errorf("%s cannot be combined with -u (fixes rewrite local files)", flagName)
+	}
+	if c.recurse {
+		return fmt.Errorf("%s cannot be combined with -R (pass the files explicitly)", flagName)
+	}
+	for _, arg := range files {
+		if arg == "-" {
+			return fmt.Errorf("%s cannot read from stdin (fixes rewrite local files)", flagName)
+		}
+		st, err := os.Stat(arg)
+		if err != nil {
+			return err
+		}
+		if st.IsDir() {
+			return fmt.Errorf("%s is a directory (%s wants plain files)", arg, flagName)
+		}
+	}
+	return nil
+}
+
+// fixResult is the per-file outcome of a fix-mode run.
+type fixResult struct {
+	path  string
+	data  []byte // original content
+	fixed string
+	rep   fixit.Report
+	err   error
+}
+
+// runFix lints every file, applies the machine-applicable fixes, and
+// either rewrites the files in place (-fix, with a .orig backup) or
+// prints a unified diff (-fix-dry-run). Files are checked on -j
+// workers through the ordered engine core, so the output — and the
+// order files are rewritten in — is identical for any worker count.
+func runFix(c *cli, files []string, linter *lint.Linter, stdout, stderr io.Writer) int {
+	// Deduplicate the argument list: producers read files on -j
+	// workers while the ordered consumer rewrites them, so the same
+	// path appearing twice could be re-read mid-rewrite and lint a
+	// torn document. First mention wins. (Distinct paths aliasing one
+	// file — symlinks, ../ routes — are out of scope, as for any
+	// in-place rewriter.)
+	seen := make(map[string]bool, len(files))
+	deduped := files[:0:0]
+	for _, f := range files {
+		key := filepath.Clean(f)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		deduped = append(deduped, f)
+	}
+	files = deduped
+
+	workers := c.jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var opErr error
+	engine.OrderedSlice(workers, 4*workers, files,
+		func(_ int, path string) fixResult {
+			r := fixResult{path: path}
+			r.data, r.err = os.ReadFile(path)
+			if r.err != nil {
+				return r
+			}
+			msgs := linter.CheckBytes(path, r.data)
+			r.fixed, r.rep = fixit.Apply(bytestr.String(r.data), msgs)
+			return r
+		},
+		func(_ int, r fixResult) bool {
+			if r.err != nil {
+				opErr = r.err
+				return false
+			}
+			if c.fixDry {
+				if r.fixed != bytestr.String(r.data) {
+					io.WriteString(stdout, fixit.UnifiedDiff(r.path, r.path+" (fixed)", bytestr.String(r.data), r.fixed))
+				}
+				return true
+			}
+			if !r.rep.Changed() {
+				return true
+			}
+			mode := fs.FileMode(0o644)
+			if st, err := os.Stat(r.path); err == nil {
+				mode = st.Mode().Perm()
+			}
+			if err := os.WriteFile(r.path+".orig", r.data, mode); err != nil {
+				opErr = err
+				return false
+			}
+			if err := os.WriteFile(r.path, []byte(r.fixed), mode); err != nil {
+				opErr = err
+				return false
+			}
+			fmt.Fprintf(stdout, "%s: %s\n", r.path, r.rep.String())
+			return true
+		})
+	if opErr != nil {
+		fmt.Fprintf(stderr, "weblint: %v\n", opErr)
+		return 2
 	}
 	return 0
 }
@@ -178,19 +337,23 @@ func checkArgs(c *cli, files []string, linter *lint.Linter, stdin io.Reader, sin
 	for _, arg := range files {
 		switch {
 		case arg == "-":
-			msgs, err := linter.CheckReader("-", stdin)
+			ok, err := checkOne(sink, func(rec warn.Sink) error {
+				return linter.CheckReaderTo("-", stdin, rec)
+			})
 			if err != nil {
 				return err
 			}
-			if !writeAll(sink, msgs) {
+			if !ok {
 				return nil
 			}
 		case c.urlMode:
-			msgs, err := linter.CheckURL(arg)
+			ok, err := checkOne(sink, func(rec warn.Sink) error {
+				return linter.CheckURLTo(arg, rec)
+			})
 			if err != nil {
 				return err
 			}
-			if !writeAll(sink, msgs) {
+			if !ok {
 				return nil
 			}
 		default:
@@ -216,11 +379,13 @@ func checkArgs(c *cli, files []string, linter *lint.Linter, stdin io.Reader, sin
 					return nil
 				}
 			} else {
-				msgs, err := linter.CheckFile(arg)
+				ok, err := checkOne(sink, func(rec warn.Sink) error {
+					return linter.CheckFileTo(arg, rec)
+				})
 				if err != nil {
 					return err
 				}
-				if !writeAll(sink, msgs) {
+				if !ok {
 					return nil
 				}
 			}
@@ -229,15 +394,17 @@ func checkArgs(c *cli, files []string, linter *lint.Linter, stdin io.Reader, sin
 	return nil
 }
 
-// writeAll streams a document's messages into sink, reporting whether
-// the stream may continue.
-func writeAll(sink warn.Sink, msgs []warn.Message) bool {
-	for _, m := range msgs {
-		if !sink.Write(m) {
-			return false
-		}
+// checkOne runs a single document check into a Recorder and replays
+// it — suppression stats included — into sink in sorted order (the
+// per-document output contract the slice APIs keep). The bool result
+// reports whether the sink accepts more.
+func checkOne(sink warn.Sink, check func(warn.Sink) error) (bool, error) {
+	var rec warn.Recorder
+	if err := check(&rec); err != nil {
+		return false, err
 	}
-	return true
+	warn.SortByLine(rec.Messages)
+	return rec.Replay(sink), nil
 }
 
 // batchJobs decides whether the argument list can run through the

@@ -1,0 +1,89 @@
+package bufpool
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGetReturnsEmptyBuffer: a buffer from the pool is always empty,
+// even when the previous user left content in it.
+func TestGetReturnsEmptyBuffer(t *testing.T) {
+	b := Get()
+	b.WriteString("leftover")
+	Put(b)
+	for i := 0; i < 10; i++ {
+		g := Get()
+		if g.Len() != 0 {
+			t.Fatalf("pooled buffer not empty: %d bytes", g.Len())
+		}
+		Put(g)
+	}
+}
+
+// TestPoolReuse: a released buffer's capacity is reused rather than
+// reallocated. sync.Pool gives no hard guarantee per Get, so the test
+// asserts reuse happens at least once over several rounds.
+func TestPoolReuse(t *testing.T) {
+	b := Get()
+	b.Grow(1 << 16)
+	Put(b)
+	reused := false
+	for i := 0; i < 100 && !reused; i++ {
+		g := Get()
+		if g.Cap() >= 1<<16 {
+			reused = true
+		}
+		Put(g)
+	}
+	if !reused {
+		t.Skip("pool never returned the grown buffer (GC ran); nothing to assert")
+	}
+}
+
+// TestOversizeRelease: buffers past the pooling cap are dropped on
+// Put, so one pathological document cannot pin megabytes in the pool.
+func TestOversizeRelease(t *testing.T) {
+	big := Get()
+	big.WriteString(strings.Repeat("x", maxPooled+1))
+	if big.Cap() <= maxPooled {
+		t.Fatalf("test buffer did not exceed the cap: %d", big.Cap())
+	}
+	Put(big) // must be dropped, not pooled
+
+	// Whatever Get returns now, it must not be the oversized buffer.
+	for i := 0; i < 50; i++ {
+		g := Get()
+		if g == big {
+			t.Fatal("oversized buffer was pooled")
+		}
+		Put(g)
+	}
+}
+
+// TestPutNil: a nil buffer is ignored rather than panicking.
+func TestPutNil(t *testing.T) {
+	Put(nil)
+}
+
+// TestConcurrentUse: the pool is safe under concurrent Get/Put with
+// interleaved writes (run with -race).
+func TestConcurrentUse(t *testing.T) {
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				b := Get()
+				b.WriteString(strings.Repeat("y", 100+w))
+				if b.Len() != 100+w {
+					t.Errorf("buffer shared between goroutines")
+					return
+				}
+				Put(b)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -125,6 +125,23 @@ type Checker struct {
 	attrSeen map[string]*htmltoken.Attr // per-tag duplicate tracking, reused
 
 	lastLine int
+	// lastOffset is one past the last byte of the last token seen.
+	// Tokens partition the document, so at Finish it is the document
+	// length — where the EOF close-tag fixes insert.
+	lastOffset int
+	// lastUnterminated records that the final token was cut off by
+	// end of input (malformed tag, unterminated comment or quote).
+	// Text inserted at EOF would be absorbed INTO that construct on a
+	// re-parse, so the EOF close-tag fixes are withheld.
+	lastUnterminated bool
+	// sawOddQuotes records that quote recovery has happened: the
+	// tokenizer's recovery budget (quoteMaxBytes/quoteMaxNewlines)
+	// makes the extent of an odd-quoted tag sensitive to how far away
+	// later bytes are, so any length-CHANGING fix at or beyond such a
+	// tag could re-tokenize the document differently. From the first
+	// odd-quotes token on, only length-preserving fixes (case
+	// rewrites) are attached.
+	sawOddQuotes bool
 }
 
 // New returns a Checker which reports through em.
@@ -176,6 +193,9 @@ func (c *Checker) Reset(em *warn.Emitter, opts Options) {
 	clear(c.metaNames)
 	clear(c.attrSeen)
 	c.lastLine = 1
+	c.lastOffset = 0
+	c.lastUnterminated = false
+	c.sawOddQuotes = false
 }
 
 // Release drops every reference the checker retains into the last
@@ -262,6 +282,18 @@ func (c *Checker) emitAt(id string, line, col int, args ...any) {
 	c.em.Emit(id, c.file, line, col, args...)
 }
 
+// emitFix reports a message carrying a machine-applicable fix. A nil
+// fix degrades to a plain emit, so emission sites can hand over
+// whatever their fix builder returned.
+func (c *Checker) emitFix(id string, line int, fix *warn.Fix, args ...any) {
+	c.em.EmitFix(id, c.file, line, 0, fix, args...)
+}
+
+// emitFixAt is emitFix with column information.
+func (c *Checker) emitFixAt(id string, line, col int, fix *warn.Fix, args ...any) {
+	c.em.EmitFix(id, c.file, line, col, fix, args...)
+}
+
 // Token feeds one token to the checker.
 func (c *Checker) Token(tok htmltoken.Token) { c.token(&tok) }
 
@@ -270,6 +302,13 @@ func (c *Checker) Token(tok htmltoken.Token) { c.token(&tok) }
 func (c *Checker) token(tok *htmltoken.Token) {
 	if tok.EndLine > c.lastLine {
 		c.lastLine = tok.EndLine
+	}
+	if end := tok.Offset + len(tok.Raw); end > c.lastOffset {
+		c.lastOffset = end
+	}
+	c.lastUnterminated = tok.Unterminated
+	if tok.OddQuotes {
+		c.sawOddQuotes = true
 	}
 	switch tok.Type {
 	case htmltoken.Doctype:
@@ -401,11 +440,22 @@ func (c *Checker) inElement(name string) *open {
 // Finish runs the end-of-document checks: unclosed elements left on
 // either stack, and whole-document structure checks.
 func (c *Checker) Finish() {
-	// Elements still open at end of document.
+	// Elements still open at end of document. Fixes insert the missing
+	// close tags at end of document, innermost first so the inserted
+	// tags nest. The chain stops at the first element that cannot be
+	// closed safely: inserting a close tag for an element OUTSIDE it
+	// would cross the unfixed one and change what a re-lint reports.
+	closable := !c.lastUnterminated && !c.sawOddQuotes
 	for i := len(c.stack) - 1; i >= 0; i-- {
 		o := c.stack[i]
 		if o.requiresClose() {
-			c.emit("unclosed-element", c.lastLine, o.display, o.display, o.line)
+			var fix *warn.Fix
+			if closable && c.closableAtEOF(o) {
+				fix = closeElementFix(o, c.opts.TagCase, c.lastOffset)
+			} else {
+				closable = false
+			}
+			c.emitFix("unclosed-element", c.lastLine, fix, o.display, o.display, o.line)
 		} else {
 			c.popChecks(o)
 		}

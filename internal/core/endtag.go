@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"weblint/internal/ascii"
+	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
+	"weblint/internal/warn"
 )
 
 // endTag handles a closing tag. This is where the two-stack heuristics
@@ -28,11 +30,12 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 	} else if len(tok.Attrs) > 0 {
 		c.emitAt("closing-attribute", tok.Line, tok.Col, display)
 	}
-	c.checkTagCase(tok.Name, display, tok.Line, tok.Col)
+	c.checkTagCase(tok, display, c.willDeleteEndTag(name, info))
 
-	// Close tags for empty elements are never legal.
+	// Close tags for empty elements are never legal; the fix deletes
+	// the tag (an empty element has no content to un-close).
 	if info != nil && info.Empty {
-		c.emit("empty-element-close", tok.Line, display, display)
+		c.emitFix("empty-element-close", tok.Line, c.guardFix(deleteTagFix("remove illegal close tag", tok)), display, display)
 		return
 	}
 
@@ -76,8 +79,12 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 	// crossed elements to the secondary stack so their own close
 	// tags resolve silently later. When a structural container's
 	// close tag forces elements shut, those closes are simply
-	// missing: report each as unclosed-element.
+	// missing: report each as unclosed-element, with a fix inserting
+	// the missing close tag just before this one — innermost first,
+	// so the inserted tags nest. As at end of document, the fix chain
+	// stops at the first element that cannot be closed safely.
 	structuralClose := info == nil || !info.Inline
+	closable := true
 
 	for i := len(intervening) - 1; i >= 0; i-- {
 		o := intervening[i]
@@ -91,13 +98,46 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 			continue
 		}
 		if structuralClose {
-			c.emit("unclosed-element", tok.Line, o.display, o.display, o.line)
+			var fix *warn.Fix
+			if closable && !c.sawOddQuotes && c.closableAtEOF(o) {
+				fix = closeElementFix(o, c.opts.TagCase, tok.Offset)
+			} else {
+				closable = false
+			}
+			c.emitFix("unclosed-element", tok.Line, fix, o.display, o.display, o.line)
 		} else {
 			c.emit("element-overlap", tok.Line, display, tok.Line, o.display, o.line)
 			c.pending = append(c.pending, o)
 		}
 	}
 	c.popChecks(matched)
+}
+
+// willDeleteEndTag predicts whether this end tag will be reported with
+// a tag-deleting fix (empty-element-close or unmatched-close), so the
+// tag-case check can withhold its in-span rewrite. It mirrors the
+// dispatch below with read-only stack scans.
+func (c *Checker) willDeleteEndTag(name string, info *htmlspec.ElementInfo) bool {
+	if info == nil {
+		return false // unknown-element path, no deletion fix
+	}
+	if info.Empty {
+		return true // empty-element-close deletes the tag
+	}
+	if c.inElement(name) != nil {
+		return false // matches an open element
+	}
+	if headingLevel(name) > 0 {
+		if t := c.top(); t != nil && headingLevel(t.name) > 0 {
+			return false // heading-mismatch path
+		}
+	}
+	for i := range c.pending {
+		if c.pending[i].name == name {
+			return false // resolves a pending overlap silently
+		}
+	}
+	return true // unmatched-close deletes the tag
 }
 
 // unmatchedClose handles a close tag with no matching open element:
@@ -130,7 +170,9 @@ func (c *Checker) unmatchedClose(tok *htmltoken.Token, name, display string, unk
 		c.emit("unknown-element", tok.Line, display)
 		return
 	}
-	c.emit("unmatched-close", tok.Line, display)
+	// A stray close tag is a no-op on the element stack; deleting it
+	// is always safe.
+	c.emitFix("unmatched-close", tok.Line, c.guardFix(deleteTagFix("remove unmatched close tag", tok)), display)
 }
 
 // popChecks runs the checks performed when an element leaves the stack

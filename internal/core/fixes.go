@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+
+	"weblint/internal/ascii"
+
+	"weblint/internal/htmltoken"
+	"weblint/internal/warn"
+)
+
+// This file builds the machine-applicable fixes the checker attaches
+// to diagnostics. Every builder runs on the cold path — only when its
+// check has already fired — and must obey two rules:
+//
+//  1. Replacement text never aliases the checked source (messages own
+//     everything they carry; CheckBytes callers may recycle the
+//     buffer the moment the check returns).
+//  2. Applying the fix must make the finding disappear on a re-lint
+//     WITHOUT introducing any new finding. Where that cannot be
+//     guaranteed (a close tag whose insertion would expose an
+//     empty-container message, a value that cannot be quoted safely),
+//     no fix is attached: a correct diagnostic without a fix beats a
+//     fix that needs fixing.
+
+// guardFix withholds a length-changing fix once quote recovery has
+// happened anywhere in the document (see Checker.sawOddQuotes): the
+// recovered tag's extent depends on byte distances that such a fix
+// would shift. Length-preserving fixes (case rewrites) bypass it.
+func (c *Checker) guardFix(fix *warn.Fix) *warn.Fix {
+	if c.sawOddQuotes {
+		return nil
+	}
+	return fix
+}
+
+// singleEdit builds a one-edit fix.
+func singleEdit(label string, start, end int, text string) *warn.Fix {
+	return &warn.Fix{Label: label, Edits: []warn.Edit{{Start: start, End: end, Text: text}}}
+}
+
+// caseFix rewrites a name span to the wanted case ("upper"/"lower").
+// ASCII folding, deliberately: it matches the ascii.IsUpper/IsLower
+// predicates that trigger the emission, and — unlike the Unicode
+// fold, where e.g. U+212A Kelvin shrinks to "k" — it never changes
+// byte length, the invariant that exempts case fixes from the
+// odd-quotes distance guard.
+func caseFix(label, name string, off int, want string) *warn.Fix {
+	cased := ascii.ToLower(name)
+	if want == "upper" {
+		cased = ascii.ToUpper(name)
+	}
+	return singleEdit(label, off, off+len(name), cased)
+}
+
+// quoteValueFix wraps an unquoted attribute value in double quotes.
+// The value must not itself contain a quote character (the caller
+// checks). One span replacement, not two insertions: a zero-width
+// insert at the value's end offset could land at the same point as a
+// tag-end insertion (a value ending right before '>'), where relative
+// order would depend on emission order.
+func quoteValueFix(at *htmltoken.Attr) *warn.Fix {
+	return singleEdit("quote attribute value",
+		at.ValOffset, at.ValOffset+len(at.Value), `"`+at.Value+`"`)
+}
+
+// requoteValueFix replaces single-quote delimiters with double quotes,
+// as one replacement spanning quotes and value.
+func requoteValueFix(at *htmltoken.Attr) *warn.Fix {
+	return singleEdit("use double quotes",
+		at.ValOffset-1, at.ValOffset+len(at.Value)+1, `"`+at.Value+`"`)
+}
+
+// quotableValue reports whether an attribute value can be wrapped in
+// double quotes without escaping.
+func quotableValue(v string) bool {
+	return !strings.ContainsAny(v, `"'`)
+}
+
+// attrEnd returns the byte offset one past the attribute's last byte
+// (the closing quote when there is one).
+func attrEnd(at *htmltoken.Attr) int {
+	if !at.HasValue {
+		return at.Offset + len(at.Name)
+	}
+	end := at.ValOffset + len(at.Value)
+	if at.Quote != 0 && !at.UnterminatedQuote {
+		end++
+	}
+	return end
+}
+
+// deleteAttrFix removes an attribute (name and value) from its tag.
+func deleteAttrFix(at *htmltoken.Attr) *warn.Fix {
+	return singleEdit("remove repeated attribute", at.Offset, attrEnd(at), "")
+}
+
+// deletableAttr reports whether removing the attribute re-tokenizes
+// the rest of the tag unchanged. A recovered "attribute" whose name
+// embeds a quote character, an unquoted value carrying one, or a
+// value whose closing quote never arrived would shift the tag's
+// quoting balance; and when the next non-space byte after the
+// attribute is '=', deleting it would make the PRECEDING attribute
+// bind to that stray '='.
+func deletableAttr(tok *htmltoken.Token, at *htmltoken.Attr) bool {
+	if strings.ContainsAny(at.Name, `"'`) || at.UnterminatedQuote {
+		return false
+	}
+	if at.HasValue && at.Quote == 0 && strings.ContainsAny(at.Value, `"'`) {
+		return false
+	}
+	for i := attrEnd(at) - tok.Offset; i < len(tok.Raw); i++ {
+		if isSpaceByte(tok.Raw[i]) {
+			continue
+		}
+		return tok.Raw[i] != '='
+	}
+	return true
+}
+
+// deleteTagFix removes a whole tag token.
+func deleteTagFix(label string, tok *htmltoken.Token) *warn.Fix {
+	return singleEdit(label, tok.Offset, tok.Offset+len(tok.Raw), "")
+}
+
+// tagInsertPos returns the byte offset at which new attribute text
+// can be inserted into a tag: just before the terminating '>', or —
+// for an XHTML-style tag — before the whole trailing slash/space run.
+// That run is exactly what slashFix deletes, and a deletion's START
+// boundary is where a zero-width insertion coexists with it (inserting
+// anywhere inside the run would conflict the two fixes away). Returns
+// -1 when the tag has no safe insertion point (the '=' guarded case
+// slashFix also refuses).
+func tagInsertPos(tok *htmltoken.Token) int {
+	end := tok.Offset + len(tok.Raw)
+	if tok.Unterminated {
+		return end
+	}
+	i := len(tok.Raw) - 1 // the '>'
+	if !tok.SlashClose {
+		return tok.Offset + i
+	}
+	j := i - 1
+	for j >= 0 && (isSpaceByte(tok.Raw[j]) || tok.Raw[j] == '/') {
+		j--
+	}
+	if j >= 0 && tok.Raw[j] == '=' {
+		return -1
+	}
+	return tok.Offset + j + 1
+}
+
+// insertAttrFix inserts ` NAME=""` before the tag's terminator. The
+// attribute name follows the configured attribute case; the historical
+// upper case is the default. Nil when the tag has no safe insertion
+// point.
+func insertAttrFix(tok *htmltoken.Token, name, attrCase string) *warn.Fix {
+	pos := tagInsertPos(tok)
+	if pos < 0 {
+		return nil
+	}
+	cased := strings.ToUpper(name)
+	if attrCase == "lower" {
+		cased = strings.ToLower(name)
+	}
+	return singleEdit("insert "+cased+`=""`, pos, pos, " "+cased+`=""`)
+}
+
+// slashFix removes the spurious trailing '/' of a tag — the whole
+// trailing run of slashes and whitespace, since the tokenizer strips
+// only one slash per parse and removing just one from "//" would
+// leave the next re-lint reporting spurious-slash again. When the run
+// is preceded by '=', the slash is (part of) an attribute value, not
+// XHTML noise; no mechanical fix then.
+func slashFix(tok *htmltoken.Token) *warn.Fix {
+	if tok.Unterminated {
+		return nil
+	}
+	i := len(tok.Raw) - 1 // the '>'
+	j := i - 1
+	sawSlash := false
+	for j >= 0 && (isSpaceByte(tok.Raw[j]) || tok.Raw[j] == '/') {
+		if tok.Raw[j] == '/' {
+			sawSlash = true
+		}
+		j--
+	}
+	if !sawSlash || (j >= 0 && tok.Raw[j] == '=') {
+		return nil
+	}
+	return singleEdit("remove trailing '/'", tok.Offset+j+1, tok.Offset+i, "")
+}
+
+// metacharFix replaces one literal metacharacter byte with its entity.
+func metacharFix(off int, entity string) *warn.Fix {
+	return singleEdit("write "+entity, off, off+1, entity)
+}
+
+// closeElementFix inserts a closing tag at byte offset at — the end
+// of the document for Finish-time unclosed elements, or just before a
+// structural close tag that forced the element shut. The tag name
+// follows the configured tag case (upper by default, matching the
+// display name the message quotes).
+func closeElementFix(o *open, tagCase string, at int) *warn.Fix {
+	name := o.display
+	if tagCase == "lower" {
+		name = o.name
+	}
+	return singleEdit("insert </"+o.display+">", at, at, "</"+name+">")
+}
+
+// closableAtEOF reports whether inserting a close tag for o (at end
+// of document or before the structural close that forced it shut) is
+// guaranteed not to surface a new finding: the element must have
+// content (or tolerate emptiness), and must not be one of the
+// elements whose orderly close runs content checks (TITLE length,
+// anchor text, heading whitespace) that the checker cannot predict
+// won't fire.
+func (c *Checker) closableAtEOF(o *open) bool {
+	if o.info == nil {
+		return false
+	}
+	if !o.content && !o.info.EmptyOK {
+		return false
+	}
+	if o.name == "title" || o.name == "a" || headingLevel(o.name) > 0 {
+		return false
+	}
+	return true
+}
+
+// firstOfName reports whether none of the earlier attributes shares
+// this lower-case name — i.e. the attribute is not a repeat whose fix
+// will be a deletion.
+func firstOfName(earlier []htmltoken.Attr, lower string) bool {
+	for i := range earlier {
+		if earlier[i].Lower == lower {
+			return false
+		}
+	}
+	return true
+}
+
+// attrsGarbled reports whether the tag's attribute parse is suspect:
+// an attribute NAME containing a quote character means the tokenizer
+// balanced quotes across what parseAttrs then read as names, and a
+// value whose closing quote never arrived will absorb whatever text
+// follows it on a re-parse. Any fix editing inside such a tag —
+// including inserting new attributes before its terminator — could
+// re-tokenize differently, so none is attached.
+func attrsGarbled(tok *htmltoken.Token) bool {
+	for i := range tok.Attrs {
+		if strings.ContainsAny(tok.Attrs[i].Name, `"'`) || tok.Attrs[i].UnterminatedQuote {
+			return true
+		}
+	}
+	return false
+}
+
+// isSpaceByte matches the tokenizer's intra-tag whitespace set.
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -170,7 +171,9 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		// DeepEqual: Message carries a *Fix whose contents (not
+		// pointer identity) must match between runs.
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("message %d differs: %+v vs %+v", i, a[i], b[i])
 		}
 	}

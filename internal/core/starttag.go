@@ -6,6 +6,7 @@ import (
 	"weblint/internal/ascii"
 	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
+	"weblint/internal/warn"
 )
 
 // startTag handles an opening tag: tokenizer-recovery diagnostics,
@@ -30,9 +31,9 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 		c.emitAt("odd-quotes", tok.Line, tok.Col, tok.Raw)
 	}
 	if tok.SlashClose {
-		c.emitAt("spurious-slash", tok.Line, tok.Col, display)
+		c.emitFixAt("spurious-slash", tok.Line, tok.Col, c.guardFix(slashFix(tok)), display)
 	}
-	c.checkTagCase(tok.Name, display, tok.Line, tok.Col)
+	c.checkTagCase(tok, display, false)
 
 	// Element identity.
 	switch {
@@ -186,36 +187,62 @@ func (c *Checker) trackDocumentState(name string, line int) {
 	}
 }
 
-// checkTagCase implements the optional tag-case style check.
-func (c *Checker) checkTagCase(written, display string, line, col int) {
-	switch c.opts.TagCase {
-	case "upper":
-		if !ascii.IsUpper(written) {
-			c.emitAt("tag-case", line, col, display, "upper")
-		}
-	case "lower":
-		if !ascii.IsLower(written) {
-			c.emitAt("tag-case", line, col, display, "lower")
-		}
+// checkTagCase implements the optional tag-case style check. The fix
+// rewrites the tag name span in place (offset +1 past '<', +2 past
+// '</' for closing tags). noFix suppresses the fix when the caller
+// knows the whole tag will be deleted by a later fix — a rewrite
+// inside a deleted span would win the conflict and block the
+// deletion.
+func (c *Checker) checkTagCase(tok *htmltoken.Token, display string, noFix bool) {
+	want := c.opts.TagCase
+	if want != "upper" && want != "lower" {
+		return
 	}
+	written := tok.Name
+	if want == "upper" && ascii.IsUpper(written) || want == "lower" && ascii.IsLower(written) {
+		return
+	}
+	var fix *warn.Fix
+	if !noFix {
+		nameOff := tok.Offset + 1
+		if tok.Type == htmltoken.EndTag {
+			nameOff++
+		}
+		fix = caseFix(want+"-case tag name", written, nameOff, want)
+	}
+	c.emitFixAt("tag-case", tok.Line, tok.Col, fix, display, want)
 }
 
 // checkAttrs checks the attribute list of a start tag. The checks run
 // in two passes to match weblint's output order: quoting style first,
 // then attribute identity and value legality.
 func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *htmlspec.ElementInfo) {
-	// Pass 1: quoting.
-	for _, at := range tok.Attrs {
+	// Pass 1: quoting. Quoting fixes are only attached to the first
+	// occurrence of an attribute name (a repeated attribute's fix is
+	// its deletion in pass 2, and two fixes on the same span would
+	// conflict away the deletion) and only when the tag's attribute
+	// parse is trustworthy.
+	garbled := attrsGarbled(tok)
+	for i := range tok.Attrs {
+		at := &tok.Attrs[i]
 		if !at.HasValue {
 			continue
 		}
 		switch at.Quote {
 		case 0:
 			if !isNameTokenValue(at.Value) {
-				c.emitAt("attribute-delimiter", at.Line, at.Col, at.Name, at.Value, display, at.Name, at.Value)
+				var fix *warn.Fix
+				if !garbled && quotableValue(at.Value) && firstOfName(tok.Attrs[:i], at.Lower) {
+					fix = c.guardFix(quoteValueFix(at))
+				}
+				c.emitFixAt("attribute-delimiter", at.Line, at.Col, fix, at.Name, at.Value, display, at.Name, at.Value)
 			}
 		case '\'':
-			c.emitAt("single-quotes", at.Line, at.Col, at.Name, display)
+			var fix *warn.Fix
+			if !garbled && !at.UnterminatedQuote && quotableValue(at.Value) && firstOfName(tok.Attrs[:i], at.Lower) {
+				fix = c.guardFix(requoteValueFix(at))
+			}
+			c.emitFixAt("single-quotes", at.Line, at.Col, fix, at.Name, display)
 		}
 	}
 
@@ -227,7 +254,11 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		at := &tok.Attrs[i]
 		lower := at.Lower
 		if _, dup := seen[lower]; dup {
-			c.emitAt("repeated-attribute", at.Line, at.Col, at.Name, display)
+			var fix *warn.Fix
+			if !garbled && deletableAttr(tok, at) {
+				fix = c.guardFix(deleteAttrFix(at))
+			}
+			c.emitFixAt("repeated-attribute", at.Line, at.Col, fix, at.Name, display)
 			continue
 		}
 		seen[lower] = at
@@ -254,10 +285,17 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		return
 	}
 
-	// Required attributes.
+	// Required attributes. The fix inserts NAME="" before the tag
+	// terminator — only when the empty value is legal for the
+	// attribute, so the fix cannot trade a required-attribute finding
+	// for an attribute-value one.
 	for _, reqName := range info.RequiredAttrs() {
 		if _, ok := seen[reqName]; !ok {
-			c.emitAt("required-attribute", tok.Line, tok.Col, strings.ToUpper(reqName), display)
+			var fix *warn.Fix
+			if ai := info.Attr(reqName); !garbled && ai != nil && ai.ValidValue("") {
+				fix = c.guardFix(insertAttrFix(tok, reqName, c.opts.AttrCase))
+			}
+			c.emitFixAt("required-attribute", tok.Line, tok.Col, fix, strings.ToUpper(reqName), display)
 		}
 	}
 
@@ -276,7 +314,7 @@ func (c *Checker) checkAttrValue(at *htmltoken.Attr, ai *htmlspec.AttrInfo, disp
 		return
 	}
 	// Entity references inside the value.
-	c.checkEntities(at.Value, at.Line, false)
+	c.checkEntities(at.Value, -1, at.Line, false)
 
 	if ai.Type == htmlspec.URL && at.Value != "" {
 		if scheme, bad := badScheme(at.Value); bad {
@@ -289,20 +327,23 @@ func (c *Checker) checkAttrValue(at *htmltoken.Attr, ai *htmlspec.AttrInfo, disp
 }
 
 // checkAttrCase implements the optional attribute-case style check.
+// The fix rewrites the attribute name span in place; when the name is
+// a repeat its rewrite overlaps the pass-2 deletion fix, which was
+// emitted first and therefore wins in fixit's conflict resolution —
+// exactly right, since deleting the repeat also removes the case
+// problem.
 func (c *Checker) checkAttrCase(tok *htmltoken.Token, display string) {
-	switch c.opts.AttrCase {
-	case "upper":
-		for _, at := range tok.Attrs {
-			if !ascii.IsUpper(at.Name) {
-				c.emitAt("attribute-case", at.Line, at.Col, at.Name, display, "upper")
-			}
+	want := c.opts.AttrCase
+	if want != "upper" && want != "lower" {
+		return
+	}
+	for i := range tok.Attrs {
+		at := &tok.Attrs[i]
+		if want == "upper" && ascii.IsUpper(at.Name) || want == "lower" && ascii.IsLower(at.Name) {
+			continue
 		}
-	case "lower":
-		for _, at := range tok.Attrs {
-			if !ascii.IsLower(at.Name) {
-				c.emitAt("attribute-case", at.Line, at.Col, at.Name, display, "lower")
-			}
-		}
+		fix := caseFix(want+"-case attribute name", at.Name, at.Offset, want)
+		c.emitFixAt("attribute-case", at.Line, at.Col, fix, at.Name, display, want)
 	}
 }
 
@@ -312,7 +353,11 @@ func (c *Checker) checkSpecialAttrs(tok *htmltoken.Token, name string, seen map[
 	switch name {
 	case "img":
 		if _, ok := seen["alt"]; !ok {
-			c.emitAt("img-alt", tok.Line, tok.Col)
+			var fix *warn.Fix
+			if !attrsGarbled(tok) {
+				fix = c.guardFix(insertAttrFix(tok, "alt", c.opts.AttrCase))
+			}
+			c.emitFixAt("img-alt", tok.Line, tok.Col, fix)
 		}
 		_, w := seen["width"]
 		_, h := seen["height"]

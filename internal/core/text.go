@@ -7,6 +7,7 @@ import (
 	"weblint/internal/entity"
 	"weblint/internal/htmltoken"
 	"weblint/internal/plugin"
+	"weblint/internal/warn"
 )
 
 // text handles a document text token: content bookkeeping for the
@@ -84,19 +85,25 @@ func (c *Checker) text(tok *htmltoken.Token) {
 		}
 	}
 
-	c.checkEntities(tok.Text, tok.Line, true)
+	c.checkEntities(tok.Text, tok.Offset, tok.Line, true)
 }
 
 // checkEntities scans text for entity references, reporting unknown
 // and unterminated references. When inText is true, bare ampersands
 // and stray '<' characters are additionally reported as unescaped
-// metacharacters.
-func (c *Checker) checkEntities(text string, line int, inText bool) {
+// metacharacters, with fixes rewriting the byte as an entity; base is
+// the byte offset of text in the document (pass -1 when unknown, e.g.
+// for attribute values, where no fixes are attached anyway).
+func (c *Checker) checkEntities(text string, base, line int, inText bool) {
 	for _, ref := range entity.Scan(text) {
 		switch {
 		case ref.Name == "":
 			if inText {
-				c.emit("metacharacter", line+lineOffset(text, ref.Offset), "&", "&amp;")
+				var fix *warn.Fix
+				if base >= 0 {
+					fix = c.guardFix(metacharFix(base+ref.Offset, "&amp;"))
+				}
+				c.emitFix("metacharacter", line+lineOffset(text, ref.Offset), fix, "&", "&amp;")
 			}
 		case !ref.Terminated:
 			c.emit("unterminated-entity", line+lineOffset(text, ref.Offset), ref.Name)
@@ -109,7 +116,11 @@ func (c *Checker) checkEntities(text string, line int, inText bool) {
 	if inText {
 		for i := 0; i < len(text); i++ {
 			if text[i] == '<' {
-				c.emit("metacharacter", line+lineOffset(text, i), "<", "&lt;")
+				var fix *warn.Fix
+				if base >= 0 {
+					fix = c.guardFix(metacharFix(base+i, "&lt;"))
+				}
+				c.emitFix("metacharacter", line+lineOffset(text, i), fix, "<", "&lt;")
 			}
 		}
 	}

@@ -1,0 +1,91 @@
+package corpus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGenerateSiteDeterministic: the same seed produces byte-identical
+// sites; different seeds differ.
+func TestGenerateSiteDeterministic(t *testing.T) {
+	cfg := SiteConfig{Seed: 42, Pages: 12, Orphans: 2, BrokenLinks: 3, Errors: Uniform(0.3)}
+	a := GenerateSite(cfg)
+	b := GenerateSite(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different sites")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	if reflect.DeepEqual(a, GenerateSite(cfg2)) {
+		t.Fatal("different seeds produced identical sites")
+	}
+}
+
+// TestGenerateSiteCounts: the requested counts hold exactly — pages,
+// orphans (pages no other page links to), and planted broken links.
+func TestGenerateSiteCounts(t *testing.T) {
+	site := GenerateSite(SiteConfig{Seed: 7, Pages: 15, Orphans: 2, BrokenLinks: 2, Subdirs: 2})
+	if len(site) != 15 {
+		t.Fatalf("generated %d pages, want 15", len(site))
+	}
+	if _, ok := site["index.html"]; !ok {
+		t.Fatal("no root index.html")
+	}
+	if _, ok := site["sub0/index.html"]; !ok {
+		t.Fatal("no sub0/index.html")
+	}
+
+	// Collect every link target used anywhere.
+	links := map[string]int{}
+	for _, src := range site {
+		for _, chunk := range strings.Split(src, `HREF="`)[1:] {
+			end := strings.IndexByte(chunk, '"')
+			if end < 0 {
+				continue
+			}
+			links[chunk[:end]]++
+		}
+	}
+
+	broken := 0
+	for target := range links {
+		if strings.HasPrefix(target, "/missing-") {
+			broken++
+		}
+	}
+	if broken != 2 {
+		t.Errorf("planted %d broken link targets, want 2", broken)
+	}
+
+	// Orphans: pages (beyond the root) never linked by any page.
+	orphans := 0
+	for path := range site {
+		if path == "index.html" {
+			continue
+		}
+		if links["/"+path] == 0 {
+			orphans++
+		}
+	}
+	if orphans != 2 {
+		t.Errorf("found %d orphan pages, want 2", orphans)
+	}
+}
+
+// TestGenerateSiteDefaults: a zero config still produces a coherent
+// site (20 pages, root index present).
+func TestGenerateSiteDefaults(t *testing.T) {
+	site := GenerateSite(SiteConfig{})
+	if len(site) != 20 {
+		t.Fatalf("default site has %d pages, want 20", len(site))
+	}
+	for path, src := range site {
+		if !strings.HasPrefix(path, "sub") && path != "index.html" && !strings.HasPrefix(path, "page") {
+			t.Errorf("unexpected page path %q", path)
+		}
+		if src == "" {
+			t.Errorf("page %q is empty", path)
+		}
+	}
+}

@@ -58,6 +58,10 @@ type Result struct {
 	Name string
 	// Messages are the diagnostics, in source order.
 	Messages []warn.Message
+	// Suppressed are the IDs of emissions dropped because their
+	// message was disabled, in emission order; RunTo replays them so
+	// per-rule suppression stats survive the ordered-delivery hop.
+	Suppressed []string
 	// Err is set when the document could not be obtained (unreadable
 	// file, failed fetch) or the check panicked. The engine itself
 	// never stops on an errored job — every job runs and delivers —
@@ -146,6 +150,7 @@ func (e *Engine) RunTo(jobs []Job, sink warn.Sink) error {
 			firstErr = r.Err
 			return false
 		}
+		warn.ReplaySuppressed(sink, r.Suppressed)
 		for _, m := range r.Messages {
 			if !sink.Write(m) {
 				return false
@@ -215,24 +220,34 @@ func (e *Engine) lintJob(idx int, j Job) (res Result) {
 		}
 	}()
 	l := e.linter()
+	// Check into a Recorder rather than through the slice APIs: it
+	// collects the same messages (sorted below, matching CheckFile's
+	// contract) and additionally captures suppressed-emission IDs for
+	// per-rule stats.
+	var rec warn.Recorder
 	switch {
 	case j.Src != nil:
 		if res.Name == "" {
 			res.Name = "-"
 		}
-		res.Messages = l.CheckBytes(res.Name, j.Src)
+		l.CheckBytesTo(res.Name, j.Src, &rec)
 	case j.Path != "":
 		if res.Name == "" {
 			res.Name = j.Path
 		}
-		res.Messages, res.Err = l.CheckFile(j.Path)
+		res.Err = l.CheckFileTo(j.Path, &rec)
 	case j.URL != "":
 		if res.Name == "" {
 			res.Name = j.URL
 		}
-		res.Messages, res.Err = l.CheckURL(j.URL)
+		res.Err = l.CheckURLTo(j.URL, &rec)
 	default:
 		res.Err = errors.New("engine: job has no source (Src, Path or URL)")
+	}
+	if res.Err == nil {
+		warn.SortByLine(rec.Messages)
+		res.Messages = rec.Messages
+		res.Suppressed = rec.SuppressedIDs
 	}
 	return res
 }

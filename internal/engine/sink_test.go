@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"weblint/internal/config"
+	"weblint/internal/lint"
 	"weblint/internal/warn"
 )
 
@@ -87,5 +89,32 @@ func TestRunToSinkCancel(t *testing.T) {
 	}
 	if n != 3 {
 		t.Errorf("sink saw %d messages after cancelling at 3", n)
+	}
+}
+
+// TestRunToForwardsSuppressions: per-rule suppression stats survive
+// the engine's ordered-delivery hop — a summary sink downstream of
+// RunTo sees the same counts for any worker count.
+func TestRunToForwardsSuppressions(t *testing.T) {
+	s := config.NewSettings()
+	if err := s.Set.Disable("img-alt"); err != nil {
+		t.Fatal(err)
+	}
+	l := lint.MustNew(lint.Options{Settings: s})
+	doc := []byte(`<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><IMG SRC="a.gif"><IMG SRC="b.gif"></BODY></HTML>`)
+	jobs := []Job{
+		{Name: "a.html", Src: doc},
+		{Name: "b.html", Src: doc},
+		{Name: "c.html", Src: doc},
+	}
+	for _, workers := range []int{1, 4} {
+		eng := &Engine{Linter: l, Workers: workers}
+		var sum warn.Summary
+		if err := eng.RunTo(jobs, sum.Sink(nil)); err != nil {
+			t.Fatal(err)
+		}
+		if got := sum.Suppressed["img-alt"]; got != 6 {
+			t.Errorf("workers=%d: img-alt suppressed %d times, want 6 (all: %v)", workers, got, sum.Suppressed)
+		}
 	}
 }

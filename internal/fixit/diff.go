@@ -1,0 +1,214 @@
+package fixit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders a unified diff (three lines of context) from
+// oldText to newText, labelling the sides aName and bName. It returns
+// the empty string when the texts are identical. The diff is a pure
+// function of its inputs — the -fix-dry-run output of a parallel run
+// is byte-identical to a sequential one.
+func UnifiedDiff(aName, bName, oldText, newText string) string {
+	if oldText == newText {
+		return ""
+	}
+	a := splitLines(oldText)
+	b := splitLines(newText)
+	ops := diffLines(a, b)
+
+	const ctx = 3
+	var out strings.Builder
+	fmt.Fprintf(&out, "--- %s\n+++ %s\n", aName, bName)
+
+	// Group change ops into hunks: changes separated by more than
+	// 2*ctx equal lines start a new hunk.
+	i := 0
+	for i < len(ops) {
+		// Find the next change.
+		for i < len(ops) && ops[i].kind == ' ' {
+			i++
+		}
+		if i >= len(ops) {
+			break
+		}
+		start := max(0, i-ctx)
+		// Extend over changes whose equal-gap is small enough.
+		end := i
+		last := i
+		for end < len(ops) {
+			if ops[end].kind != ' ' {
+				last = end
+				end++
+				continue
+			}
+			// A run of equals: if it reaches past 2*ctx (or the end),
+			// the hunk stops after the last change.
+			j := end
+			for j < len(ops) && ops[j].kind == ' ' {
+				j++
+			}
+			if j-end > 2*ctx || j == len(ops) {
+				break
+			}
+			end = j
+		}
+		end = min(len(ops), last+ctx+1)
+		writeHunk(&out, a, b, ops[start:end])
+		i = end
+	}
+	return out.String()
+}
+
+// op is one line of the diff script.
+type op struct {
+	kind byte // ' ', '-', '+'
+	a, b int  // 0-based next positions in a and b when emitted
+}
+
+// writeHunk renders one hunk with its @@ header.
+func writeHunk(out *strings.Builder, a, b []string, hunk []op) {
+	aLen, bLen := 0, 0
+	for _, o := range hunk {
+		switch o.kind {
+		case ' ':
+			aLen++
+			bLen++
+		case '-':
+			aLen++
+		case '+':
+			bLen++
+		}
+	}
+	aStart := hunk[0].a + 1
+	if aLen == 0 {
+		aStart-- // convention: the line before the insertion point
+	}
+	bStart := hunk[0].b + 1
+	if bLen == 0 {
+		bStart--
+	}
+	out.WriteString("@@ -")
+	writeRange(out, aStart, aLen)
+	out.WriteString(" +")
+	writeRange(out, bStart, bLen)
+	out.WriteString(" @@\n")
+	for _, o := range hunk {
+		switch o.kind {
+		case ' ', '-':
+			writeLine(out, o.kind, a[o.a])
+		case '+':
+			writeLine(out, o.kind, b[o.b])
+		}
+	}
+}
+
+// writeRange renders "start,len", omitting ",1" per GNU convention.
+func writeRange(out *strings.Builder, start, length int) {
+	if length == 1 {
+		fmt.Fprintf(out, "%d", start)
+		return
+	}
+	fmt.Fprintf(out, "%d,%d", start, length)
+}
+
+// writeLine renders one diff body line; a final line without a
+// newline gets the classic "\ No newline at end of file" marker.
+func writeLine(out *strings.Builder, kind byte, line string) {
+	out.WriteByte(kind)
+	out.WriteString(line)
+	if !strings.HasSuffix(line, "\n") {
+		out.WriteString("\n\\ No newline at end of file\n")
+	}
+}
+
+// splitLines splits text into lines which keep their terminating
+// newline; a final unterminated line is kept as-is (its missing
+// newline then participates in comparisons, so "x" vs "x\n" diffs).
+func splitLines(text string) []string {
+	if text == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(text, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// diffLines computes a minimal line diff with the Myers O(ND)
+// algorithm, returning the full edit script (equal lines included)
+// annotated with 0-based positions.
+func diffLines(a, b []string) []op {
+	n, m := len(a), len(b)
+	maxD := n + m
+	if maxD == 0 {
+		return nil
+	}
+	off := maxD
+	v := make([]int, 2*maxD+2)
+	var trace [][]int
+	found := -1
+	for d := 0; d <= maxD && found < 0; d++ {
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[off+k-1] < v[off+k+1]) {
+				x = v[off+k+1]
+			} else {
+				x = v[off+k-1] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[off+k] = x
+			if x >= n && y >= m {
+				found = d
+				break
+			}
+		}
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+	}
+
+	// Backtrack from (n, m) through the D-path snapshots.
+	var rev []op
+	x, y := n, m
+	for d := found; d > 0; d-- {
+		prev := trace[d-1]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && prev[off+k-1] < prev[off+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := prev[off+prevK]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			rev = append(rev, op{' ', x, y})
+		}
+		if x == prevX {
+			y--
+			rev = append(rev, op{'+', x, y})
+		} else {
+			x--
+			rev = append(rev, op{'-', x, y})
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		rev = append(rev, op{' ', x, y})
+	}
+	ops := make([]op, len(rev))
+	for i, o := range rev {
+		ops[len(rev)-1-i] = o
+	}
+	return ops
+}

@@ -1,0 +1,191 @@
+package fixit
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestUnifiedDiffIdentical(t *testing.T) {
+	if d := UnifiedDiff("a", "b", "same\n", "same\n"); d != "" {
+		t.Errorf("diff of identical texts = %q", d)
+	}
+}
+
+func TestUnifiedDiffBasic(t *testing.T) {
+	old := "one\ntwo\nthree\nfour\nfive\nsix\nseven\neight\nnine\n"
+	new := "one\ntwo\nthree\nFOUR\nfive\nsix\nseven\neight\nnine\n"
+	d := UnifiedDiff("a/f", "b/f", old, new)
+	want := `--- a/f
++++ b/f
+@@ -1,7 +1,7 @@
+ one
+ two
+ three
+-four
++FOUR
+ five
+ six
+ seven
+`
+	if d != want {
+		t.Errorf("diff:\n%s\nwant:\n%s", d, want)
+	}
+}
+
+func TestUnifiedDiffTwoHunks(t *testing.T) {
+	var a, b []string
+	for i := 0; i < 30; i++ {
+		a = append(a, "line")
+		b = append(b, "line")
+	}
+	b[2] = "CHANGED-A"
+	b[25] = "CHANGED-B"
+	d := UnifiedDiff("x", "y", strings.Join(a, "\n")+"\n", strings.Join(b, "\n")+"\n")
+	if got := strings.Count(d, "@@ -"); got != 2 {
+		t.Errorf("hunk count = %d, want 2:\n%s", got, d)
+	}
+	if !strings.Contains(d, "+CHANGED-A\n") || !strings.Contains(d, "+CHANGED-B\n") {
+		t.Errorf("changes missing:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffNoTrailingNewline(t *testing.T) {
+	d := UnifiedDiff("a", "b", "x", "x\n")
+	if !strings.Contains(d, "\\ No newline at end of file") {
+		t.Errorf("missing no-newline marker:\n%s", d)
+	}
+	if !strings.Contains(d, "-x\n") || !strings.Contains(d, "+x\n") {
+		t.Errorf("trailing-newline change not diffed:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffAppendAtEOF(t *testing.T) {
+	old := "a\nb\nc\n"
+	new := "a\nb\nc\nd\n"
+	d := UnifiedDiff("f", "f", old, new)
+	if !strings.Contains(d, "+d\n") {
+		t.Errorf("appended line missing:\n%s", d)
+	}
+	if !strings.Contains(d, "@@ -1,3 +1,4 @@") {
+		t.Errorf("unexpected hunk header:\n%s", d)
+	}
+}
+
+func TestUnifiedDiffFromEmpty(t *testing.T) {
+	d := UnifiedDiff("f", "f", "", "new\n")
+	if !strings.Contains(d, "@@ -0,0 +1 @@") || !strings.Contains(d, "+new\n") {
+		t.Errorf("diff from empty:\n%s", d)
+	}
+}
+
+// TestUnifiedDiffApplies sanity-checks the script against a tiny
+// patch interpreter: replaying the hunks over the old text must
+// reproduce the new text exactly, for a variety of edit shapes.
+func TestUnifiedDiffApplies(t *testing.T) {
+	cases := [][2]string{
+		{"a\nb\nc\n", "a\nX\nc\n"},
+		{"a\nb\nc\n", "b\nc\n"},
+		{"a\nb\nc\n", "a\nb\nc\nd\ne\n"},
+		{"", "x\ny\n"},
+		{"x\ny\n", ""},
+		{"one\ntwo\nthree\nfour\nfive\nsix\nseven\neight\n", "one\n2\nthree\nfour\nfive\nsix\n7\neight\n"},
+		{"tail", "tail\n"},
+		{"a\nsame\nb\nsame\nc\n", "A\nsame\nB\nsame\nC\n"},
+	}
+	for _, c := range cases {
+		d := UnifiedDiff("a", "b", c[0], c[1])
+		if got := applyPatch(t, c[0], d); got != c[1] {
+			t.Errorf("patch replay: old=%q new=%q diff=\n%s\ngot=%q", c[0], c[1], d, got)
+		}
+	}
+}
+
+// applyPatch replays a unified diff over old (a minimal interpreter
+// for the subset UnifiedDiff emits).
+func applyPatch(t *testing.T, old, diff string) string {
+	t.Helper()
+	if diff == "" {
+		return old
+	}
+	oldLines := splitLines(old)
+	var out strings.Builder
+	pos := 0 // next unconsumed old line
+	lines := strings.Split(diff, "\n")
+	i := 0
+	for i < len(lines) {
+		line := lines[i]
+		switch {
+		case strings.HasPrefix(line, "--- ") || strings.HasPrefix(line, "+++ "):
+			i++
+		case strings.HasPrefix(line, "@@ -"):
+			aStart, aLen, ok := parseHunkHeader(line)
+			if !ok {
+				t.Fatalf("bad hunk header %q", line)
+			}
+			// Copy unchanged lines up to the hunk.
+			from := aStart - 1
+			if aLen == 0 {
+				from = aStart
+			}
+			for pos < from {
+				out.WriteString(oldLines[pos])
+				pos++
+			}
+			i++
+		case strings.HasPrefix(line, " "):
+			out.WriteString(oldLines[pos])
+			pos++
+			i++
+		case strings.HasPrefix(line, "-"):
+			pos++
+			i++
+		case strings.HasPrefix(line, "+"):
+			body := line[1:]
+			// The marker line, if any, says the previous body line had
+			// no newline.
+			if i+1 < len(lines) && strings.HasPrefix(lines[i+1], "\\") {
+				out.WriteString(body)
+				i += 2
+			} else {
+				out.WriteString(body + "\n")
+				i++
+			}
+		case strings.HasPrefix(line, "\\"):
+			i++ // consumed with its - or ' ' line below
+		case line == "":
+			i++
+		default:
+			t.Fatalf("unexpected diff line %q", line)
+		}
+	}
+	for pos < len(oldLines) {
+		out.WriteString(oldLines[pos])
+		pos++
+	}
+	return out.String()
+}
+
+// parseHunkHeader parses the old-side range of "@@ -a[,b] +c[,d] @@".
+func parseHunkHeader(s string) (aStart, aLen int, ok bool) {
+	s = strings.TrimPrefix(s, "@@ -")
+	sp := strings.IndexByte(s, ' ')
+	if sp < 0 {
+		return 0, 0, false
+	}
+	rangeA := s[:sp]
+	aLen = 1
+	if k := strings.IndexByte(rangeA, ','); k >= 0 {
+		n, err := strconv.Atoi(rangeA[k+1:])
+		if err != nil {
+			return 0, 0, false
+		}
+		aLen = n
+		rangeA = rangeA[:k]
+	}
+	n, err := strconv.Atoi(rangeA)
+	if err != nil {
+		return 0, 0, false
+	}
+	return n, aLen, true
+}

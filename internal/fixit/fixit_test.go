@@ -1,0 +1,188 @@
+package fixit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"weblint/internal/warn"
+)
+
+func msg(id string, fix *warn.Fix) warn.Message {
+	return warn.Message{ID: id, File: "t.html", Line: 1, Fix: fix}
+}
+
+func fix(label string, edits ...warn.Edit) *warn.Fix {
+	return &warn.Fix{Label: label, Edits: edits}
+}
+
+func TestApplyBasic(t *testing.T) {
+	src := "<IMG src=x.gif>"
+	msgs := []warn.Message{
+		{ID: "no-fix"}, // ignored
+		msg("img-alt", fix(`insert ALT=""`, warn.Edit{Start: 14, End: 14, Text: ` ALT=""`})),
+		msg("attribute-delimiter", fix("quote",
+			warn.Edit{Start: 9, End: 14, Text: `"x.gif"`})),
+	}
+	got, rep := Apply(src, msgs)
+	want := `<IMG src="x.gif" ALT="">`
+	if got != want {
+		t.Errorf("Apply = %q, want %q", got, want)
+	}
+	if rep.Applied != 2 || rep.Skipped != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestApplySamePointInsertionsStreamOrder(t *testing.T) {
+	src := "<HTML><BODY>x"
+	msgs := []warn.Message{
+		msg("unclosed-element", fix("close BODY", warn.Edit{Start: 13, End: 13, Text: "</BODY>"})),
+		msg("unclosed-element", fix("close HTML", warn.Edit{Start: 13, End: 13, Text: "</HTML>"})),
+	}
+	got, rep := Apply(src, msgs)
+	if want := "<HTML><BODY>x</BODY></HTML>"; got != want {
+		t.Errorf("Apply = %q, want %q", got, want)
+	}
+	if rep.Applied != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestApplyConflictFirstWins(t *testing.T) {
+	src := "abcdef"
+	msgs := []warn.Message{
+		msg("first", fix("replace bc", warn.Edit{Start: 1, End: 3, Text: "X"})),
+		msg("second", fix("replace cd", warn.Edit{Start: 2, End: 4, Text: "Y"})),
+	}
+	got, rep := Apply(src, msgs)
+	if want := "aXdef"; got != want {
+		t.Errorf("Apply = %q, want %q", got, want)
+	}
+	if rep.Applied != 1 || rep.Skipped != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	out := rep.Outcomes[1]
+	if out.Applied || out.Reason != "conflicts with an earlier fix" {
+		t.Errorf("second outcome = %+v", out)
+	}
+}
+
+func TestApplyInsertionInsideSpanConflicts(t *testing.T) {
+	src := "abcdef"
+	msgs := []warn.Message{
+		msg("del", fix("delete bcd", warn.Edit{Start: 1, End: 4, Text: ""})),
+		msg("ins", fix("insert", warn.Edit{Start: 2, End: 2, Text: "Z"})),
+	}
+	got, rep := Apply(src, msgs)
+	if want := "aef"; got != want {
+		t.Errorf("Apply = %q, want %q", got, want)
+	}
+	if rep.Skipped != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestApplyBoundaryInsertionCoexists(t *testing.T) {
+	// Insertion exactly at the start of a deleted span survives and
+	// renders before the deletion, whatever the acceptance order.
+	src := "<BR/>"
+	msgs := []warn.Message{
+		msg("spurious-slash", fix("remove '/'", warn.Edit{Start: 3, End: 4, Text: ""})),
+		msg("attr", fix("insert", warn.Edit{Start: 3, End: 3, Text: ` X=""`})),
+	}
+	got, rep := Apply(src, msgs)
+	if want := `<BR X="">`; got != want {
+		t.Errorf("Apply = %q, want %q", got, want)
+	}
+	if rep.Applied != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestApplyInvalidSpans(t *testing.T) {
+	src := "abc"
+	cases := []*warn.Fix{
+		fix("oob", warn.Edit{Start: 2, End: 9, Text: "x"}),
+		fix("neg", warn.Edit{Start: -1, End: 1, Text: "x"}),
+		fix("inverted", warn.Edit{Start: 2, End: 1, Text: "x"}),
+		fix("empty"), // a fix must carry at least one edit
+		fix("self-overlap",
+			warn.Edit{Start: 0, End: 2, Text: "x"},
+			warn.Edit{Start: 1, End: 3, Text: "y"}),
+	}
+	for _, f := range cases {
+		got, rep := Apply(src, []warn.Message{msg("m", f)})
+		if got != src {
+			t.Errorf("%s: source mutated to %q", f.Label, got)
+		}
+		if rep.Applied != 0 || rep.Skipped != 1 || rep.Outcomes[0].Reason != "invalid edit span" {
+			t.Errorf("%s: report = %+v", f.Label, rep)
+		}
+	}
+}
+
+func TestApplyNoFixableIsIdentity(t *testing.T) {
+	src := "unchanged"
+	got, rep := Apply(src, []warn.Message{{ID: "plain"}})
+	if got != src || rep.Changed() {
+		t.Errorf("got %q, report %+v", got, rep)
+	}
+}
+
+func TestApplierSink(t *testing.T) {
+	var col warn.Collector
+	a := &Applier{Next: &col}
+	a.Write(warn.Message{ID: "plain"})
+	a.Write(msg("fixable", fix("del", warn.Edit{Start: 0, End: 1, Text: ""})))
+	if len(col.Messages) != 2 {
+		t.Fatalf("forwarded %d messages, want 2", len(col.Messages))
+	}
+	if len(a.Fixable) != 1 {
+		t.Fatalf("retained %d fixable, want 1", len(a.Fixable))
+	}
+	got, rep := a.Apply("xy")
+	if got != "y" || rep.Applied != 1 {
+		t.Errorf("Apply = %q, %+v", got, rep)
+	}
+}
+
+func TestApplyIdempotentOnResult(t *testing.T) {
+	// Applying the same fix list to the fixed output must not be done
+	// (offsets refer to the original), but applying an EMPTY fixable
+	// set — what a re-lint of a fully fixed document produces — is a
+	// byte-identical no-op.
+	src := "a&b"
+	fixed, _ := Apply(src, []warn.Message{
+		msg("metacharacter", fix("amp", warn.Edit{Start: 1, End: 2, Text: "&amp;"})),
+	})
+	again, rep := Apply(fixed, nil)
+	if again != fixed || rep.Changed() {
+		t.Errorf("second apply changed the document: %q -> %q", fixed, again)
+	}
+	if !strings.Contains(fixed, "&amp;") {
+		t.Errorf("fixed = %q", fixed)
+	}
+}
+
+// TestApplyScalesLinearly: conflict detection over a fix-per-byte
+// document must not be quadratic (a 2 MiB gateway submission of "& "
+// repeated is a fix per two bytes; the old all-pairs scan took ~27s
+// for this input, the sorted set takes well under a second).
+func TestApplyScalesLinearly(t *testing.T) {
+	const n = 200000
+	src := strings.Repeat("& ", n)
+	msgs := make([]warn.Message, n)
+	for i := range msgs {
+		msgs[i] = warn.Message{ID: "metacharacter", Fix: &warn.Fix{Label: "amp",
+			Edits: []warn.Edit{{Start: i * 2, End: i*2 + 1, Text: "&amp;"}}}}
+	}
+	start := time.Now()
+	out, rep := Apply(src, msgs)
+	if rep.Applied != n || len(out) != n*6 {
+		t.Fatalf("applied=%d len=%d", rep.Applied, len(out))
+	}
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("Apply took %v for %d fixes; conflict detection has gone quadratic", el, n)
+	}
+}

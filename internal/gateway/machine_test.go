@@ -37,6 +37,10 @@ func TestPostJSONFormat(t *testing.T) {
 	if len(lines) == 0 {
 		t.Fatal("no JSON lines in response")
 	}
+	if !strings.HasPrefix(lines[len(lines)-1], `{"summary":`) {
+		t.Errorf("stream does not end with a summary line: %q", lines[len(lines)-1])
+	}
+	lines = lines[:len(lines)-1]
 	sawHeading := false
 	for _, line := range lines {
 		var m struct {
@@ -139,5 +143,46 @@ func TestConcurrentSubmissions(t *testing.T) {
 		if results[i] != results[0] {
 			t.Fatalf("response %d differs from response 0 under concurrency", i)
 		}
+	}
+}
+
+// TestPostFixedFormat: format=fixed answers with the auto-remediated
+// document and reports the fix counts in headers.
+func TestPostFixedFormat(t *testing.T) {
+	const page = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY>a & b<IMG SRC=\"x.gif\"></BODY></HTML>"
+	rec := postForm(t, NewHandler(nil), page, "fixed")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "a &amp; b") || !strings.Contains(body, `ALT=""`) {
+		t.Errorf("fixes not applied:\n%s", body)
+	}
+	if applied := rec.Header().Get("X-Weblint-Fixes-Applied"); applied != "2" {
+		t.Errorf("X-Weblint-Fixes-Applied = %q, want 2", applied)
+	}
+	if skipped := rec.Header().Get("X-Weblint-Fixes-Skipped"); skipped != "0" {
+		t.Errorf("X-Weblint-Fixes-Skipped = %q, want 0", skipped)
+	}
+
+	// Round-trip: the fixed document has nothing fixable left.
+	rec2 := postForm(t, NewHandler(nil), body, "fixed")
+	if rec2.Body.String() != body {
+		t.Errorf("second fix pass changed the document")
+	}
+	if applied := rec2.Header().Get("X-Weblint-Fixes-Applied"); applied != "0" {
+		t.Errorf("second pass applied %s fixes", applied)
+	}
+}
+
+// TestPostFixedFormatClean: a clean document round-trips unchanged.
+func TestPostFixedFormatClean(t *testing.T) {
+	const page = "<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>ok</P></BODY></HTML>"
+	rec := postForm(t, NewHandler(nil), page, "fixed")
+	if rec.Code != http.StatusOK || rec.Body.String() != page {
+		t.Errorf("clean page changed: status=%d body=%q", rec.Code, rec.Body.String())
 	}
 }

@@ -84,6 +84,13 @@ type Attr struct {
 	Quote byte
 	// Line and Col give the 1-based position of the attribute name.
 	Line, Col int
+	// Offset is the byte offset of the attribute name in the source
+	// document; machine-applicable fixes are expressed as byte-span
+	// edits anchored by it.
+	Offset int
+	// ValOffset is the byte offset of the attribute value (past any
+	// opening quote). It is meaningful only when HasValue is true.
+	ValOffset int
 	// UnterminatedQuote reports that the value's opening quote was
 	// never closed within the tag.
 	UnterminatedQuote bool
@@ -109,6 +116,10 @@ type Token struct {
 	Attrs []Attr
 	// Line and Col give the 1-based position of the token start.
 	Line, Col int
+	// Offset is the byte offset of the token's first byte in the
+	// source document; Offset + len(Raw) is one past its last byte.
+	// Checkers use it to attach byte-span fixes to diagnostics.
+	Offset int
 	// EndLine is the line on which the token's last byte falls.
 	EndLine int
 

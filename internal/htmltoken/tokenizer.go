@@ -194,6 +194,7 @@ func (t *Tokenizer) nextText(tok *Token) {
 	tok.Raw = t.src[start:i]
 	tok.Line = line
 	tok.Col = col
+	tok.Offset = start
 	tok.EndLine = t.lineAt(max(start, i-1))
 }
 
@@ -217,6 +218,7 @@ func (t *Tokenizer) nextRaw(tok *Token) {
 	tok.Raw = t.src[start:end]
 	tok.Line = line
 	tok.Col = col
+	tok.Offset = start
 	tok.EndLine = t.lineAt(max(start, end-1))
 	tok.RawText = true
 }
@@ -225,6 +227,7 @@ func (t *Tokenizer) nextRaw(tok *Token) {
 func (t *Tokenizer) nextMarkup(tok *Token) {
 	start := t.pos
 	line, col := t.position(start)
+	tok.Offset = start
 	next := t.src[start+1]
 
 	switch {
@@ -444,7 +447,7 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 			continue
 		}
 		line, col := t.position(base + nameStart)
-		attr := Attr{Name: name, Lower: internLower(name), Line: line, Col: col}
+		attr := Attr{Name: name, Lower: internLower(name), Line: line, Col: col, Offset: base + nameStart}
 
 		j := i
 		for j < len(body) && isSpace(body[j]) {
@@ -464,6 +467,7 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 					j++
 				}
 				attr.Value = body[valStart:j]
+				attr.ValOffset = base + valStart
 				if j < len(body) {
 					j++
 				} else {
@@ -475,6 +479,7 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 					j++
 				}
 				attr.Value = body[valStart:j]
+				attr.ValOffset = base + valStart
 			}
 			i = j
 		}

@@ -86,27 +86,44 @@ func NewFormatter(f warn.Formatter, w io.Writer) Renderer {
 func (r formatterRenderer) Close() error { return r.Err() }
 
 // jsonMessage is the JSON Lines shape of one diagnostic. The field
-// order is fixed, so output is byte-stable for a given stream.
+// order is fixed, so output is byte-stable for a given stream. Fixes,
+// when the checker attached one, appear as a "fixes" array of
+// {label, edits:[{start,end,text}]} objects with byte offsets into
+// the checked document.
 type jsonMessage struct {
-	ID       string `json:"id"`
-	Category string `json:"category"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Text     string `json:"text"`
+	ID       string      `json:"id"`
+	Category string      `json:"category"`
+	File     string      `json:"file"`
+	Line     int         `json:"line"`
+	Col      int         `json:"col"`
+	Text     string      `json:"text"`
+	Fixes    []*warn.Fix `json:"fixes,omitempty"`
 }
 
-// jsonRenderer streams one JSON object per message.
+// jsonFixes wraps a message's optional fix as the "fixes" array.
+func jsonFixes(m warn.Message) []*warn.Fix {
+	if m.Fix == nil {
+		return nil
+	}
+	return []*warn.Fix{m.Fix}
+}
+
+// jsonRenderer streams one JSON object per message and counts the
+// stream into its own Summary for the trailing summary line.
 type jsonRenderer struct {
 	w   io.Writer
 	err error
+	sum warn.Summary
 }
 
 // NewJSON returns a streaming JSON Lines renderer: one JSON object per
 // message, one message per line, nothing buffered. Message text — which
 // can embed attacker-controlled markup such as attribute values — is
 // escaped by encoding/json, including the <, > and & HTML escapes, so
-// the output is safe to embed.
+// the output is safe to embed. Close terminates the stream with one
+// {"summary": ...} line carrying per-category counts and, when the
+// renderer is the emitter's sink (directly or behind forwarding
+// wrappers like Summary.Sink), per-rule suppression stats.
 func NewJSON(w io.Writer) Renderer {
 	return &jsonRenderer{w: w}
 }
@@ -115,6 +132,7 @@ func (r *jsonRenderer) Write(m warn.Message) bool {
 	if r.err != nil {
 		return false
 	}
+	r.sum.Add(m)
 	line, err := json.Marshal(jsonMessage{
 		ID:       m.ID,
 		Category: m.Category.String(),
@@ -122,6 +140,7 @@ func (r *jsonRenderer) Write(m warn.Message) bool {
 		Line:     m.Line,
 		Col:      m.Col,
 		Text:     m.Text,
+		Fixes:    jsonFixes(m),
 	})
 	if err == nil {
 		line = append(line, '\n')
@@ -134,7 +153,39 @@ func (r *jsonRenderer) Write(m warn.Message) bool {
 	return true
 }
 
-func (r *jsonRenderer) Close() error { return r.err }
+// ObserveSuppressed counts a disabled emission for the summary line.
+func (r *jsonRenderer) ObserveSuppressed(id string) { r.sum.AddSuppressed(id) }
+
+// jsonSummary is the shape of the trailing summary line. The
+// suppressed map keys are rule IDs; encoding/json sorts them, so the
+// line is byte-stable for a given stream.
+type jsonSummary struct {
+	Errors     int            `json:"errors"`
+	Warnings   int            `json:"warnings"`
+	Style      int            `json:"style"`
+	Suppressed map[string]int `json:"suppressed,omitempty"`
+}
+
+// Close writes the summary line (a partial stream still gets one, the
+// same way a partial SARIF document is still closed) and reports the
+// first stream error.
+func (r *jsonRenderer) Close() error {
+	line, err := json.Marshal(struct {
+		Summary jsonSummary `json:"summary"`
+	}{jsonSummary{
+		Errors:     r.sum.Errors,
+		Warnings:   r.sum.Warnings,
+		Style:      r.sum.Style,
+		Suppressed: r.sum.Suppressed,
+	}})
+	if err == nil && r.err == nil {
+		line = append(line, '\n')
+		if _, werr := r.w.Write(line); werr != nil {
+			r.err = werr
+		}
+	}
+	return r.err
+}
 
 // SARIF 2.1.0 document shapes (the subset weblint emits).
 type sarifLog struct {
@@ -180,6 +231,53 @@ type sarifResult struct {
 	Level     string          `json:"level"`
 	Message   sarifText       `json:"message"`
 	Locations []sarifLocation `json:"locations"`
+	Fixes     []sarifFix      `json:"fixes,omitempty"`
+}
+
+// SARIF fix objects: a description plus artifact changes whose
+// replacements carry byte-offset deletedRegions (weblint edits are
+// byte spans over the checked document).
+type sarifFix struct {
+	Description sarifText             `json:"description"`
+	Changes     []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifact      `json:"artifactLocation"`
+	Replacements     []sarifReplacement `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifByteRegion `json:"deletedRegion"`
+	InsertedContent *sarifText      `json:"insertedContent,omitempty"`
+}
+
+type sarifByteRegion struct {
+	ByteOffset int `json:"byteOffset"`
+	ByteLength int `json:"byteLength"`
+}
+
+// sarifFixes converts a message's optional fix.
+func sarifFixes(m warn.Message) []sarifFix {
+	if m.Fix == nil {
+		return nil
+	}
+	reps := make([]sarifReplacement, len(m.Fix.Edits))
+	for i, e := range m.Fix.Edits {
+		reps[i] = sarifReplacement{
+			DeletedRegion: sarifByteRegion{ByteOffset: e.Start, ByteLength: e.End - e.Start},
+		}
+		if e.Text != "" {
+			reps[i].InsertedContent = &sarifText{Text: e.Text}
+		}
+	}
+	return []sarifFix{{
+		Description: sarifText{Text: m.Fix.Label},
+		Changes: []sarifArtifactChange{{
+			ArtifactLocation: sarifArtifact{URI: m.File},
+			Replacements:     reps,
+		}},
+	}}
 }
 
 type sarifLocation struct {
@@ -269,6 +367,7 @@ func (r *sarifRenderer) Close() error {
 			RuleIndex: idSet[m.ID],
 			Level:     sarifLevel(m.Category),
 			Message:   sarifText{Text: m.Text},
+			Fixes:     sarifFixes(m),
 		}
 		region := &sarifRegion{StartLine: m.Line, StartColumn: m.Col}
 		if region.StartLine < 1 {

@@ -110,7 +110,11 @@ func TestJSONEscaping(t *testing.T) {
 		t.Error("JSON output contains unescaped <script>")
 	}
 	found := false
-	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[len(lines)-1], `{"summary":`) {
+		t.Errorf("stream does not end with a summary line: %q", lines[len(lines)-1])
+	}
+	for _, line := range lines[:len(lines)-1] {
 		var m jsonMessage
 		if err := json.Unmarshal([]byte(line), &m); err != nil {
 			t.Fatalf("line %q is not valid JSON: %v", line, err)

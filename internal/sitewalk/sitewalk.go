@@ -180,6 +180,9 @@ func Walk(root string, o Options) (*Report, error) {
 				walkErr = res.err
 				return false
 			}
+			if o.Sink != nil {
+				warn.ReplaySuppressed(o.Sink, res.suppressed)
+			}
 			for _, m := range res.msgs {
 				if !emit(m) {
 					return false
@@ -277,9 +280,10 @@ type fragRef struct {
 // It deliberately holds only extracted strings, never the source.
 type pageResult struct {
 	page     string
-	err      error
-	msgs     []warn.Message  // lint messages, then bad-link messages
-	anchors  map[string]bool // fragment anchors defined in the page
+	err        error
+	msgs       []warn.Message  // lint messages, then bad-link messages
+	suppressed []string        // disabled-rule emission IDs, in order
+	anchors    map[string]bool // fragment anchors defined in the page
 	refs     []string        // local pages this page references
 	external []string        // external URLs found
 	fragRefs []fragRef
@@ -308,7 +312,13 @@ func checkPage(root, page string, o *Options, pageSet map[string]bool) pageResul
 		return res
 	}
 	src := buf.Bytes()
-	res.msgs = o.Linter.CheckBytes(page, src)
+	// Lint into a Recorder (sorted below, matching CheckBytes) so
+	// per-rule suppression stats survive into the ordered merge.
+	var rec warn.Recorder
+	o.Linter.CheckBytesTo(page, src, &rec)
+	warn.SortByLine(rec.Messages)
+	res.msgs = rec.Messages
+	res.suppressed = rec.SuppressedIDs
 	var links []linkcheck.Link
 	links, res.anchors = linkcheck.ScanBytes(src)
 

@@ -47,6 +47,56 @@ func (c *Collector) Write(m Message) bool {
 // Reset discards collected messages, retaining capacity.
 func (c *Collector) Reset() { c.Messages = c.Messages[:0] }
 
+// SuppressionObserver is implemented by sinks that want to know about
+// emissions the emitter dropped because their message ID was disabled.
+// The emitter checks for it only on the suppressed path, so ordinary
+// sinks pay nothing.
+type SuppressionObserver interface {
+	// ObserveSuppressed reports one suppressed emission of id.
+	ObserveSuppressed(id string)
+}
+
+// ReplaySuppressed forwards recorded suppressed-emission IDs into sink
+// when it cares; a sink without SuppressionObserver ignores them.
+func ReplaySuppressed(sink Sink, ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	if o, ok := sink.(SuppressionObserver); ok {
+		for _, id := range ids {
+			o.ObserveSuppressed(id)
+		}
+	}
+}
+
+// Recorder is a Collector that additionally records suppressed
+// emission IDs, in emission order. Buffered delivery paths (the batch
+// engine, the sequential CLI) check into a Recorder and later Replay
+// it into the real sink, so per-rule suppression stats survive the
+// buffering hop.
+type Recorder struct {
+	Collector
+	// SuppressedIDs are the IDs of suppressed emissions, in order.
+	SuppressedIDs []string
+}
+
+// ObserveSuppressed records one suppressed emission.
+func (r *Recorder) ObserveSuppressed(id string) {
+	r.SuppressedIDs = append(r.SuppressedIDs, id)
+}
+
+// Replay forwards the recorded suppressions and then every collected
+// message into sink, reporting whether the stream may continue.
+func (r *Recorder) Replay(sink Sink) bool {
+	ReplaySuppressed(sink, r.SuppressedIDs)
+	for _, m := range r.Messages {
+		if !sink.Write(m) {
+			return false
+		}
+	}
+	return true
+}
+
 // WriterSink renders each message with a Formatter and writes it to an
 // io.Writer, one per line. The first write error cancels the stream
 // and is retained for Err.
@@ -88,6 +138,10 @@ type Summary struct {
 	Errors   int
 	Warnings int
 	Style    int
+	// Suppressed counts emissions dropped because their message ID
+	// was disabled, per ID. Nil until the first suppression is
+	// observed.
+	Suppressed map[string]int
 }
 
 // Add counts one message.
@@ -100,6 +154,23 @@ func (s *Summary) Add(m Message) {
 	case Style:
 		s.Style++
 	}
+}
+
+// AddSuppressed counts one suppressed emission of id.
+func (s *Summary) AddSuppressed(id string) {
+	if s.Suppressed == nil {
+		s.Suppressed = make(map[string]int)
+	}
+	s.Suppressed[id]++
+}
+
+// SuppressedTotal returns how many emissions were suppressed in all.
+func (s *Summary) SuppressedTotal() int {
+	n := 0
+	for _, c := range s.Suppressed {
+		n += c
+	}
+	return n
 }
 
 // Total returns the number of messages counted.
@@ -120,14 +191,31 @@ func (s *Summary) Count(c Category) int {
 
 // Sink returns a counting pass-through: every message is counted into
 // s and then forwarded to next. A nil next counts without forwarding.
+// The returned sink also observes suppressed emissions (counting them
+// into s.Suppressed) and forwards them to next when it cares.
 func (s *Summary) Sink(next Sink) Sink {
-	return SinkFunc(func(m Message) bool {
-		s.Add(m)
-		if next == nil {
-			return true
-		}
-		return next.Write(m)
-	})
+	return &summarySink{s: s, next: next}
+}
+
+// summarySink is the counting pass-through Summary.Sink returns.
+type summarySink struct {
+	s    *Summary
+	next Sink
+}
+
+func (k *summarySink) Write(m Message) bool {
+	k.s.Add(m)
+	if k.next == nil {
+		return true
+	}
+	return k.next.Write(m)
+}
+
+func (k *summarySink) ObserveSuppressed(id string) {
+	k.s.AddSuppressed(id)
+	if o, ok := k.next.(SuppressionObserver); ok {
+		o.ObserveSuppressed(id)
+	}
 }
 
 // String renders the summary as "N errors, N warnings, N style".

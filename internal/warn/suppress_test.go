@@ -1,0 +1,121 @@
+package warn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEmitFixAttachesFix: EmitFix delivers the fix on the message;
+// plain Emit leaves it nil.
+func TestEmitFixAttachesFix(t *testing.T) {
+	e := NewEmitter(NewSet())
+	fix := &Fix{Label: "l", Edits: []Edit{{Start: 0, End: 1, Text: "x"}}}
+	e.EmitFix("img-alt", "t.html", 3, 1, fix)
+	e.Emit("require-title", "t.html", 1, 0)
+	msgs := e.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	if msgs[0].Fix != fix {
+		t.Errorf("fix not attached: %+v", msgs[0])
+	}
+	if msgs[1].Fix != nil {
+		t.Errorf("plain Emit grew a fix: %+v", msgs[1])
+	}
+}
+
+// TestSuppressionObserved: disabled emissions are reported to a sink
+// implementing SuppressionObserver, with the fix dropped alongside
+// the message.
+func TestSuppressionObserved(t *testing.T) {
+	set := NewSet()
+	if err := set.Disable("img-alt"); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmitter(set)
+	var rec Recorder
+	e.SetSink(&rec)
+	e.EmitFix("img-alt", "t.html", 3, 1, &Fix{Label: "l", Edits: []Edit{{Start: 0, End: 0, Text: "x"}}})
+	e.Emit("img-alt", "t.html", 9, 1)
+	e.Emit("require-title", "t.html", 1, 0)
+	if len(rec.Messages) != 1 || rec.Messages[0].ID != "require-title" {
+		t.Fatalf("messages = %+v", rec.Messages)
+	}
+	if !reflect.DeepEqual(rec.SuppressedIDs, []string{"img-alt", "img-alt"}) {
+		t.Errorf("suppressed = %v", rec.SuppressedIDs)
+	}
+}
+
+// TestSummarySinkCountsSuppressed: Summary.Sink counts suppressed
+// emissions per ID and forwards them to a next observer.
+func TestSummarySinkCountsSuppressed(t *testing.T) {
+	var sum Summary
+	var next Recorder
+	sink := sum.Sink(&next)
+	o, ok := sink.(SuppressionObserver)
+	if !ok {
+		t.Fatal("summary sink does not observe suppressions")
+	}
+	o.ObserveSuppressed("img-alt")
+	o.ObserveSuppressed("img-alt")
+	o.ObserveSuppressed("img-size")
+	sink.Write(Message{Category: Warning})
+	if sum.Warnings != 1 {
+		t.Errorf("warnings = %d", sum.Warnings)
+	}
+	want := map[string]int{"img-alt": 2, "img-size": 1}
+	if !reflect.DeepEqual(sum.Suppressed, want) {
+		t.Errorf("suppressed = %v, want %v", sum.Suppressed, want)
+	}
+	if sum.SuppressedTotal() != 3 {
+		t.Errorf("total = %d", sum.SuppressedTotal())
+	}
+	if !reflect.DeepEqual(next.SuppressedIDs, []string{"img-alt", "img-alt", "img-size"}) {
+		t.Errorf("not forwarded: %v", next.SuppressedIDs)
+	}
+}
+
+// TestRecorderReplay: Replay forwards suppressions then messages, and
+// honours sink cancellation.
+func TestRecorderReplay(t *testing.T) {
+	rec := Recorder{SuppressedIDs: []string{"img-size"}}
+	rec.Write(Message{ID: "a"})
+	rec.Write(Message{ID: "b"})
+
+	var sum Summary
+	var got Collector
+	if !rec.Replay(sum.Sink(&got)) {
+		t.Fatal("replay cancelled unexpectedly")
+	}
+	if len(got.Messages) != 2 || sum.Suppressed["img-size"] != 1 {
+		t.Errorf("messages=%d suppressed=%v", len(got.Messages), sum.Suppressed)
+	}
+
+	n := 0
+	stop := SinkFunc(func(Message) bool { n++; return false })
+	if rec.Replay(stop) {
+		t.Error("replay ignored cancellation")
+	}
+	if n != 1 {
+		t.Errorf("wrote %d messages after cancel", n)
+	}
+}
+
+// TestEmitterResetClearsNothingOfBase: suppression observation goes
+// through the current sink only; after Reset the default collector
+// (which does not observe) is restored and nothing panics.
+func TestSuppressionAfterReset(t *testing.T) {
+	set := NewSet()
+	if err := set.Disable("img-alt"); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEmitter(set)
+	var rec Recorder
+	e.SetSink(&rec)
+	e.Emit("img-alt", "t.html", 1, 0)
+	e.Reset()
+	e.Emit("img-alt", "t.html", 1, 0) // default collector: just dropped
+	if len(rec.SuppressedIDs) != 1 {
+		t.Errorf("suppressed = %v", rec.SuppressedIDs)
+	}
+}

@@ -98,6 +98,36 @@ type Message struct {
 	// Text is the fully formatted message body (without file/line
 	// prefix; formatters add that).
 	Text string
+	// Fix, when non-nil, is a machine-applicable remediation for the
+	// problem: a set of byte-span edits over the original source
+	// document. Emission sites attach one only when a safe mechanical
+	// rewrite exists; see the fixit package for applying them.
+	Fix *Fix
+}
+
+// Edit is one span replacement over the original source document:
+// the bytes in [Start, End) are replaced by Text. Start == End is an
+// insertion; an empty Text is a deletion. Offsets are byte offsets
+// into the exact document that was checked.
+type Edit struct {
+	// Start is the byte offset of the first replaced byte.
+	Start int `json:"start"`
+	// End is one past the last replaced byte; End == Start inserts.
+	End int `json:"end"`
+	// Text is the replacement text.
+	Text string `json:"text"`
+}
+
+// Fix is a machine-applicable remediation attached to a Message: a
+// human-readable label and one or more edits which together resolve
+// the finding. The edits of one fix never overlap each other; fixes
+// from different messages may conflict, which fixit.Apply resolves
+// deterministically (first writer wins, in stream order).
+type Fix struct {
+	// Label describes the rewrite, e.g. `insert ALT=""`.
+	Label string `json:"label"`
+	// Edits are the span replacements, in ascending Start order.
+	Edits []Edit `json:"edits"`
 }
 
 // registry holds all known message definitions, keyed by ID.
@@ -398,6 +428,18 @@ func (e *Emitter) override(id string, v bool) error {
 // compiler can keep the variadic slice and its boxed values on the
 // caller's stack.
 func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
+	e.emit(id, file, line, col, nil, args)
+}
+
+// EmitFix is Emit with a machine-applicable fix attached to the
+// message. The fix is dropped along with the message when the id is
+// disabled. Callers hand ownership of fix to the message stream; it
+// must not be mutated afterwards.
+func (e *Emitter) EmitFix(id, file string, line, col int, fix *Fix, args ...any) {
+	e.emit(id, file, line, col, fix, args)
+}
+
+func (e *Emitter) emit(id, file string, line, col int, fix *Fix, args []any) {
 	if e.cancelled {
 		return
 	}
@@ -422,6 +464,12 @@ func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
 		}
 	}
 	if !on {
+		// Suppressed: tell interested sinks so per-rule suppression
+		// stats can be surfaced. The type assertion only runs on this
+		// cold path; enabled emissions never pay for it.
+		if o, ok := e.sink.(SuppressionObserver); ok {
+			o.ObserveSuppressed(id)
+		}
 		return
 	}
 	format := d.Format
@@ -438,6 +486,7 @@ func (e *Emitter) Emit(id, file string, line, col int, args ...any) {
 		Line:     line,
 		Col:      col,
 		Text:     string(e.buf),
+		Fix:      fix,
 	}) {
 		e.cancelled = true
 	}

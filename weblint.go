@@ -89,6 +89,7 @@ import (
 
 	"weblint/internal/config"
 	"weblint/internal/engine"
+	"weblint/internal/fixit"
 	"weblint/internal/lint"
 	"weblint/internal/plugin"
 	"weblint/internal/render"
@@ -238,4 +239,39 @@ func CheckBytes(name string, src []byte) []Message {
 // CheckFile checks a file on disk with default options.
 func CheckFile(path string) ([]Message, error) {
 	return lint.MustNew(lint.Options{}).CheckFile(path)
+}
+
+// Fix is a machine-applicable remediation attached to a Message: a
+// label plus byte-span edits over the original source document.
+type Fix = warn.Fix
+
+// Edit is one span replacement of a Fix: bytes [Start, End) of the
+// checked document are replaced by Text.
+type Edit = warn.Edit
+
+// FixReport summarises one ApplyFixes call: applied and skipped fix
+// counts plus per-fix outcomes in stream order.
+type FixReport = fixit.Report
+
+// FixOutcome records what happened to one fixable message.
+type FixOutcome = fixit.Outcome
+
+// FixApplier is a Sink that retains fixable messages from a
+// diagnostics stream; call its Apply once the check finishes.
+type FixApplier = fixit.Applier
+
+// ApplyFixes rewrites src with the fixes carried by msgs, dropping
+// conflicting fixes deterministically (first in stream order wins),
+// and returns the new document plus a report. Applying the fixes and
+// re-linting leaves no fixable finding and introduces none, and a
+// second pass is a byte-identical no-op — the property the test suite
+// enforces document-by-document.
+func ApplyFixes(src string, msgs []Message) (string, FixReport) {
+	return fixit.Apply(src, msgs)
+}
+
+// UnifiedDiff renders a unified diff between two documents — the
+// -fix-dry-run output format.
+func UnifiedDiff(aName, bName, oldText, newText string) string {
+	return fixit.UnifiedDiff(aName, bName, oldText, newText)
 }
