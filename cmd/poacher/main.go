@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"weblint/internal/baseline"
 	"weblint/internal/linkcheck"
 	"weblint/internal/lint"
 	"weblint/internal/render"
@@ -44,6 +45,8 @@ func run(args []string) int {
 	format := fs.String("format", "", "output format: lint, short, terse, verbose, json, sarif")
 	failOn := fs.String("fail-on", "any", "lowest severity that fails the crawl: error, warning, style (or any), never")
 	pedantic := fs.Bool("pedantic", false, "enable all warnings")
+	baselineFile := fs.String("baseline", "", "report (and fail on) only findings not recorded in this baseline file")
+	baselineWrite := fs.String("baseline-write", "", "record the crawl's findings to a baseline file; the crawl exits 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,7 +80,27 @@ func run(args []string) int {
 		return 2
 	}
 	var sum warn.Summary
-	counting := sum.Sink(renderer)
+	var sink warn.Sink = sum.Sink(renderer)
+	// Baseline layers: the filter forwards only findings the baseline
+	// does not cover (so the renderer and the exit policy see just the
+	// new ones); the recorder — outermost — captures everything for
+	// -baseline-write. Page bodies are handed to the fingerprinter
+	// per page, below, so contexts hash the page actually crawled.
+	pageSource := func(string) (string, bool) { return "", false }
+	curSource := func(file string) (string, bool) { return pageSource(file) }
+	if *baselineFile != "" {
+		base, err := baseline.Load(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
+			return 2
+		}
+		sink = baseline.NewFilter(base, sink, curSource)
+	}
+	var rec *baseline.Recorder
+	if *baselineWrite != "" {
+		rec = baseline.NewRecorder(sink, curSource)
+		sink = rec
+	}
 	// write honours the sink contract: once the renderer cancels,
 	// nothing more is written and the crawl stops instead of politely
 	// fetching pages nobody will see. Line-based renderers cancel as
@@ -88,7 +111,7 @@ func run(args []string) int {
 		if cancelled {
 			return false
 		}
-		if !counting.Write(m) {
+		if !sink.Write(m) {
 			cancelled = true
 		}
 		return !cancelled
@@ -129,6 +152,7 @@ func run(args []string) int {
 		if !*quiet {
 			fmt.Fprintf(aux, "checking %s (%d links)\n", p.URL, len(p.Links))
 		}
+		pageSource = baseline.StaticSource(p.URL, p.Body)
 		for _, m := range linter.CheckString(p.URL, p.Body) {
 			if !write(m) {
 				return false
@@ -176,6 +200,13 @@ func run(args []string) int {
 	}
 	if !*quiet {
 		fmt.Fprint(aux, stats.Summary())
+	}
+	if rec != nil {
+		if err := rec.File().WriteFile(*baselineWrite); err != nil {
+			fmt.Fprintf(os.Stderr, "poacher: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 	if sum.Failures(threshold) > 0 {
 		return 1

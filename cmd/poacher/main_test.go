@@ -189,3 +189,37 @@ func TestPoacherStopsOnClosedPipe(t *testing.T) {
 		t.Errorf("%d pages fetched after stdout closed; crawl did not cancel", n)
 	}
 }
+
+// TestPoacherBaseline: record a crawl's findings, re-crawl against the
+// baseline (exit 0, nothing reported), then confirm a fresh finding
+// still fails.
+func TestPoacherBaseline(t *testing.T) {
+	srv := testSite(t)
+	defer srv.Close()
+	base := t.TempDir() + "/base.json"
+
+	code, _ := capture(t, "-q", "-baseline-write", base, srv.URL+"/")
+	if code != 0 {
+		t.Fatalf("baseline-write exit = %d", code)
+	}
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	code, out := capture(t, "-q", "-baseline", base, srv.URL+"/")
+	if code != 0 {
+		t.Fatalf("baselined crawl exit = %d, out:\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("baselined crawl reported findings:\n%s", out)
+	}
+
+	// An empty baseline reports everything again.
+	if err := os.WriteFile(base, []byte(`{"version":1,"findings":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = capture(t, "-q", "-baseline", base, srv.URL+"/")
+	if code != 1 || strings.TrimSpace(out) == "" {
+		t.Fatalf("empty-baseline crawl exit = %d, out:\n%s", code, out)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirtyDoc has stable findings to baseline.
+const dirtyDoc = `<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0//EN">
+<HTML><HEAD><TITLE>t</TITLE>
+<META NAME="description" CONTENT="d"><META NAME="keywords" CONTENT="k">
+</HEAD>
+<BODY>
+<IMG SRC="x.gif">
+<P>text
+</BODY></HTML>
+`
+
+// TestBaselineWriteThenClean: recording a baseline exits 0; an
+// unchanged corpus diffed against it exits 0 and reports nothing;
+// injecting one new finding flips the exit to 1 and reports only the
+// new finding.
+func TestBaselineWriteThenClean(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.html")
+	b := filepath.Join(dir, "b.html")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte(dirtyDoc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	basePath := filepath.Join(dir, "weblint-baseline.json")
+
+	// Record. The corpus has findings, but a recording run exits 0.
+	code, _, stderr := runCLI(t, "", "-norc", "-baseline-write", basePath, a, b)
+	if code != 0 {
+		t.Fatalf("baseline-write exit = %d, stderr=%q", code, stderr)
+	}
+	if _, err := os.Stat(basePath); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	// Unchanged corpus: clean run, nothing rendered.
+	code, out, stderr := runCLI(t, "", "-norc", "-baseline", basePath, a, b)
+	if code != 0 {
+		t.Fatalf("unchanged corpus exit = %d, stderr=%q, out=%q", code, stderr, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("unchanged corpus rendered output:\n%s", out)
+	}
+
+	// Line drift above the findings stays clean.
+	drifted := strings.Replace(dirtyDoc, "<BODY>", "<BODY>\n<P>intro", 1)
+	if err := os.WriteFile(a, []byte(drifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCLI(t, "", "-norc", "-baseline", basePath, a, b)
+	if code != 0 {
+		t.Fatalf("drifted corpus exit = %d, out=%q", code, out)
+	}
+
+	// Inject one new finding: exit 1, and only the new finding shows.
+	injected := strings.Replace(dirtyDoc, "<P>text", "<P>text\n<IMG SRC=\"new.gif\">", 1)
+	if err := os.WriteFile(b, []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCLI(t, "", "-norc", "-baseline", basePath, a, b)
+	if code != 1 {
+		t.Fatalf("injected corpus exit = %d, want 1; out=%q", code, out)
+	}
+	if !strings.Contains(out, "new.gif") && !strings.Contains(out, "IMG") {
+		t.Errorf("new finding not rendered:\n%s", out)
+	}
+	if c := strings.Count(strings.TrimSpace(out), "\n"); c > 1 {
+		t.Errorf("baselined findings leaked into the report (%d lines):\n%s", c+1, out)
+	}
+}
+
+// TestBaselineWithSARIF: the baseline filter composes with the SARIF
+// renderer — a baselined run emits an empty results array.
+func TestBaselineWithSARIF(t *testing.T) {
+	path := writeTemp(t, "a.html", dirtyDoc)
+	basePath := filepath.Join(filepath.Dir(path), "base.json")
+	if code, _, stderr := runCLI(t, "", "-norc", "-baseline-write", basePath, path, path); code != 0 {
+		t.Fatalf("record exit %d: %s", code, stderr)
+	}
+	code, out, _ := runCLI(t, "", "-norc", "-format", "sarif", "-baseline", basePath, path, path)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, `"results": []`) {
+		t.Errorf("SARIF results not empty:\n%s", out)
+	}
+}
+
+// TestBaselineMissingFile: a missing baseline is an operational error.
+func TestBaselineMissingFile(t *testing.T) {
+	path := writeTemp(t, "a.html", dirtyDoc)
+	code, _, stderr := runCLI(t, "", "-norc", "-baseline", "/nonexistent/base.json", path)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr=%q)", code, stderr)
+	}
+}
+
+// TestBaselineRejectsFixMode: baselines apply to lint runs only.
+func TestBaselineRejectsFixMode(t *testing.T) {
+	path := writeTemp(t, "a.html", dirtyDoc)
+	code, _, stderr := runCLI(t, "", "-norc", "-fix", "-baseline", "x.json", path)
+	if code != 2 || !strings.Contains(stderr, "baseline") {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixDiffToWritesPatches: -fix-diff-to writes one patch per
+// changed file, named after the input path, touching no input.
+func TestFixDiffToWritesPatches(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "site")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(sub, "dirty.html")
+	clean := filepath.Join(sub, "clean.html")
+	if err := os.WriteFile(dirty, []byte(fixableDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cleanDoc := strings.Replace(strings.Replace(strings.Replace(strings.Replace(fixableDoc,
+		"fish & chips", "fish &amp; chips", 1),
+		`<IMG SRC="x.gif">`, `<IMG SRC="x.gif" ALT="">`, 1),
+		`'y.html'`, `"y.html"`, 1), "<BR/>", "<BR>", 1)
+	cleanDoc = strings.Replace(cleanDoc, `NAME="q">`, `NAME="q"></FORM>`, 1)
+	if err := os.WriteFile(clean, []byte(cleanDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	patchDir := filepath.Join(dir, "patches")
+	code, out, stderr := runCLI(t, "", "-norc", "-fix-diff-to", patchDir, dirty, clean)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr=%q", code, stderr)
+	}
+	entries, err := os.ReadDir(patchDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d patches written, want 1 (clean files get none): %v", len(entries), entries)
+	}
+	name := entries[0].Name()
+	if !strings.HasSuffix(name, "dirty.html.patch") || strings.ContainsAny(name, "/\\") {
+		t.Errorf("patch name = %q", name)
+	}
+	patch, err := os.ReadFile(filepath.Join(patchDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"--- " + dirty, "+fish &amp; chips", `ALT=""`} {
+		if !strings.Contains(string(patch), want) {
+			t.Errorf("patch missing %q:\n%s", want, patch)
+		}
+	}
+	if !strings.Contains(out, "dirty.html") {
+		t.Errorf("stdout does not mention the patched file:\n%s", out)
+	}
+	// Inputs untouched, no backups.
+	if data, _ := os.ReadFile(dirty); string(data) != fixableDoc {
+		t.Error("-fix-diff-to modified an input file")
+	}
+	if _, err := os.Stat(dirty + ".orig"); !os.IsNotExist(err) {
+		t.Error("-fix-diff-to created a backup")
+	}
+}
+
+// TestFixDiffToParallelGolden: the patch set is byte-identical between
+// -j 1 and -j 8 — the ordered engine core keeps bot-branch patches
+// deterministic.
+func TestFixDiffToParallelGolden(t *testing.T) {
+	dir := t.TempDir()
+	var files []string
+	for i := 0; i < 12; i++ {
+		p := filepath.Join(dir, "p"+string(rune('a'+i))+".html")
+		doc := strings.Replace(fixableDoc, "x.gif", "img"+string(rune('a'+i))+".gif", 1)
+		if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, p)
+	}
+	read := func(jobs string) map[string]string {
+		t.Helper()
+		patchDir := t.TempDir()
+		args := append([]string{"-norc", "-j", jobs, "-fix-diff-to", patchDir}, files...)
+		if code, _, stderr := runCLI(t, "", args...); code != 0 {
+			t.Fatalf("-j %s exit != 0: %s", jobs, stderr)
+		}
+		out := map[string]string{}
+		entries, err := os.ReadDir(patchDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(patchDir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = string(data)
+		}
+		return out
+	}
+	seq, par := read("1"), read("8")
+	if len(seq) != len(files) {
+		t.Fatalf("%d patches, want %d", len(seq), len(files))
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("patch counts differ: %d vs %d", len(seq), len(par))
+	}
+	for name, want := range seq {
+		if got, ok := par[name]; !ok || got != want {
+			t.Errorf("patch %s differs between -j 1 and -j 8", name)
+		}
+	}
+}
+
+// TestFixModesMutuallyExclusive: the three fix modes cannot combine.
+func TestFixModesMutuallyExclusive(t *testing.T) {
+	path := writeTemp(t, "a.html", fixableDoc)
+	code, _, stderr := runCLI(t, "", "-norc", "-fix-dry-run", "-fix-diff-to", t.TempDir(), path)
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+}
+
+// TestFixDiffToNameCollision: two inputs whose flattened patch names
+// collide ("a/b.html" vs a literal "a__b.html") must each get their
+// own patch — the second deterministically numbered, never a silent
+// overwrite.
+func TestFixDiffToNameCollision(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p1 := filepath.Join(sub, "b.html")
+	p2 := filepath.Join(dir, "a__b.html")
+	if err := os.WriteFile(p1, []byte(fixableDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, []byte(fixableDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	patchDir := t.TempDir()
+	// Both absolute paths flatten to the same ...__a__b.html.patch.
+	if code, _, stderr := runCLI(t, "", "-norc", "-fix-diff-to", patchDir, p1, p2); code != 0 {
+		t.Fatalf("exit != 0: %s", stderr)
+	}
+	entries, err := os.ReadDir(patchDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("%d patches for 2 colliding inputs: %v", len(entries), names)
+	}
+}

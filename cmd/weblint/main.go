@@ -17,6 +17,12 @@
 // reaches the threshold, 1 when one does, and 2 on operational errors
 // (usage mistakes, unreadable files, failed fetches) — operational
 // errors are never conflated with findings.
+//
+// Baselines make the policy adoptable on a site with existing debt:
+// -baseline-write records this run's findings (fingerprinted by rule,
+// file, and source-line content — tolerant of line drift), and
+// -baseline reports and fails on only the findings a recorded
+// baseline does not cover.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"sort"
 	"strings"
 
+	"weblint/internal/baseline"
 	"weblint/internal/bytestr"
 	"weblint/internal/config"
 	"weblint/internal/engine"
@@ -63,9 +70,12 @@ type cli struct {
 	urlMode  bool
 	list     bool
 	version  bool
-	jobs     int
-	fix      bool
-	fixDry   bool
+	jobs          int
+	fix           bool
+	fixDry        bool
+	fixDiffTo     string
+	baseline      string
+	baselineWrite string
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -91,6 +101,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.IntVar(&c.jobs, "j", 0, "parallel lint workers (default: number of CPUs for files and -R, 1 for -u; output order is unaffected)")
 	fs.BoolVar(&c.fix, "fix", false, "apply machine-applicable fixes in place, backing each file up as file.orig")
 	fs.BoolVar(&c.fixDry, "fix-dry-run", false, "print the fixes as a unified diff to stdout without touching any file")
+	fs.StringVar(&c.fixDiffTo, "fix-diff-to", "", "write each file's fixes as a unified-diff patch into this directory, touching no input file")
+	fs.StringVar(&c.baseline, "baseline", "", "report (and fail on) only findings not recorded in this baseline file")
+	fs.StringVar(&c.baselineWrite, "baseline-write", "", "record this run's findings to a baseline file; the run exits 0")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: weblint [options] file.html ... | -u URL ... | -R dir | -\n")
 		fs.PrintDefaults()
@@ -137,7 +150,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if c.fix || c.fixDry {
+	if c.fix || c.fixDry || c.fixDiffTo != "" {
 		if err := validateFixMode(&c, files); err != nil {
 			fmt.Fprintf(stderr, "weblint: %v\n", err)
 			return 2
@@ -147,7 +160,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	// The whole run streams through one pipeline: messages flow into a
 	// severity-counting sink wrapping the selected renderer, and the
-	// exit code falls out of the summary at the end.
+	// exit code falls out of the summary at the end. Baseline layers
+	// wrap the chain: the filter forwards only findings the baseline
+	// does not cover (so the renderer and the summary see just the new
+	// ones), and the recorder — outermost, so it sees everything —
+	// captures the full run for -baseline-write.
 	renderer, err := render.New(style, stdout)
 	if err != nil {
 		fmt.Fprintf(stderr, "weblint: %v\n", err)
@@ -155,6 +172,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	var sum warn.Summary
 	sink := sum.Sink(renderer)
+	if c.baseline != "" {
+		base, err := baseline.Load(c.baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "weblint: %v\n", err)
+			return 2
+		}
+		sink = baseline.NewFilter(base, sink, baseline.FileSource())
+	}
+	var rec *baseline.Recorder
+	if c.baselineWrite != "" {
+		rec = baseline.NewRecorder(sink, baseline.FileSource())
+		sink = rec
+	}
 
 	opErr := checkArgs(&c, files, linter, stdin, sink)
 	// Close even after an operational error: a partial SARIF/JSON
@@ -167,6 +197,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	writeSummaryFooter(style, stdout, &sum)
+	if rec != nil {
+		// Written only after a clean run: a partial record would mask
+		// real findings on later diffs.
+		if err := rec.File().WriteFile(c.baselineWrite); err != nil {
+			fmt.Fprintf(stderr, "weblint: %v\n", err)
+			return 2
+		}
+		// A recording run is for capturing state, not enforcing it.
+		return 0
+	}
 	if sum.Failures(threshold) > 0 {
 		return 1
 	}
@@ -201,12 +241,24 @@ func writeSummaryFooter(style string, stdout io.Writer, sum *warn.Summary) {
 // support: fixes rewrite local files, so every argument must be a
 // plain file.
 func validateFixMode(c *cli, files []string) error {
-	if c.fix && c.fixDry {
-		return fmt.Errorf("-fix and -fix-dry-run are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{c.fix, c.fixDry, c.fixDiffTo != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-fix, -fix-dry-run and -fix-diff-to are mutually exclusive")
+	}
+	if c.baseline != "" || c.baselineWrite != "" {
+		return fmt.Errorf("baselines apply to lint runs, not fix runs")
 	}
 	flagName := "-fix"
-	if c.fixDry {
+	switch {
+	case c.fixDry:
 		flagName = "-fix-dry-run"
+	case c.fixDiffTo != "":
+		flagName = "-fix-diff-to"
 	}
 	if c.urlMode {
 		return fmt.Errorf("%s cannot be combined with -u (fixes rewrite local files)", flagName)
@@ -262,6 +314,18 @@ func runFix(c *cli, files []string, linter *lint.Linter, stdout, stderr io.Write
 	}
 	files = deduped
 
+	if c.fixDiffTo != "" {
+		if err := os.MkdirAll(c.fixDiffTo, 0o755); err != nil {
+			fmt.Fprintf(stderr, "weblint: %v\n", err)
+			return 2
+		}
+	}
+	// patchName's flattening is not injective ("site/page.html" and a
+	// file literally named "site__page.html" collide); the consumer
+	// runs in input order, so first-come numbering is deterministic
+	// for any -j.
+	patchNames := map[string]bool{}
+
 	workers := c.jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -289,6 +353,24 @@ func runFix(c *cli, files []string, linter *lint.Linter, stdout, stderr io.Write
 				}
 				return true
 			}
+			if c.fixDiffTo != "" {
+				if r.fixed == bytestr.String(r.data) {
+					return true
+				}
+				patch := fixit.UnifiedDiff(r.path, r.path+" (fixed)", bytestr.String(r.data), r.fixed)
+				name := patchName(r.path)
+				for i := 2; patchNames[name]; i++ {
+					name = strings.TrimSuffix(patchName(r.path), ".patch") + fmt.Sprintf("~%d.patch", i)
+				}
+				patchNames[name] = true
+				dest := filepath.Join(c.fixDiffTo, name)
+				if err := os.WriteFile(dest, []byte(patch), 0o644); err != nil {
+					opErr = err
+					return false
+				}
+				fmt.Fprintf(stdout, "%s: %s -> %s\n", r.path, r.rep.String(), dest)
+				return true
+			}
 			if !r.rep.Changed() {
 				return true
 			}
@@ -312,6 +394,16 @@ func runFix(c *cli, files []string, linter *lint.Linter, stdout, stderr io.Write
 		return 2
 	}
 	return 0
+}
+
+// patchName maps an input path to a flat, filesystem-safe patch file
+// name: path separators become "__", so patches for a whole tree land
+// side by side in the -fix-diff-to directory without recreating it.
+func patchName(path string) string {
+	s := filepath.ToSlash(filepath.Clean(path))
+	s = strings.ReplaceAll(s, "/", "__")
+	s = strings.ReplaceAll(s, ":", "_")
+	return s + ".patch"
 }
 
 // checkArgs checks every argument, streaming all diagnostics into

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Scripted LSP round trip against a weblint-lsp binary over stdio.
+
+Usage: smoke.py <weblint-lsp binary> <html file> [--require-fix]
+
+Drives the real protocol the way an editor does: initialize ->
+didOpen -> read publishDiagnostics -> codeAction at each diagnostic
+-> shutdown/exit. Exits non-zero (with a message) when any step
+misbehaves; with --require-fix it additionally fails unless at least
+one diagnostic offers a quick fix (CI passes it with a sample known
+to be fixable). It is also a handy sanity check for a locally built
+server against any page.
+"""
+import json
+import subprocess
+import sys
+
+
+class Client:
+    def __init__(self, argv):
+        self.proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE)
+        self.next_id = 0
+
+    def send(self, method, params, request=False):
+        msg = {"jsonrpc": "2.0", "method": method, "params": params}
+        if request:
+            self.next_id += 1
+            msg["id"] = self.next_id
+        body = json.dumps(msg).encode()
+        self.proc.stdin.write(b"Content-Length: %d\r\n\r\n" % len(body) + body)
+        self.proc.stdin.flush()
+        return msg.get("id")
+
+    def read(self):
+        length = None
+        while True:
+            line = self.proc.stdout.readline()
+            if not line:
+                sys.exit("server closed stdout mid-session")
+            line = line.strip()
+            if not line:
+                break
+            name, _, value = line.partition(b":")
+            if name.lower() == b"content-length":
+                length = int(value)
+        if length is None:
+            sys.exit("frame without Content-Length")
+        return json.loads(self.proc.stdout.read(length))
+
+    def wait_response(self, rid):
+        while True:
+            m = self.read()
+            if m.get("id") == rid and "method" not in m:
+                if "error" in m:
+                    sys.exit(f"request {rid} failed: {m['error']}")
+                return m["result"]
+
+    def wait_notification(self, method):
+        while True:
+            m = self.read()
+            if m.get("method") == method:
+                return m["params"]
+
+
+def main():
+    binary, page = sys.argv[1], sys.argv[2]
+    with open(page) as f:
+        text = f.read()
+    cl = Client([binary])
+
+    rid = cl.send("initialize", {"workspaceFolders": []}, request=True)
+    caps = cl.wait_response(rid)["capabilities"]
+    assert caps["codeActionProvider"], caps
+    assert caps["textDocumentSync"]["change"] == 1, caps
+    cl.send("initialized", {})
+
+    uri = "file://" + page
+    cl.send("textDocument/didOpen", {"textDocument": {
+        "uri": uri, "languageId": "html", "version": 1, "text": text}})
+    diags = cl.wait_notification("textDocument/publishDiagnostics")
+    assert diags["uri"] == uri, diags
+    if not diags["diagnostics"]:
+        sys.exit("no diagnostics for a known-dirty sample")
+    for d in diags["diagnostics"]:
+        assert d["source"] == "weblint" and d["code"], d
+        assert 1 <= d["severity"] <= 4, d
+
+    fixes = []
+    for d in diags["diagnostics"]:
+        rid = cl.send("textDocument/codeAction", {
+            "textDocument": {"uri": uri},
+            "range": d["range"],
+            "context": {"diagnostics": [d]},
+        }, request=True)
+        for a in cl.wait_response(rid):
+            assert a["kind"] == "quickfix" and a["edit"]["changes"][uri], a
+            fixes.append(a["title"])
+    if "--require-fix" in sys.argv and not fixes:
+        sys.exit("no quick fix offered for a known-fixable sample")
+    print(f"{len(diags['diagnostics'])} diagnostics, "
+          f"{len(fixes)} quick fixes offered {fixes!r}")
+
+    rid = cl.send("shutdown", None, request=True)
+    cl.wait_response(rid)
+    cl.send("exit", None)
+    code = cl.proc.wait(timeout=10)
+    if code != 0:
+        sys.exit(f"server exit code {code}")
+    print("LSP smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -134,14 +134,34 @@ type Checker struct {
 	// Text inserted at EOF would be absorbed INTO that construct on a
 	// re-parse, so the EOF close-tag fixes are withheld.
 	lastUnterminated bool
-	// sawOddQuotes records that quote recovery has happened: the
+	// oddQuotesAt is the byte offset of the first token recovered from
+	// an unbalanced quote, or -1 while none has been seen. The
 	// tokenizer's recovery budget (quoteMaxBytes/quoteMaxNewlines)
 	// makes the extent of an odd-quoted tag sensitive to how far away
-	// later bytes are, so any length-CHANGING fix at or beyond such a
-	// tag could re-tokenize the document differently. From the first
-	// odd-quotes token on, only length-preserving fixes (case
-	// rewrites) are attached.
-	sawOddQuotes bool
+	// later bytes are, so a length-CHANGING fix editing at or beyond
+	// that offset could re-tokenize the document differently. Edits
+	// strictly before it only shift the recovered region wholesale —
+	// every in-region distance is preserved — so fixes there stay
+	// attached; guardFix enforces the boundary per edit.
+	// Length-preserving fixes (case rewrites) bypass the guard
+	// entirely.
+	oddQuotesAt int
+	// headInsertPos is the byte offset at which head-only content can
+	// be inserted and still land inside the HEAD element: the start of
+	// the close (or closing-implying) tag that ended it. -1 until a
+	// real HEAD element has been popped; the meta-in-body relocation
+	// fix is withheld without it.
+	headInsertPos int
+	// relocateTok, when non-nil, is the start tag currently being
+	// checked that will be relocated by a meta-in-body fix. Fixes the
+	// attribute checks build for this tag are diverted into
+	// relocateFixes (their messages go out fixless) and applied to the
+	// tag's text when the relocation fix is built, so the tag is moved
+	// AND cured in one apply pass — two fixes editing the same span
+	// would conflict, and fixit would drop one of them. Both fields
+	// are scoped to one startTag call.
+	relocateTok   *htmltoken.Token
+	relocateFixes []*warn.Fix
 }
 
 // New returns a Checker which reports through em.
@@ -195,7 +215,10 @@ func (c *Checker) Reset(em *warn.Emitter, opts Options) {
 	c.lastLine = 1
 	c.lastOffset = 0
 	c.lastUnterminated = false
-	c.sawOddQuotes = false
+	c.oddQuotesAt = -1
+	c.headInsertPos = -1
+	c.relocateTok = nil
+	c.relocateFixes = c.relocateFixes[:0]
 }
 
 // Release drops every reference the checker retains into the last
@@ -307,8 +330,8 @@ func (c *Checker) token(tok *htmltoken.Token) {
 		c.lastOffset = end
 	}
 	c.lastUnterminated = tok.Unterminated
-	if tok.OddQuotes {
-		c.sawOddQuotes = true
+	if tok.OddQuotes && c.oddQuotesAt < 0 {
+		c.oddQuotesAt = tok.Offset
 	}
 	switch tok.Type {
 	case htmltoken.Doctype:
@@ -445,14 +468,17 @@ func (c *Checker) Finish() {
 	// tags nest. The chain stops at the first element that cannot be
 	// closed safely: inserting a close tag for an element OUTSIDE it
 	// would cross the unfixed one and change what a re-lint reports.
-	closable := !c.lastUnterminated && !c.sawOddQuotes
+	// (The odd-quotes guard always withholds these: the insertion
+	// point is the end of the document, behind any recovery point.)
+	closable := !c.lastUnterminated
 	for i := len(c.stack) - 1; i >= 0; i-- {
 		o := c.stack[i]
 		if o.requiresClose() {
 			var fix *warn.Fix
 			if closable && c.closableAtEOF(o) {
-				fix = closeElementFix(o, c.opts.TagCase, c.lastOffset)
-			} else {
+				fix = c.guardFix(closeElementFix(o, c.opts.TagCase, c.lastOffset))
+			}
+			if fix == nil {
 				closable = false
 			}
 			c.emitFix("unclosed-element", c.lastLine, fix, o.display, o.display, o.line)

@@ -30,7 +30,7 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 	} else if len(tok.Attrs) > 0 {
 		c.emitAt("closing-attribute", tok.Line, tok.Col, display)
 	}
-	c.checkTagCase(tok, display, c.willDeleteEndTag(name, info))
+	c.checkTagCase(tok, display, c.willRewriteEndTag(name, info))
 
 	// Close tags for empty elements are never legal; the fix deletes
 	// the tag (an empty element has no content to un-close).
@@ -56,6 +56,12 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 	intervening := c.stack[idx+1:]
 	matched := c.stack[idx]
 	c.stack = c.stack[:idx]
+	// Everything from idx up is leaving the stack at this tag; a HEAD
+	// among them marks where head-only content can still be inserted.
+	c.noteHeadPop(matched, tok.Offset)
+	for _, o := range intervening {
+		c.noteHeadPop(o, tok.Offset)
+	}
 
 	if len(intervening) == 0 {
 		c.popChecks(matched)
@@ -99,9 +105,10 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 		}
 		if structuralClose {
 			var fix *warn.Fix
-			if closable && !c.sawOddQuotes && c.closableAtEOF(o) {
-				fix = closeElementFix(o, c.opts.TagCase, tok.Offset)
-			} else {
+			if closable && c.closableAtEOF(o) {
+				fix = c.guardFix(closeElementFix(o, c.opts.TagCase, tok.Offset))
+			}
+			if fix == nil {
 				closable = false
 			}
 			c.emitFix("unclosed-element", tok.Line, fix, o.display, o.display, o.line)
@@ -113,11 +120,13 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 	c.popChecks(matched)
 }
 
-// willDeleteEndTag predicts whether this end tag will be reported with
-// a tag-deleting fix (empty-element-close or unmatched-close), so the
-// tag-case check can withhold its in-span rewrite. It mirrors the
-// dispatch below with read-only stack scans.
-func (c *Checker) willDeleteEndTag(name string, info *htmlspec.ElementInfo) bool {
+// willRewriteEndTag predicts whether this end tag will be reported
+// with a fix that deletes or renames the whole tag (empty-element-
+// close, unmatched-close, or the heading-mismatch rename), so the
+// tag-case check can withhold its in-span rewrite — a case fix inside
+// a deleted or renamed span would win the conflict and block the real
+// fix. It mirrors the dispatch below with read-only stack scans.
+func (c *Checker) willRewriteEndTag(name string, info *htmlspec.ElementInfo) bool {
 	if info == nil {
 		return false // unknown-element path, no deletion fix
 	}
@@ -129,7 +138,10 @@ func (c *Checker) willDeleteEndTag(name string, info *htmlspec.ElementInfo) bool
 	}
 	if headingLevel(name) > 0 {
 		if t := c.top(); t != nil && headingLevel(t.name) > 0 {
-			return false // heading-mismatch path
+			// heading-mismatch path: a safe rename rewrites the name
+			// span (and restores the configured case along the way);
+			// an unsafe one attaches no fix, so the case fix may run.
+			return headingRenameSafe(t)
 		}
 	}
 	for i := range c.pending {
@@ -140,15 +152,32 @@ func (c *Checker) willDeleteEndTag(name string, info *htmlspec.ElementInfo) bool
 	return true // unmatched-close deletes the tag
 }
 
+// noteHeadPop records the offset at which the HEAD element ended —
+// the point where the meta-in-body relocation fix can insert head
+// content. Only the first HEAD counts (a second one is a once-only
+// error anyway).
+func (c *Checker) noteHeadPop(o *open, off int) {
+	if o.name == "head" && c.headInsertPos < 0 {
+		c.headInsertPos = off
+	}
+}
+
 // unmatchedClose handles a close tag with no matching open element:
 // heading cross-matching, secondary-stack resolution, and finally the
 // unmatched-close message.
 func (c *Checker) unmatchedClose(tok *htmltoken.Token, name, display string, unknown bool) {
 	// </H2> closing an open <H1> is reported as a malformed heading
-	// rather than a stray close tag.
+	// rather than a stray close tag. The fix renames the close tag to
+	// the open heading's name — length-preserving (headings are all
+	// two bytes), so it needs no odd-quotes guard — gated on the
+	// renamed close popping cleanly through popChecks on a re-lint.
 	if headingLevel(name) > 0 {
 		if t := c.top(); t != nil && headingLevel(t.name) > 0 {
-			c.emit("heading-mismatch", tok.Line, t.display, display)
+			var fix *warn.Fix
+			if headingRenameSafe(t) {
+				fix = renameCloseFix(tok, t, c.opts.TagCase)
+			}
+			c.emitFix("heading-mismatch", tok.Line, fix, t.display, display)
 			c.stack = c.stack[:len(c.stack)-1]
 			return
 		}

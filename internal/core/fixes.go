@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"sort"
 	"strings"
 
 	"weblint/internal/ascii"
 
+	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
 	"weblint/internal/warn"
 )
@@ -23,13 +26,30 @@ import (
 //     no fix is attached: a correct diagnostic without a fix beats a
 //     fix that needs fixing.
 
-// guardFix withholds a length-changing fix once quote recovery has
-// happened anywhere in the document (see Checker.sawOddQuotes): the
-// recovered tag's extent depends on byte distances that such a fix
-// would shift. Length-preserving fixes (case rewrites) bypass it.
+// guardFix withholds a length-changing fix whose edits touch the
+// document at or after the first odd-quotes recovery point (see
+// Checker.oddQuotesAt): the recovered tag's extent depends on byte
+// distances that such an edit would shift. Edits strictly before the
+// recovery point only move the recovered region wholesale — every
+// distance the recovery heuristics measured is preserved — so those
+// fixes stay attached. The guard is positional, not temporal: fixes
+// are emitted in token order, so a fix emitted before any recovery has
+// been seen necessarily edits before any later recovery point.
+// Length-preserving fixes (case rewrites) bypass it.
 func (c *Checker) guardFix(fix *warn.Fix) *warn.Fix {
-	if c.sawOddQuotes {
-		return nil
+	if fix == nil || c.oddQuotesAt < 0 {
+		return fix
+	}
+	for _, e := range fix.Edits {
+		// An edit is distance-sensitive when it removes or replaces a
+		// byte at/after the recovery point (End > at) or inserts at or
+		// after it (Start >= at). An insertion exactly at the boundary
+		// lands before the recovered tag, but the recovered tag's own
+		// fixes anchor there too; withholding at the boundary keeps the
+		// rule simple and safe.
+		if e.End > c.oddQuotesAt || e.Start >= c.oddQuotesAt {
+			return nil
+		}
 	}
 	return fix
 }
@@ -207,6 +227,154 @@ func closeElementFix(o *open, tagCase string, at int) *warn.Fix {
 		name = o.name
 	}
 	return singleEdit("insert </"+o.display+">", at, at, "</"+name+">")
+}
+
+// renameCloseFix rewrites the name of a close tag to the open
+// element's name — the heading-mismatch remediation (</H2> closing an
+// open <H1> becomes </H1>). Heading names are all two bytes, so the
+// rewrite is length-preserving and exempt from the odd-quotes distance
+// guard, like the case fixes. The replacement follows the configured
+// tag case (upper display form by default).
+func renameCloseFix(tok *htmltoken.Token, o *open, tagCase string) *warn.Fix {
+	name := o.display
+	if tagCase == "lower" {
+		name = o.name
+	}
+	return singleEdit("rename to </"+o.display+">",
+		tok.Offset+2, tok.Offset+2+len(tok.Name), name)
+}
+
+// headingRenameSafe reports whether renaming a mismatched heading
+// close tag to the open heading's name is guaranteed not to surface a
+// new finding. The mismatch path pops the open element silently; after
+// the rename a re-lint pops it through popChecks, so the element must
+// survive those checks: it needs content (else empty-container) and
+// its text must not carry the leading/trailing whitespace the
+// container-whitespace check reports. The gates test the text itself,
+// not rule enablement — a pedantic re-lint must stay clean too.
+func headingRenameSafe(o *open) bool {
+	if !o.content {
+		return false
+	}
+	raw := o.text
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return true // whitespace-only text: neither check fires
+	}
+	return !isStyleSpace(raw[0]) && !isStyleSpace(raw[len(raw)-1])
+}
+
+// divertFix reroutes a fix into the pending relocation's cure set when
+// tok is the tag being relocated (the message then goes out fixless:
+// its problem is cured inside the relocated text instead). Any other
+// tag's fix passes through unchanged. Length-preserving fix sites use
+// it directly; length-changing sites compose it with guardFix via
+// tagFix.
+func (c *Checker) divertFix(tok *htmltoken.Token, fix *warn.Fix) *warn.Fix {
+	if fix != nil && c.relocateTok == tok {
+		c.relocateFixes = append(c.relocateFixes, fix)
+		return nil
+	}
+	return fix
+}
+
+// tagFix is the attach path for length-changing fixes that edit inside
+// a start tag: diverted into the relocation when the tag is being
+// moved, odd-quotes-guarded otherwise.
+func (c *Checker) tagFix(tok *htmltoken.Token, fix *warn.Fix) *warn.Fix {
+	if fix == nil {
+		return nil
+	}
+	if c.relocateTok == tok {
+		return c.divertFix(tok, fix)
+	}
+	return c.guardFix(fix)
+}
+
+// planMetaRelocation decides, before any in-tag fix site runs, whether
+// this META start tag will be relocated into the HEAD by the
+// meta-in-body fix. It must see the same placement state the
+// meta-in-body emission tests (a META implies no closes, so evaluating
+// before applyImpliedClose is equivalent), and it requires a cleanly
+// tokenized tag, a recorded HEAD insertion point, and no odd-quotes
+// recovery so far — the relocation edits at and before the current
+// token, so a recovery seen later cannot be crossed.
+func (c *Checker) planMetaRelocation(tok *htmltoken.Token, name string, info *htmlspec.ElementInfo) bool {
+	if name != "meta" || info == nil || !info.HeadOnly {
+		return false
+	}
+	if tok.OddQuotes || tok.Unterminated || attrsGarbled(tok) {
+		return false
+	}
+	if c.headInsertPos < 0 || c.oddQuotesAt >= 0 {
+		return false
+	}
+	if c.inElement("head") != nil || !(c.seenBody || c.inElement("body") != nil) {
+		return false // not a meta-in-body site
+	}
+	// The tag counts as its direct parent's content; moving the
+	// parent's ONLY content away would surface empty-container (or
+	// empty-title) on a re-lint. Content arriving later would keep the
+	// parent non-empty, but that is unknowable here — withhold.
+	if t := c.top(); t != nil && !t.content && t.info != nil && !t.info.EmptyOK {
+		return false
+	}
+	c.relocateTok = tok
+	c.relocateFixes = c.relocateFixes[:0]
+	return true
+}
+
+// metaRelocationFix builds the meta-in-body fix: insert the tag's text
+// — with every diverted cure applied — at the HEAD insertion point (a
+// zero-width insertion, coexisting with close-tag fixes anchored
+// there), and delete the tag at its original location. The insertion
+// text is built fresh, never aliasing the checked source.
+func (c *Checker) metaRelocationFix(tok *htmltoken.Token) *warn.Fix {
+	cleaned := applyTagEdits(tok, c.relocateFixes)
+	c.relocateTok = nil
+	c.relocateFixes = c.relocateFixes[:0]
+	return &warn.Fix{Label: "move <META> into HEAD", Edits: []warn.Edit{
+		{Start: c.headInsertPos, End: c.headInsertPos, Text: cleaned},
+		{Start: tok.Offset, End: tok.Offset + len(tok.Raw), Text: ""},
+	}}
+}
+
+// applyTagEdits rewrites a tag's text with the collected in-tag fixes.
+// It reproduces fixit.Apply's semantics on the tag's span — first
+// writer wins in collection (= emission) order, half-open overlap,
+// insertions before replacements at equal offsets — so the relocated
+// text is byte-identical to what applying those fixes in place would
+// have produced.
+func applyTagEdits(tok *htmltoken.Token, fixes []*warn.Fix) string {
+	var accepted []warn.Edit
+	for _, f := range fixes {
+		ok := true
+		for _, e := range f.Edits {
+			for _, a := range accepted {
+				if e.Start < a.End && a.Start < e.End {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			accepted = append(accepted, f.Edits...)
+		}
+	}
+	sort.SliceStable(accepted, func(i, j int) bool {
+		a, b := accepted[i], accepted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Start == a.End && b.Start != b.End
+	})
+	var sb strings.Builder
+	last := tok.Offset
+	for _, e := range accepted {
+		sb.WriteString(tok.Raw[last-tok.Offset : e.Start-tok.Offset])
+		sb.WriteString(e.Text)
+		last = e.End
+	}
+	sb.WriteString(tok.Raw[last-tok.Offset:])
+	return sb.String()
 }
 
 // closableAtEOF reports whether inserting a close tag for o (at end

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"weblint/internal/fixit"
+	"weblint/internal/warn"
+)
+
+// msgsOf collects the messages with the given id, in emission order.
+func msgsOf(msgs []warn.Message, id string) []warn.Message {
+	var out []warn.Message
+	for _, m := range msgs {
+		if m.ID == id {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// applyAndRecheck applies the stream's fixes and re-lints the result,
+// asserting the fix contract: per-ID counts never grow, no fixable
+// finding survives, and a second apply is a no-op.
+func applyAndRecheck(t *testing.T, src string, msgs []warn.Message, opts Options) []warn.Message {
+	t.Helper()
+	fixed, rep := fixit.Apply(src, msgs)
+	if rep.Skipped > 0 {
+		for _, o := range rep.Outcomes {
+			if !o.Applied {
+				t.Errorf("fix for %s (line %d, %s) skipped: %s", o.ID, o.Line, o.Label, o.Reason)
+			}
+		}
+	}
+	relint := checkAll(t, fixed, opts)
+	for _, m := range relint {
+		if m.Fix != nil {
+			t.Errorf("fixable finding survives apply: %s line %d (fix %q)", m.ID, m.Line, m.Fix.Label)
+		}
+	}
+	before, after := ids(msgs), ids(relint)
+	for id, n := range after {
+		if n > before[id] {
+			t.Errorf("apply introduced new %s findings: %d -> %d", id, before[id], n)
+		}
+	}
+	if fixed2, rep2 := fixit.Apply(fixed, relint); fixed2 != fixed || rep2.Applied != 0 {
+		t.Errorf("second apply is not a no-op (%d applied)", rep2.Applied)
+	}
+	if t.Failed() {
+		t.Logf("fixed document:\n%s", fixed)
+	}
+	return relint
+}
+
+// TestOddQuotesFixGuardPositional: the regression sweep for the
+// positional guard. A document carries identical fixable tags before
+// and after an odd-quotes recovery, with the distance between them
+// swept across the tokenizer's recovery budget: the fixes anchored
+// strictly before the recovered tag must stay attached, the ones at or
+// after it must be withheld, at every distance.
+func TestOddQuotesFixGuardPositional(t *testing.T) {
+	for _, n := range []int{0, 1, 8, 64, 298, 299, 300, 301, 302, 512} {
+		filler := strings.Repeat("z", n)
+		src := `<IMG SRC=a/b.gif>` + filler + `<P "x>y` + filler + `<IMG SRC=c/d.gif>`
+		msgs := checkAll(t, src, Options{})
+
+		if got := msgsOf(msgs, "odd-quotes"); len(got) != 1 {
+			t.Fatalf("n=%d: %d odd-quotes messages, want 1", n, len(got))
+		}
+		for _, id := range []string{"img-alt", "attribute-delimiter"} {
+			got := msgsOf(msgs, id)
+			if len(got) != 2 {
+				t.Fatalf("n=%d: %d %s messages, want 2", n, len(got), id)
+			}
+			if got[0].Fix == nil {
+				t.Errorf("n=%d: %s before the recovery point lost its fix", n, id)
+			}
+			if got[1].Fix != nil {
+				t.Errorf("n=%d: %s after the recovery point kept fix %q", n, id, got[1].Fix.Label)
+			}
+		}
+		applyAndRecheck(t, src, msgs, Options{})
+	}
+}
+
+// TestOddQuotesGuardEOFInsertions: EOF close-tag insertions anchor at
+// the end of the document — behind any recovery point — so they are
+// withheld whenever a recovery occurred, wherever it was.
+func TestOddQuotesGuardEOFInsertions(t *testing.T) {
+	src := `<UL><LI>item` + `<P "x>y`
+	msgs := checkAll(t, src, Options{})
+	for _, m := range msgsOf(msgs, "unclosed-element") {
+		if m.Fix != nil {
+			t.Errorf("EOF close fix attached after odd-quotes recovery: %q", m.Fix.Label)
+		}
+	}
+}
+
+// TestHeadingMismatchFix: </H2> closing an open <H1> gets a rename
+// fix; applying it resolves the mismatch without surfacing the checks
+// a clean pop runs.
+func TestHeadingMismatchFix(t *testing.T) {
+	src := valid("<H1>Title</H2>")
+	msgs := checkAll(t, src, Options{})
+	m := requireID(t, msgs, "heading-mismatch")
+	if m.Fix == nil {
+		t.Fatal("heading-mismatch carries no fix")
+	}
+	if m.Fix.Label != "rename to </H1>" {
+		t.Errorf("fix label = %q", m.Fix.Label)
+	}
+	relint := applyAndRecheck(t, src, msgs, Options{})
+	forbidID(t, relint, "heading-mismatch")
+}
+
+// TestHeadingMismatchFixWithheld: the rename is withheld when the
+// renamed close tag would pop through popChecks into a new finding —
+// an empty heading, or heading text with the leading/trailing
+// whitespace the container-whitespace check reports.
+func TestHeadingMismatchFixWithheld(t *testing.T) {
+	for name, body := range map[string]string{
+		"empty-heading":       "<H1></H2>",
+		"leading-whitespace":  "<H1> x</H2>",
+		"trailing-whitespace": "<H1>x </H2>",
+	} {
+		t.Run(name, func(t *testing.T) {
+			msgs := checkAll(t, valid(body), Options{})
+			if m := requireID(t, msgs, "heading-mismatch"); m.Fix != nil {
+				t.Errorf("unsafe rename attached: %q", m.Fix.Label)
+			}
+		})
+	}
+	// Child-element content without stray whitespace fires neither
+	// check: the rename is safe. (Text accumulates through children,
+	// so `<H1> <B>x</B> </H2>` would still trip the whitespace gate.)
+	msgs := checkAll(t, valid("<H1><B>x</B></H2>"), Options{})
+	if m := requireID(t, msgs, "heading-mismatch"); m.Fix == nil {
+		t.Error("child-element heading content should still rename")
+	}
+}
+
+// TestHeadingMismatchTagCase: when the rename fix runs it rewrites the
+// name span, so the tag-case check withholds its own in-span fix (the
+// rename restores the configured case anyway); when the rename is
+// unsafe the case fix must come back.
+func TestHeadingMismatchTagCase(t *testing.T) {
+	opts := Options{TagCase: "lower"}
+	msgs := checkAll(t, "<h1>x</H2>", opts)
+	if m := requireID(t, msgs, "tag-case"); m.Fix != nil {
+		t.Errorf("tag-case fix attached alongside the rename: %q", m.Fix.Label)
+	}
+	mm := requireID(t, msgs, "heading-mismatch")
+	if mm.Fix == nil {
+		t.Fatal("no rename fix")
+	}
+	if mm.Fix.Edits[0].Text != "h1" {
+		t.Errorf("rename text = %q, want lower-case h1", mm.Fix.Edits[0].Text)
+	}
+	applyAndRecheck(t, "<h1>x</H2>", msgs, opts)
+
+	// Unsafe rename (empty heading): the case fix runs instead.
+	msgs = checkAll(t, "<h1></H2>", opts)
+	if m := requireID(t, msgs, "tag-case"); m.Fix == nil {
+		t.Error("tag-case fix missing when the rename is withheld")
+	}
+}
+
+// TestMetaInBodyFix: a pristine META in the BODY is relocated to where
+// the HEAD element ended.
+func TestMetaInBodyFix(t *testing.T) {
+	src := `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a" CONTENT="b"></BODY></HTML>`
+	msgs := checkAll(t, src, Options{})
+	m := requireID(t, msgs, "meta-in-body")
+	if m.Fix == nil {
+		t.Fatal("meta-in-body carries no fix")
+	}
+	fixed, _ := fixit.Apply(src, msgs)
+	want := `<HTML><HEAD><TITLE>t</TITLE><META NAME="a" CONTENT="b"></HEAD><BODY><P>x</BODY></HTML>`
+	if fixed != want {
+		t.Errorf("fixed = %q\nwant    %q", fixed, want)
+	}
+	relint := applyAndRecheck(t, src, msgs, Options{})
+	forbidID(t, relint, "meta-in-body")
+}
+
+// TestMetaInBodyFixImpliedHeadClose: the insertion point is recorded
+// when BODY implies the HEAD's close, not only at an explicit </HEAD>.
+func TestMetaInBodyFixImpliedHeadClose(t *testing.T) {
+	src := `<HTML><HEAD><TITLE>t</TITLE><BODY><P>x<META NAME="a" CONTENT="b"></BODY></HTML>`
+	msgs := checkAll(t, src, Options{})
+	m := requireID(t, msgs, "meta-in-body")
+	if m.Fix == nil {
+		t.Fatal("meta-in-body carries no fix after an implied head close")
+	}
+	relint := applyAndRecheck(t, src, msgs, Options{})
+	forbidID(t, relint, "meta-in-body")
+}
+
+// TestMetaInBodyFixWithheld: the relocation is withheld when no HEAD
+// element was seen, after an odd-quotes recovery (the deletion edits
+// at/after the recovery point), or when the tag's own parse is
+// garbled.
+func TestMetaInBodyFixWithheld(t *testing.T) {
+	cases := map[string]string{
+		"no-head":         `<HTML><BODY><P>x<META NAME="a" CONTENT="b"></BODY></HTML>`,
+		"after-odd-quote": `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<P "q>y<META NAME="a" CONTENT="b"></BODY></HTML>`,
+		"odd-quote-tag":   `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a CONTENT="b"></BODY></HTML>`,
+		"only-content":    `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><META NAME="a" CONTENT="b"></BODY></HTML>`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			msgs := checkAll(t, src, Options{})
+			if m := requireID(t, msgs, "meta-in-body"); m.Fix != nil {
+				t.Errorf("unsafe relocation attached: %q", m.Fix.Label)
+			}
+			applyAndRecheck(t, src, msgs, Options{})
+		})
+	}
+}
+
+// TestMetaInBodyFixCuresDirtyTag: in-tag fixes for a relocated META
+// are diverted into the relocation — the tag is moved AND cured in one
+// apply pass, and the cured findings go out fixless (their edits would
+// conflict with the relocation's deletion).
+func TestMetaInBodyFixCuresDirtyTag(t *testing.T) {
+	cases := map[string]struct{ src, cured string }{
+		"single-quotes": {
+			`<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME='a' CONTENT="b"></BODY></HTML>`,
+			`<META NAME="a" CONTENT="b"></HEAD>`,
+		},
+		"unquoted-value": {
+			`<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a" CONTENT=b/c></BODY></HTML>`,
+			`<META NAME="a" CONTENT="b/c"></HEAD>`,
+		},
+		"trailing-slash": {
+			`<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a" CONTENT="b"/></BODY></HTML>`,
+			`<META NAME="a" CONTENT="b"></HEAD>`,
+		},
+		"repeated-attr": {
+			// The deletion removes the attribute, not its surrounding
+			// space — exactly what an in-place apply produces.
+			`<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a" NAME="a" CONTENT="b"></BODY></HTML>`,
+			`<META NAME="a"  CONTENT="b"></HEAD>`,
+		},
+		"missing-required-content": {
+			`<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a"></BODY></HTML>`,
+			`<META NAME="a" CONTENT=""></HEAD>`,
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			msgs := checkAll(t, tc.src, Options{})
+			m := requireID(t, msgs, "meta-in-body")
+			if m.Fix == nil {
+				t.Fatal("no relocation fix on a curable tag")
+			}
+			for _, other := range msgs {
+				if other.ID != "meta-in-body" && other.Fix != nil {
+					t.Errorf("in-tag fix escaped diversion: %s (%q)", other.ID, other.Fix.Label)
+				}
+			}
+			fixed, _ := fixit.Apply(tc.src, msgs)
+			if !strings.Contains(fixed, tc.cured) {
+				t.Errorf("fixed = %q\nwant substring %q", fixed, tc.cured)
+			}
+			relint := applyAndRecheck(t, tc.src, msgs, Options{})
+			forbidID(t, relint, "meta-in-body")
+		})
+	}
+}
+
+// TestMetaInBodyFixTwoMetas: two relocatable METAs insert at the same
+// point in stream order, keeping their document order inside the HEAD.
+func TestMetaInBodyFixTwoMetas(t *testing.T) {
+	src := `<HTML><HEAD><TITLE>t</TITLE></HEAD><BODY><P>x<META NAME="a" CONTENT="1"><META NAME="b" CONTENT="2"></BODY></HTML>`
+	msgs := checkAll(t, src, Options{})
+	if got := msgsOf(msgs, "meta-in-body"); len(got) != 2 {
+		t.Fatalf("%d meta-in-body messages, want 2", len(got))
+	}
+	fixed, _ := fixit.Apply(src, msgs)
+	if !strings.Contains(fixed, `<META NAME="a" CONTENT="1"><META NAME="b" CONTENT="2"></HEAD>`) {
+		t.Errorf("metas not relocated in order: %q", fixed)
+	}
+	relint := applyAndRecheck(t, src, msgs, Options{})
+	forbidID(t, relint, "meta-in-body")
+}

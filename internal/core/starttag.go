@@ -30,8 +30,13 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 	if tok.OddQuotes {
 		c.emitAt("odd-quotes", tok.Line, tok.Col, tok.Raw)
 	}
+	// Decide up front whether this tag will be relocated by the
+	// meta-in-body fix: from here on, every fix editing inside the tag
+	// is diverted into the relocation's insertion text instead of the
+	// message stream (two fixes on one span would conflict in fixit).
+	relocating := c.planMetaRelocation(tok, name, info)
 	if tok.SlashClose {
-		c.emitFixAt("spurious-slash", tok.Line, tok.Col, c.guardFix(slashFix(tok)), display)
+		c.emitFixAt("spurious-slash", tok.Line, tok.Col, c.tagFix(tok, slashFix(tok)), display)
 	}
 	c.checkTagCase(tok, display, false)
 
@@ -49,10 +54,10 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 
 	// Implied closes: opening this element legally ends some open
 	// elements (LI ends LI, a block element ends P, ...).
-	c.applyImpliedClose(name, tok.Line)
+	c.applyImpliedClose(name, tok.Line, tok.Offset)
 
 	if info != nil {
-		c.checkStructure(name, display, info, tok.Line, tok.Col)
+		c.checkStructure(tok, name, display, info)
 	}
 
 	// Mark content on the parent before pushing.
@@ -66,6 +71,13 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 		c.checkAttrs(tok, name, display, info)
 	}
 
+	// The meta-in-body message is emitted after the attribute checks
+	// so its relocation fix can carry every diverted cure; fixless
+	// sites emit it at the usual placement point in checkStructure.
+	if relocating {
+		c.emitFixAt("meta-in-body", tok.Line, tok.Col, c.guardFix(c.metaRelocationFix(tok)))
+	}
+
 	c.trackDocumentState(name, tok.Line)
 
 	if info != nil && info.Empty {
@@ -75,14 +87,15 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 }
 
 // applyImpliedClose pops open elements whose end is implied by the
-// arrival of a start tag for name.
-func (c *Checker) applyImpliedClose(name string, line int) {
+// arrival of a start tag for name at byte offset off.
+func (c *Checker) applyImpliedClose(name string, line, off int) {
 	for {
 		t := c.top()
 		if t == nil || t.info == nil || !t.info.ImpliedEndedBy(name) {
 			return
 		}
 		c.stack = c.stack[:len(c.stack)-1]
+		c.noteHeadPop(t, off)
 		if c.opts.DisableImpliedClose {
 			c.emit("unclosed-element", line, t.display, t.display, t.line)
 		} else {
@@ -94,7 +107,8 @@ func (c *Checker) applyImpliedClose(name string, line int) {
 // checkStructure performs the element-level structure checks: once
 // only elements, head/body placement, required context, self-nesting,
 // heading order.
-func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInfo, line, col int) {
+func (c *Checker) checkStructure(tok *htmltoken.Token, name, display string, info *htmlspec.ElementInfo) {
+	line, col := tok.Line, tok.Col
 	// Once-only elements (HTML, HEAD, BODY, TITLE).
 	if info.OnceOnly {
 		if first, dup := c.seenOnce[name]; dup {
@@ -109,7 +123,11 @@ func (c *Checker) checkStructure(name, display string, info *htmlspec.ElementInf
 		c.headContent = true
 		if c.inElement("head") == nil && (c.seenBody || c.inElement("body") != nil) {
 			if name == "meta" {
-				c.emitAt("meta-in-body", line, col)
+				// A tag being relocated emits its message after the
+				// attribute checks (see startTag), carrying the fix.
+				if c.relocateTok != tok {
+					c.emitAt("meta-in-body", line, col)
+				}
 			} else {
 				c.emitAt("head-element", line, col, display)
 			}
@@ -208,7 +226,7 @@ func (c *Checker) checkTagCase(tok *htmltoken.Token, display string, noFix bool)
 		if tok.Type == htmltoken.EndTag {
 			nameOff++
 		}
-		fix = caseFix(want+"-case tag name", written, nameOff, want)
+		fix = c.divertFix(tok, caseFix(want+"-case tag name", written, nameOff, want))
 	}
 	c.emitFixAt("tag-case", tok.Line, tok.Col, fix, display, want)
 }
@@ -233,14 +251,14 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 			if !isNameTokenValue(at.Value) {
 				var fix *warn.Fix
 				if !garbled && quotableValue(at.Value) && firstOfName(tok.Attrs[:i], at.Lower) {
-					fix = c.guardFix(quoteValueFix(at))
+					fix = c.tagFix(tok, quoteValueFix(at))
 				}
 				c.emitFixAt("attribute-delimiter", at.Line, at.Col, fix, at.Name, at.Value, display, at.Name, at.Value)
 			}
 		case '\'':
 			var fix *warn.Fix
 			if !garbled && !at.UnterminatedQuote && quotableValue(at.Value) && firstOfName(tok.Attrs[:i], at.Lower) {
-				fix = c.guardFix(requoteValueFix(at))
+				fix = c.tagFix(tok, requoteValueFix(at))
 			}
 			c.emitFixAt("single-quotes", at.Line, at.Col, fix, at.Name, display)
 		}
@@ -256,7 +274,7 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		if _, dup := seen[lower]; dup {
 			var fix *warn.Fix
 			if !garbled && deletableAttr(tok, at) {
-				fix = c.guardFix(deleteAttrFix(at))
+				fix = c.tagFix(tok, deleteAttrFix(at))
 			}
 			c.emitFixAt("repeated-attribute", at.Line, at.Col, fix, at.Name, display)
 			continue
@@ -293,7 +311,7 @@ func (c *Checker) checkAttrs(tok *htmltoken.Token, name, display string, info *h
 		if _, ok := seen[reqName]; !ok {
 			var fix *warn.Fix
 			if ai := info.Attr(reqName); !garbled && ai != nil && ai.ValidValue("") {
-				fix = c.guardFix(insertAttrFix(tok, reqName, c.opts.AttrCase))
+				fix = c.tagFix(tok, insertAttrFix(tok, reqName, c.opts.AttrCase))
 			}
 			c.emitFixAt("required-attribute", tok.Line, tok.Col, fix, strings.ToUpper(reqName), display)
 		}
@@ -342,7 +360,7 @@ func (c *Checker) checkAttrCase(tok *htmltoken.Token, display string) {
 		if want == "upper" && ascii.IsUpper(at.Name) || want == "lower" && ascii.IsLower(at.Name) {
 			continue
 		}
-		fix := caseFix(want+"-case attribute name", at.Name, at.Offset, want)
+		fix := c.divertFix(tok, caseFix(want+"-case attribute name", at.Name, at.Offset, want))
 		c.emitFixAt("attribute-case", at.Line, at.Col, fix, at.Name, display, want)
 	}
 }

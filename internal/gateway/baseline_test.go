@@ -1,0 +1,127 @@
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// baselinePage is multi-line so that edits to one line leave the
+// other findings' context lines — and so their fingerprints — alone.
+const baselinePage = `<HTML>
+<HEAD><TITLE>x</TITLE></HEAD>
+<BODY>
+<H1>a</H2>
+<P>text
+</BODY>
+</HTML>`
+
+// postBaselineForm submits pasted HTML with a format and an optional
+// baseline document.
+func postBaselineForm(t *testing.T, h *Handler, html, format, base string) *httptest.ResponseRecorder {
+	t.Helper()
+	form := url.Values{"html": {html}, "format": {format}}
+	if base != "" {
+		form.Set("baseline", base)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestBaselineRecordAndDiff: format=baseline records the submission's
+// findings; resubmitting the same document with that baseline yields
+// an empty SARIF result set and a zero new-findings header, and a
+// changed document reports only the new finding.
+func TestBaselineRecordAndDiff(t *testing.T) {
+	h := NewHandler(nil)
+
+	rec := postBaselineForm(t, h, baselinePage, "baseline", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("baseline record status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var base struct {
+		Version  int            `json:"version"`
+		Findings map[string]int `json:"findings"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &base); err != nil {
+		t.Fatalf("baseline does not parse: %v", err)
+	}
+	if len(base.Findings) == 0 {
+		t.Fatal("baseline recorded no findings for a broken page")
+	}
+	baseDoc := rec.Body.String()
+
+	// Unchanged resubmission: no new findings.
+	rec = postBaselineForm(t, h, baselinePage, "sarif", baseDoc)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sarif diff status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Weblint-New-Findings"); got != "0" {
+		t.Errorf("X-Weblint-New-Findings = %q, want 0", got)
+	}
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Runs[0].Results); n != 0 {
+		t.Errorf("%d results for an unchanged submission, want 0", n)
+	}
+
+	// A new problem appears: only it is reported.
+	changed := strings.Replace(baselinePage, "</BODY>", "<IMG SRC=\"new.gif\">\n</BODY>", 1)
+	rec = postBaselineForm(t, h, changed, "sarif", baseDoc)
+	if got := rec.Header().Get("X-Weblint-New-Findings"); got == "0" || got == "" {
+		t.Errorf("X-Weblint-New-Findings = %q, want > 0", got)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Runs[0].Results); n == 0 {
+		t.Error("new finding missing from the diffed SARIF")
+	}
+	for _, res := range log.Runs[0].Results {
+		if res.RuleID != "img-alt" && res.RuleID != "img-size" {
+			t.Errorf("unexpected rule in diff: %s", res.RuleID)
+		}
+	}
+}
+
+// TestBaselineGarbageRejected: an unparseable baseline is a 400, not a
+// silent full report.
+func TestBaselineGarbageRejected(t *testing.T) {
+	rec := postBaselineForm(t, NewHandler(nil), baselinePage, "sarif", "{nope")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+}
+
+// TestBaselineWithJSONStream: the filter composes with the streaming
+// json renderer; the trailing summary counts only new findings.
+func TestBaselineWithJSONStream(t *testing.T) {
+	h := NewHandler(nil)
+	baseDoc := postBaselineForm(t, h, baselinePage, "baseline", "").Body.String()
+	rec := postBaselineForm(t, h, baselinePage, "json", baseDoc)
+	body := strings.TrimSpace(rec.Body.String())
+	lines := strings.Split(body, "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], `{"summary":`) {
+		t.Errorf("unchanged submission should stream only the summary line:\n%s", body)
+	}
+	if !strings.Contains(lines[len(lines)-1], `"errors":0`) {
+		t.Errorf("summary counts baselined findings: %s", lines[len(lines)-1])
+	}
+}

@@ -1,0 +1,79 @@
+package lsp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := newConn(&buf, &buf)
+	if err := c.notify("textDocument/publishDiagnostics", map[string]any{"uri": "file:///x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "Content-Length: ") {
+		t.Fatalf("no framing header: %q", buf.String())
+	}
+	m, err := c.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != "textDocument/publishDiagnostics" {
+		t.Errorf("method = %q", m.Method)
+	}
+	if _, err := c.read(); err != io.EOF {
+		t.Errorf("second read err = %v, want EOF", err)
+	}
+}
+
+func TestFramingHeaderVariants(t *testing.T) {
+	body := `{"jsonrpc":"2.0","method":"x"}`
+	// Lower-case header name and an extra ignored header.
+	in := fmt.Sprintf("content-length: %d\r\ncontent-type: application/vscode-jsonrpc; charset=utf-8\r\n\r\n%s", len(body), body)
+	m, err := newConn(strings.NewReader(in), io.Discard).read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != "x" {
+		t.Errorf("method = %q", m.Method)
+	}
+}
+
+func TestFramingMissingLength(t *testing.T) {
+	if _, err := newConn(strings.NewReader("X-Other: 1\r\n\r\n{}"), io.Discard).read(); err == nil {
+		t.Fatal("missing Content-Length accepted")
+	}
+}
+
+func TestFramingBadJSONIsProtocolError(t *testing.T) {
+	in := "Content-Length: 5\r\n\r\n{nope"
+	_, err := newConn(strings.NewReader(in), io.Discard).read()
+	var perr *protocolError
+	if ok := errorsAs(err, &perr); !ok || perr.code != codeParseError {
+		t.Fatalf("err = %v, want protocolError(parse)", err)
+	}
+}
+
+func errorsAs(err error, target **protocolError) bool {
+	p, ok := err.(*protocolError)
+	if ok {
+		*target = p
+	}
+	return ok
+}
+
+func TestRespondNullResult(t *testing.T) {
+	var buf bytes.Buffer
+	c := newConn(strings.NewReader(""), &buf)
+	id := json.RawMessage(`1`)
+	if err := c.respond(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"result":null`) {
+		t.Errorf("null result not serialised: %q", buf.String())
+	}
+}

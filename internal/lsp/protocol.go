@@ -1,0 +1,147 @@
+package lsp
+
+// protocol.go declares the slice of the Language Server Protocol the
+// server speaks, 3.x wire shapes. Only the fields weblint reads or
+// writes are declared; unknown fields are ignored by encoding/json,
+// which is exactly the forward-compatibility the protocol intends.
+
+// Position is a 0-based (line, UTF-16 code unit) document position —
+// the protocol's default position encoding.
+type Position struct {
+	Line      int `json:"line"`
+	Character int `json:"character"`
+}
+
+// Range is a half-open [start, end) span.
+type Range struct {
+	Start Position `json:"start"`
+	End   Position `json:"end"`
+}
+
+// Diagnostic severities.
+const (
+	SeverityError       = 1
+	SeverityWarning     = 2
+	SeverityInformation = 3
+	SeverityHint        = 4
+)
+
+// Diagnostic is one published finding.
+type Diagnostic struct {
+	Range    Range  `json:"range"`
+	Severity int    `json:"severity,omitempty"`
+	Code     string `json:"code,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Message  string `json:"message"`
+}
+
+// TextDocumentItem is the full document sent with didOpen.
+type TextDocumentItem struct {
+	URI     string `json:"uri"`
+	Version int    `json:"version"`
+	Text    string `json:"text"`
+}
+
+// TextDocumentIdentifier names a document.
+type TextDocumentIdentifier struct {
+	URI string `json:"uri"`
+}
+
+// VersionedTextDocumentIdentifier names a document at a version.
+type VersionedTextDocumentIdentifier struct {
+	URI     string `json:"uri"`
+	Version int    `json:"version"`
+}
+
+// WorkspaceFolder is one root the client has open.
+type WorkspaceFolder struct {
+	URI  string `json:"uri"`
+	Name string `json:"name"`
+}
+
+type initializeParams struct {
+	RootURI          string            `json:"rootUri"`
+	RootPath         string            `json:"rootPath"`
+	WorkspaceFolders []WorkspaceFolder `json:"workspaceFolders"`
+}
+
+type initializeResult struct {
+	Capabilities serverCapabilities `json:"capabilities"`
+	ServerInfo   serverInfo         `json:"serverInfo"`
+}
+
+type serverInfo struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+type serverCapabilities struct {
+	TextDocumentSync   textDocumentSyncOptions `json:"textDocumentSync"`
+	CodeActionProvider bool                    `json:"codeActionProvider"`
+}
+
+type textDocumentSyncOptions struct {
+	OpenClose bool `json:"openClose"`
+	// Change 1 = full document sync: every didChange carries the whole
+	// text. Weblint re-lints whole documents anyway, and full sync
+	// keeps the hand-rolled server free of edit-application bugs.
+	Change int `json:"change"`
+}
+
+type didOpenParams struct {
+	TextDocument TextDocumentItem `json:"textDocument"`
+}
+
+type didChangeParams struct {
+	TextDocument   VersionedTextDocumentIdentifier  `json:"textDocument"`
+	ContentChanges []textDocumentContentChangeEvent `json:"contentChanges"`
+}
+
+// textDocumentContentChangeEvent under full sync carries just Text;
+// Range stays nil. A non-nil Range (incremental change) is rejected —
+// the server advertises full sync only.
+type textDocumentContentChangeEvent struct {
+	Range *Range `json:"range"`
+	Text  string `json:"text"`
+}
+
+type didCloseParams struct {
+	TextDocument TextDocumentIdentifier `json:"textDocument"`
+}
+
+type publishDiagnosticsParams struct {
+	URI         string       `json:"uri"`
+	Version     int          `json:"version,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+type codeActionParams struct {
+	TextDocument TextDocumentIdentifier `json:"textDocument"`
+	Range        Range                  `json:"range"`
+	Context      codeActionContext      `json:"context"`
+}
+
+type codeActionContext struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Only        []string     `json:"only,omitempty"`
+}
+
+// CodeAction is a quick fix offered for a diagnostic.
+type CodeAction struct {
+	Title       string         `json:"title"`
+	Kind        string         `json:"kind,omitempty"`
+	Diagnostics []Diagnostic   `json:"diagnostics,omitempty"`
+	IsPreferred bool           `json:"isPreferred,omitempty"`
+	Edit        *WorkspaceEdit `json:"edit,omitempty"`
+}
+
+// WorkspaceEdit carries document edits keyed by URI.
+type WorkspaceEdit struct {
+	Changes map[string][]TextEdit `json:"changes"`
+}
+
+// TextEdit replaces a range with new text.
+type TextEdit struct {
+	Range   Range  `json:"range"`
+	NewText string `json:"newText"`
+}

@@ -1,0 +1,482 @@
+// Package lsp implements a Language Server Protocol server over
+// weblint's streaming diagnostics pipeline: the editor-facing surface
+// the paper's workflow implies — catching HTML mistakes while the
+// author types, not after deploy.
+//
+// The server speaks JSON-RPC 2.0 with LSP base-protocol framing over
+// any reader/writer pair (stdio in cmd/weblint-lsp), hand-rolled — no
+// dependency beyond the standard library. It handles
+//
+//	initialize / initialized / shutdown / exit
+//	textDocument/didOpen | didChange | didClose
+//	textDocument/codeAction
+//
+// and pushes textDocument/publishDiagnostics after every (debounced)
+// lint. Diagnostics come from the shared lint.Linter — the engine
+// already proved concurrent reuse race-clean — through the warn.Sink
+// seam; fix-carrying messages surface as quick-fix code actions whose
+// edits are converted from byte spans to UTF-16 ranges by textpos.
+//
+// Per-workspace configuration follows the CLI: the nearest .weblintrc
+// up the directory tree from each document (stopping at the workspace
+// folder root) configures that document's linter, rebuilt when the
+// file changes; documents without one share the default linter.
+package lsp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"weblint/internal/config"
+	"weblint/internal/lint"
+	"weblint/internal/textpos"
+	"weblint/internal/warn"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Linter is the shared default linter; nil builds one with default
+	// settings.
+	Linter *lint.Linter
+	// DebounceDelay is how long after the last didChange the re-lint
+	// runs. Zero means the 200ms default; negative lints synchronously
+	// on every change (used by tests).
+	DebounceDelay time.Duration
+	// Logf, when non-nil, receives server-side log lines (protocol
+	// errors, configuration problems). The transport carries only
+	// protocol traffic.
+	Logf func(format string, args ...any)
+}
+
+const defaultDebounce = 200 * time.Millisecond
+
+// document is the server's view of one open editor buffer.
+type document struct {
+	uri     string
+	path    string // filesystem path, or "" for non-file URIs
+	version int
+	text    string
+	timer   *time.Timer // pending debounced lint
+
+	// Last published analysis, consumed by codeAction: msgs[i]
+	// produced diags[i]; index resolves fix edits over text, and
+	// analyzed records the version the analysis was computed against
+	// — codeAction refuses to serve edits for any other version.
+	index    *textpos.Index
+	msgs     []warn.Message
+	diags    []Diagnostic
+	analyzed int
+}
+
+// Server is one LSP session. Construct with NewServer, then Run it
+// over the transport.
+type Server struct {
+	opts    Options
+	conn    *conn
+	linters *linterCache
+
+	mu       sync.Mutex
+	docs     map[string]*document
+	roots    []string
+	shutdown bool
+}
+
+// NewServer returns a server ready to Run.
+func NewServer(opts Options) *Server {
+	if opts.Linter == nil {
+		opts.Linter = lint.MustNew(lint.Options{})
+	}
+	if opts.DebounceDelay == 0 {
+		opts.DebounceDelay = defaultDebounce
+	}
+	return &Server{
+		opts:    opts,
+		linters: newLinterCache(opts.Linter, opts.Logf),
+		docs:    map[string]*document{},
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Run serves the connection until the client sends exit or closes the
+// stream. It returns nil on an orderly shutdown/exit (or EOF after
+// shutdown) and the transport error otherwise.
+func (s *Server) Run(r io.Reader, w io.Writer) error {
+	s.conn = newConn(r, w)
+	defer s.stopTimers()
+	for {
+		m, err := s.conn.read()
+		if err != nil {
+			if perr, ok := err.(*protocolError); ok {
+				// The frame was consumed; the stream is still usable.
+				_ = s.conn.respondError(nil, perr.code, perr.msg)
+				continue
+			}
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if m.Method == "exit" {
+			return nil
+		}
+		if err := s.dispatch(m); err != nil {
+			return err
+		}
+	}
+}
+
+// stopTimers cancels pending debounced lints so Run leaves nothing
+// firing after it returns.
+func (s *Server) stopTimers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.docs {
+		if d.timer != nil {
+			d.timer.Stop()
+		}
+	}
+}
+
+// dispatch handles one message. Returned errors are transport
+// failures; protocol-level problems answer the client instead.
+func (s *Server) dispatch(m *message) error {
+	switch m.Method {
+	case "initialize":
+		var p initializeParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return s.conn.respondError(m.ID, codeInvalidParams, err.Error())
+		}
+		s.setRoots(&p)
+		return s.conn.respond(m.ID, initializeResult{
+			Capabilities: serverCapabilities{
+				TextDocumentSync:   textDocumentSyncOptions{OpenClose: true, Change: 1},
+				CodeActionProvider: true,
+			},
+			ServerInfo: serverInfo{Name: "weblint-lsp", Version: "2.0"},
+		})
+	case "initialized":
+		return nil
+	case "shutdown":
+		s.mu.Lock()
+		s.shutdown = true
+		s.mu.Unlock()
+		return s.conn.respond(m.ID, nil)
+	case "textDocument/didOpen":
+		var p didOpenParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			s.logf("didOpen: %v", err)
+			return nil
+		}
+		s.openDocument(p.TextDocument)
+		return nil
+	case "textDocument/didChange":
+		var p didChangeParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			s.logf("didChange: %v", err)
+			return nil
+		}
+		s.changeDocument(&p)
+		return nil
+	case "textDocument/didClose":
+		var p didCloseParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			s.logf("didClose: %v", err)
+			return nil
+		}
+		s.closeDocument(p.TextDocument.URI)
+		return nil
+	case "textDocument/codeAction":
+		var p codeActionParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return s.conn.respondError(m.ID, codeInvalidParams, err.Error())
+		}
+		return s.conn.respond(m.ID, s.codeActions(&p))
+	}
+	if len(m.ID) != 0 {
+		return s.conn.respondError(m.ID, codeMethodNotFound, "unhandled method "+m.Method)
+	}
+	// Unknown notifications ($/cancelRequest, client chatter) are
+	// ignored, as the protocol requires.
+	return nil
+}
+
+// setRoots records the workspace folders .weblintrc discovery stops
+// at.
+func (s *Server) setRoots(p *initializeParams) {
+	var roots []string
+	for _, f := range p.WorkspaceFolders {
+		if path := uriToPath(f.URI); path != "" {
+			roots = append(roots, path)
+		}
+	}
+	if len(roots) == 0 {
+		if path := uriToPath(p.RootURI); path != "" {
+			roots = append(roots, path)
+		} else if p.RootPath != "" {
+			roots = append(roots, p.RootPath)
+		}
+	}
+	s.mu.Lock()
+	s.roots = roots
+	s.mu.Unlock()
+	s.linters.setRoots(roots)
+}
+
+// openDocument registers a buffer and lints it immediately: the first
+// diagnostics should appear the moment a file opens, not a debounce
+// later.
+func (s *Server) openDocument(td TextDocumentItem) {
+	d := &document{uri: td.URI, path: uriToPath(td.URI), version: td.Version, text: td.Text}
+	s.mu.Lock()
+	if prev := s.docs[td.URI]; prev != nil && prev.timer != nil {
+		prev.timer.Stop()
+	}
+	s.docs[td.URI] = d
+	s.mu.Unlock()
+	s.lintNow(td.URI)
+}
+
+// changeDocument applies a full-sync change and schedules a debounced
+// re-lint. Typing bursts collapse into one lint a short beat after
+// the last keystroke.
+func (s *Server) changeDocument(p *didChangeParams) {
+	s.mu.Lock()
+	d := s.docs[p.TextDocument.URI]
+	if d == nil {
+		s.mu.Unlock()
+		s.logf("didChange for unopened %s", p.TextDocument.URI)
+		return
+	}
+	applied := false
+	for _, ch := range p.ContentChanges {
+		if ch.Range != nil {
+			// The server advertises full sync; an incremental change
+			// cannot be applied soundly. Skip it and say so.
+			s.logf("ignoring incremental change for %s (full sync advertised)", d.uri)
+			continue
+		}
+		d.text = ch.Text
+		applied = true
+	}
+	d.version = p.TextDocument.Version
+	uri := d.uri
+	if !applied {
+		s.mu.Unlock()
+		return
+	}
+	if s.opts.DebounceDelay < 0 {
+		s.mu.Unlock()
+		s.lintNow(uri)
+		return
+	}
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	d.timer = time.AfterFunc(s.opts.DebounceDelay, func() { s.lintNow(uri) })
+	s.mu.Unlock()
+}
+
+// closeDocument forgets a buffer and retracts its diagnostics.
+func (s *Server) closeDocument(uri string) {
+	s.mu.Lock()
+	d := s.docs[uri]
+	if d != nil && d.timer != nil {
+		d.timer.Stop()
+	}
+	delete(s.docs, uri)
+	s.mu.Unlock()
+	if d != nil {
+		if err := s.conn.notify("textDocument/publishDiagnostics",
+			publishDiagnosticsParams{URI: uri, Diagnostics: []Diagnostic{}}); err != nil {
+			s.logf("publish: %v", err)
+		}
+	}
+}
+
+// lintNow checks a document and publishes its diagnostics. It runs on
+// the dispatch goroutine (didOpen) or a timer goroutine (debounced
+// didChange); the version check under the lock makes a stale timer's
+// work harmless — its publish is dropped.
+func (s *Server) lintNow(uri string) {
+	s.mu.Lock()
+	d := s.docs[uri]
+	if d == nil {
+		s.mu.Unlock()
+		return
+	}
+	text, version, path := d.text, d.version, d.path
+	s.mu.Unlock()
+
+	linter := s.linters.forPath(path)
+	name := path
+	if name == "" {
+		name = uri
+	}
+	// The Sink seam: stream the pooled check into a collector, then
+	// order per the CLI's per-document contract.
+	var col warn.Collector
+	linter.CheckStringTo(name, text, &col)
+	msgs := col.Messages
+	warn.SortByLine(msgs)
+
+	ix := textpos.New(text)
+	diags := make([]Diagnostic, len(msgs))
+	for i, m := range msgs {
+		diags[i] = diagnosticFor(m, ix)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d = s.docs[uri]
+	if d == nil || d.version != version {
+		return // superseded while linting
+	}
+	d.index, d.msgs, d.diags, d.analyzed = ix, msgs, diags, version
+	if err := s.conn.notify("textDocument/publishDiagnostics",
+		publishDiagnosticsParams{URI: uri, Version: version, Diagnostics: diags}); err != nil {
+		s.logf("publish: %v", err)
+	}
+}
+
+// codeActions builds quick fixes for the fix-carrying diagnostics
+// touching the requested range.
+func (s *Server) codeActions(p *codeActionParams) []CodeAction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.docs[p.TextDocument.URI]
+	if d == nil || d.index == nil {
+		return []CodeAction{}
+	}
+	if d.analyzed != d.version {
+		// A didChange arrived after the last analysis (the debounced
+		// re-lint hasn't landed yet): edit offsets computed against
+		// the stale text could corrupt the client's buffer. Offer
+		// nothing; the client re-requests after the next publish.
+		return []CodeAction{}
+	}
+	actions := []CodeAction{}
+	for i, m := range d.msgs {
+		if m.Fix == nil || !rangesTouch(d.diags[i].Range, p.Range) {
+			continue
+		}
+		actions = append(actions, CodeAction{
+			Title:       m.Fix.Label,
+			Kind:        "quickfix",
+			Diagnostics: []Diagnostic{d.diags[i]},
+			IsPreferred: true,
+			Edit: &WorkspaceEdit{Changes: map[string][]TextEdit{
+				d.uri: editsToLSP(m.Fix.Edits, d.index),
+			}},
+		})
+	}
+	return actions
+}
+
+// linterCache resolves the linter for a document path: the nearest
+// .weblintrc up the tree (bounded by the workspace roots) configures
+// a cached per-file linter, rebuilt when the file's mtime changes;
+// everything else shares the default linter.
+type linterCache struct {
+	def  *lint.Linter
+	logf func(string, ...any)
+
+	mu    sync.Mutex
+	roots []string
+	byRC  map[string]*rcEntry
+}
+
+type rcEntry struct {
+	linter *lint.Linter
+	mtime  time.Time
+}
+
+func newLinterCache(def *lint.Linter, logf func(string, ...any)) *linterCache {
+	return &linterCache{def: def, logf: logf, byRC: map[string]*rcEntry{}}
+}
+
+func (lc *linterCache) setRoots(roots []string) {
+	lc.mu.Lock()
+	lc.roots = roots
+	lc.mu.Unlock()
+}
+
+// forPath returns the linter for a document path ("" means the
+// default).
+func (lc *linterCache) forPath(path string) *lint.Linter {
+	if path == "" {
+		return lc.def
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	rc := lc.findRC(filepath.Dir(path))
+	if rc == "" {
+		return lc.def
+	}
+	st, err := os.Stat(rc)
+	if err != nil {
+		return lc.def
+	}
+	if e := lc.byRC[rc]; e != nil && e.mtime.Equal(st.ModTime()) {
+		return e.linter
+	}
+	linter, err := buildRCLinter(rc)
+	if err != nil {
+		if lc.logf != nil {
+			lc.logf("%s: %v (using default configuration)", rc, err)
+		}
+		linter = lc.def
+	}
+	lc.byRC[rc] = &rcEntry{linter: linter, mtime: st.ModTime()}
+	return linter
+}
+
+// findRC walks from dir toward the root looking for .weblintrc,
+// stopping at (and including) the first workspace root on the way, or
+// at the filesystem root when the document is outside every
+// workspace folder.
+func (lc *linterCache) findRC(dir string) string {
+	for {
+		rc := filepath.Join(dir, ".weblintrc")
+		if st, err := os.Stat(rc); err == nil && !st.IsDir() {
+			return rc
+		}
+		for _, root := range lc.roots {
+			if dir == filepath.Clean(root) {
+				return ""
+			}
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// buildRCLinter builds a linter from one configuration file, the same
+// way the CLI's -f flag does.
+func buildRCLinter(rc string) (*lint.Linter, error) {
+	cfg, err := config.ParseFile(rc)
+	if err != nil {
+		return nil, err
+	}
+	settings := config.NewSettings()
+	if err := settings.Apply(cfg); err != nil {
+		return nil, err
+	}
+	l, err := lint.New(lint.Options{Settings: settings})
+	if err != nil {
+		return nil, fmt.Errorf("building linter: %w", err)
+	}
+	return l, nil
+}

@@ -1,0 +1,181 @@
+// Package textpos maps byte offsets in a document to line-based
+// positions and back. It is the shared position layer under the LSP
+// server (which speaks 0-based lines and UTF-16 code-unit columns, the
+// protocol's mandated encoding) and the baseline fingerprinter (which
+// hashes the source line a finding sits on).
+//
+// Line separators follow the LSP convention: "\n", "\r\n" and a lone
+// "\r" each end a line. Columns are counted in UTF-16 code units —
+// one unit per BMP rune, two per astral-plane rune (surrogate pair),
+// and one per invalid UTF-8 byte (which mirrors how editors decode
+// such bytes as one replacement character each).
+package textpos
+
+import "unicode/utf8"
+
+// Index is an immutable line index over one document. Construct with
+// New; the zero value indexes the empty document.
+type Index struct {
+	src string
+	// starts holds the byte offset of each line's first byte. Line 0
+	// starts at 0; there is always at least one line.
+	starts []int
+}
+
+// New builds an index over src.
+func New(src string) *Index {
+	starts := []int{0}
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\n':
+			starts = append(starts, i+1)
+		case '\r':
+			if i+1 < len(src) && src[i+1] == '\n' {
+				i++
+			}
+			starts = append(starts, i+1)
+		}
+	}
+	return &Index{src: src, starts: starts}
+}
+
+// Len returns the document length in bytes.
+func (ix *Index) Len() int { return len(ix.src) }
+
+// LineCount returns the number of lines. A trailing separator opens a
+// final empty line, matching how editors count.
+func (ix *Index) LineCount() int { return len(ix.starts) }
+
+// LineStart returns the byte offset of the first byte of the 0-based
+// line, clamping out-of-range lines to the nearest valid one.
+func (ix *Index) LineStart(line int) int {
+	if line < 0 {
+		return 0
+	}
+	if line >= len(ix.starts) {
+		return len(ix.src)
+	}
+	return ix.starts[line]
+}
+
+// lineEnd returns the offset one past the last content byte of the
+// line, excluding its separator.
+func (ix *Index) lineEnd(line int) int {
+	if line < 0 {
+		return 0
+	}
+	if line >= len(ix.starts) {
+		return len(ix.src)
+	}
+	end := len(ix.src)
+	if line+1 < len(ix.starts) {
+		end = ix.starts[line+1]
+		// Strip the separator: "\r\n", "\n" or "\r".
+		if end > 0 && ix.src[end-1] == '\n' {
+			end--
+		}
+		if end > 0 && ix.src[end-1] == '\r' {
+			end--
+		}
+	}
+	return end
+}
+
+// LineText returns the content of the 0-based line without its
+// separator. Out-of-range lines return "".
+func (ix *Index) LineText(line int) string {
+	if line < 0 || line >= len(ix.starts) {
+		return ""
+	}
+	return ix.src[ix.starts[line]:ix.lineEnd(line)]
+}
+
+// OffsetLine returns the 0-based line containing the byte offset.
+// Offsets past the end map to the last line; negative offsets to 0.
+func (ix *Index) OffsetLine(off int) int {
+	if off < 0 {
+		return 0
+	}
+	lo, hi := 0, len(ix.starts) // invariant: starts[lo] <= off < starts[hi]
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.starts[mid] <= off {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// OffsetToUTF16 converts a byte offset to a (0-based line, UTF-16
+// code-unit column) position. An offset inside a multi-byte rune
+// counts as the rune's start; an offset inside the line's "\r\n"
+// separator clamps to the end of the line's content; offsets past the
+// end clamp to the end of the document.
+func (ix *Index) OffsetToUTF16(off int) (line, char int) {
+	if off > len(ix.src) {
+		off = len(ix.src)
+	}
+	if off < 0 {
+		off = 0
+	}
+	line = ix.OffsetLine(off)
+	start := ix.starts[line]
+	if end := ix.lineEnd(line); off > end {
+		off = end
+	}
+	for i := start; i < off; {
+		r, size := utf8.DecodeRuneInString(ix.src[i:])
+		if r == utf8.RuneError && size <= 1 {
+			// Invalid byte: one unit, one byte.
+			char++
+			i++
+			continue
+		}
+		if i+size > off {
+			break // off is inside this rune: report the rune's start
+		}
+		char += utf16Len(r)
+		i += size
+	}
+	return line, char
+}
+
+// UTF16ToOffset converts a (0-based line, UTF-16 code-unit column)
+// position to a byte offset. Columns past the end of the line clamp to
+// the line end (the LSP convention); a column landing inside a
+// surrogate pair maps to the astral rune's start. Out-of-range lines
+// clamp to the document bounds.
+func (ix *Index) UTF16ToOffset(line, char int) int {
+	if line < 0 {
+		return 0
+	}
+	if line >= len(ix.starts) {
+		return len(ix.src)
+	}
+	i, end := ix.starts[line], ix.lineEnd(line)
+	for units := 0; i < end && units < char; {
+		r, size := utf8.DecodeRuneInString(ix.src[i:end])
+		if r == utf8.RuneError && size <= 1 {
+			units++
+			i++
+			continue
+		}
+		u := utf16Len(r)
+		if units+u > char {
+			return i // char splits a surrogate pair: rune start
+		}
+		units += u
+		i += size
+	}
+	return i
+}
+
+// utf16Len returns the UTF-16 code-unit length of a rune.
+func utf16Len(r rune) int {
+	if r >= 0x10000 {
+		return 2
+	}
+	return 1
+}

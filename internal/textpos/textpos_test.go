@@ -1,0 +1,196 @@
+package textpos
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf16"
+)
+
+func TestLineIndexBasics(t *testing.T) {
+	ix := New("one\ntwo\nthree")
+	if got := ix.LineCount(); got != 3 {
+		t.Fatalf("LineCount = %d, want 3", got)
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := ix.LineText(i); got != want {
+			t.Errorf("LineText(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if got := ix.OffsetLine(4); got != 1 {
+		t.Errorf("OffsetLine(4) = %d, want 1", got)
+	}
+	if got := ix.LineText(-1); got != "" {
+		t.Errorf("LineText(-1) = %q", got)
+	}
+	if got := ix.LineText(99); got != "" {
+		t.Errorf("LineText(99) = %q", got)
+	}
+}
+
+func TestLineSeparators(t *testing.T) {
+	// \n, \r\n and lone \r all end lines (the LSP convention).
+	ix := New("a\r\nb\rc\nd")
+	if got := ix.LineCount(); got != 4 {
+		t.Fatalf("LineCount = %d, want 4", got)
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if got := ix.LineText(i); got != want {
+			t.Errorf("LineText(%d) = %q, want %q", i, got, want)
+		}
+	}
+	// The byte after \r\n is line 1's start.
+	if got := ix.LineStart(1); got != 3 {
+		t.Errorf("LineStart(1) = %d, want 3", got)
+	}
+	// An offset pointing at the \n of \r\n still belongs to line 0.
+	if line, char := ix.OffsetToUTF16(2); line != 0 || char != 1 {
+		t.Errorf("OffsetToUTF16(2) = (%d,%d), want (0,1)", line, char)
+	}
+}
+
+func TestTrailingSeparatorOpensEmptyLine(t *testing.T) {
+	ix := New("a\n")
+	if got := ix.LineCount(); got != 2 {
+		t.Fatalf("LineCount = %d, want 2", got)
+	}
+	if got := ix.LineText(1); got != "" {
+		t.Errorf("LineText(1) = %q, want empty", got)
+	}
+	if got := ix.UTF16ToOffset(1, 0); got != 2 {
+		t.Errorf("UTF16ToOffset(1,0) = %d, want 2", got)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	ix := New("")
+	if got := ix.LineCount(); got != 1 {
+		t.Fatalf("LineCount = %d, want 1", got)
+	}
+	if line, char := ix.OffsetToUTF16(0); line != 0 || char != 0 {
+		t.Errorf("OffsetToUTF16(0) = (%d,%d)", line, char)
+	}
+	if got := ix.UTF16ToOffset(0, 5); got != 0 {
+		t.Errorf("UTF16ToOffset(0,5) = %d", got)
+	}
+}
+
+func TestUTF16AstralPlane(t *testing.T) {
+	// 😀 is U+1F600: 4 UTF-8 bytes, 2 UTF-16 units.
+	src := "a😀b"
+	ix := New(src)
+	if line, char := ix.OffsetToUTF16(1); line != 0 || char != 1 {
+		t.Errorf("offset of 😀 = (%d,%d), want (0,1)", line, char)
+	}
+	if line, char := ix.OffsetToUTF16(5); line != 0 || char != 3 {
+		t.Errorf("offset of b = (%d,%d), want (0,3)", line, char)
+	}
+	if got := ix.UTF16ToOffset(0, 3); got != 5 {
+		t.Errorf("UTF16ToOffset(0,3) = %d, want 5", got)
+	}
+	// A column inside the surrogate pair maps to the rune's start.
+	if got := ix.UTF16ToOffset(0, 2); got != 1 {
+		t.Errorf("UTF16ToOffset(0,2) = %d, want 1 (rune start)", got)
+	}
+	// An offset inside the rune's bytes reports the rune's start.
+	if line, char := ix.OffsetToUTF16(3); line != 0 || char != 1 {
+		t.Errorf("OffsetToUTF16(3) = (%d,%d), want (0,1)", line, char)
+	}
+}
+
+func TestUTF16BMPMultibyte(t *testing.T) {
+	// é is 2 UTF-8 bytes, 1 UTF-16 unit; 日 is 3 bytes, 1 unit.
+	src := "é日x"
+	ix := New(src)
+	if line, char := ix.OffsetToUTF16(2); line != 0 || char != 1 {
+		t.Errorf("offset of 日 = (%d,%d), want (0,1)", line, char)
+	}
+	if line, char := ix.OffsetToUTF16(5); line != 0 || char != 2 {
+		t.Errorf("offset of x = (%d,%d), want (0,2)", line, char)
+	}
+	if got := ix.UTF16ToOffset(0, 2); got != 5 {
+		t.Errorf("UTF16ToOffset(0,2) = %d, want 5", got)
+	}
+}
+
+func TestInvalidUTF8(t *testing.T) {
+	// Two raw 0xFF bytes: one unit each.
+	src := "a\xff\xffb"
+	ix := New(src)
+	if line, char := ix.OffsetToUTF16(3); line != 0 || char != 3 {
+		t.Errorf("offset of b = (%d,%d), want (0,3)", line, char)
+	}
+	if got := ix.UTF16ToOffset(0, 3); got != 3 {
+		t.Errorf("UTF16ToOffset(0,3) = %d, want 3", got)
+	}
+}
+
+func TestEdgesAtEOF(t *testing.T) {
+	src := "ab\ncd"
+	ix := New(src)
+	// Offset exactly at EOF (an edit appending at the end).
+	if line, char := ix.OffsetToUTF16(len(src)); line != 1 || char != 2 {
+		t.Errorf("OffsetToUTF16(EOF) = (%d,%d), want (1,2)", line, char)
+	}
+	// Past-EOF clamps.
+	if line, char := ix.OffsetToUTF16(len(src) + 10); line != 1 || char != 2 {
+		t.Errorf("OffsetToUTF16(EOF+10) = (%d,%d), want (1,2)", line, char)
+	}
+	if got := ix.UTF16ToOffset(1, 99); got != len(src) {
+		t.Errorf("UTF16ToOffset(1,99) = %d, want %d", got, len(src))
+	}
+	if got := ix.UTF16ToOffset(99, 0); got != len(src) {
+		t.Errorf("UTF16ToOffset(99,0) = %d, want %d", got, len(src))
+	}
+	if got := ix.UTF16ToOffset(-1, 0); got != 0 {
+		t.Errorf("UTF16ToOffset(-1,0) = %d, want 0", got)
+	}
+}
+
+// TestRoundTrip: for every rune boundary in a torture document, offset
+// -> (line, char) -> offset is the identity, and the UTF-16 column
+// agrees with the encoding the utf16 package produces.
+func TestRoundTrip(t *testing.T) {
+	src := "plain\r\nmixé😀\xff tail\rlast😀line\nok"
+	ix := New(src)
+	for off := 0; off <= len(src); {
+		line, char := ix.OffsetToUTF16(off)
+		if back := ix.UTF16ToOffset(line, char); back != off {
+			t.Errorf("offset %d -> (%d,%d) -> %d", off, line, char, back)
+		}
+		// Independent check of the column against utf16.Encode over
+		// the decoded line prefix (replacement chars for bad bytes).
+		prefix := src[ix.LineStart(line):off]
+		units := 0
+		for _, r := range prefix {
+			units += len(utf16.Encode([]rune{r}))
+		}
+		if !strings.ContainsRune(prefix, '�') && units != char {
+			t.Errorf("offset %d: char = %d, utf16 says %d", off, char, units)
+		}
+		// Advance one rune (or one invalid byte); a "\r\n" pair is
+		// skipped whole — an offset strictly inside a separator has no
+		// identity round-trip (it clamps to the line's content end).
+		if off == len(src) {
+			break
+		}
+		if src[off] == '\r' && off+1 < len(src) && src[off+1] == '\n' {
+			off += 2
+			continue
+		}
+		_, size := decodeAt(src, off)
+		off += size
+	}
+}
+
+func decodeAt(s string, i int) (rune, int) {
+	r := rune(s[i])
+	if r < 0x80 {
+		return r, 1
+	}
+	for size := 2; size <= 4 && i+size <= len(s); size++ {
+		if rr := []rune(s[i : i+size]); len(rr) == 1 && rr[0] != '�' {
+			return rr[0], size
+		}
+	}
+	return '�', 1
+}

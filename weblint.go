@@ -87,6 +87,7 @@ package weblint
 import (
 	"io"
 
+	"weblint/internal/baseline"
 	"weblint/internal/config"
 	"weblint/internal/engine"
 	"weblint/internal/fixit"
@@ -275,3 +276,47 @@ func ApplyFixes(src string, msgs []Message) (string, FixReport) {
 func UnifiedDiff(aName, bName, oldText, newText string) string {
 	return fixit.UnifiedDiff(aName, bName, oldText, newText)
 }
+
+// Baseline records one run's findings so later runs can be diffed
+// against it: fingerprint -> occurrence count, serialised as JSON.
+// Fingerprints hash the rule ID, the document name, and the finding's
+// source line content — tolerant of line drift, counting multiplicity.
+type Baseline = baseline.File
+
+// BaselineSource resolves a document's text for baseline context
+// extraction; see FileBaselineSource for the disk-backed default.
+type BaselineSource = baseline.SourceFunc
+
+// BaselineRecorder is a Sink recording every finding into a Baseline
+// while forwarding the stream.
+type BaselineRecorder = baseline.Recorder
+
+// BaselineFilter is a Sink forwarding only findings a Baseline does
+// not cover — the "fail only on NEW findings" policy as a composable
+// pipeline stage.
+type BaselineFilter = baseline.Filter
+
+// NewBaseline returns an empty baseline.
+func NewBaseline() *Baseline { return baseline.New() }
+
+// LoadBaseline reads a baseline file from disk.
+func LoadBaseline(path string) (*Baseline, error) { return baseline.Load(path) }
+
+// ParseBaseline reads a baseline from its JSON form.
+func ParseBaseline(data []byte) (*Baseline, error) { return baseline.Parse(data) }
+
+// NewBaselineRecorder returns a recording pass-through sink; a nil
+// next records without forwarding.
+func NewBaselineRecorder(next Sink, src BaselineSource) *BaselineRecorder {
+	return baseline.NewRecorder(next, src)
+}
+
+// NewBaselineFilter returns a filtering sink diffing the stream
+// against base.
+func NewBaselineFilter(base *Baseline, next Sink, src BaselineSource) *BaselineFilter {
+	return baseline.NewFilter(base, next, src)
+}
+
+// FileBaselineSource resolves baseline contexts by reading documents
+// from disk, caching them for the run.
+func FileBaselineSource() BaselineSource { return baseline.FileSource() }
