@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"weblint/internal/config"
@@ -528,6 +529,62 @@ func BenchmarkE12Streaming(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if got := len(l.CheckString("big.html", src)); got < wantMin {
 				b.Fatalf("collected %d messages", got)
+			}
+		}
+	})
+}
+
+// tokenizerCorpus memoizes the E13 corpus: a deterministic ~8 MB mix
+// of clean markup, error-injected markup, and raw-text-heavy pages,
+// generated once per process so benchmark iterations measure only
+// tokenization.
+var tokenizerCorpus struct {
+	once  sync.Once
+	docs  []string
+	total int64
+}
+
+func tokenizerCorpusDocs() ([]string, int64) {
+	tokenizerCorpus.once.Do(func() {
+		var docs []string
+		for seed := int64(1); seed <= 12; seed++ {
+			docs = append(docs, corpus.GenerateSized(seed, 384<<10, corpus.ErrorRates{}))
+			docs = append(docs, corpus.GenerateSized(seed+100, 192<<10, corpus.Uniform(0.1)))
+		}
+		docs = append(docs, corpus.GenerateRawText(1024))
+		var total int64
+		for _, d := range docs {
+			total += int64(len(d))
+		}
+		tokenizerCorpus.docs, tokenizerCorpus.total = docs, total
+	})
+	return tokenizerCorpus.docs, tokenizerCorpus.total
+}
+
+// BenchmarkE13TokenizerCorpus is the whole-corpus tokenizer benchmark
+// behind BENCH_tokenizer.json: one op is a full streaming pass over
+// the mixed corpus with a reused tokenizer, so the reported MB/s is
+// corpus throughput, not single-document ns/op. Run at -cpu 1,4,N to
+// see per-core and scaled throughput (each goroutine tokenizes the
+// whole corpus independently; there is no shared state to contend on).
+func BenchmarkE13TokenizerCorpus(b *testing.B) {
+	docs, total := tokenizerCorpusDocs()
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tz := htmltoken.New("")
+		var tok htmltoken.Token
+		for pb.Next() {
+			for _, doc := range docs {
+				tz.Reset(doc)
+				n := 0
+				for tz.NextInto(&tok) {
+					n++
+				}
+				if n == 0 {
+					b.Fatal("no tokens")
+				}
 			}
 		}
 	})

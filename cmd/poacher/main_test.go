@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"weblint/internal/baseline"
 	"weblint/internal/corpus"
 )
 
@@ -215,7 +216,7 @@ func TestPoacherBaseline(t *testing.T) {
 	}
 
 	// An empty baseline reports everything again.
-	if err := os.WriteFile(base, []byte(`{"version":1,"findings":{}}`), 0o644); err != nil {
+	if err := os.WriteFile(base, baseline.New().Encode(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	code, out = capture(t, "-q", "-baseline", base, srv.URL+"/")

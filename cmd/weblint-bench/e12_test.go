@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE12WritesReport runs the tokenizer corpus benchmark at its
+// smallest settings and checks the BENCH_tokenizer.json contract the
+// CI artifact depends on: a result row per (impl, workers) pair with
+// positive throughput, and corpus/target sizes that add up.
+func TestE12WritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness run")
+	}
+	dir := t.TempDir()
+	jsonPath = filepath.Join(dir, "BENCH_tokenizer.json")
+	corpusMB = 1
+	totalMB = 1
+	defer func() { jsonPath = ""; corpusMB = 8; totalMB = 64 }()
+
+	e12()
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var report tokenizerReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Benchmark != "tokenizer-corpus" || report.GoVersion == "" {
+		t.Errorf("report header = %+v", report)
+	}
+	if report.CorpusBytes < 1<<20 || report.CorpusDocs == 0 {
+		t.Errorf("corpus too small: %d bytes, %d docs", report.CorpusBytes, report.CorpusDocs)
+	}
+	if report.TargetBytes < report.CorpusBytes {
+		t.Errorf("target %d < corpus %d", report.TargetBytes, report.CorpusBytes)
+	}
+	wantRows := 2 // workers 1 and 4
+	if newReference != nil {
+		wantRows *= 2
+	}
+	if len(report.Results) < wantRows {
+		t.Fatalf("results = %d rows, want >= %d", len(report.Results), wantRows)
+	}
+	for _, r := range report.Results {
+		if r.MBPerSec <= 0 || r.NsPerCorpus <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+}

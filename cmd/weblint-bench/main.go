@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +21,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"weblint/internal/config"
 	"weblint/internal/core"
 	"weblint/internal/corpus"
 	"weblint/internal/engine"
+	"weblint/internal/htmltoken"
 	"weblint/internal/lint"
 	"weblint/internal/sitewalk"
 	"weblint/internal/validator"
@@ -58,7 +61,10 @@ var paperMessages = []string{
 }
 
 func main() {
-	which := flag.String("e", "all", "experiment to run (e1..e11 or all)")
+	which := flag.String("e", "all", "experiment to run (e1..e12 or all)")
+	flag.StringVar(&jsonPath, "json", "", "write e12 results as JSON to this path")
+	flag.IntVar(&corpusMB, "corpus-mb", 8, "e12: synthetic corpus size in MB")
+	flag.IntVar(&totalMB, "total-mb", 64, "e12: bytes to push through the tokenizer per row, in MB")
 	flag.Parse()
 
 	experiments := []struct {
@@ -77,6 +83,7 @@ func main() {
 		{"e9", "robot traversal (Section 4.5)", e9},
 		{"e10", "hot-path scaling (raw text + parallel gateway)", e10},
 		{"e11", "batch engine corpus throughput", e11},
+		{"e12", "tokenizer corpus throughput (BENCH_tokenizer.json)", e12},
 	}
 
 	ran := 0
@@ -368,6 +375,181 @@ func e11() {
 		mbs := float64(total) / per.Seconds() / 1e6
 		fmt.Printf("%-10d %12s %12.1f %10d\n", workers, per.Round(time.Microsecond), mbs, msgs)
 	}
+}
+
+// e12 configuration, set from flags in main.
+var (
+	jsonPath string
+	corpusMB int
+	totalMB  int
+)
+
+// streamTokenizer is the seam e12 measures through: the production
+// Tokenizer always, and — when the binary is built with
+// -tags tokendiff — the preserved per-byte ReferenceTokenizer as the
+// "before" row, so one binary produces the old-vs-new speedup.
+type streamTokenizer interface {
+	Reset(src string)
+	NextInto(tok *htmltoken.Token) bool
+}
+
+// newReference is non-nil only under the tokendiff build tag
+// (see reference_tokendiff.go).
+var newReference func() streamTokenizer
+
+// tokenizerResult is one row of BENCH_tokenizer.json.
+type tokenizerResult struct {
+	Impl        string  `json:"impl"`
+	Workers     int     `json:"workers"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	NsPerCorpus int64   `json:"ns_per_corpus"`
+}
+
+// tokenizerReport is the BENCH_tokenizer.json document.
+type tokenizerReport struct {
+	Benchmark      string            `json:"benchmark"`
+	Date           string            `json:"date"`
+	GoVersion      string            `json:"go_version"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	CorpusBytes    int64             `json:"corpus_bytes"`
+	CorpusDocs     int               `json:"corpus_docs"`
+	TargetBytes    int64             `json:"target_bytes"`
+	Results        []tokenizerResult `json:"results"`
+	SpeedupWorker1 float64           `json:"speedup_workers1,omitempty"`
+}
+
+// e12 is the tokenizer substrate benchmark behind the service-level
+// numbers: whole-corpus MB/s at increasing worker counts, written to
+// BENCH_tokenizer.json with -json. The corpus is a deterministic mix
+// of clean, error-injected, and raw-text-heavy documents; each row
+// streams -total-mb megabytes through per-worker tokenizers.
+func e12() {
+	var docs []string
+	var corpusBytes int64
+	target := int64(corpusMB) << 20
+	for seed := int64(1); corpusBytes < target; seed++ {
+		docs = append(docs, corpus.GenerateSized(seed, 384<<10, corpus.ErrorRates{}))
+		docs = append(docs, corpus.GenerateSized(seed+100, 192<<10, corpus.Uniform(0.1)))
+		docs = append(docs, corpus.GenerateRawText(128))
+		corpusBytes = 0
+		for _, d := range docs {
+			corpusBytes += int64(len(d))
+		}
+	}
+	rounds := (int64(totalMB)<<20 + corpusBytes - 1) / corpusBytes
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+
+	impls := []struct {
+		name string
+		mk   func() streamTokenizer
+	}{
+		{"table-driven", func() streamTokenizer { return htmltoken.New("") }},
+	}
+	if newReference != nil {
+		impls = append(impls, struct {
+			name string
+			mk   func() streamTokenizer
+		}{"reference-per-byte", newReference})
+	}
+
+	report := tokenizerReport{
+		Benchmark:   "tokenizer-corpus",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CorpusBytes: corpusBytes,
+		CorpusDocs:  len(docs),
+		TargetBytes: rounds * corpusBytes,
+	}
+
+	fmt.Printf("corpus: %d documents, %.1f MB; %d passes per row\n",
+		len(docs), float64(corpusBytes)/(1<<20), rounds)
+	fmt.Printf("%-20s %8s %12s %12s\n", "impl", "workers", "time/corpus", "MB/s")
+	for _, impl := range impls {
+		for _, workers := range workerCounts {
+			elapsed := tokenizeRounds(docs, impl.mk, workers, rounds)
+			perCorpus := elapsed / time.Duration(rounds)
+			mbs := float64(rounds*corpusBytes) / elapsed.Seconds() / 1e6
+			report.Results = append(report.Results, tokenizerResult{
+				Impl: impl.name, Workers: workers,
+				MBPerSec: mbs, NsPerCorpus: perCorpus.Nanoseconds(),
+			})
+			fmt.Printf("%-20s %8d %12s %12.1f\n",
+				impl.name, workers, perCorpus.Round(time.Microsecond), mbs)
+		}
+	}
+
+	if newReference != nil {
+		var newW1, refW1 float64
+		for _, r := range report.Results {
+			if r.Workers == 1 {
+				switch r.Impl {
+				case "table-driven":
+					newW1 = r.MBPerSec
+				case "reference-per-byte":
+					refW1 = r.MBPerSec
+				}
+			}
+		}
+		if refW1 > 0 {
+			report.SpeedupWorker1 = newW1 / refW1
+			fmt.Printf("speedup at 1 worker: %.2fx\n", report.SpeedupWorker1)
+		}
+	} else {
+		fmt.Println("(build with -tags tokendiff for the old-vs-new comparison row)")
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// tokenizeRounds streams the corpus `rounds` times through per-worker
+// tokenizers, workers pulling whole passes from a shared counter, and
+// returns the wall time.
+func tokenizeRounds(docs []string, mk func() streamTokenizer, workers int, rounds int64) time.Duration {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tz := mk()
+			var tok htmltoken.Token
+			for next.Add(1) <= rounds {
+				for _, doc := range docs {
+					tz.Reset(doc)
+					n := 0
+					for tz.NextInto(&tok) {
+						n++
+					}
+					if n == 0 {
+						fmt.Fprintln(os.Stderr, "weblint-bench: tokenizer produced no tokens")
+						os.Exit(2)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
 }
 
 func countMessages(src string, ablate bool) int {

@@ -1,0 +1,11 @@
+//go:build tokendiff
+
+package main
+
+import "weblint/internal/htmltoken"
+
+// Under the tokendiff build tag the preserved per-byte tokenizer is
+// available; wire it into e12 as the "before" measurement.
+func init() {
+	newReference = func() streamTokenizer { return htmltoken.NewReference("") }
+}

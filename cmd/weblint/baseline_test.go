@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"weblint/internal/baseline"
 )
 
 // dirtyDoc has stable findings to baseline.
@@ -109,6 +111,91 @@ func TestBaselineRejectsFixMode(t *testing.T) {
 	path := writeTemp(t, "a.html", dirtyDoc)
 	code, _, stderr := runCLI(t, "", "-norc", "-fix", "-baseline", "x.json", path)
 	if code != 2 || !strings.Contains(stderr, "baseline") {
+		t.Fatalf("exit = %d, stderr = %q", code, stderr)
+	}
+}
+
+// TestBaselineUpdatePrunesAndFails: -baseline-update prunes paid-down
+// fingerprints from the baseline file while still failing on new
+// findings — one run does both.
+func TestBaselineUpdatePrunesAndFails(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.html")
+	b := filepath.Join(dir, "b.html")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte(dirtyDoc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	basePath := filepath.Join(dir, "base.json")
+	if code, _, stderr := runCLI(t, "", "-norc", "-baseline-write", basePath, a, b); code != 0 {
+		t.Fatalf("record exit %d: %s", code, stderr)
+	}
+	recorded, err := baseline.Load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pay down a.html's IMG findings; the update run stays clean and
+	// shrinks the baseline.
+	fixed := strings.Replace(dirtyDoc, `<IMG SRC="x.gif">`,
+		`<IMG SRC="x.gif" ALT="x" WIDTH=1 HEIGHT=1>`, 1)
+	if err := os.WriteFile(a, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCLI(t, "", "-norc", "-baseline-update", basePath, a, b)
+	if code != 0 {
+		t.Fatalf("update exit = %d, stderr=%q, out=%q", code, stderr, out)
+	}
+	pruned, err := baseline.Load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Total() >= recorded.Total() {
+		t.Fatalf("baseline not pruned: %d -> %d findings", recorded.Total(), pruned.Total())
+	}
+
+	// The pruned allowance is really gone: un-fixing a.html now fails.
+	if err := os.WriteFile(a, []byte(dirtyDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runCLI(t, "", "-norc", "-baseline", basePath, a, b); code != 1 {
+		t.Fatalf("un-fixed run against pruned baseline exit = %d, want 1; out=%q", code, out)
+	}
+
+	// A new finding fails the update run — and the file is still
+	// rewritten, so even the failing run prunes stale allowances (here
+	// a planted fingerprint no finding matches).
+	if err := os.WriteFile(a, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	injected := strings.Replace(dirtyDoc, "<P>text", "<P>text\n<IMG SRC=\"new.gif\">", 1)
+	if err := os.WriteFile(b, []byte(injected), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pruned.Add("deadbeefdeadbeef")
+	if err := pruned.WriteFile(basePath); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCLI(t, "", "-norc", "-baseline-update", basePath, a, b)
+	if code != 1 {
+		t.Fatalf("update with new finding exit = %d, want 1; out=%q", code, out)
+	}
+	again, err := baseline.Load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stale := again.Findings["deadbeefdeadbeef"]; stale {
+		t.Fatal("failing update run did not rewrite the baseline")
+	}
+}
+
+// TestBaselineFlagsMutuallyExclusive: the three baseline modes cannot
+// be combined.
+func TestBaselineFlagsMutuallyExclusive(t *testing.T) {
+	path := writeTemp(t, "a.html", dirtyDoc)
+	code, _, stderr := runCLI(t, "", "-norc", "-baseline", "x.json", "-baseline-update", "y.json", path)
+	if code != 2 || !strings.Contains(stderr, "mutually exclusive") {
 		t.Fatalf("exit = %d, stderr = %q", code, stderr)
 	}
 }

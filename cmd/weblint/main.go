@@ -20,12 +20,16 @@
 //
 // Baselines make the policy adoptable on a site with existing debt:
 // -baseline-write records this run's findings (fingerprinted by rule,
-// file, and source-line content — tolerant of line drift), and
-// -baseline reports and fails on only the findings a recorded
-// baseline does not cover.
+// file, and enclosing-tag content — tolerant of line drift and tag
+// reflow), -baseline reports and fails on only the findings a
+// recorded baseline does not cover, and -baseline-update additionally
+// rewrites the baseline afterwards with just the fingerprints this
+// run still hit, so paid-down debt leaves the file in the same run
+// that verifies no new debt arrived.
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"io"
@@ -74,8 +78,9 @@ type cli struct {
 	fix           bool
 	fixDry        bool
 	fixDiffTo     string
-	baseline      string
-	baselineWrite string
+	baseline       string
+	baselineWrite  string
+	baselineUpdate string
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -104,6 +109,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.fixDiffTo, "fix-diff-to", "", "write each file's fixes as a unified-diff patch into this directory, touching no input file")
 	fs.StringVar(&c.baseline, "baseline", "", "report (and fail on) only findings not recorded in this baseline file")
 	fs.StringVar(&c.baselineWrite, "baseline-write", "", "record this run's findings to a baseline file; the run exits 0")
+	fs.StringVar(&c.baselineUpdate, "baseline-update", "", "like -baseline, but also rewrite the file keeping only the fingerprints this run matched (prunes paid-down findings)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: weblint [options] file.html ... | -u URL ... | -R dir | -\n")
 		fs.PrintDefaults()
@@ -170,15 +176,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "weblint: %v\n", err)
 		return 2
 	}
+	if moreThanOne(c.baseline != "", c.baselineWrite != "", c.baselineUpdate != "") {
+		fmt.Fprintf(stderr, "weblint: -baseline, -baseline-write and -baseline-update are mutually exclusive\n")
+		return 2
+	}
 	var sum warn.Summary
 	sink := sum.Sink(renderer)
-	if c.baseline != "" {
-		base, err := baseline.Load(c.baseline)
+	var filter *baseline.Filter
+	if path := cmp.Or(c.baseline, c.baselineUpdate); path != "" {
+		base, err := baseline.Load(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "weblint: %v\n", err)
 			return 2
 		}
-		sink = baseline.NewFilter(base, sink, baseline.FileSource())
+		filter = baseline.NewFilter(base, sink, baseline.FileSource())
+		sink = filter
 	}
 	var rec *baseline.Recorder
 	if c.baselineWrite != "" {
@@ -207,10 +219,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// A recording run is for capturing state, not enforcing it.
 		return 0
 	}
+	if c.baselineUpdate != "" {
+		// Rewritten even when new findings fail the run below: the
+		// pruned file reflects what this run's code still owes, and a
+		// stale allowance for fixed findings must not linger until
+		// someone remembers to re-record.
+		if err := filter.Used().WriteFile(c.baselineUpdate); err != nil {
+			fmt.Fprintf(stderr, "weblint: %v\n", err)
+			return 2
+		}
+	}
 	if sum.Failures(threshold) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// moreThanOne reports whether at least two of its arguments are true.
+func moreThanOne(flags ...bool) bool {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n > 1
 }
 
 // writeSummaryFooter surfaces the run summary for the styles that
@@ -250,7 +283,7 @@ func validateFixMode(c *cli, files []string) error {
 	if modes > 1 {
 		return fmt.Errorf("-fix, -fix-dry-run and -fix-diff-to are mutually exclusive")
 	}
-	if c.baseline != "" || c.baselineWrite != "" {
+	if c.baseline != "" || c.baselineWrite != "" || c.baselineUpdate != "" {
 		return fmt.Errorf("baselines apply to lint runs, not fix runs")
 	}
 	flagName := "-fix"

@@ -8,13 +8,17 @@
 // # Fingerprints
 //
 // Each finding is identified by a fingerprint of its rule ID, its
-// document name, and a context hash of the source line it sits on
-// (whitespace-trimmed). Line NUMBERS deliberately do not participate:
-// inserting a paragraph above a baselined finding shifts every line
-// below it, and a baseline keyed on positions would light up the whole
-// file. Identical findings (same rule, same line content) are counted,
-// so a file with fifty baselined `<IMG>` tags missing ALT fails when a
-// fifty-first appears — even though its fingerprint matches.
+// document name, and a context hash. Line NUMBERS deliberately do not
+// participate: inserting a paragraph above a baselined finding shifts
+// every line below it, and a baseline keyed on positions would light
+// up the whole file. The context is the text of the enclosing markup
+// token (located through the tokenizer's byte offsets) with its
+// whitespace collapsed, so reflowing a tag across lines does not
+// resurrect its findings either; findings in plain text fall back to
+// the whitespace-trimmed source line. Identical findings (same rule,
+// same context) are counted, so a file with fifty baselined `<IMG>`
+// tags missing ALT fails when a fifty-first appears — even though its
+// fingerprint matches.
 //
 // # Composition
 //
@@ -31,14 +35,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
+	"weblint/internal/htmltoken"
 	"weblint/internal/textpos"
 	"weblint/internal/warn"
 )
 
 // Version is the baseline file format version this package writes.
-const Version = 1
+// Version 2 switched context hashes from raw source lines to
+// whitespace-collapsed enclosing-tag text; version-1 baselines must be
+// re-recorded, so Parse rejects them rather than silently reporting
+// every finding as new.
+const Version = 2
 
 // File is a recorded baseline: fingerprint -> occurrence count. It
 // serialises as a small stable JSON document (keys sorted by
@@ -121,10 +131,11 @@ func Load(path string) (*File, error) {
 }
 
 // Fingerprint derives the stable identity of a finding: rule ID,
-// document name, and the whitespace-trimmed content of the source line
-// it sits on. The hash is the first 16 hex digits of SHA-256 over the
-// three parts — short enough to keep baselines readable, long enough
-// that collisions are not a practical concern.
+// document name, and its context (the whitespace-collapsed enclosing
+// tag text, or the trimmed source line — see fingerprinter.context).
+// The hash is the first 16 hex digits of SHA-256 over the three parts
+// — short enough to keep baselines readable, long enough that
+// collisions are not a practical concern.
 func Fingerprint(id, file, context string) string {
 	h := sha256.New()
 	h.Write([]byte(id))
@@ -183,42 +194,125 @@ func StaticSource(name, src string) SourceFunc {
 	}
 }
 
-// fingerprinter computes message fingerprints, caching one line index
-// per document.
+// tagSpan is the byte range [start, end) of one markup token.
+type tagSpan struct{ start, end int }
+
+// docInfo caches everything context extraction needs for one document:
+// its line index, its text, and the byte spans of its markup tokens in
+// document order.
+type docInfo struct {
+	ix    *textpos.Index
+	src   string
+	spans []tagSpan
+}
+
+// fingerprinter computes message fingerprints, caching one document
+// record per file.
 type fingerprinter struct {
-	src     SourceFunc
-	indexes map[string]*textpos.Index
+	src  SourceFunc
+	docs map[string]*docInfo
 }
 
 func newFingerprinter(src SourceFunc) fingerprinter {
-	return fingerprinter{src: src, indexes: map[string]*textpos.Index{}}
+	return fingerprinter{src: src, docs: map[string]*docInfo{}}
 }
 
-// indexCacheMax bounds the per-document index cache. Message streams
-// arrive grouped by document, so one live entry does the real work;
-// the cap only stops a crawl-length run (poacher visits hundreds of
-// pages) from pinning every page's text until the run ends.
+// indexCacheMax bounds the per-document cache. Message streams arrive
+// grouped by document, so one live entry does the real work; the cap
+// only stops a crawl-length run (poacher visits hundreds of pages)
+// from pinning every page's text until the run ends.
 const indexCacheMax = 16
 
-// context returns the trimmed text of the line the message sits on, or
-// "" when the document (or the line) is unavailable.
-func (fp *fingerprinter) context(m warn.Message) string {
-	ix, ok := fp.indexes[m.File]
-	if !ok {
-		if fp.src != nil {
-			if text, have := fp.src(m.File); have {
-				ix = textpos.New(text)
-			}
+// tagSpans tokenizes src and collects the byte span of every markup
+// token (everything except plain text). Tokens arrive in document
+// order, so the result is sorted by start and non-overlapping.
+func tagSpans(src string) []tagSpan {
+	t := htmltoken.New(src)
+	var spans []tagSpan
+	var tok htmltoken.Token
+	for t.NextInto(&tok) {
+		if tok.Type == htmltoken.Text {
+			continue
 		}
-		if len(fp.indexes) >= indexCacheMax {
-			clear(fp.indexes)
-		}
-		fp.indexes[m.File] = ix // nil caches the miss too
+		spans = append(spans, tagSpan{tok.Offset, tok.Offset + len(tok.Raw)})
 	}
-	if ix == nil {
+	return spans
+}
+
+func (fp *fingerprinter) doc(file string) *docInfo {
+	if d, ok := fp.docs[file]; ok {
+		return d
+	}
+	var d *docInfo
+	if fp.src != nil {
+		if text, have := fp.src(file); have {
+			d = &docInfo{ix: textpos.New(text), src: text, spans: tagSpans(text)}
+		}
+	}
+	if len(fp.docs) >= indexCacheMax {
+		clear(fp.docs)
+	}
+	fp.docs[file] = d // nil caches the miss too
+	return d
+}
+
+// context returns the whitespace-collapsed text of the markup token
+// enclosing the message position, the trimmed line text when the
+// position falls in plain text, or "" when the document is
+// unavailable. Keying on the enclosing token makes fingerprints
+// survive reflowing a multi-line tag: the collapsed token text is
+// identical however the attributes wrap.
+func (fp *fingerprinter) context(m warn.Message) string {
+	d := fp.doc(m.File)
+	if d == nil {
 		return ""
 	}
-	return ix.LineText(m.Line - 1)
+	off := d.ix.LineStart(m.Line - 1)
+	if m.Col > 0 {
+		off += m.Col - 1
+	}
+	if off > len(d.src) {
+		off = len(d.src)
+	}
+	// Last span starting at or before off.
+	i := sort.Search(len(d.spans), func(i int) bool { return d.spans[i].start > off }) - 1
+	if i >= 0 && off < d.spans[i].end {
+		return collapseSpace(d.src[d.spans[i].start:d.spans[i].end])
+	}
+	return d.ix.LineText(m.Line - 1)
+}
+
+// collapseSpace trims s and collapses every internal whitespace run to
+// a single space.
+func collapseSpace(s string) string {
+	s = strings.TrimSpace(s)
+	collapsed := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+			(c == ' ' && i+1 < len(s) && s[i+1] == ' ') {
+			collapsed = false
+			break
+		}
+	}
+	if collapsed {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case ' ', '\t', '\n', '\r', '\f':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 func (fp *fingerprinter) of(m warn.Message) string {
@@ -269,6 +363,7 @@ type Filter struct {
 	Next warn.Sink
 
 	remaining map[string]int
+	used      map[string]int
 	fp        fingerprinter
 
 	// New counts the findings forwarded (not covered by the baseline);
@@ -284,7 +379,7 @@ func NewFilter(base *File, next warn.Sink, src SourceFunc) *Filter {
 	for k, v := range base.Findings {
 		remaining[k] = v
 	}
-	return &Filter{Next: next, remaining: remaining, fp: newFingerprinter(src)}
+	return &Filter{Next: next, remaining: remaining, used: map[string]int{}, fp: newFingerprinter(src)}
 }
 
 // Write absorbs baselined findings and forwards new ones.
@@ -292,6 +387,7 @@ func (f *Filter) Write(m warn.Message) bool {
 	fp := f.fp.of(m)
 	if f.remaining[fp] > 0 {
 		f.remaining[fp]--
+		f.used[fp]++
 		f.Matched++
 		return true
 	}
@@ -300,6 +396,19 @@ func (f *Filter) Write(m warn.Message) bool {
 		return true
 	}
 	return f.Next.Write(m)
+}
+
+// Used returns a baseline holding only the fingerprints this run
+// actually consumed, at their consumed counts. Writing it back over
+// the input baseline prunes paid-down findings — entries whose code
+// has been fixed since the baseline was recorded — without granting
+// any allowance for new ones (those were forwarded, not recorded).
+func (f *Filter) Used() *File {
+	out := New()
+	for k, v := range f.used {
+		out.Findings[k] = v
+	}
+	return out
 }
 
 // ObserveSuppressed forwards suppression observations to Next.

@@ -176,3 +176,76 @@ func TestSuppressionForwarding(t *testing.T) {
 		t.Fatalf("suppressions not forwarded through recorder+filter: %v", sum.Suppressed)
 	}
 }
+
+func TestReflowedTagKeepsFingerprint(t *testing.T) {
+	// Context hashes key on the enclosing tag's collapsed text, so a
+	// formatter wrapping a long tag across lines must not resurrect
+	// its baselined findings — even though every affected line's text
+	// changes.
+	one := strings.Replace(doc, `<IMG SRC="a.gif">`,
+		`<IMG SRC="a.gif" BORDER=0 ISMAP>`, 1)
+	base := record(t, "d.html", one)
+	reflowed := strings.Replace(one, `<IMG SRC="a.gif" BORDER=0 ISMAP>`,
+		"<IMG SRC=\"a.gif\"\n     BORDER=0\n     ISMAP>", 1)
+	news, _ := diff(t, base, "d.html", reflowed)
+	if len(news) != 0 {
+		t.Fatalf("reflowing the tag produced %d new findings: %v", len(news), news)
+	}
+}
+
+func TestContextIsEnclosingTag(t *testing.T) {
+	src := "<P>\n<IMG\n SRC=\"a.gif\">\ntext here\n"
+	fp := newFingerprinter(StaticSource("d.html", src))
+	// Positions on any line of a multi-line tag resolve to the same
+	// collapsed tag text.
+	for _, line := range []int{2, 3} {
+		got := fp.context(warn.Message{File: "d.html", Line: line, Col: 1})
+		if got != `<IMG SRC="a.gif">` {
+			t.Errorf("line %d context = %q, want collapsed tag", line, got)
+		}
+	}
+	// Plain-text positions fall back to the line text.
+	if got := fp.context(warn.Message{File: "d.html", Line: 4, Col: 1}); got != "text here" {
+		t.Errorf("text context = %q, want line text", got)
+	}
+}
+
+func TestCollapseSpace(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"  a  ", "a"},
+		{"a b", "a b"},
+		{"a  b", "a b"},
+		{"a\t\r\n b", "a b"},
+		{"<IMG\n  SRC=x\n  ALT=\"y\">", `<IMG SRC=x ALT="y">`},
+	}
+	for _, c := range cases {
+		if got := collapseSpace(c.in); got != c.want {
+			t.Errorf("collapseSpace(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFilterUsedPrunesPaidDownFindings(t *testing.T) {
+	base := record(t, "d.html", doc)
+	// Fix the IMG findings entirely: their fingerprints go unconsumed.
+	fixed := strings.Replace(doc, `<IMG SRC="a.gif">`,
+		`<IMG SRC="a.gif" ALT="a" WIDTH=1 HEIGHT=1>`, 1)
+	news, f := diff(t, base, "d.html", fixed)
+	if len(news) != 0 {
+		t.Fatalf("fixing findings produced %d new ones: %v", len(news), news)
+	}
+	used := f.Used()
+	if used.Total() >= base.Total() {
+		t.Fatalf("Used() total = %d, want < %d (paid-down entries pruned)",
+			used.Total(), base.Total())
+	}
+	if used.Total() != f.Matched {
+		t.Errorf("Used() total = %d, want Matched = %d", used.Total(), f.Matched)
+	}
+	// The pruned baseline still covers everything that remains.
+	news, _ = diff(t, used, "d.html", fixed)
+	if len(news) != 0 {
+		t.Fatalf("pruned baseline produced %d new findings: %v", len(news), news)
+	}
+}

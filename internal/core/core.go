@@ -162,6 +162,16 @@ type Checker struct {
 	// are scoped to one startTag call.
 	relocateTok   *htmltoken.Token
 	relocateFixes []*warn.Fix
+
+	// pendingRawText is set after a raw-text element (SCRIPT, STYLE,
+	// ...) is pushed. The tokenizer emits no token for an empty raw
+	// body (<script></script>), so when the next token is anything but
+	// raw text, the element is marked as having content here — exactly
+	// what the zero-length raw token used to do — keeping
+	// empty-container and the EOF close-tag fixes unchanged. A raw
+	// element cut off at end of input leaves the flag set and the
+	// element contentless, also as before.
+	pendingRawText bool
 }
 
 // New returns a Checker which reports through em.
@@ -219,6 +229,7 @@ func (c *Checker) Reset(em *warn.Emitter, opts Options) {
 	c.headInsertPos = -1
 	c.relocateTok = nil
 	c.relocateFixes = c.relocateFixes[:0]
+	c.pendingRawText = false
 }
 
 // Release drops every reference the checker retains into the last
@@ -332,6 +343,16 @@ func (c *Checker) token(tok *htmltoken.Token) {
 	c.lastUnterminated = tok.Unterminated
 	if tok.OddQuotes && c.oddQuotesAt < 0 {
 		c.oddQuotesAt = tok.Offset
+	}
+	if c.pendingRawText {
+		c.pendingRawText = false
+		if tok.Type != htmltoken.Text || !tok.RawText {
+			// Empty raw body: the close tag arrived immediately, so no
+			// raw-text token marked the element as having content.
+			if t := c.top(); t != nil {
+				t.content = true
+			}
+		}
 	}
 	switch tok.Type {
 	case htmltoken.Doctype:

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tokenizer emits no token for an empty raw-text body
+// (<script></script>); the pendingRawText compensation must keep the
+// checker's verdicts identical to when a zero-length raw token marked
+// the element as having content.
+
+func TestEmptyScriptIsNotEmptyContainer(t *testing.T) {
+	msgs := checkAll(t, valid(`<SCRIPT TYPE="text/javascript"></SCRIPT>`), Options{})
+	forbidID(t, msgs, "empty-container")
+	// The empty body is also not an unhidden script.
+	forbidID(t, msgs, "unhidden-script")
+}
+
+func TestEmptyContainerStillReportedForOrdinaryElements(t *testing.T) {
+	msgs := checkAll(t, valid(`<P></P>`), Options{})
+	requireID(t, msgs, "empty-container")
+}
+
+func TestScriptBodyAtEOFGetsNoCloseFix(t *testing.T) {
+	// A SCRIPT cut off at EOF (no body, no close tag) is contentless:
+	// unclosed-element is reported without the EOF insert-close fix,
+	// exactly as when the zero-length token was never produced.
+	msgs := checkAll(t, `<SCRIPT TYPE="text/javascript">`, Options{})
+	m := requireID(t, msgs, "unclosed-element")
+	if !strings.Contains(m.Text, "SCRIPT") {
+		t.Errorf("unclosed-element text = %q", m.Text)
+	}
+	if m.Fix != nil {
+		t.Errorf("contentless SCRIPT at EOF got a close fix: %+v", m.Fix)
+	}
+	// With a body, the fix comes back.
+	msgs = checkAll(t, `<SCRIPT TYPE="text/javascript">var x=1;`, Options{})
+	m = requireID(t, msgs, "unclosed-element")
+	if m.Fix == nil {
+		t.Error("SCRIPT with body at EOF lost its close fix")
+	}
+}
+
+func TestEmptyRawBodyFalseClosePrefix(t *testing.T) {
+	// </SCRIPTX> ends raw mode but closes nothing; the SCRIPT element
+	// still counts as having content (the close attempt arrived), and
+	// the stray close is diagnosed, not the container emptiness.
+	msgs := checkAll(t, valid(`<SCRIPT TYPE="text/javascript"></SCRIPTX></SCRIPT>`), Options{})
+	forbidID(t, msgs, "empty-container")
+}

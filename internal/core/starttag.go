@@ -84,6 +84,12 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 		return // empty elements are never pushed
 	}
 	c.stack = append(c.stack, c.newOpen(name, display, tok.Line, tok.Col, info))
+
+	// The tokenizer switches into raw-text mode after this tag; arm the
+	// empty-raw-body compensation (see the pendingRawText field).
+	if htmltoken.DefaultRawTextElements[name] {
+		c.pendingRawText = true
+	}
 }
 
 // applyImpliedClose pops open elements whose end is implied by the

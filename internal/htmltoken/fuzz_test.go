@@ -40,6 +40,8 @@ func FuzzTokenize(f *testing.F) {
 	addSuiteSeeds(f)
 	f.Add("<a href='x>y</a <b><script>...</scr")
 	f.Add("<!DOCTYPE html><!-- -- --><p&<>")
+	f.Add("<script></script><SCRIPT TYPE=\"a\">var x=1;")
+	f.Add("<script></scriptfoo>x<style></style>")
 	f.Fuzz(func(t *testing.T, src string) {
 		streamed := collectNextInto(src)
 		batch := Tokenize(src)

@@ -1,0 +1,56 @@
+package htmltoken
+
+// byteClass is a bitmask of lexical roles a byte can play. One
+// 256-entry table replaces the spelled-out predicate functions in the
+// scanning loops: classifying a byte is a single indexed load, and
+// compound questions ("space or '='?") are one mask test instead of a
+// branch chain.
+type byteClass uint8
+
+const (
+	// classSpace: HTML whitespace (' ', '\t', '\n', '\r', '\f').
+	classSpace byteClass = 1 << iota
+	// classNameStart: may begin a tag name (ASCII letters).
+	classNameStart
+	// classNameChar: may continue a tag or attribute name
+	// (letters, digits, '-', '.', ':', '_').
+	classNameChar
+	// classMarkup: after '<', this byte makes the '<' start markup
+	// (name-start letters plus '/', '!', '?', '>').
+	classMarkup
+	// classAttrDelim: ends an attribute name (space or '=').
+	classAttrDelim
+)
+
+// classTable maps every byte to its class bits. Built once at init
+// from the same definitions the old predicates spelled out; the
+// exhaustive 0–255 agreement test in tables_test.go pins the two
+// formulations together.
+var classTable = func() (t [256]byteClass) {
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		switch c {
+		case ' ', '\t', '\n', '\r', '\f':
+			t[i] |= classSpace | classAttrDelim
+		case '=':
+			t[i] |= classAttrDelim
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			t[i] |= classNameStart | classNameChar | classMarkup
+		}
+		if c >= '0' && c <= '9' || c == '-' || c == '.' || c == ':' || c == '_' {
+			t[i] |= classNameChar
+		}
+		switch c {
+		case '/', '!', '?', '>':
+			t[i] |= classMarkup
+		}
+	}
+	return t
+}()
+
+func isNameStart(c byte) bool { return classTable[c]&classNameStart != 0 }
+
+func isNameChar(c byte) bool { return classTable[c]&classNameChar != 0 }
+
+func isSpace(c byte) bool { return classTable[c]&classSpace != 0 }

@@ -1,0 +1,43 @@
+package htmltoken
+
+import "testing"
+
+// The byte-class table must agree with the spelled-out predicates it
+// replaced, for every one of the 256 byte values. The closures here
+// are the predicate definitions as they stood before the table.
+func TestClassTableAgreement(t *testing.T) {
+	oldIsNameStart := func(c byte) bool {
+		return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+	}
+	oldIsNameChar := func(c byte) bool {
+		return oldIsNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.' || c == ':' || c == '_'
+	}
+	oldIsSpace := func(c byte) bool {
+		return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+	}
+	oldStartsMarkup := func(c byte) bool {
+		return oldIsNameStart(c) || c == '/' || c == '!' || c == '?' || c == '>'
+	}
+	oldAttrDelim := func(c byte) bool {
+		return oldIsSpace(c) || c == '='
+	}
+
+	for i := 0; i < 256; i++ {
+		c := byte(i)
+		if got, want := isNameStart(c), oldIsNameStart(c); got != want {
+			t.Errorf("isNameStart(%q) = %v, want %v", c, got, want)
+		}
+		if got, want := isNameChar(c), oldIsNameChar(c); got != want {
+			t.Errorf("isNameChar(%q) = %v, want %v", c, got, want)
+		}
+		if got, want := isSpace(c), oldIsSpace(c); got != want {
+			t.Errorf("isSpace(%q) = %v, want %v", c, got, want)
+		}
+		if got, want := classTable[c]&classMarkup != 0, oldStartsMarkup(c); got != want {
+			t.Errorf("classMarkup(%q) = %v, want %v", c, got, want)
+		}
+		if got, want := classTable[c]&classAttrDelim != 0, oldAttrDelim(c); got != want {
+			t.Errorf("classAttrDelim(%q) = %v, want %v", c, got, want)
+		}
+	}
+}

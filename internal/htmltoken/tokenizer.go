@@ -19,6 +19,16 @@ const (
 // Tokenizer scans an HTML document into tokens. Construct with New;
 // reuse across documents with Reset, which keeps the internal buffers
 // and makes a warm tokenizer allocation-free for typical markup.
+//
+// The scanning loops are table- and run-driven rather than per-byte:
+// bytes are classified through the 256-entry classTable (tables.go),
+// uninteresting runs are skipped with strings.IndexByte (vectorised in
+// the runtime) or the SWAR word-at-a-time helpers in internal/ascii,
+// and raw-text bodies ride ascii.IndexFold's occurrence cache. The
+// token stream is byte-identical to the per-byte implementation this
+// replaced, which is preserved as ReferenceTokenizer under the
+// tokendiff build tag and compared token for token by the differential
+// tests.
 type Tokenizer struct {
 	src string
 	pos int
@@ -26,6 +36,12 @@ type Tokenizer struct {
 	// lineStarts[i] is the byte offset of the start of line i+1,
 	// used to translate offsets to positions in O(log n).
 	lineStarts []int
+
+	// posLine is the 0-based lineStarts index of the most recently
+	// resolved position. Lookups arrive in nearly monotone offset
+	// order, so almost every one lands on the cached or the following
+	// line and skips the binary search entirely.
+	posLine int
 
 	// rawUntil, when non-empty, is the lower-case element name whose
 	// closing tag ends raw-text mode; rawNeedle is the "</name"
@@ -36,6 +52,14 @@ type Tokenizer struct {
 	// attrBuf backs the Attrs slices of returned tokens; see the
 	// ownership note on Next.
 	attrBuf []Attr
+
+	// internCache is a small direct-mapped cache in front of
+	// internLower for non-lower-case names. Documents repeat the same
+	// handful of upper-case tag and attribute spellings (<TD>, HREF,
+	// ...) thousands of times; a hit here is a length/byte compare
+	// instead of a map hash per name. Entries alias the current
+	// source document — Release clears them.
+	internCache [internCacheSize]struct{ name, canon string }
 
 	// RawTextElements configures which elements switch the tokenizer
 	// into raw-text mode. Defaults to DefaultRawTextElements.
@@ -57,11 +81,15 @@ func (t *Tokenizer) Reset(src string) {
 	t.pos = 0
 	t.rawUntil = ""
 	t.rawNeedle = ""
+	t.posLine = 0
 	t.lineStarts = append(t.lineStarts[:0], 0)
-	for i := 0; i < len(src); i++ {
-		if src[i] == '\n' {
-			t.lineStarts = append(t.lineStarts, i+1)
+	for i := 0; i < len(src); {
+		j := strings.IndexByte(src[i:], '\n')
+		if j < 0 {
+			break
 		}
+		i += j + 1
+		t.lineStarts = append(t.lineStarts, i)
 	}
 }
 
@@ -84,6 +112,26 @@ func (t *Tokenizer) Release() {
 		buf[i] = Attr{}
 	}
 	t.attrBuf = t.attrBuf[:0]
+	clear(t.internCache[:])
+}
+
+const internCacheSize = 32
+
+// internName is internLower through the tokenizer's direct-mapped
+// cache. Lower-case names resolve without touching the cache (they
+// are returned as-is); canonical strings stored on a miss never alias
+// the document, but the cache keys do.
+func (t *Tokenizer) internName(s string) string {
+	if ascii.IsLower(s) {
+		return s
+	}
+	e := &t.internCache[(uint(s[0])*2+uint(len(s)))%internCacheSize]
+	if e.name == s {
+		return e.canon
+	}
+	canon := internLower(s)
+	e.name, e.canon = s, canon
+	return canon
 }
 
 // Tokenize scans the whole of src and returns all tokens. The returned
@@ -112,10 +160,34 @@ func TokenizeBytes(src []byte) []Token {
 }
 
 // position translates a byte offset into a 1-based line and column.
-// Open-coded binary search: this runs several times per token, and the
-// sort.Search closure showed up in profiles.
+// The posLine cursor makes the common cases — same line as the last
+// lookup, or the next one — two comparisons; everything else falls
+// back to binary search over the narrowed range.
 func (t *Tokenizer) position(off int) (line, col int) {
-	lo, hi := 0, len(t.lineStarts) // invariant: lineStarts[lo] <= off < lineStarts[hi]
+	starts := t.lineStarts
+	lo := t.posLine
+	if starts[lo] <= off {
+		if lo+1 == len(starts) || off < starts[lo+1] {
+			return lo + 1, off - starts[lo] + 1
+		}
+		if lo+2 == len(starts) || off < starts[lo+2] {
+			t.posLine = lo + 1
+			return lo + 2, off - starts[lo+1] + 1
+		}
+		lo = t.searchLine(lo+2, len(starts), off)
+	} else {
+		lo = t.searchLine(0, lo, off)
+	}
+	t.posLine = lo
+	return lo + 1, off - starts[lo] + 1
+}
+
+// searchLine returns the greatest i in [lo, hi) with lineStarts[i] <=
+// off. The caller guarantees one exists (lineStarts[0] is 0).
+// Open-coded binary search: this ran several times per token before
+// the posLine cursor, and the sort.Search closure showed up in
+// profiles.
+func (t *Tokenizer) searchLine(lo, hi, off int) int {
 	for lo+1 < hi {
 		mid := int(uint(lo+hi) >> 1)
 		if t.lineStarts[mid] <= off {
@@ -124,7 +196,7 @@ func (t *Tokenizer) position(off int) (line, col int) {
 			hi = mid
 		}
 	}
-	return lo + 1, off - t.lineStarts[lo] + 1
+	return lo
 }
 
 // lineAt returns just the 1-based line of a byte offset.
@@ -155,8 +227,10 @@ func (t *Tokenizer) NextInto(tok *Token) bool {
 		return false
 	}
 	*tok = Token{}
-	if t.rawUntil != "" {
-		t.nextRaw(tok)
+	// nextRaw reports false when the closing tag starts immediately
+	// (empty raw body): raw mode is exited without emitting a
+	// zero-length token, and the close tag is scanned as markup below.
+	if t.rawUntil != "" && t.nextRaw(tok) {
 		return true
 	}
 	if t.src[t.pos] == '<' && t.startsMarkup(t.pos) {
@@ -173,16 +247,25 @@ func (t *Tokenizer) startsMarkup(off int) bool {
 	if off+1 >= len(t.src) {
 		return false
 	}
-	c := t.src[off+1]
-	return isNameStart(c) || c == '/' || c == '!' || c == '?' || c == '>'
+	return classTable[t.src[off+1]]&classMarkup != 0
 }
 
 // nextText consumes document text up to the next markup-starting '<'.
+// The run is skipped '<' to '<': everything between candidates is
+// covered by one IndexByte call each.
 func (t *Tokenizer) nextText(tok *Token) {
 	start := t.pos
-	i := start
-	for i < len(t.src) {
-		if t.src[i] == '<' && i > start && t.startsMarkup(i) {
+	// The byte at start was already rejected as markup by NextInto
+	// (or is not '<' at all), so the scan starts one past it.
+	i := start + 1
+	for {
+		j := strings.IndexByte(t.src[i:], '<')
+		if j < 0 {
+			i = len(t.src)
+			break
+		}
+		i += j
+		if t.startsMarkup(i) {
 			break
 		}
 		i++
@@ -201,17 +284,25 @@ func (t *Tokenizer) nextText(tok *Token) {
 // nextRaw consumes raw text until the closing tag of the raw element.
 // The scan is case-insensitive without lower-casing (and so copying)
 // the rest of the document, which made raw-text-heavy pages quadratic:
-// every SCRIPT element re-copied everything after it.
-func (t *Tokenizer) nextRaw(tok *Token) {
+// every SCRIPT element re-copied everything after it. A body that ends
+// at EOF without a closing tag is emitted as one raw token to EOF.
+//
+// nextRaw reports false — emitting nothing — when the closing tag
+// starts immediately (<script></script>), so the token stream never
+// contains a zero-length token. Raw mode is exited either way.
+func (t *Tokenizer) nextRaw(tok *Token) bool {
 	start := t.pos
 	idx := ascii.IndexFold(t.src[start:], t.rawNeedle)
+	t.rawUntil = ""
+	t.rawNeedle = ""
+	if idx == 0 {
+		return false
+	}
 	end := len(t.src)
-	if idx >= 0 {
+	if idx > 0 {
 		end = start + idx
 	}
 	t.pos = end
-	t.rawUntil = ""
-	t.rawNeedle = ""
 	line, col := t.position(start)
 	tok.Type = Text
 	tok.Text = t.src[start:end]
@@ -221,6 +312,7 @@ func (t *Tokenizer) nextRaw(tok *Token) {
 	tok.Offset = start
 	tok.EndLine = t.lineAt(max(start, end-1))
 	tok.RawText = true
+	return true
 }
 
 // nextMarkup consumes one tag, comment, or declaration.
@@ -308,11 +400,11 @@ func (t *Tokenizer) nextTag(tok *Token, start, line, col int, closing bool) {
 		nameStart++
 	}
 	nameEnd := nameStart
-	for nameEnd < len(t.src) && isNameChar(t.src[nameEnd]) {
+	for nameEnd < len(t.src) && classTable[t.src[nameEnd]]&classNameChar != 0 {
 		nameEnd++
 	}
 	name := t.src[nameStart:nameEnd]
-	lower := internLower(name)
+	lower := t.internName(name)
 
 	end, odd, unterminated := t.scanToGT(nameEnd)
 	body := t.src[nameEnd:end]
@@ -323,7 +415,7 @@ func (t *Tokenizer) nextTag(tok *Token, start, line, col int, closing bool) {
 
 	tok.Type, tok.Name, tok.Lower = StartTag, name, lower
 	tok.Raw = t.src[start:t.pos]
-	tok.Line, tok.Col, tok.EndLine = line, col, t.lineAt(max(start, t.pos-1))
+	tok.Line, tok.Col = line, col
 	tok.OddQuotes, tok.Unterminated = odd, unterminated
 	if closing {
 		tok.Type = EndTag
@@ -338,6 +430,9 @@ func (t *Tokenizer) nextTag(tok *Token, start, line, col int, closing bool) {
 	}
 
 	tok.Attrs = t.parseAttrs(body, nameEnd)
+	// EndLine last: attribute positions precede the tag's final byte,
+	// so resolving them first keeps the posLine cursor monotone.
+	tok.EndLine = t.lineAt(max(start, t.pos-1))
 
 	if tok.Type == StartTag && !unterminated && t.RawTextElements[lower] {
 		t.rawUntil = lower
@@ -367,60 +462,75 @@ func rawNeedleFor(lower string) string {
 // quotes. It returns the offset of the terminating '>' (or len(src)),
 // whether odd quotes were detected, and whether the tag was
 // unterminated at end of input.
+//
+// The scan is event-driven: outside a quote only '"', '\'' and '>'
+// matter, inside a quote only the closing quote, '>' and '\n' do, so
+// each IndexAny3 call jumps straight to the next such byte. Successive
+// searches cover disjoint ranges of the source, keeping the whole scan
+// linear even on pathological quote soup.
 func (t *Tokenizer) scanToGT(off int) (end int, oddQuotes, unterminated bool) {
-	var quote byte
+	src := t.src
 	firstGT := -1
-	quoteStart := 0
-	quoteNewlines := 0
 
-	recover := func() (int, bool, bool) {
-		// The open quote is assumed to be a mistake: re-terminate
-		// at the first '>' seen anywhere, or fail at EOF.
+	// recoverFrom re-terminates the tag after an open quote is
+	// declared a mistake: at the first '>' seen anywhere, or failing
+	// at EOF. No '>' can hide in src[off:i] — an unquoted one would
+	// have ended the tag, a quoted one would have set firstGT — so
+	// searching onward from i equals the per-byte scan from off.
+	recoverFrom := func(i int) (int, bool, bool) {
 		if firstGT >= 0 {
 			return firstGT, true, false
 		}
-		for j := off; j < len(t.src); j++ {
-			if t.src[j] == '>' {
-				return j, true, false
-			}
+		if j := ascii.IndexByteFrom(src, '>', i); j >= 0 {
+			return j, true, false
 		}
-		return len(t.src), true, true
+		return len(src), true, true
 	}
 
-	for i := off; i < len(t.src); i++ {
-		c := t.src[i]
-		if quote != 0 {
-			switch {
+	i := off
+	for i < len(src) {
+		j := ascii.IndexAny3(src[i:], '"', '\'', '>')
+		if j < 0 {
+			return len(src), false, true
+		}
+		i += j
+		quote := src[i]
+		if quote == '>' {
+			return i, false, false
+		}
+		quoteStart := i
+		quoteNewlines := 0
+		i++
+		for {
+			j := ascii.IndexAny3(src[i:], quote, '>', '\n')
+			if j < 0 {
+				return recoverFrom(len(src))
+			}
+			i += j
+			switch c := src[i]; {
 			case c == quote:
-				quote = 0
+				i++
 			case c == '>':
 				if firstGT < 0 {
 					firstGT = i
 				}
 				if i-quoteStart > quoteMaxBytes {
-					return recover()
+					return recoverFrom(i)
 				}
-			case c == '\n':
+				i++
+				continue
+			default: // '\n'
 				quoteNewlines++
 				if quoteNewlines > quoteMaxNewlines {
-					return recover()
+					return recoverFrom(i)
 				}
+				i++
+				continue
 			}
-			continue
-		}
-		switch c {
-		case '"', '\'':
-			quote = c
-			quoteStart = i
-			quoteNewlines = 0
-		case '>':
-			return i, false, false
+			break
 		}
 	}
-	if quote != 0 {
-		return recover()
-	}
-	return len(t.src), false, true
+	return len(src), false, true
 }
 
 // parseAttrs parses the attribute section of a tag. base is the byte
@@ -431,14 +541,14 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 	attrs := t.attrBuf[:0]
 	i := 0
 	for i < len(body) {
-		for i < len(body) && isSpace(body[i]) {
+		for i < len(body) && classTable[body[i]]&classSpace != 0 {
 			i++
 		}
 		if i >= len(body) {
 			break
 		}
 		nameStart := i
-		for i < len(body) && !isSpace(body[i]) && body[i] != '=' {
+		for i < len(body) && classTable[body[i]]&classAttrDelim == 0 {
 			i++
 		}
 		name := body[nameStart:i]
@@ -447,15 +557,15 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 			continue
 		}
 		line, col := t.position(base + nameStart)
-		attr := Attr{Name: name, Lower: internLower(name), Line: line, Col: col, Offset: base + nameStart}
+		attr := Attr{Name: name, Lower: t.internName(name), Line: line, Col: col, Offset: base + nameStart}
 
 		j := i
-		for j < len(body) && isSpace(body[j]) {
+		for j < len(body) && classTable[body[j]]&classSpace != 0 {
 			j++
 		}
 		if j < len(body) && body[j] == '=' {
 			j++
-			for j < len(body) && isSpace(body[j]) {
+			for j < len(body) && classTable[body[j]]&classSpace != 0 {
 				j++
 			}
 			attr.HasValue = true
@@ -463,19 +573,20 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 				attr.Quote = body[j]
 				j++
 				valStart := j
-				for j < len(body) && body[j] != attr.Quote {
-					j++
-				}
-				attr.Value = body[valStart:j]
-				attr.ValOffset = base + valStart
-				if j < len(body) {
-					j++
+				// The whole quoted value is one IndexByte skip: the
+				// quote byte is the only delimiter that matters.
+				if k := strings.IndexByte(body[valStart:], attr.Quote); k >= 0 {
+					j = valStart + k + 1
+					attr.Value = body[valStart : j-1]
 				} else {
+					j = len(body)
+					attr.Value = body[valStart:]
 					attr.UnterminatedQuote = true
 				}
+				attr.ValOffset = base + valStart
 			} else {
 				valStart := j
-				for j < len(body) && !isSpace(body[j]) {
+				for j < len(body) && classTable[body[j]]&classSpace == 0 {
 					j++
 				}
 				attr.Value = body[valStart:j]
@@ -487,16 +598,4 @@ func (t *Tokenizer) parseAttrs(body string, base int) []Attr {
 	}
 	t.attrBuf = attrs[:0]
 	return attrs
-}
-
-func isNameStart(c byte) bool {
-	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
-}
-
-func isNameChar(c byte) bool {
-	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '.' || c == ':' || c == '_'
-}
-
-func isSpace(c byte) bool {
-	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
 }
