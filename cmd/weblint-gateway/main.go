@@ -2,9 +2,19 @@
 // where you provide HTML by entering a URL, pasting in the text, or
 // through file upload, and get the weblint report back as a web page.
 //
+// The production stack wraps the gateway handler in the serving
+// defences from internal/serve: bounded lint concurrency with a
+// deadline-bounded admission queue (429 + Retry-After under
+// saturation), a per-request lint budget (504), panic containment
+// (500 for the crashing request only), a /healthz probe that flips to
+// draining on shutdown, and graceful drain on SIGTERM.
+//
 // Usage:
 //
-//	weblint-gateway [-addr :8017] [-no-url-fetch] [-pedantic] [-x vendors]
+//	weblint-gateway [-addr :8017] [-no-url-fetch] [-allow-private-fetch]
+//	                [-pedantic] [-x vendors] [-V version]
+//	                [-max-upload bytes] [-concurrency n] [-queue-wait d]
+//	                [-lint-budget d] [-fetch-timeout d] [-drain-timeout d]
 package main
 
 import (
@@ -13,18 +23,34 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
+	"time"
 
 	"weblint/internal/config"
+	"weblint/internal/fetch"
 	"weblint/internal/gateway"
 	"weblint/internal/lint"
+	"weblint/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8017", "listen address")
 	noURL := flag.Bool("no-url-fetch", false, "disable check-by-URL (for firewalled intranet use)")
+	allowPrivate := flag.Bool("allow-private-fetch", false,
+		"let check-by-URL fetch private/loopback addresses (intranet gateways only)")
 	pedantic := flag.Bool("pedantic", false, "enable all warnings")
 	exts := flag.String("x", "", "enable vendor extensions (netscape, microsoft)")
 	htmlVer := flag.String("V", "", "HTML version to check against (4.0 or 3.2)")
+	maxUpload := flag.Int64("max-upload", 2<<20, "largest document accepted, in bytes (larger answers 413)")
+	concurrency := flag.Int("concurrency", 2*runtime.GOMAXPROCS(0),
+		"concurrent lints admitted; excess queues briefly then answers 429")
+	queueWait := flag.Duration("queue-wait", 2*time.Second,
+		"how long a submission may wait for a lint slot before 429")
+	lintBudget := flag.Duration("lint-budget", 10*time.Second,
+		"per-request lint + fetch budget; over budget answers 504 (0 = unlimited)")
+	fetchTimeout := flag.Duration("fetch-timeout", 15*time.Second, "check-by-URL fetch timeout")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long in-flight requests get to finish after SIGTERM")
 	flag.Parse()
 
 	settings := config.NewSettings()
@@ -43,7 +69,35 @@ func main() {
 
 	h := gateway.NewHandler(linter)
 	h.AllowURLFetch = !*noURL
+	h.MaxUpload = *maxUpload
+	h.Limiter = serve.NewLimiter(*concurrency, *queueWait)
+	h.LintBudget = *lintBudget
+	h.Fetcher = fetch.New(fetch.Options{
+		Timeout:      *fetchTimeout,
+		MaxBody:      *maxUpload,
+		AllowPrivate: *allowPrivate,
+		UserAgent:    "weblint-gateway/2.0",
+	})
 
-	log.Printf("weblint gateway listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+	health := &serve.Health{}
+	srv := &serve.Server{
+		HTTP: &http.Server{
+			Addr:    *addr,
+			Handler: h.Mux(health, func(v any) { log.Printf("contained panic in check: %v", v) }),
+			// Slow-client ceilings: a stalled peer cannot pin a
+			// connection (and its lint slot budget) indefinitely.
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      60 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+		Health:       health,
+		DrainTimeout: *drainTimeout,
+	}
+
+	log.Printf("weblint gateway listening on %s (%d lint slots, %s queue wait, %s lint budget)",
+		*addr, *concurrency, *queueWait, *lintBudget)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("weblint-gateway: %v", err)
+	}
 }

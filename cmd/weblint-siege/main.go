@@ -1,0 +1,187 @@
+// Command weblint-siege load-tests a running weblint gateway: it
+// generates a corpus of synthetic HTML documents, POSTs them as
+// pasted-HTML submissions at one or more concurrency levels, and
+// reports latency percentiles alongside the outcome counts that the
+// serving defences produce — 429 (shed by admission control), 504
+// (lint budget exceeded), and transport errors. The admission and
+// budget counters are first-class results, not failures: a hardened
+// gateway under overload is *supposed* to shed load fast.
+//
+// Usage:
+//
+//	weblint-siege [-url http://localhost:8017/] [-conns 1,4,16]
+//	              [-requests 200] [-doc-bytes 16384] [-error-rate 0.05]
+//	              [-timeout 30s] [-o BENCH_gateway.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weblint/internal/corpus"
+)
+
+type levelResult struct {
+	Conns            int     `json:"conns"`
+	Requests         int     `json:"requests"`
+	OK               int64   `json:"ok"`
+	Rejected429      int64   `json:"rejected_429"`
+	DeadlineExceeded int64   `json:"deadline_exceeded_504"`
+	OtherStatus      int64   `json:"other_status"`
+	TransportErrors  int64   `json:"transport_errors"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	MaxMs            float64 `json:"max_ms"`
+	ThroughputRPS    float64 `json:"throughput_rps"`
+}
+
+type report struct {
+	Benchmark string        `json:"benchmark"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	Gomaxprocs int          `json:"gomaxprocs"`
+	Target    string        `json:"target"`
+	DocBytes  int           `json:"doc_bytes"`
+	Docs      int           `json:"corpus_docs"`
+	Results   []levelResult `json:"results"`
+}
+
+func main() {
+	target := flag.String("url", "http://localhost:8017/", "gateway URL to siege")
+	connsFlag := flag.String("conns", "1,4,16", "comma-separated concurrency levels")
+	requests := flag.Int("requests", 200, "requests per concurrency level")
+	docBytes := flag.Int("doc-bytes", 16<<10, "approximate size of each generated document")
+	errorRate := flag.Float64("error-rate", 0.05, "markup error rate in the generated corpus")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	var levels []int
+	for _, s := range strings.Split(*connsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "weblint-siege: bad -conns entry %q\n", s)
+			os.Exit(2)
+		}
+		levels = append(levels, n)
+	}
+
+	// A small rotating corpus: enough variety that responses differ,
+	// deterministic so two siege runs are comparable.
+	const corpusDocs = 16
+	docs := make([]string, corpusDocs)
+	for i := range docs {
+		docs[i] = corpus.GenerateSized(int64(i+1), *docBytes, corpus.Uniform(*errorRate))
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	rep := report{
+		Benchmark:  "gateway-siege",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Target:     *target,
+		DocBytes:   *docBytes,
+		Docs:       corpusDocs,
+	}
+
+	for _, conns := range levels {
+		res := siege(client, *target, docs, conns, *requests)
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr,
+			"conns=%-3d ok=%-4d 429=%-4d 504=%-4d err=%-3d p50=%.1fms p99=%.1fms %.1f req/s\n",
+			conns, res.OK, res.Rejected429, res.DeadlineExceeded,
+			res.TransportErrors+res.OtherStatus, res.P50Ms, res.P99Ms, res.ThroughputRPS)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "weblint-siege: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "weblint-siege: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// siege fires total requests at the gateway from conns workers and
+// classifies every outcome.
+func siege(client *http.Client, target string, docs []string, conns, total int) levelResult {
+	res := levelResult{Conns: conns, Requests: total}
+	latencies := make([]time.Duration, total)
+
+	var next atomic.Int64
+	var ok, rejected, deadline, other, transport atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				form := url.Values{"html": {docs[i%len(docs)]}}
+				t0 := time.Now()
+				resp, err := client.PostForm(target, form)
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				// Drain so the connection is reused.
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				case http.StatusGatewayTimeout:
+					deadline.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.OK = ok.Load()
+	res.Rejected429 = rejected.Load()
+	res.DeadlineExceeded = deadline.Load()
+	res.OtherStatus = other.Load()
+	res.TransportErrors = transport.Load()
+	res.ThroughputRPS = float64(total) / elapsed.Seconds()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	res.P50Ms = pct(0.50)
+	res.P99Ms = pct(0.99)
+	res.MaxMs = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+	return res
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"weblint/internal/corpus"
+	"weblint/internal/gateway"
+	"weblint/internal/serve"
+)
+
+// TestSiegeAgainstGateway drives the siege loop against a real
+// in-process gateway and checks every outcome lands in a bucket.
+func TestSiegeAgainstGateway(t *testing.T) {
+	h := gateway.NewHandler(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	docs := []string{corpus.GenerateSized(1, 4<<10, corpus.Uniform(0.05))}
+	client := &http.Client{Timeout: 10 * time.Second}
+	res := siege(client, srv.URL+"/", docs, 4, 32)
+
+	if res.OK != 32 {
+		t.Fatalf("ok = %d of 32 (429=%d 504=%d other=%d transport=%d)",
+			res.OK, res.Rejected429, res.DeadlineExceeded, res.OtherStatus, res.TransportErrors)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms || res.MaxMs < res.P99Ms {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v max=%v", res.P50Ms, res.P99Ms, res.MaxMs)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v", res.ThroughputRPS)
+	}
+}
+
+// TestSiegeClassifies429 saturates a one-slot zero-wait gateway and
+// checks shed requests are counted as rejections, not errors.
+func TestSiegeClassifies429(t *testing.T) {
+	h := gateway.NewHandler(nil)
+	h.Limiter = serve.NewLimiter(1, 0)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// A document big enough that lints overlap under 8 connections.
+	docs := []string{corpus.GenerateSized(1, 256<<10, corpus.Uniform(0.05))}
+	client := &http.Client{Timeout: 10 * time.Second}
+	res := siege(client, srv.URL+"/", docs, 8, 64)
+
+	if res.TransportErrors != 0 || res.OtherStatus != 0 {
+		t.Fatalf("unexpected failures: other=%d transport=%d", res.OtherStatus, res.TransportErrors)
+	}
+	if res.OK+res.Rejected429 != 64 {
+		t.Fatalf("ok=%d + 429=%d != 64", res.OK, res.Rejected429)
+	}
+	if res.Rejected429 == 0 {
+		t.Error("one slot with no queue under 8 connections shed nothing")
+	}
+}

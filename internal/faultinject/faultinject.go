@@ -1,0 +1,129 @@
+// Package faultinject provides deterministic fault-injection hooks
+// for chaos testing the serving stack. Production code calls Fire (or
+// FireCtx) at named injection points; with no faults armed the call is
+// a single atomic load and returns nil, so hook sites cost nothing in
+// a production process. Tests arm faults — a delay, an error, a panic,
+// or a combination — at a point and then drive the system under test
+// through its public surface, asserting it degrades the way the
+// operator was promised.
+//
+// Points are plain strings owned by the package that hosts the hook
+// (e.g. "gateway.lint", "fetch.get"). Arming is process-global and
+// guarded by a mutex; tests that arm faults must not run in parallel
+// with each other and should defer Reset.
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes one injected failure mode at a point. Fields
+// compose: a Fault with both Delay and Err sleeps, then fails.
+type Fault struct {
+	// Delay is slept before the other effects. FireCtx wakes early
+	// when the context is cancelled and returns the context error, so
+	// an injected slow path still honours deadlines the way a real
+	// slow dependency behind a context would.
+	Delay time.Duration
+	// Err, when non-nil, is returned by Fire.
+	Err error
+	// Panic, when non-nil, is the value passed to panic() after Delay.
+	Panic any
+	// Count bounds how many times the fault fires; 0 means until
+	// Reset or Disarm. A fault that has fired Count times disarms
+	// itself.
+	Count int
+}
+
+// armed is nil (the common case, checked via active) or the current
+// point → fault table.
+var (
+	active atomic.Bool
+	mu     sync.Mutex
+	armed  map[string]*faultState
+)
+
+type faultState struct {
+	f     Fault
+	fired int
+}
+
+// Arm installs a fault at a point, replacing any previous fault there.
+func Arm(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if armed == nil {
+		armed = make(map[string]*faultState)
+	}
+	armed[point] = &faultState{f: f}
+	active.Store(true)
+}
+
+// Disarm removes the fault at a point, if any.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(armed, point)
+	active.Store(len(armed) > 0)
+}
+
+// Reset disarms every fault. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = nil
+	active.Store(false)
+}
+
+// Fire consults the fault armed at point: it sleeps the fault's Delay,
+// panics with its Panic value, or returns its Err. With nothing armed
+// (the production state) it is a single atomic load returning nil.
+func Fire(point string) error {
+	if !active.Load() {
+		return nil
+	}
+	return fire(context.Background(), point)
+}
+
+// FireCtx is Fire with a context bounding any injected delay: when the
+// context is cancelled mid-delay, FireCtx returns the context error
+// immediately (the fault's own Err and Panic do not apply).
+func FireCtx(ctx context.Context, point string) error {
+	if !active.Load() {
+		return nil
+	}
+	return fire(ctx, point)
+}
+
+func fire(ctx context.Context, point string) error {
+	mu.Lock()
+	st := armed[point]
+	if st == nil {
+		mu.Unlock()
+		return nil
+	}
+	f := st.f
+	st.fired++
+	if f.Count > 0 && st.fired >= f.Count {
+		delete(armed, point)
+		active.Store(len(armed) > 0)
+	}
+	mu.Unlock()
+
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}

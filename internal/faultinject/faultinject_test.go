@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNil(t *testing.T) {
+	if err := Fire("nowhere"); err != nil {
+		t.Fatalf("unarmed Fire = %v", err)
+	}
+	if err := FireCtx(context.Background(), "nowhere"); err != nil {
+		t.Fatalf("unarmed FireCtx = %v", err)
+	}
+}
+
+func TestArmedError(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", Fault{Err: boom})
+	if err := Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	// Other points stay clean.
+	if err := Fire("q"); err != nil {
+		t.Fatalf("Fire(q) = %v", err)
+	}
+}
+
+func TestCountDisarms(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", Fault{Err: boom, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("p"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d = %v", i, err)
+		}
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("after count exhausted: %v", err)
+	}
+	if active.Load() {
+		t.Error("package still active after last fault disarmed")
+	}
+}
+
+func TestPanicValue(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Panic: "injected"})
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	_ = Fire("p")
+	t.Fatal("Fire did not panic")
+}
+
+func TestDelayHonoursContext(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Delay: 5 * time.Second, Err: errors.New("late")})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := FireCtx(ctx, "p")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("FireCtx did not wake on cancellation (took %v)", time.Since(start))
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	Arm("p", Fault{Err: errors.New("x")})
+	Disarm("p")
+	if err := Fire("p"); err != nil {
+		t.Fatalf("after Disarm: %v", err)
+	}
+	Arm("a", Fault{Err: errors.New("x")})
+	Arm("b", Fault{Err: errors.New("y")})
+	Reset()
+	if err := Fire("a"); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+	if active.Load() {
+		t.Error("active after Reset")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"weblint/internal/fetch"
 	"weblint/internal/warn"
 )
 
@@ -85,6 +86,9 @@ func TestPostByURL(t *testing.T) {
 	defer origin.Close()
 
 	h := NewHandler(nil)
+	// httptest servers listen on loopback, which the default fetcher
+	// refuses; tests opt in the way an intranet operator would.
+	h.Fetcher = fetch.New(fetch.Options{AllowPrivate: true, MaxBody: h.maxUpload()})
 	form := url.Values{"url": {origin.URL + "/page.html"}}
 	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
@@ -96,6 +100,29 @@ func TestPostByURL(t *testing.T) {
 	}
 	if !strings.Contains(body, origin.URL) {
 		t.Error("report does not name the URL")
+	}
+}
+
+// TestPostByURLPrivateBlockedByDefault: a gateway with no explicit
+// Fetcher refuses to fetch loopback/private addresses — the classic
+// SSRF vector for a check-by-URL form on the open web.
+func TestPostByURLPrivateBlockedByDefault(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, brokenPage)
+	}))
+	defer origin.Close()
+
+	h := NewHandler(nil)
+	form := url.Values{"url": {origin.URL + "/page.html"}}
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if strings.Contains(rec.Body.String(), "malformed heading") {
+		t.Fatal("default gateway fetched a loopback URL")
+	}
+	if !strings.Contains(rec.Body.String(), "private or local address") {
+		t.Errorf("refusal does not explain the private-address guard: %s", rec.Body.String())
 	}
 }
 

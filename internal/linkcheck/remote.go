@@ -6,7 +6,22 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"weblint/internal/fetch"
 )
+
+// defaultClient is the shared hardened default: connect + total
+// timeouts and the documented 10-redirect cap. Private targets stay
+// reachable — link checking runs against URLs the operator's own
+// pages reference, intranet targets included.
+var defaultClient = sync.OnceValue(func() *http.Client {
+	return fetch.New(fetch.Options{
+		Timeout:      15 * time.Second,
+		MaxRedirects: 10,
+		AllowPrivate: true,
+		UserAgent:    "weblint-linkcheck",
+	}).HTTPClient()
+})
 
 // Result is the outcome of validating one remote URL.
 type Result struct {
@@ -55,7 +70,7 @@ func (c *Checker) client() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
-	return &http.Client{Timeout: 15 * time.Second}
+	return defaultClient()
 }
 
 // CheckOne validates a single URL: a HEAD request, retried as GET when

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"weblint/internal/warn"
+)
+
+func TestCheckStringToCtxNoDeadlineMatchesPlain(t *testing.T) {
+	l := MustNew(Options{})
+	src := `<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY><H1>a</H2></BODY></HTML>`
+
+	var plain, ctxed warn.Collector
+	l.CheckStringTo("doc.html", src, &plain)
+	if err := l.CheckStringToCtx(context.Background(), "doc.html", src, &ctxed); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Messages) == 0 || len(plain.Messages) != len(ctxed.Messages) {
+		t.Fatalf("plain %d messages, ctx %d", len(plain.Messages), len(ctxed.Messages))
+	}
+	for i := range plain.Messages {
+		// Fix pointers differ by identity run to run; compare the
+		// message content.
+		a, b := plain.Messages[i], ctxed.Messages[i]
+		a.Fix, b.Fix = nil, nil
+		if a != b {
+			t.Fatalf("message %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestCheckBytesToCtxMatchesStringVariant(t *testing.T) {
+	l := MustNew(Options{})
+	src := `<HTML><HEAD><TITLE>x</TITLE></HEAD><BODY><H1>a</H2></BODY></HTML>`
+
+	var fromString, fromBytes warn.Collector
+	if err := l.CheckStringToCtx(context.Background(), "doc.html", src, &fromString); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckBytesToCtx(context.Background(), "doc.html", []byte(src), &fromBytes); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromBytes.Messages) == 0 || len(fromString.Messages) != len(fromBytes.Messages) {
+		t.Fatalf("string %d messages, bytes %d", len(fromString.Messages), len(fromBytes.Messages))
+	}
+}
+
+func TestCheckBytesToCtxCancelledBeforeStart(t *testing.T) {
+	l := MustNew(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var sink warn.Collector
+	err := l.CheckBytesToCtx(ctx, "doc.html", []byte("<HTML><BODY><H1>a</H2></BODY></HTML>"), &sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sink.Messages) != 0 {
+		t.Fatalf("%d messages delivered after cancellation", len(sink.Messages))
+	}
+}
+
+func TestCheckStringToCtxCancelledBeforeStart(t *testing.T) {
+	l := MustNew(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var sink warn.Collector
+	err := l.CheckStringToCtx(ctx, "doc.html", "<HTML><BODY><H1>a</H2></BODY></HTML>", &sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sink.Messages) != 0 {
+		t.Fatalf("%d messages delivered after cancellation", len(sink.Messages))
+	}
+}
+
+// TestCheckStringToCtxStopsQuietDocumentPromptly is the budget seam's
+// hard case: a huge document that emits nothing gives the sink no
+// Write to refuse, so only the emitter's polled cancel flag can stop
+// the tokenizer. A tight deadline over many megabytes must return in
+// far less time than the full tokenize would take.
+func TestCheckStringToCtxStopsQuietDocumentPromptly(t *testing.T) {
+	l := MustNew(Options{})
+	// A long clean body: no per-token findings, tokenized start to end
+	// when uncancelled.
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE HTML><HTML><HEAD><TITLE>t</TITLE>" +
+		`<META NAME="description" CONTENT="d"><META NAME="keywords" CONTENT="k"></HEAD><BODY>`)
+	for i := 0; i < 400000; i++ {
+		b.WriteString("<P>some perfectly ordinary filler text</P>\n")
+	}
+	b.WriteString("</BODY></HTML>")
+	src := b.String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	var sink warn.Collector
+	start := time.Now()
+	err := l.CheckStringToCtx(ctx, "big.html", src, &sink)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded (doc %d bytes in %v)", err, len(src), elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v for a 1ms budget", elapsed)
+	}
+}

@@ -12,11 +12,13 @@ package lint
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"weblint/internal/bufpool"
@@ -24,6 +26,7 @@ import (
 	"weblint/internal/config"
 	"weblint/internal/core"
 	"weblint/internal/csslint"
+	"weblint/internal/fetch"
 	"weblint/internal/htmlspec"
 	"weblint/internal/htmltoken"
 	"weblint/internal/plugin"
@@ -107,7 +110,16 @@ func New(o Options) (*Linter, error) {
 
 	client := o.HTTPClient
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		// The hardened shared fetch client: connect + total timeouts
+		// and a redirect cap. Private targets stay reachable — CheckURL
+		// is a library/CLI surface whose caller names the URL, commonly
+		// their own intranet or localhost; services exposing URL checks
+		// to others (the gateway) use their own guarded fetch.Client.
+		client = fetch.New(fetch.Options{
+			Timeout:      30 * time.Second,
+			AllowPrivate: true,
+			UserAgent:    "weblint/2.0",
+		}).HTTPClient()
 	}
 
 	var catalog warn.Catalog
@@ -168,6 +180,12 @@ func (l *Linter) Set() *warn.Set { return l.set }
 // slice-returning APIs accumulate. The caller must hand the returned
 // state back with release.
 func (l *Linter) run(name, src string, sink warn.Sink) *checkState {
+	return l.runFlag(name, src, sink, nil)
+}
+
+// runFlag is run with an optional external cancel flag the emitter
+// polls between tokens — the deadline seam of the Ctx variants.
+func (l *Linter) runFlag(name, src string, sink warn.Sink, cancel *atomic.Bool) *checkState {
 	st, _ := l.states.Get().(*checkState)
 	if st == nil {
 		em := warn.NewEmitter(l.set)
@@ -184,6 +202,9 @@ func (l *Linter) run(name, src string, sink warn.Sink) *checkState {
 	if sink != nil {
 		st.em.SetSink(sink)
 	}
+	if cancel != nil {
+		st.em.SetCancelFlag(cancel)
+	}
 	st.ck.Reset(st.em, opts)
 	st.tz.Reset(src)
 	st.ck.Run(st.tz)
@@ -198,6 +219,7 @@ func (l *Linter) run(name, src string, sink warn.Sink) *checkState {
 // the sweep would cost more than the memory it frees.
 func (l *Linter) release(st *checkState, srcLen int) {
 	st.em.SetSink(nil)
+	st.em.SetCancelFlag(nil)
 	if srcLen >= releaseThreshold {
 		st.tz.Release()
 		st.ck.Release()
@@ -248,6 +270,32 @@ func (l *Linter) CheckBytes(name string, src []byte) []warn.Message {
 // CheckBytes for the aliasing contract.
 func (l *Linter) CheckBytesTo(name string, src []byte, sink warn.Sink) {
 	l.CheckStringTo(name, bytestr.String(src), sink)
+}
+
+// CheckStringToCtx is CheckStringTo bounded by a context: when ctx is
+// cancelled (a per-request lint budget expiring, a client hanging up)
+// the check stops promptly — the sink refuses further messages AND the
+// checker's token loop observes a cancel flag flipped by the context,
+// so even a pathological document that emits nothing stops tokenizing
+// instead of running to completion. Messages already delivered stay
+// delivered. Returns ctx.Err() when the check was cut short, nil when
+// it ran to completion.
+func (l *Linter) CheckStringToCtx(ctx context.Context, name, src string, sink warn.Sink) error {
+	if ctx == nil || ctx.Done() == nil {
+		l.CheckStringTo(name, src, sink)
+		return nil
+	}
+	var flag atomic.Bool
+	stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+	defer stop()
+	l.release(l.runFlag(name, src, warn.ContextSink(ctx, sink), &flag), len(src))
+	return ctx.Err()
+}
+
+// CheckBytesToCtx is CheckStringToCtx over a byte slice, zero-copy;
+// see CheckBytes for the aliasing contract.
+func (l *Linter) CheckBytesToCtx(ctx context.Context, name string, src []byte, sink warn.Sink) error {
+	return l.CheckStringToCtx(ctx, name, bytestr.String(src), sink)
 }
 
 // CheckReader checks a document read from r. The read buffer comes

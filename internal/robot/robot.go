@@ -17,8 +17,21 @@ import (
 	"time"
 
 	"weblint/internal/bytestr"
+	"weblint/internal/fetch"
 	"weblint/internal/linkcheck"
 )
+
+// defaultClient is the shared hardened default: connect + total
+// timeouts and a redirect cap in one place. Private targets stay
+// reachable — a robot is pointed at the operator's own site, often a
+// local or intranet server.
+var defaultClient = sync.OnceValue(func() *http.Client {
+	return fetch.New(fetch.Options{
+		Timeout:      15 * time.Second,
+		AllowPrivate: true,
+		UserAgent:    "poacher/2.0",
+	}).HTTPClient()
+})
 
 // Page is one fetched document delivered to the visitor.
 type Page struct {
@@ -78,7 +91,7 @@ func (r *Robot) client() *http.Client {
 	if r.Client != nil {
 		return r.Client
 	}
-	return &http.Client{Timeout: 15 * time.Second}
+	return defaultClient()
 }
 
 func (r *Robot) userAgent() string {

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestLimiterIntrospection(t *testing.T) {
+	l := NewLimiter(3, 200*time.Millisecond)
+	if l.Slots() != 3 {
+		t.Fatalf("Slots() = %d, want 3", l.Slots())
+	}
+	if l.Waiting() != 0 {
+		t.Fatalf("Waiting() = %d on an idle limiter", l.Waiting())
+	}
+
+	// Fill every slot, then queue one Acquire and observe it waiting.
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, rel)
+	}
+	done := make(chan error, 1)
+	go func() {
+		rel, err := l.Acquire(context.Background())
+		if err == nil {
+			rel()
+		}
+		done <- err
+	}()
+	for i := 0; l.Waiting() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("queued Acquire never observed waiting")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	releases[0]()
+	if err := <-done; err != nil {
+		t.Fatalf("queued Acquire failed after a slot freed: %v", err)
+	}
+	for _, rel := range releases[1:] {
+		rel()
+	}
+}
+
+// TestRecoverPreservesExplicitStatus: a handler that committed its own
+// status code before panicking keeps it — the recovery must not stack
+// a 500 onto an already-started response.
+func TestRecoverPreservesExplicitStatus(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		panic("after explicit status")
+	}), func(any) {})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d, want the handler's own 418", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), "internal error") {
+		t.Error("500 body appended to a committed response")
+	}
+}
+
+// TestRecoverPassesFlushThrough: streaming handlers behind the
+// recovery wrapper still reach the underlying Flusher.
+func TestRecoverPassesFlushThrough(t *testing.T) {
+	flushed := false
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "chunk")
+		w.(http.Flusher).Flush()
+		flushed = true
+	}), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if !flushed {
+		t.Fatal("handler never reached Flush")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not pass through to the underlying writer")
+	}
+}
+
+// TestListenAndServeDrains: the address-based entry point serves real
+// connections and drains on signal like Serve does.
+func TestListenAndServeDrains(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	health := &Health{}
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", health)
+	s := &Server{
+		HTTP:         &http.Server{Addr: "127.0.0.1:0", Handler: mux},
+		Health:       health,
+		DrainTimeout: time.Second,
+		Signals:      sig,
+	}
+	// Reserve a free port, release it, and have ListenAndServe bind it
+	// by address — the tiny rebind race is acceptable in a test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.HTTP.Addr = ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe() }()
+
+	url := "http://" + s.HTTP.Addr + "/healthz"
+	var ok bool
+	for i := 0; i < 200; i++ {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.TrimSpace(string(body)) == "ok" {
+				ok = true
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("server never answered the health probe")
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndServe did not return after SIGTERM")
+	}
+}

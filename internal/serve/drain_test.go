@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServer serves mux on an ephemeral port with an injectable
+// signal channel and returns the base URL, the signal channel, and a
+// channel carrying Serve's return value.
+func startServer(t *testing.T, mux http.Handler, health *Health, drain time.Duration) (string, chan os.Signal, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	srv := &Server{
+		HTTP:         &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		Health:       health,
+		DrainTimeout: drain,
+		Signals:      sig,
+		Log:          log.New(io.Discard, "", 0),
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return "http://" + ln.Addr().String(), sig, done
+}
+
+// TestDrainCompletesInFlight is the drain-semantics contract: SIGTERM
+// with a request in flight completes that request, /healthz flips to
+// draining, new connections are refused, and Serve returns within the
+// drain deadline having dropped nothing.
+func TestDrainCompletesInFlight(t *testing.T) {
+	health := &Health{}
+	inHandler := make(chan struct{})
+	finish := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", health)
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-finish
+		io.WriteString(w, "completed")
+	})
+
+	base, sig, done := startServer(t, mux, health, 5*time.Second)
+
+	// A long request in flight...
+	resc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resc <- string(b)
+	}()
+	<-inHandler
+
+	// ...then the drain signal lands.
+	sig <- syscall.SIGTERM
+
+	// The probe reports draining while the request still runs.
+	waitFor(t, time.Second, func() bool {
+		return health.Draining()
+	})
+	select {
+	case err := <-done:
+		t.Fatalf("Serve returned (%v) with a request still in flight", err)
+	default:
+	}
+
+	// New connections are refused once Shutdown closed the listener.
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := http.Get(base + "/healthz")
+		return err != nil
+	})
+
+	// The in-flight request completes, not drops.
+	close(finish)
+	select {
+	case body := <-resc:
+		if body != "completed" {
+			t.Fatalf("in-flight response = %q", body)
+		}
+	case err := <-errc:
+		t.Fatalf("in-flight request dropped: %v", err)
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight request never finished")
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clean drain returned %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Serve did not return after the drain")
+	}
+}
+
+// TestDrainDeadline: a request that outlives the drain budget is cut
+// off, Serve returns the deadline error within the budget, and the
+// process is free to exit — drain never hangs forever.
+func TestDrainDeadline(t *testing.T) {
+	health := &Health{}
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+
+	base, sig, done := startServer(t, mux, health, 100*time.Millisecond)
+	go func() {
+		resp, err := http.Get(base + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-inHandler
+	start := time.Now()
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("over-deadline drain returned %v", err)
+		}
+		if time.Since(start) > 3*time.Second {
+			t.Fatalf("drain took %v against a 100ms budget", time.Since(start))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung past its drain deadline")
+	}
+}
+
+// TestServeIdleDrainIsImmediate: with nothing in flight, a signal
+// drains and returns promptly.
+func TestServeIdleDrainIsImmediate(t *testing.T) {
+	health := &Health{}
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", health)
+	base, sig, done := startServer(t, mux, health, 10*time.Second)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("idle drain returned %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("idle drain did not return promptly")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time: " + fmt.Sprint(timeout))
+}

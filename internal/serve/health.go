@@ -1,0 +1,34 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Health is the gateway's readiness signal: an http.Handler answering
+// 200 "ok" while serving and 503 "draining" once a drain has begun, so
+// load balancers and orchestration probes stop routing new traffic to
+// a process that is finishing its in-flight requests.
+type Health struct {
+	draining atomic.Bool
+}
+
+// SetDraining flips the health signal to draining. It is one-way: a
+// draining process never goes ready again.
+func (h *Health) SetDraining() { h.draining.Store(true) }
+
+// Draining reports whether the drain has begun.
+func (h *Health) Draining() bool { return h.draining.Load() }
+
+// ServeHTTP answers the probe.
+func (h *Health) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if h.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}

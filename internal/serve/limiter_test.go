@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToSlots(t *testing.T) {
+	l := NewLimiter(2, 0)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d", got)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire = %v, want ErrSaturated", err)
+	}
+	r1()
+	r2()
+	if got := l.InFlight(); got != 0 {
+		t.Errorf("InFlight after release = %d", got)
+	}
+}
+
+func TestLimiterWaitsForSlot(t *testing.T) {
+	l := NewLimiter(1, 5*time.Second)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	// The waiter must be queued, not rejected.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("waiter finished early: %v", err)
+	default:
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after release: %v", err)
+	}
+}
+
+func TestLimiterWaitDeadline(t *testing.T) {
+	l := NewLimiter(1, 30*time.Millisecond)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = l.Acquire(context.Background())
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("rejected after %v, want ~30ms", elapsed)
+	}
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(1, 10*time.Second)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+}
+
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(1, 0)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // second call must not free a slot it does not hold
+	if _, err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("double release leaked a slot: %v", err)
+	}
+}
+
+// TestLimiterUnderContention hammers the limiter and asserts the slot
+// invariant holds: never more than Slots holders at once, and every
+// admitted request completes. Run with -race in CI.
+func TestLimiterUnderContention(t *testing.T) {
+	const slots, goroutines = 4, 64
+	l := NewLimiter(slots, 50*time.Millisecond)
+	var inFlight, peak, admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				rejected.Add(1)
+				return
+			}
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			admitted.Add(1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Errorf("peak concurrency %d exceeded %d slots", p, slots)
+	}
+	if admitted.Load()+rejected.Load() != goroutines {
+		t.Errorf("admitted %d + rejected %d != %d", admitted.Load(), rejected.Load(), goroutines)
+	}
+	if admitted.Load() == 0 {
+		t.Error("nothing was admitted")
+	}
+}
+
+func TestRetryAfterAtLeastOneSecond(t *testing.T) {
+	if got := NewLimiter(1, 0).RetryAfter(); got != "1" {
+		t.Errorf("RetryAfter = %q", got)
+	}
+	if got := NewLimiter(1, 2500*time.Millisecond).RetryAfter(); got != "3" {
+		t.Errorf("RetryAfter = %q", got)
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// Recover wraps next with panic containment: a panicking handler (for
+// example, a lint plugin crashing on one request's document) is
+// converted into a 500 for that request while the process keeps
+// serving everyone else. onPanic, when non-nil, observes the panic
+// value (tests count them; production logs them). When nil, the panic
+// and stack go to the standard logger.
+//
+// If the handler had already written response headers before
+// panicking, the 500 cannot be sent; the recovery still contains the
+// panic and the connection is simply dropped mid-response.
+func Recover(next http.Handler, onPanic func(v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &recoverWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					// The server's own way to abort a response; let it
+					// keep its meaning.
+					panic(v)
+				}
+				if onPanic != nil {
+					onPanic(v)
+				} else {
+					log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				}
+				if !rw.wrote {
+					http.Error(w, "internal error: the check crashed on this document", http.StatusInternalServerError)
+				}
+			}
+		}()
+		next.ServeHTTP(rw, r)
+	})
+}
+
+// recoverWriter tracks whether the response has been started, so the
+// recovery path knows whether a 500 can still be delivered.
+type recoverWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recoverWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recoverWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush passes through so streaming responses keep working behind the
+// recovery wrapper.
+func (w *recoverWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Server runs an http.Server with graceful drain semantics: on
+// SIGTERM/SIGINT (or any signal delivered on Signals) it flips Health
+// to draining, stops accepting new connections, finishes in-flight
+// requests, and returns once the server has shut down — within
+// DrainTimeout, after which remaining connections are closed hard.
+type Server struct {
+	// HTTP is the configured server. Callers set the handler and the
+	// Read/Write/ReadHeader/Idle timeouts; Server owns its lifecycle.
+	HTTP *http.Server
+	// Health, when non-nil, is flipped to draining the moment a
+	// shutdown signal arrives — before Shutdown begins — so probes see
+	// the drain for its whole duration.
+	Health *Health
+	// DrainTimeout bounds the drain (default 30s).
+	DrainTimeout time.Duration
+	// Signals delivers shutdown triggers. Nil installs the default
+	// SIGTERM/SIGINT handler; tests inject their own channel.
+	Signals <-chan os.Signal
+	// Log receives lifecycle messages; nil means the standard logger.
+	Log *log.Logger
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+func (s *Server) drainTimeout() time.Duration {
+	if s.DrainTimeout > 0 {
+		return s.DrainTimeout
+	}
+	return 30 * time.Second
+}
+
+// ListenAndServe listens on s.HTTP.Addr and serves until a shutdown
+// signal drains the server or the listener fails.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.HTTP.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until a shutdown signal arrives, then drains:
+// new connections are refused immediately, in-flight requests get
+// DrainTimeout to finish, and Serve returns nil on a clean drain or
+// the shutdown error (context.DeadlineExceeded) when the drain
+// deadline passed with requests still running.
+func (s *Server) Serve(ln net.Listener) error {
+	sig := s.Signals
+	if sig == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGTERM, os.Interrupt)
+		defer signal.Stop(ch)
+		sig = ch
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.HTTP.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Listener failure before any shutdown was requested.
+		return err
+	case v := <-sig:
+		s.logf("serve: received %v, draining (timeout %s)", v, s.drainTimeout())
+		if s.Health != nil {
+			s.Health.SetDraining()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), s.drainTimeout())
+		defer cancel()
+		err := s.HTTP.Shutdown(ctx)
+		// Shutdown closed the listener; collect Serve's exit.
+		if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			s.logf("serve: %v", serr)
+		}
+		if err != nil {
+			s.logf("serve: drain deadline passed with requests in flight: %v", err)
+			return err
+		}
+		s.logf("serve: drained cleanly")
+		return nil
+	}
+}

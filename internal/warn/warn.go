@@ -15,6 +15,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Category classifies an output message.
@@ -330,6 +331,7 @@ type Emitter struct {
 	collect   Collector // default destination: accumulate in order
 	sink      Sink      // current destination; &collect unless SetSink
 	cancelled bool      // the sink returned false; emit nothing more
+	extCancel *atomic.Bool // external cancel flag, polled by Cancelled
 	buf       []byte    // scratch buffer for message formatting
 }
 
@@ -358,10 +360,24 @@ func (e *Emitter) SetSink(s Sink) {
 	e.sink = s
 }
 
-// Cancelled reports whether the sink has cancelled the stream by
-// returning false from Write. Once cancelled, Emit is a no-op until
+// Cancelled reports whether the check has been cancelled: the sink
+// returned false from Write, or an external cancel flag installed
+// with SetCancelFlag flipped. Once cancelled, Emit is a no-op until
 // Reset.
-func (e *Emitter) Cancelled() bool { return e.cancelled }
+//
+// The checker polls Cancelled between tokens, which is what makes an
+// external flag effective: a deadline can stop the tokenizing of a
+// pathological document even when it produces no findings for a sink
+// to cancel through.
+func (e *Emitter) Cancelled() bool {
+	return e.cancelled || (e.extCancel != nil && e.extCancel.Load())
+}
+
+// SetCancelFlag installs an external cancellation flag, typically
+// flipped by a context.AfterFunc when a per-request deadline expires.
+// A nil flag removes it. Reset also removes it, so pooled emitters
+// never poll a stale caller's flag.
+func (e *Emitter) SetCancelFlag(f *atomic.Bool) { e.extCancel = f }
 
 // SetCatalog installs a localisation catalog; message templates found
 // in the catalog replace the registered English ones.
@@ -440,7 +456,7 @@ func (e *Emitter) EmitFix(id, file string, line, col int, fix *Fix, args ...any)
 }
 
 func (e *Emitter) emit(id, file string, line, col int, fix *Fix, args []any) {
-	if e.cancelled {
+	if e.Cancelled() {
 		return
 	}
 	var (
@@ -591,6 +607,7 @@ func (e *Emitter) Reset() {
 	e.collect.Reset()
 	e.sink = &e.collect
 	e.cancelled = false
+	e.extCancel = nil
 	if len(e.overlay) > 0 {
 		clear(e.overlay)
 	}
