@@ -9,12 +9,18 @@
 // (500 for the crashing request only), a /healthz probe that flips to
 // draining on shutdown, and graceful drain on SIGTERM.
 //
+// Repeat submissions are served from a content-addressed result cache
+// (keyed on document hash + configuration fingerprint), concurrent
+// identical submissions collapse into one lint, and /metrics exposes
+// the serving stack in Prometheus text format.
+//
 // Usage:
 //
 //	weblint-gateway [-addr :8017] [-no-url-fetch] [-allow-private-fetch]
 //	                [-pedantic] [-x vendors] [-V version]
 //	                [-max-upload bytes] [-concurrency n] [-queue-wait d]
 //	                [-lint-budget d] [-fetch-timeout d] [-drain-timeout d]
+//	                [-cache-size bytes] [-cache-off] [-metrics=false]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"weblint/internal/fetch"
 	"weblint/internal/gateway"
 	"weblint/internal/lint"
+	"weblint/internal/resultcache"
 	"weblint/internal/serve"
 )
 
@@ -51,6 +58,11 @@ func main() {
 	fetchTimeout := flag.Duration("fetch-timeout", 15*time.Second, "check-by-URL fetch timeout")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long in-flight requests get to finish after SIGTERM")
+	cacheSize := flag.Int("cache-size", resultcache.DefaultMaxBytes,
+		"result cache budget, in bytes")
+	cacheOff := flag.Bool("cache-off", false,
+		"disable the result cache and singleflight dedupe (every submission lints)")
+	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 	flag.Parse()
 
 	settings := config.NewSettings()
@@ -78,6 +90,13 @@ func main() {
 		AllowPrivate: *allowPrivate,
 		UserAgent:    "weblint-gateway/2.0",
 	})
+	if !*cacheOff {
+		h.Cache = resultcache.New(*cacheSize)
+	}
+	if *metricsOn {
+		h.Metrics = gateway.NewMetrics()
+		h.Metrics.ObserveState(h.Limiter, h.Cache)
+	}
 
 	health := &serve.Health{}
 	srv := &serve.Server{
@@ -95,8 +114,12 @@ func main() {
 		DrainTimeout: *drainTimeout,
 	}
 
-	log.Printf("weblint gateway listening on %s (%d lint slots, %s queue wait, %s lint budget)",
-		*addr, *concurrency, *queueWait, *lintBudget)
+	cacheDesc := "cache off"
+	if h.Cache != nil {
+		cacheDesc = fmt.Sprintf("%d MiB cache", *cacheSize>>20)
+	}
+	log.Printf("weblint gateway listening on %s (%d lint slots, %s queue wait, %s lint budget, %s)",
+		*addr, *concurrency, *queueWait, *lintBudget, cacheDesc)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("weblint-gateway: %v", err)
 	}

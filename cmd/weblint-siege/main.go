@@ -1,26 +1,37 @@
 // Command weblint-siege load-tests a running weblint gateway: it
 // generates a corpus of synthetic HTML documents, POSTs them as
-// pasted-HTML submissions at one or more concurrency levels, and
+// multipart file-upload submissions at one or more concurrency levels, and
 // reports latency percentiles alongside the outcome counts that the
 // serving defences produce — 429 (shed by admission control), 504
 // (lint budget exceeded), and transport errors. The admission and
 // budget counters are first-class results, not failures: a hardened
 // gateway under overload is *supposed* to shed load fast.
 //
+// With -repeat the request schedule becomes repeat-heavy: that
+// fraction of requests re-submits a document from a small popular set
+// (zipf-weighted, so some documents are much hotter than others, the
+// way real traffic repeats), and the rest are unique documents. The
+// report then splits latency percentiles by the gateway's
+// X-Weblint-Cache disposition and records the observed hit rate — the
+// numbers that show the result cache serving repeats at memory speed.
+//
 // Usage:
 //
 //	weblint-siege [-url http://localhost:8017/] [-conns 1,4,16]
 //	              [-requests 200] [-doc-bytes 16384] [-error-rate 0.05]
+//	              [-repeat 0] [-format html]
 //	              [-timeout 30s] [-o BENCH_gateway.json]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
+	"mime/multipart"
 	"net/http"
-	"net/url"
 	"os"
 	"runtime"
 	"sort"
@@ -45,17 +56,31 @@ type levelResult struct {
 	P99Ms            float64 `json:"p99_ms"`
 	MaxMs            float64 `json:"max_ms"`
 	ThroughputRPS    float64 `json:"throughput_rps"`
+
+	// Cache outcomes, classified from the X-Weblint-Cache response
+	// header (all zero against a -cache-off gateway, which sends no
+	// header). The split percentiles are the cache's headline number:
+	// a hit never lints, so HitP50Ms should sit an order of magnitude
+	// under MissP50Ms.
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheCoalesced int64   `json:"cache_coalesced"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	HitP50Ms       float64 `json:"hit_p50_ms"`
+	MissP50Ms      float64 `json:"miss_p50_ms"`
 }
 
 type report struct {
-	Benchmark string        `json:"benchmark"`
-	Date      string        `json:"date"`
-	GoVersion string        `json:"go_version"`
-	Gomaxprocs int          `json:"gomaxprocs"`
-	Target    string        `json:"target"`
-	DocBytes  int           `json:"doc_bytes"`
-	Docs      int           `json:"corpus_docs"`
-	Results   []levelResult `json:"results"`
+	Benchmark   string        `json:"benchmark"`
+	Date        string        `json:"date"`
+	GoVersion   string        `json:"go_version"`
+	Gomaxprocs  int           `json:"gomaxprocs"`
+	Target      string        `json:"target"`
+	DocBytes    int           `json:"doc_bytes"`
+	Docs        int           `json:"corpus_docs"`
+	RepeatRatio float64       `json:"repeat_ratio"`
+	Format      string        `json:"format"`
+	Results     []levelResult `json:"results"`
 }
 
 func main() {
@@ -64,9 +89,16 @@ func main() {
 	requests := flag.Int("requests", 200, "requests per concurrency level")
 	docBytes := flag.Int("doc-bytes", 16<<10, "approximate size of each generated document")
 	errorRate := flag.Float64("error-rate", 0.05, "markup error rate in the generated corpus")
+	repeat := flag.Float64("repeat", 0,
+		"fraction of requests that re-submit a popular document (0 = legacy rotating corpus)")
+	format := flag.String("format", "html", "report format to request (html, json, sarif, baseline, fixed)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
+	if *repeat < 0 || *repeat > 1 {
+		fmt.Fprintf(os.Stderr, "weblint-siege: -repeat must be in [0,1]\n")
+		os.Exit(2)
+	}
 
 	var levels []int
 	for _, s := range strings.Split(*connsFlag, ",") {
@@ -78,32 +110,34 @@ func main() {
 		levels = append(levels, n)
 	}
 
-	// A small rotating corpus: enough variety that responses differ,
-	// deterministic so two siege runs are comparable.
+	// The request schedule is precomputed and deterministic, so two
+	// siege runs are comparable. With -repeat 0 it is the legacy small
+	// rotating corpus; otherwise buildSchedule mixes zipf-weighted
+	// popular documents with unique ones at the requested ratio.
 	const corpusDocs = 16
-	docs := make([]string, corpusDocs)
-	for i := range docs {
-		docs[i] = corpus.GenerateSized(int64(i+1), *docBytes, corpus.Uniform(*errorRate))
-	}
+	docs := buildSchedule(corpusDocs, *docBytes, *errorRate, *repeat, *requests)
 
 	client := &http.Client{Timeout: *timeout}
 	rep := report{
-		Benchmark:  "gateway-siege",
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		Gomaxprocs: runtime.GOMAXPROCS(0),
-		Target:     *target,
-		DocBytes:   *docBytes,
-		Docs:       corpusDocs,
+		Benchmark:   "gateway-siege",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		Target:      *target,
+		DocBytes:    *docBytes,
+		Docs:        corpusDocs,
+		RepeatRatio: *repeat,
+		Format:      *format,
 	}
 
 	for _, conns := range levels {
-		res := siege(client, *target, docs, conns, *requests)
+		res := siege(client, *target, docs, conns, *requests, *format)
 		rep.Results = append(rep.Results, res)
 		fmt.Fprintf(os.Stderr,
-			"conns=%-3d ok=%-4d 429=%-4d 504=%-4d err=%-3d p50=%.1fms p99=%.1fms %.1f req/s\n",
+			"conns=%-3d ok=%-4d 429=%-4d 504=%-4d err=%-3d p50=%.1fms p99=%.1fms %.1f req/s hit-rate=%.2f hit-p50=%.2fms miss-p50=%.2fms\n",
 			conns, res.OK, res.Rejected429, res.DeadlineExceeded,
-			res.TransportErrors+res.OtherStatus, res.P50Ms, res.P99Ms, res.ThroughputRPS)
+			res.TransportErrors+res.OtherStatus, res.P50Ms, res.P99Ms, res.ThroughputRPS,
+			res.CacheHitRate, res.HitP50Ms, res.MissP50Ms)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -122,11 +156,43 @@ func main() {
 	}
 }
 
+// buildSchedule generates the request schedule. ratio 0 keeps the
+// legacy behaviour: a small rotating corpus of corpusDocs documents
+// that workers index round-robin. A positive ratio produces one
+// document per request: with probability ratio a popular document
+// (zipf-weighted over the corpus, so a few documents dominate the
+// repeats the way real traffic does), otherwise a unique document
+// seen exactly once. Everything is seeded, so the schedule — and the
+// achievable hit rate — is identical across runs.
+func buildSchedule(corpusDocs, docBytes int, errorRate, ratio float64, total int) []string {
+	popular := make([]string, corpusDocs)
+	for i := range popular {
+		popular[i] = corpus.GenerateSized(int64(i+1), docBytes, corpus.Uniform(errorRate))
+	}
+	if ratio == 0 {
+		return popular
+	}
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(corpusDocs-1))
+	docs := make([]string, total)
+	for i := range docs {
+		if rng.Float64() < ratio {
+			docs[i] = popular[zipf.Uint64()]
+		} else {
+			// Unique documents get seeds far from the popular set.
+			docs[i] = corpus.GenerateSized(int64(1000+i), docBytes, corpus.Uniform(errorRate))
+		}
+	}
+	return docs
+}
+
 // siege fires total requests at the gateway from conns workers and
-// classifies every outcome.
-func siege(client *http.Client, target string, docs []string, conns, total int) levelResult {
+// classifies every outcome, splitting latencies by the gateway's
+// cache disposition when the X-Weblint-Cache header is present.
+func siege(client *http.Client, target string, docs []string, conns, total int, format string) levelResult {
 	res := levelResult{Conns: conns, Requests: total}
 	latencies := make([]time.Duration, total)
+	classes := make([]byte, total) // 'h'it, 'm'iss, 'c'oalesced, 0 = uncached/error
 
 	var next atomic.Int64
 	var ok, rejected, deadline, other, transport atomic.Int64
@@ -141,9 +207,9 @@ func siege(client *http.Client, target string, docs []string, conns, total int) 
 				if i >= total {
 					return
 				}
-				form := url.Values{"html": {docs[i%len(docs)]}}
+				body, contentType := multipartSubmission(docs[i%len(docs)], format)
 				t0 := time.Now()
-				resp, err := client.PostForm(target, form)
+				resp, err := client.Post(target, contentType, bytes.NewReader(body))
 				latencies[i] = time.Since(t0)
 				if err != nil {
 					transport.Add(1)
@@ -152,6 +218,14 @@ func siege(client *http.Client, target string, docs []string, conns, total int) 
 				// Drain so the connection is reused.
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				switch resp.Header.Get("X-Weblint-Cache") {
+				case "hit":
+					classes[i] = 'h'
+				case "miss":
+					classes[i] = 'm'
+				case "coalesced":
+					classes[i] = 'c'
+				}
 				switch resp.StatusCode {
 				case http.StatusOK:
 					ok.Add(1)
@@ -175,6 +249,25 @@ func siege(client *http.Client, target string, docs []string, conns, total int) 
 	res.TransportErrors = transport.Load()
 	res.ThroughputRPS = float64(total) / elapsed.Seconds()
 
+	var hitLat, missLat []time.Duration
+	for i, c := range classes {
+		switch c {
+		case 'h':
+			res.CacheHits++
+			hitLat = append(hitLat, latencies[i])
+		case 'm':
+			res.CacheMisses++
+			missLat = append(missLat, latencies[i])
+		case 'c':
+			res.CacheCoalesced++
+		}
+	}
+	if cached := res.CacheHits + res.CacheMisses + res.CacheCoalesced; cached > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(cached)
+	}
+	res.HitP50Ms = p50ms(hitLat)
+	res.MissP50Ms = p50ms(missLat)
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) float64 {
 		idx := int(p * float64(len(latencies)-1))
@@ -184,4 +277,41 @@ func siege(client *http.Client, target string, docs []string, conns, total int) 
 	res.P99Ms = pct(0.99)
 	res.MaxMs = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
 	return res
+}
+
+// multipartSubmission encodes one document as a multipart file-upload
+// request body (the gateway's upload field, plus the format field when
+// one is requested). Upload is the transport the siege measures the
+// gateway through: unlike a url-encoded paste it ships the document
+// bytes verbatim, so latency numbers reflect lint and cache work, not
+// percent-encoding on both ends.
+func multipartSubmission(doc, format string) (body []byte, contentType string) {
+	var b bytes.Buffer
+	w := multipart.NewWriter(&b)
+	fw, err := w.CreateFormFile("upload", "siege.html")
+	if err == nil {
+		_, err = io.WriteString(fw, doc)
+	}
+	if err == nil && format != "" && format != "html" {
+		err = w.WriteField("format", format)
+	}
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// Purely in-memory encoding: the only failures are programming
+		// errors, which should stop the run loudly.
+		panic(err)
+	}
+	return b.Bytes(), w.FormDataContentType()
+}
+
+// p50ms returns the median of lat in milliseconds (0 for an empty
+// class, which the report reads as "no such responses").
+func p50ms(lat []time.Duration) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return float64(lat[len(lat)/2]) / float64(time.Millisecond)
 }

@@ -81,6 +81,40 @@ type cli struct {
 	baseline       string
 	baselineWrite  string
 	baselineUpdate string
+
+	// walkSrc resolves message paths to document text for baseline
+	// fingerprinting; set only when a baseline flag is active.
+	walkSrc *walkSource
+}
+
+// walkSource resolves message file paths for baseline fingerprinting
+// on runs that include -R site walks. Sitewalk emits each page's File
+// as a root-relative slash path, which the plain FileSource can only
+// read when the walk root happens to be the working directory — from
+// anywhere else every lookup missed, contexts came back empty, and
+// same-rule findings across a file collapsed onto one weak
+// fingerprint. Each walk registers its root before walking; resolution
+// tries the path as given first (plain file arguments), then joined
+// onto each registered root.
+type walkSource struct {
+	inner baseline.SourceFunc
+	roots []string
+}
+
+func newWalkSource() *walkSource { return &walkSource{inner: baseline.FileSource()} }
+
+func (s *walkSource) addRoot(root string) { s.roots = append(s.roots, root) }
+
+func (s *walkSource) source(file string) (string, bool) {
+	if src, ok := s.inner(file); ok {
+		return src, true
+	}
+	for _, root := range s.roots {
+		if src, ok := s.inner(filepath.Join(root, filepath.FromSlash(file))); ok {
+			return src, true
+		}
+	}
+	return "", false
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -189,12 +223,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "weblint: %v\n", err)
 			return 2
 		}
-		filter = baseline.NewFilter(base, sink, baseline.FileSource())
+		c.walkSrc = newWalkSource()
+		filter = baseline.NewFilter(base, sink, c.walkSrc.source)
 		sink = filter
 	}
 	var rec *baseline.Recorder
 	if c.baselineWrite != "" {
-		rec = baseline.NewRecorder(sink, baseline.FileSource())
+		c.walkSrc = newWalkSource()
+		rec = baseline.NewRecorder(sink, c.walkSrc.source)
 		sink = rec
 	}
 
@@ -492,6 +528,11 @@ func checkArgs(c *cli, files []string, linter *lint.Linter, stdin io.Reader, sin
 				}
 				// The walk streams directly: page messages as each
 				// page's turn comes up, site-level messages at the end.
+				// Pages are reported root-relative; the baseline source
+				// needs the root to find their text on disk.
+				if c.walkSrc != nil {
+					c.walkSrc.addRoot(arg)
+				}
 				rep, err := sitewalk.Walk(arg, sitewalk.Options{
 					Linter: linter, Workers: c.jobs, Sink: sink,
 				})

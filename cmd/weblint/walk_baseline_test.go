@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"weblint/internal/baseline"
+)
+
+// walkSitePage has two img-alt findings in distinct contexts: with
+// proper context extraction they record as two fingerprints; resolved
+// with an empty context (the pre-fix behaviour whenever the walk root
+// was not the working directory) they collapse onto one.
+const walkSitePage = `<!DOCTYPE HTML PUBLIC "-//W3C//DTD HTML 4.0//EN">
+<HTML><HEAD><TITLE>t</TITLE>
+<META NAME="description" CONTENT="d"><META NAME="keywords" CONTENT="k">
+</HEAD>
+<BODY>
+%s<P>first illustration <IMG SRC="one.gif"> here
+<P>second illustration <IMG SRC="two.gif"> there
+</BODY></HTML>
+`
+
+// writeWalkSite builds a two-page site whose only findings are four
+// img-alt warnings (two per page, each in a distinct context). The
+// image targets exist so bad-link stays quiet, the sub page is an
+// index file reached from the root page so the site-level
+// no-index-file and orphan-page checks stay quiet too.
+func writeWalkSite(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	root := strings.Replace(walkSitePage, "%s", "<P>see the <A HREF=\"sub/\">sub site</A>\n", 1)
+	sub := strings.Replace(walkSitePage, "%s", "", 1)
+	files := map[string]string{
+		"index.html":     root,
+		"sub/index.html": sub,
+		"one.gif":        "gif",
+		"two.gif":        "gif",
+		"sub/one.gif":    "gif",
+		"sub/two.gif":    "gif",
+	}
+	for path, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, filepath.FromSlash(path)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestWalkBaselineRecordsStrongFingerprints: -baseline-write on a -R
+// walk, run from outside the site root, must resolve each page's text
+// for context extraction. The tell is fingerprint granularity: two
+// same-rule findings in one page stay distinct (count 1 each) instead
+// of collapsing onto a single context-free fingerprint (count 2).
+func TestWalkBaselineRecordsStrongFingerprints(t *testing.T) {
+	site := writeWalkSite(t)
+	basePath := filepath.Join(t.TempDir(), "site-baseline.json")
+
+	code, _, stderr := runCLI(t, "", "-norc", "-R", "-baseline-write", basePath, site)
+	if code != 0 {
+		t.Fatalf("walk baseline-write exit = %d, stderr=%q", code, stderr)
+	}
+
+	base, err := baseline.Load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pages × two img-alt findings, all in distinct contexts.
+	if len(base.Findings) != 4 {
+		t.Fatalf("recorded %d fingerprints, want 4 distinct: %v", len(base.Findings), base.Findings)
+	}
+	for fp, n := range base.Findings {
+		if n != 1 {
+			t.Fatalf("fingerprint %s has count %d: findings collapsed, context extraction failed", fp, n)
+		}
+	}
+}
+
+// TestWalkBaselineDiffCycle: the full CI loop over a site walk —
+// record, clean re-run, then a regression fails with only the new
+// finding reported.
+func TestWalkBaselineDiffCycle(t *testing.T) {
+	site := writeWalkSite(t)
+	basePath := filepath.Join(t.TempDir(), "site-baseline.json")
+
+	if code, _, stderr := runCLI(t, "", "-norc", "-R", "-baseline-write", basePath, site); code != 0 {
+		t.Fatalf("record exit = %d, stderr=%q", code, stderr)
+	}
+
+	code, out, stderr := runCLI(t, "", "-norc", "-R", "-baseline", basePath, site)
+	if code != 0 {
+		t.Fatalf("unchanged site exit = %d, stderr=%q out=%q", code, stderr, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("unchanged site rendered output:\n%s", out)
+	}
+
+	// Inject one new finding into the subdirectory page.
+	sub := strings.Replace(walkSitePage, "%s", "", 1)
+	injected := strings.Replace(sub, "</BODY>",
+		"<P>third illustration <IMG SRC=\"three.gif\"> everywhere\n</BODY>", 1)
+	for path, body := range map[string]string{"sub/index.html": injected, "sub/three.gif": "gif"} {
+		if err := os.WriteFile(filepath.Join(site, filepath.FromSlash(path)), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, out, _ = runCLI(t, "", "-norc", "-R", "-t", "-baseline", basePath, site)
+	if code != 1 {
+		t.Fatalf("regressed site exit = %d, want 1; out=%q", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "img-alt") {
+		t.Errorf("want exactly the one new img-alt finding, got:\n%s", out)
+	}
+}

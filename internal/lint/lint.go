@@ -13,10 +13,14 @@ package lint
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +70,7 @@ type Linter struct {
 	catalog  warn.Catalog
 	coreOpts core.Options
 	client   *http.Client
+	fp       string
 
 	states sync.Pool // of *checkState
 }
@@ -140,7 +145,7 @@ func New(o Options) (*Linter, error) {
 		plugins = append(plugins, csslint.Checker{})
 	}
 
-	return &Linter{
+	l := &Linter{
 		set:     set,
 		catalog: catalog,
 		spec:    spec,
@@ -155,8 +160,53 @@ func New(o Options) (*Linter, error) {
 			Plugins:                   plugins,
 		},
 		client: client,
-	}, nil
+	}
+	l.fp = fingerprintConfig(s, o, spec, set, plugins)
+	return l, nil
 }
+
+// fingerprintConfig digests every input that can change a check's
+// findings into a stable hex string. Two linters with equal
+// fingerprints produce identical finding streams for identical input;
+// the gateway's result cache leans on exactly that, so anything new
+// that alters behaviour — an option, a settings knob, a plugin — must
+// be folded in here. Same fingerprint discipline as internal/baseline:
+// hash a canonical, delimited rendering, never a formatted struct.
+func fingerprintConfig(s *config.Settings, o Options, spec *htmlspec.Spec, set *warn.Set, plugins []plugin.ContentChecker) string {
+	h := sha256.New()
+	field := func(parts ...string) {
+		for _, p := range parts {
+			io.WriteString(h, p)
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{1})
+	}
+	field("weblint-config-v1")
+	field("spec", spec.Version)
+	exts := append([]string(nil), s.Extensions...)
+	sort.Strings(exts)
+	field(append([]string{"extensions"}, exts...)...)
+	field(append([]string{"enabled"}, set.EnabledIDs()...)...)
+	field("locale", s.Locale)
+	field("tagcase", s.TagCase, "attrcase", s.AttrCase)
+	field("titlelength", strconv.Itoa(s.TitleLength))
+	field(append([]string{"herewords"}, s.HereWords...)...)
+	field("cascade-off", strconv.FormatBool(o.DisableCascadeSuppression))
+	field("impliedclose-off", strconv.FormatBool(o.DisableImpliedClose))
+	names := make([]string, 0, len(plugins))
+	for _, p := range plugins {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	field(append([]string{"plugins"}, names...)...)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConfigFingerprint returns a stable content hash of the linter's
+// effective configuration: HTML version, extensions, enabled warning
+// set, locale, style knobs, ablation switches, and plugin names.
+// Linters with equal fingerprints are interchangeable for caching.
+func (l *Linter) ConfigFingerprint() string { return l.fp }
 
 // MustNew is New for callers with known-good options; it panics on
 // error and is intended for tests and examples.

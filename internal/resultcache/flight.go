@@ -1,0 +1,77 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Group collapses concurrent duplicate work: when N submissions with
+// the same Key arrive together, one caller (the leader) runs the
+// computation — paying one admission slot, one lint — and the rest
+// wait for its result. This is what makes a thundering herd of
+// identical CI submissions cost one slot in the gateway's limiter
+// instead of N.
+//
+// Cancellation is per-caller: a follower whose own context dies stops
+// waiting and returns its context's error without disturbing the
+// flight. If the *leader* is cancelled (its client hung up), its
+// context error is not inherited by followers — the flight is retired
+// and a waiting follower loops around to become the new leader, so one
+// impatient client cannot poison everyone behind it. Non-cancellation
+// leader errors (saturation, lint budget, faults) are shared: every
+// waiter fails the same way, which is exactly what would have happened
+// had they each run alone, minus the duplicate work.
+type Group struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewGroup returns an empty singleflight group.
+func NewGroup() *Group {
+	return &Group{flights: make(map[Key]*flight)}
+}
+
+// Do returns the result of fn for key, collapsing concurrent calls:
+// at most one fn runs per key at a time. shared reports whether this
+// caller received a leader's outcome rather than running fn itself —
+// the gateway surfaces it as X-Weblint-Cache: coalesced.
+//
+// fn must honour ctx; Do does not interrupt a running fn.
+func (g *Group) Do(ctx context.Context, key Key, fn func() (*Result, error)) (res *Result, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if f := g.flights[key]; f != nil {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+			if f.err != nil && errors.Is(f.err, context.Canceled) {
+				// The leader's client hung up; its cancellation is not
+				// ours. Loop: either a new flight exists to join, or
+				// this caller becomes the leader.
+				continue
+			}
+			return f.res, true, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		g.flights[key] = f
+		g.mu.Unlock()
+
+		f.res, f.err = fn()
+
+		g.mu.Lock()
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+		return f.res, false, f.err
+	}
+}

@@ -1,0 +1,85 @@
+package warn
+
+import "sync"
+
+// RuleTally accumulates per-rule fired and suppressed counts across
+// many checks — the gateway hangs one off its metrics surface so
+// /metrics can answer "which rules fire most across the fleet" and
+// "which rules do authors suppress", the operational signal a rule
+// pack lives or dies by. It is a pass-through sink stage: wrap the
+// next sink with Sink and every message and suppression observation is
+// counted on the way through.
+type RuleTally struct {
+	mu         sync.Mutex
+	fired      map[string]int64
+	suppressed map[string]int64
+}
+
+// NewRuleTally returns an empty tally.
+func NewRuleTally() *RuleTally {
+	return &RuleTally{
+		fired:      make(map[string]int64),
+		suppressed: make(map[string]int64),
+	}
+}
+
+// Sink returns a counting pass-through stage in front of next. The
+// stage forwards ObserveSuppressed downstream, so it composes with
+// Summary and the baseline sinks in either order.
+func (t *RuleTally) Sink(next Sink) Sink {
+	return &tallySink{tally: t, next: next}
+}
+
+// Add counts one fired emission of id. Exposed for replay paths that
+// bypass a sink chain.
+func (t *RuleTally) Add(id string) {
+	t.mu.Lock()
+	t.fired[id]++
+	t.mu.Unlock()
+}
+
+// AddSuppressed counts one suppressed emission of id.
+func (t *RuleTally) AddSuppressed(id string) {
+	t.mu.Lock()
+	t.suppressed[id]++
+	t.mu.Unlock()
+}
+
+// Fired returns a snapshot of per-rule fired counts.
+func (t *RuleTally) Fired() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyTally(t.fired)
+}
+
+// Suppressed returns a snapshot of per-rule suppressed counts.
+func (t *RuleTally) Suppressed() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyTally(t.suppressed)
+}
+
+func copyTally(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+type tallySink struct {
+	tally *RuleTally
+	next  Sink
+}
+
+func (s *tallySink) Write(m Message) bool {
+	s.tally.Add(m.ID)
+	return s.next.Write(m)
+}
+
+func (s *tallySink) ObserveSuppressed(id string) {
+	s.tally.AddSuppressed(id)
+	if o, ok := s.next.(SuppressionObserver); ok {
+		o.ObserveSuppressed(id)
+	}
+}

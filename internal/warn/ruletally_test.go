@@ -1,0 +1,57 @@
+package warn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRuleTallyCountsThroughChain(t *testing.T) {
+	tally := NewRuleTally()
+	var rec Recorder
+	sink := tally.Sink(&rec)
+
+	sink.Write(Message{ID: "img-alt"})
+	sink.Write(Message{ID: "img-alt"})
+	sink.Write(Message{ID: "heading-order"})
+	sink.(SuppressionObserver).ObserveSuppressed("upper-case")
+
+	fired := tally.Fired()
+	if fired["img-alt"] != 2 || fired["heading-order"] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if got := tally.Suppressed(); got["upper-case"] != 1 {
+		t.Fatalf("suppressed = %v", got)
+	}
+	// Pass-through: downstream saw everything.
+	if len(rec.Messages) != 3 || len(rec.SuppressedIDs) != 1 {
+		t.Fatalf("downstream saw %d msgs / %d suppressions", len(rec.Messages), len(rec.SuppressedIDs))
+	}
+	// Snapshots are copies, not views.
+	fired["img-alt"] = 99
+	if tally.Fired()["img-alt"] != 2 {
+		t.Fatal("Fired returned a live reference")
+	}
+}
+
+func TestRuleTallyConcurrent(t *testing.T) {
+	tally := NewRuleTally()
+	sink := tally.Sink(SinkFunc(func(Message) bool { return true }))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				sink.Write(Message{ID: "img-alt"})
+				sink.(SuppressionObserver).ObserveSuppressed("upper-case")
+			}
+		}()
+	}
+	wg.Wait()
+	if n := tally.Fired()["img-alt"]; n != 2000 {
+		t.Fatalf("fired = %d, want 2000", n)
+	}
+	if n := tally.Suppressed()["upper-case"]; n != 2000 {
+		t.Fatalf("suppressed = %d, want 2000", n)
+	}
+}
