@@ -589,3 +589,22 @@ func BenchmarkE13TokenizerCorpus(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE13ErrorDense is the scaling-fix sentinel: a 1 MiB
+// error-rate-0.25 corpus document, the workload whose per-byte cost
+// used to double with document size before the monotone line cursors
+// and O(1) stack bookkeeping (see weblint-bench -e e13 for the full
+// size curve). Pre-fix this ran ~49 ms/op at ~25 MB/s; post-fix
+// ~23 ms/op at ~53 MB/s.
+func BenchmarkE13ErrorDense(b *testing.B) {
+	l := lint.MustNew(lint.Options{})
+	src := corpus.GenerateSized(7, 1<<20, corpus.Uniform(0.25))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if msgs := l.CheckString("dense.html", src); len(msgs) == 0 {
+			b.Fatal("error-dense corpus produced no messages")
+		}
+	}
+}

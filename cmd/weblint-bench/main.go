@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -61,11 +62,52 @@ var paperMessages = []string{
 }
 
 func main() {
-	which := flag.String("e", "all", "experiment to run (e1..e12 or all)")
-	flag.StringVar(&jsonPath, "json", "", "write e12 results as JSON to this path")
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile writers flush before the
+// process exits with e13's curve-bend failure code.
+func run() int {
+	which := flag.String("e", "all", "experiment to run (e1..e13 or all)")
+	flag.StringVar(&jsonPath, "json", "", "write e12/e13 results as JSON to this path")
 	flag.IntVar(&corpusMB, "corpus-mb", 8, "e12: synthetic corpus size in MB")
 	flag.IntVar(&totalMB, "total-mb", 64, "e12: bytes to push through the tokenizer per row, in MB")
+	flag.Float64Var(&scalingRate, "scaling-rate", 0.25, "e13: injected error rate for the scaling corpus")
+	flag.Float64Var(&scalingMaxRatio, "scaling-max-ratio", 1.30,
+		"e13: fail when per-byte lint cost grows more than this across one 4x size step")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			}
+		}()
+	}
 
 	experiments := []struct {
 		id   string
@@ -84,6 +126,7 @@ func main() {
 		{"e10", "hot-path scaling (raw text + parallel gateway)", e10},
 		{"e11", "batch engine corpus throughput", e11},
 		{"e12", "tokenizer corpus throughput (BENCH_tokenizer.json)", e12},
+		{"e13", "lint scaling curve on error-dense corpus (BENCH_scaling.json)", e13},
 	}
 
 	ran := 0
@@ -98,8 +141,12 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "weblint-bench: unknown experiment %q\n", *which)
-		os.Exit(2)
+		return 2
 	}
+	if scalingFailed {
+		return 1
+	}
+	return 0
 }
 
 func e1() {
@@ -550,6 +597,130 @@ func tokenizeRounds(docs []string, mk func() streamTokenizer, workers int, round
 	}
 	wg.Wait()
 	return time.Since(start)
+}
+
+// e13 configuration and outcome, set from flags / read by run.
+var (
+	scalingRate     float64
+	scalingMaxRatio float64
+	scalingFailed   bool
+)
+
+// scalingResult is one size row of BENCH_scaling.json.
+type scalingResult struct {
+	Bytes    int     `json:"bytes"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	UsPerKiB float64 `json:"us_per_kib"`
+	MBPerSec float64 `json:"mb_per_s"`
+	Messages int     `json:"messages"`
+}
+
+// scalingRatio is the per-byte cost growth across one size step.
+type scalingRatio struct {
+	FromBytes    int     `json:"from_bytes"`
+	ToBytes      int     `json:"to_bytes"`
+	PerByteRatio float64 `json:"per_byte_ratio"`
+}
+
+// scalingReport is the BENCH_scaling.json document.
+type scalingReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Date       string          `json:"date"`
+	GoVersion  string          `json:"go_version"`
+	ErrorRate  float64         `json:"error_rate"`
+	Results    []scalingResult `json:"results"`
+	Ratios     []scalingRatio  `json:"ratios"`
+	MaxRatio   float64         `json:"max_ratio"`
+	RatioLimit float64         `json:"ratio_limit"`
+	Pass       bool            `json:"pass"`
+}
+
+// e13 is the scaling-regression guard: it lints the same error-dense
+// corpus shape at 64 KiB / 256 KiB / 1 MiB / 4 MiB and computes the
+// per-byte cost ratio across each 4x size step. A linear checker holds
+// the ratio near 1.0; the pre-fix checker's per-finding rescans bent
+// the curve to ~2.2x per step at error rate 0.25. The run FAILS (exit
+// 1) when any step exceeds -scaling-max-ratio, so a reintroduced
+// superlinear path cannot land quietly. -json writes BENCH_scaling.json.
+func e13() {
+	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	l := lint.MustNew(lint.Options{})
+	report := scalingReport{
+		Benchmark:  "lint-scaling-error-dense",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		ErrorRate:  scalingRate,
+		RatioLimit: scalingMaxRatio,
+	}
+
+	fmt.Printf("error rate %.2f, per-byte cost across 4x size steps (limit %.2fx/step)\n",
+		scalingRate, scalingMaxRatio)
+	fmt.Printf("%-10s %14s %12s %12s %10s\n", "size", "time/doc", "µs/KiB", "MB/s", "messages")
+	for _, size := range sizes {
+		src := corpus.GenerateSized(7, size, corpus.Uniform(scalingRate))
+		msgs := len(l.CheckString("g.html", src))
+		// Equal-bytes budget per row: every size lints ~32 MiB total,
+		// so small-document rows average over many iterations.
+		iters := (32 << 20) / len(src)
+		if iters < 3 {
+			iters = 3
+		}
+		// Warm the pools before timing.
+		l.CheckString("g.html", src)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			l.CheckString("g.html", src)
+		}
+		per := time.Since(start) / time.Duration(iters)
+		kib := float64(len(src)) / 1024
+		report.Results = append(report.Results, scalingResult{
+			Bytes:    len(src),
+			NsPerOp:  per.Nanoseconds(),
+			UsPerKiB: float64(per.Microseconds()) / kib,
+			MBPerSec: float64(len(src)) / per.Seconds() / 1e6,
+			Messages: msgs,
+		})
+		r := report.Results[len(report.Results)-1]
+		fmt.Printf("%-10s %14s %12.2f %12.1f %10d\n",
+			fmt.Sprintf("%d KiB", size>>10), per.Round(time.Microsecond), r.UsPerKiB, r.MBPerSec, msgs)
+	}
+
+	report.Pass = true
+	for i := 1; i < len(report.Results); i++ {
+		prev, cur := report.Results[i-1], report.Results[i]
+		ratio := cur.UsPerKiB / prev.UsPerKiB
+		report.Ratios = append(report.Ratios, scalingRatio{
+			FromBytes: prev.Bytes, ToBytes: cur.Bytes, PerByteRatio: ratio,
+		})
+		if ratio > report.MaxRatio {
+			report.MaxRatio = ratio
+		}
+		status := "ok"
+		if ratio > scalingMaxRatio {
+			report.Pass = false
+			status = "CURVE BENT"
+		}
+		fmt.Printf("per-byte ratio %4d KiB -> %4d KiB: %.2fx  [%s]\n",
+			prev.Bytes>>10, cur.Bytes>>10, ratio, status)
+	}
+	if !report.Pass {
+		fmt.Printf("FAIL: per-byte lint cost grew more than %.2fx across a size step — superlinear path reintroduced\n",
+			scalingMaxRatio)
+		scalingFailed = true
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 }
 
 func countMessages(src string, ablate bool) int {

@@ -27,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -63,6 +65,8 @@ func main() {
 	cacheOff := flag.Bool("cache-off", false,
 		"disable the result cache and singleflight dedupe (every submission lints)")
 	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this SEPARATE address (e.g. 127.0.0.1:8018); empty disables profiling entirely")
 	flag.Parse()
 
 	settings := config.NewSettings()
@@ -98,6 +102,15 @@ func main() {
 		h.Metrics.ObserveState(h.Limiter, h.Cache)
 	}
 
+	if *pprofAddr != "" {
+		ln, err := startPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "weblint-gateway: pprof listener: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("pprof profiling on http://%s/debug/pprof/ (keep this address private)", ln.Addr())
+	}
+
 	health := &serve.Health{}
 	srv := &serve.Server{
 		HTTP: &http.Server{
@@ -123,4 +136,27 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("weblint-gateway: %v", err)
 	}
+}
+
+// startPprof serves the net/http/pprof handlers on their own listener,
+// on their own mux — never on the public gateway mux, so production
+// flamegraphs are opt-in (-pprof-addr, typically loopback) and the
+// default deployment exposes no profiling surface at all.
+func startPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("weblint-gateway: pprof server: %v", err)
+		}
+	}()
+	return ln, nil
 }

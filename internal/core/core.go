@@ -70,6 +70,12 @@ type open struct {
 	info    *htmlspec.ElementInfo // nil for unknown elements
 	content bool                  // element has direct content
 	text    []byte                // accumulated text (TITLE, A); reused
+	// prevSame chains same-named entries: while the entry is on the
+	// main stack it is the stack index of the next-deeper element with
+	// this name (-1 for none; see Checker.openTop), and after a move to
+	// the secondary stack it is rewritten to the analogous pending
+	// index (see Checker.pendingTop).
+	prevSame int
 }
 
 // requiresClose reports whether popping this element without its close
@@ -92,6 +98,23 @@ type Checker struct {
 
 	stack   []*open
 	pending []*open // the secondary stack of unresolved tags
+
+	// openTop maps an element name to the stack index of its nearest
+	// open instance, or -1; open.prevSame chains to the instance below.
+	// It makes inElement and the end-tag match lookup O(1) — per-close
+	// stack scans were superlinear on error-dense documents whose
+	// unclosed containers pile the stack deep. Maintained by pushOpen
+	// and truncateStack, which every stack mutation must go through.
+	openTop map[string]int
+	// pendingTop is the same chain over the secondary stack. Resolved
+	// entries are nil-marked in pending instead of deleted — the
+	// mid-slice delete per resolved close was quadratic under
+	// close-tag storms.
+	pendingTop map[string]int
+	// accum holds the stack indices (ascending) of the open elements
+	// that accumulate text content (TITLE, A, headings), so text
+	// tokens append to the nearest one without scanning the stack.
+	accum []int
 
 	// slab backs the open entries pointed at by stack and pending.
 	// Entries are handed out in document order and recycled wholesale
@@ -177,11 +200,13 @@ type Checker struct {
 // New returns a Checker which reports through em.
 func New(em *warn.Emitter, opts Options) *Checker {
 	c := &Checker{
-		seenOnce:  map[string]int{},
-		ids:       map[string]int{},
-		anchors:   map[string]int{},
-		metaNames: map[string]bool{},
-		attrSeen:  map[string]*htmltoken.Attr{},
+		seenOnce:   map[string]int{},
+		ids:        map[string]int{},
+		anchors:    map[string]int{},
+		metaNames:  map[string]bool{},
+		attrSeen:   map[string]*htmltoken.Attr{},
+		openTop:    map[string]int{},
+		pendingTop: map[string]int{},
 	}
 	c.Reset(em, opts)
 	return c
@@ -204,6 +229,9 @@ func (c *Checker) Reset(em *warn.Emitter, opts Options) {
 	c.file = file
 	c.stack = c.stack[:0]
 	c.pending = c.pending[:0]
+	c.accum = c.accum[:0]
+	clear(c.openTop)
+	clear(c.pendingTop)
 	c.slab = c.slab[:0]
 	c.firstElement = false
 	c.doctypeSeen = false
@@ -244,9 +272,12 @@ func (c *Checker) Release() {
 	clear(c.anchors)
 	clear(c.metaNames)
 	clear(c.attrSeen)
+	clear(c.openTop)
+	clear(c.pendingTop)
 	c.lastHeadingName = ""
 	c.stack = c.stack[:0]
 	c.pending = c.pending[:0]
+	c.accum = c.accum[:0]
 	slab := c.slab[:cap(c.slab)]
 	for i := range slab {
 		slab[i] = open{text: slab[i].text[:0]}
@@ -470,15 +501,69 @@ func (c *Checker) top() *open {
 	return c.stack[len(c.stack)-1]
 }
 
-// inElement reports whether an element with the given lower-case name
-// is open on the main stack.
+// inElement returns the nearest open element with the given lower-case
+// name on the main stack, or nil. One map probe, not a stack scan.
 func (c *Checker) inElement(name string) *open {
-	for i := len(c.stack) - 1; i >= 0; i-- {
-		if c.stack[i].name == name {
-			return c.stack[i]
-		}
+	if i, ok := c.openTop[name]; ok && i >= 0 {
+		return c.stack[i]
 	}
 	return nil
+}
+
+// pushOpen pushes an element onto the main stack, threading the
+// openTop same-name chain and the accumulating-element index stack.
+func (c *Checker) pushOpen(o *open) {
+	idx := len(c.stack)
+	prev, ok := c.openTop[o.name]
+	if !ok {
+		prev = -1
+	}
+	o.prevSame = prev
+	c.openTop[o.name] = idx
+	c.stack = append(c.stack, o)
+	if o.name == "title" || o.name == "a" || headingLevel(o.name) > 0 {
+		c.accum = append(c.accum, idx)
+	}
+}
+
+// truncateStack pops the main stack down to n entries, unwinding the
+// openTop chains and the accum indices for everything popped. Every
+// stack truncation must go through here so the indexes stay exact.
+func (c *Checker) truncateStack(n int) {
+	for i := len(c.stack) - 1; i >= n; i-- {
+		c.openTop[c.stack[i].name] = c.stack[i].prevSame
+	}
+	c.stack = c.stack[:n]
+	for len(c.accum) > 0 && c.accum[len(c.accum)-1] >= n {
+		c.accum = c.accum[:len(c.accum)-1]
+	}
+}
+
+// pushPending moves o to the secondary stack, threading the
+// pendingTop same-name chain (o has already left the main stack, so
+// its prevSame link is free to reuse).
+func (c *Checker) pushPending(o *open) {
+	prev, ok := c.pendingTop[o.name]
+	if !ok {
+		prev = -1
+	}
+	o.prevSame = prev
+	c.pendingTop[o.name] = len(c.pending)
+	c.pending = append(c.pending, o)
+}
+
+// takePending resolves and returns the most recent secondary-stack
+// entry with the given name, or nil. The slot is nil-marked; order is
+// preserved for Finish without a mid-slice delete.
+func (c *Checker) takePending(name string) *open {
+	i, ok := c.pendingTop[name]
+	if !ok || i < 0 {
+		return nil
+	}
+	o := c.pending[i]
+	c.pendingTop[name] = o.prevSame
+	c.pending[i] = nil
+	return o
 }
 
 // Finish runs the end-of-document checks: unclosed elements left on
@@ -507,14 +592,18 @@ func (c *Checker) Finish() {
 			c.popChecks(o)
 		}
 	}
-	c.stack = c.stack[:0]
+	c.truncateStack(0)
 	for i := len(c.pending) - 1; i >= 0; i-- {
 		o := c.pending[i]
+		if o == nil {
+			continue // already resolved by its own close tag
+		}
 		if o.requiresClose() {
 			c.emit("unclosed-element", c.lastLine, o.display, o.display, o.line)
 		}
 	}
 	c.pending = c.pending[:0]
+	clear(c.pendingTop)
 
 	if !c.seenHTML {
 		c.emit("html-outer", 1)

@@ -39,13 +39,11 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 		return
 	}
 
-	// Find the matching open element on the main stack.
+	// Find the matching open element on the main stack: one openTop
+	// probe instead of a per-close stack scan.
 	idx := -1
-	for i := len(c.stack) - 1; i >= 0; i-- {
-		if c.stack[i].name == name {
-			idx = i
-			break
-		}
+	if i, ok := c.openTop[name]; ok {
+		idx = i
 	}
 
 	if idx < 0 {
@@ -55,7 +53,7 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 
 	intervening := c.stack[idx+1:]
 	matched := c.stack[idx]
-	c.stack = c.stack[:idx]
+	c.truncateStack(idx)
 	// Everything from idx up is leaving the stack at this tag; a HEAD
 	// among them marks where head-only content can still be inserted.
 	c.noteHeadPop(matched, tok.Offset)
@@ -114,7 +112,7 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 			c.emitFix("unclosed-element", tok.Line, fix, o.display, o.display, o.line)
 		} else {
 			c.emit("element-overlap", tok.Line, display, tok.Line, o.display, o.line)
-			c.pending = append(c.pending, o)
+			c.pushPending(o)
 		}
 	}
 	c.popChecks(matched)
@@ -144,10 +142,8 @@ func (c *Checker) willRewriteEndTag(name string, info *htmlspec.ElementInfo) boo
 			return headingRenameSafe(t)
 		}
 	}
-	for i := range c.pending {
-		if c.pending[i].name == name {
-			return false // resolves a pending overlap silently
-		}
+	if i, ok := c.pendingTop[name]; ok && i >= 0 {
+		return false // resolves a pending overlap silently
 	}
 	return true // unmatched-close deletes the tag
 }
@@ -178,21 +174,19 @@ func (c *Checker) unmatchedClose(tok *htmltoken.Token, name, display string, unk
 				fix = renameCloseFix(tok, t, c.opts.TagCase)
 			}
 			c.emitFix("heading-mismatch", tok.Line, fix, t.display, display)
-			c.stack = c.stack[:len(c.stack)-1]
+			c.truncateStack(len(c.stack) - 1)
 			return
 		}
 	}
 
 	// Tags moved to the secondary stack resolve silently: their
 	// overlap has already been reported. Content checks (anchor
-	// text, title length) still run on resolution.
-	for i := len(c.pending) - 1; i >= 0; i-- {
-		if c.pending[i].name == name {
-			o := c.pending[i]
-			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			c.popChecks(o)
-			return
-		}
+	// text, title length) still run on resolution. takePending
+	// nil-marks the slot — deleting mid-slice here cost a tail copy
+	// per close, quadratic under a close-tag storm.
+	if o := c.takePending(name); o != nil {
+		c.popChecks(o)
+		return
 	}
 
 	if unknown {

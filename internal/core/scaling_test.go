@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metacharRun builds one text run of n lines, each holding a bare '&',
+// a bare '<' metacharacter, and an unknown entity — the shape that
+// made the old per-finding lineOffset rescan quadratic.
+func metacharRun(n int) string {
+	var b strings.Builder
+	b.Grow(n * 32)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "word%d & x < y &bogus%d; tail\n", i, i%7)
+	}
+	return b.String()
+}
+
+// TestMetacharLinesExact pins the line numbers the monotone cursor
+// produces for findings deep inside a single multi-line text run: each
+// of the run's lines must report its own line number, not the run's
+// first line and not an off-by-one.
+func TestMetacharLinesExact(t *testing.T) {
+	const lines = 200
+	src := valid("<P>\n" + metacharRun(lines) + "</P>")
+	msgs := checkAll(t, src, Options{})
+
+	// The run starts on the line after <P>; <P> sits on the 9th line
+	// of the valid() skeleton (body is spliced in at line 9).
+	const runStart = 10
+	gotMeta := map[int]int{}   // line -> metacharacter findings
+	gotEntity := map[int]int{} // line -> unknown-entity findings
+	for _, m := range msgs {
+		switch m.ID {
+		case "metacharacter":
+			gotMeta[m.Line]++
+		case "unknown-entity":
+			gotEntity[m.Line]++
+		}
+	}
+	for i := 0; i < lines; i++ {
+		line := runStart + i
+		if gotMeta[line] != 2 {
+			t.Fatalf("line %d: %d metacharacter findings, want 2 (one '&', one '<')", line, gotMeta[line])
+		}
+		if gotEntity[line] != 1 {
+			t.Fatalf("line %d: %d unknown-entity findings, want 1", line, gotEntity[line])
+		}
+	}
+}
+
+// TestMetacharDenseLinearTime is the scaling regression guard for
+// checkEntities: a 16x bigger error-dense text run must not cost
+// anywhere near 16x more per byte. With the old from-the-top
+// lineOffset rescan per finding the per-byte ratio here was ~16x
+// (quadratic); the monotone cursor holds it near 1x. The threshold is
+// 6x — far above timer noise on a loaded CI box, far below quadratic.
+func TestMetacharDenseLinearTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	perByte := func(nLines int) float64 {
+		src := valid("<P>\n" + metacharRun(nLines) + "</P>")
+		// Warm once, then take the best of 3 to shed scheduler noise.
+		checkAll(t, src, Options{})
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			checkAll(t, src, Options{})
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return float64(best) / float64(len(src))
+	}
+	small := perByte(1 << 10) // ~28 KiB
+	big := perByte(1 << 14)   // ~450 KiB, 16x the lines
+	if ratio := big / small; ratio > 6 {
+		t.Fatalf("per-byte cost grew %.1fx from 1k to 16k error lines (superlinear regression)", ratio)
+	}
+}
+
+// TestCloseTagStorm exercises the pending-stack bookkeeping under a
+// generated storm of overlapping and unmatched close tags: the shape
+// that drove per-close stack scans and mid-slice pending deletions
+// quadratic. It pins the message multiset so the O(1) bookkeeping
+// (openTop/pendingTop chains, nil-marked pending slots) provably
+// reports the same things the linear scans did.
+func TestCloseTagStorm(t *testing.T) {
+	const storms = 300
+	var b strings.Builder
+	for i := 0; i < storms; i++ {
+		// Overlap: </B> arrives while I is open, then </I> matches a
+		// pending entry; plus one close with no open tag at all.
+		b.WriteString("<B><I>x</B></I></TT>\n")
+	}
+	src := valid(b.String())
+	msgs := checkAll(t, src, Options{})
+
+	got := ids(msgs)
+	if got["element-overlap"] != storms {
+		t.Errorf("element-overlap: got %d, want %d", got["element-overlap"], storms)
+	}
+	if got["unmatched-close"] != storms {
+		t.Errorf("unmatched-close: got %d (</TT> storm), want %d", got["unmatched-close"], storms)
+	}
+
+	// Every finding must carry the storm line it happened on.
+	const runStart = 9 // body splice line in valid()
+	for _, m := range msgs {
+		if m.ID != "element-overlap" && m.ID != "unmatched-close" {
+			continue
+		}
+		if m.Line < runStart || m.Line >= runStart+storms {
+			t.Fatalf("%s reported at line %d, outside the storm (%d..%d)",
+				m.ID, m.Line, runStart, runStart+storms-1)
+		}
+	}
+}
+
+// TestDeepUnclosedStack pins behavior for the corpus's dominant
+// pathology: deeply nested elements that never close, so the open
+// stack grows without bound while text keeps accumulating. The openTop
+// map and accum index stack must keep per-token work flat; here we pin
+// correctness (TITLE text still accumulates across the deep stack and
+// the unclosed elements are all reported at Finish).
+func TestDeepUnclosedStack(t *testing.T) {
+	const depth = 500
+	var b strings.Builder
+	b.WriteString("<HTML><HEAD><TITLE>deep")
+	for i := 0; i < depth; i++ {
+		b.WriteString("<B>")
+	}
+	b.WriteString(" title text</TITLE></HEAD><BODY><P>x</P></BODY></HTML>")
+	msgs := checkAll(t, b.String(), Options{})
+
+	got := ids(msgs)
+	if got["unclosed-element"] < depth {
+		t.Errorf("unclosed-element: got %d, want >= %d", got["unclosed-element"], depth)
+	}
+	// The empty-container check must NOT fire for TITLE: text after
+	// the nested opens still reaches it through the accum stack.
+	for _, m := range msgs {
+		if m.ID == "empty-container" && strings.Contains(m.Text, "TITLE") {
+			t.Fatalf("TITLE reported empty; accumulation broke across the deep stack: %q", m.Text)
+		}
+	}
+}

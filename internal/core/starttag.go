@@ -83,7 +83,7 @@ func (c *Checker) startTag(tok *htmltoken.Token) {
 	if info != nil && info.Empty {
 		return // empty elements are never pushed
 	}
-	c.stack = append(c.stack, c.newOpen(name, display, tok.Line, tok.Col, info))
+	c.pushOpen(c.newOpen(name, display, tok.Line, tok.Col, info))
 
 	// The tokenizer switches into raw-text mode after this tag; arm the
 	// empty-raw-body compensation (see the pendingRawText field).
@@ -100,7 +100,7 @@ func (c *Checker) applyImpliedClose(name string, line, off int) {
 		if t == nil || t.info == nil || !t.info.ImpliedEndedBy(name) {
 			return
 		}
-		c.stack = c.stack[:len(c.stack)-1]
+		c.truncateStack(len(c.stack) - 1)
 		c.noteHeadPop(t, off)
 		if c.opts.DisableImpliedClose {
 			c.emit("unclosed-element", line, t.display, t.display, t.line)

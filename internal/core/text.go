@@ -65,13 +65,13 @@ func (c *Checker) text(tok *htmltoken.Token) {
 
 	// Accumulate text into the nearest TITLE, A or heading for their
 	// content checks (even pure whitespace matters to the whitespace
-	// style checks).
-	for i := len(c.stack) - 1; i >= 0; i-- {
-		n := c.stack[i].name
-		if n == "title" || n == "a" || headingLevel(n) > 0 {
-			c.stack[i].text = append(c.stack[i].text, tok.Text...)
-			break
-		}
+	// style checks). The accum index stack tracks exactly those open
+	// elements, so this is O(1) per token — scanning the whole element
+	// stack here made error-dense documents with deep unclosed
+	// containers superlinear.
+	if n := len(c.accum); n > 0 {
+		o := c.stack[c.accum[n-1]]
+		o.text = append(o.text, tok.Text...)
 	}
 
 	if strings.TrimSpace(tok.Text) == "" {
@@ -95,45 +95,66 @@ func (c *Checker) text(tok *htmltoken.Token) {
 // the byte offset of text in the document (pass -1 when unknown, e.g.
 // for attribute values, where no fixes are attached anyway).
 func (c *Checker) checkEntities(text string, base, line int, inText bool) {
-	for _, ref := range entity.Scan(text) {
-		switch {
-		case ref.Name == "":
-			if inText {
-				var fix *warn.Fix
-				if base >= 0 {
-					fix = c.guardFix(metacharFix(base+ref.Offset, "&amp;"))
+	// Each pass reports findings at ascending offsets, so a monotone
+	// line cursor turns line computation into ONE forward newline scan
+	// per pass — counting newlines from offset zero per finding made a
+	// multi-KiB run with thousands of bare metacharacters quadratic.
+	if strings.IndexByte(text, '&') >= 0 {
+		lc := lineCursor{text: text}
+		entity.ScanFunc(text, func(ref entity.Ref) {
+			switch {
+			case ref.Name == "":
+				if inText {
+					var fix *warn.Fix
+					if base >= 0 {
+						fix = c.guardFix(metacharFix(base+ref.Offset, "&amp;"))
+					}
+					c.emitFix("metacharacter", line+lc.lineAt(ref.Offset), fix, "&", "&amp;")
 				}
-				c.emitFix("metacharacter", line+lineOffset(text, ref.Offset), fix, "&", "&amp;")
+			case !ref.Terminated:
+				c.emit("unterminated-entity", line+lc.lineAt(ref.Offset), ref.Name)
+			case ref.Numeric:
+				// Numeric references are always structurally fine here.
+			case !entity.KnownIn(ref.Name, c.spec.HTML40):
+				c.emit("unknown-entity", line+lc.lineAt(ref.Offset), ref.Name)
 			}
-		case !ref.Terminated:
-			c.emit("unterminated-entity", line+lineOffset(text, ref.Offset), ref.Name)
-		case ref.Numeric:
-			// Numeric references are always structurally fine here.
-		case !entity.KnownIn(ref.Name, c.spec.HTML40):
-			c.emit("unknown-entity", line+lineOffset(text, ref.Offset), ref.Name)
-		}
+		})
 	}
 	if inText {
+		lc := lineCursor{text: text}
 		for i := 0; i < len(text); i++ {
-			if text[i] == '<' {
-				var fix *warn.Fix
-				if base >= 0 {
-					fix = c.guardFix(metacharFix(base+i, "&lt;"))
-				}
-				c.emitFix("metacharacter", line+lineOffset(text, i), fix, "<", "&lt;")
+			k := strings.IndexByte(text[i:], '<')
+			if k < 0 {
+				break
 			}
+			i += k
+			var fix *warn.Fix
+			if base >= 0 {
+				fix = c.guardFix(metacharFix(base+i, "&lt;"))
+			}
+			c.emitFix("metacharacter", line+lc.lineAt(i), fix, "<", "&lt;")
 		}
 	}
 }
 
-// lineOffset counts the newlines in text before offset, so messages in
-// multi-line text tokens point at the right line.
-func lineOffset(text string, offset int) int {
-	n := 0
-	for i := 0; i < offset && i < len(text); i++ {
-		if text[i] == '\n' {
-			n++
-		}
+// lineCursor converts ascending byte offsets within one text run into
+// newline counts incrementally: the run is walked forward exactly
+// once however many findings it produces. Offsets passed to lineAt
+// must be non-decreasing.
+type lineCursor struct {
+	text string
+	pos  int
+	line int
+}
+
+// lineAt returns the number of newlines in the run before offset.
+func (lc *lineCursor) lineAt(offset int) int {
+	if offset > len(lc.text) {
+		offset = len(lc.text)
 	}
-	return n
+	if offset > lc.pos {
+		lc.line += strings.Count(lc.text[lc.pos:offset], "\n")
+		lc.pos = offset
+	}
+	return lc.line
 }

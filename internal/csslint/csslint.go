@@ -84,6 +84,11 @@ func (Checker) Check(content string, baseLine int, report plugin.Report) {
 		return
 	}
 
+	// Block positions are visited in ascending offset order, so one
+	// monotone cursor walks the sheet's newlines exactly once — the
+	// from-zero lineOf rescan per block made error-dense sheets
+	// quadratic in the same way core's old lineOffset did.
+	lc := lineCursor{text: text}
 	depth := 0
 	declStart := 0
 	inDecls := false
@@ -98,27 +103,59 @@ func (Checker) Check(content string, baseLine int, report plugin.Report) {
 		case '}':
 			depth--
 			if depth < 0 {
-				report("style-syntax", baseLine+offset+lineOf(text, i), "unmatched '}'")
+				report("style-syntax", baseLine+offset+lc.lineAt(i), "unmatched '}'")
 				return
 			}
 			if depth == 0 && inDecls {
-				checkDeclarations(text[declStart:i], baseLine+offset+lineOf(text, declStart), report)
+				checkDeclarations(text[declStart:i], baseLine+offset+lc.lineAt(declStart), report)
 				inDecls = false
 			}
 		}
 	}
 	if depth > 0 {
-		report("style-syntax", baseLine+offset+lineOf(text, len(text)-1), "unclosed '{'")
+		report("style-syntax", baseLine+offset+lc.lineAt(len(text)-1), "unclosed '{'")
 	}
+}
+
+// lineCursor incrementally counts newlines before ascending offsets;
+// see lineAt. (A twin of core's cursor, local because neither package
+// can import the other without widening their APIs for a 15-liner.)
+type lineCursor struct {
+	text string
+	pos  int
+	line int
+}
+
+// lineAt returns the number of newlines before offset; offsets must be
+// non-decreasing across calls.
+func (lc *lineCursor) lineAt(offset int) int {
+	if offset > len(lc.text) {
+		offset = len(lc.text)
+	}
+	if offset > lc.pos {
+		lc.line += strings.Count(lc.text[lc.pos:offset], "\n")
+		lc.pos = offset
+	}
+	return lc.line
 }
 
 // checkDeclarations validates one "prop: value; ..." block. blockLine
 // is the document line the block starts on.
 func checkDeclarations(block string, blockLine int, report plugin.Report) {
-	rel := 0
-	for _, decl := range strings.Split(block, ";") {
-		declLine := blockLine + rel
-		rel += strings.Count(decl, "\n")
+	// Declarations are walked by index with a monotone cursor (and no
+	// strings.Split allocation): the block's newlines are counted once
+	// however many declarations — or findings — it holds.
+	lc := lineCursor{text: block}
+	for start := 0; start <= len(block); {
+		end := strings.IndexByte(block[start:], ';')
+		if end < 0 {
+			end = len(block)
+		} else {
+			end += start
+		}
+		decl := block[start:end]
+		declLine := blockLine + lc.lineAt(start)
+		start = end + 1
 		d := strings.TrimSpace(decl)
 		if d == "" {
 			continue
@@ -224,16 +261,6 @@ func stripComments(text string) (string, string) {
 		i++
 	}
 	return b.String(), ""
-}
-
-func lineOf(text string, offset int) int {
-	n := 0
-	for i := 0; i < offset && i < len(text); i++ {
-		if text[i] == '\n' {
-			n++
-		}
-	}
-	return n
 }
 
 func leadingNewlines(s string) int {

@@ -1,6 +1,8 @@
 package csslint
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"weblint/internal/plugin"
@@ -147,5 +149,56 @@ func TestInterface(t *testing.T) {
 func TestEmptyDeclarationsTolerated(t *testing.T) {
 	if recs := check(t, "P { ; ; color: red ; }"); len(recs) != 0 {
 		t.Errorf("empty declarations flagged: %v", recs)
+	}
+}
+
+// TestDenseErrorsExactLines pins line numbers for findings deep inside
+// a large generated sheet: every rule carries one unknown property,
+// one bad color, and one broken declaration, and each must be reported
+// on its own sheet line. Before the monotone line cursor, each finding
+// rescanned the sheet from the top (quadratic on error-dense sheets);
+// the cursor must still land every finding on the right line.
+func TestDenseErrorsExactLines(t *testing.T) {
+	const blocks = 300
+	var b strings.Builder
+	b.WriteByte('\n')
+	for i := 0; i < blocks; i++ {
+		fmt.Fprintf(&b, ".c%d {\n colour: red;\n color: notacolor%d;\n margin: 0;\n broken decl\n}\n", i, i)
+	}
+	recs := check(t, b.String())
+
+	want := map[string]int{
+		"style-unknown-property": blocks, // colour
+		"style-bad-color":        blocks, // notacolorN
+		"style-syntax":           blocks, // broken decl (missing ':')
+	}
+	got := map[string]int{}
+	for _, r := range recs {
+		got[r.id]++
+	}
+	for id, n := range want {
+		if got[id] != n {
+			t.Errorf("%s: got %d findings, want %d", id, got[id], n)
+		}
+	}
+
+	// Each block spans 6 sheet lines starting at line 2 (after the
+	// leading newline): selector, colour, color, margin, broken, '}'.
+	for _, r := range recs {
+		blockStart := 2 + 6*((r.line-2)/6)
+		var wantLine int
+		switch r.id {
+		case "style-unknown-property":
+			wantLine = blockStart + 1
+		case "style-bad-color":
+			wantLine = blockStart + 2
+		case "style-syntax":
+			wantLine = blockStart + 4
+		default:
+			t.Fatalf("unexpected finding %v", r)
+		}
+		if r.line != wantLine {
+			t.Fatalf("%s at line %d, want %d (block starting line %d)", r.id, r.line, wantLine, blockStart)
+		}
 	}
 }

@@ -68,12 +68,28 @@ type Ref struct {
 // Scan finds entity references in text. Bare ampersands which do not
 // introduce a reference (not followed by a letter or '#') are reported
 // as a Ref with empty Name, so callers can warn about unescaped '&'.
+//
+// Scan allocates the returned slice; hot paths should use ScanFunc,
+// which streams the same references to a callback without allocating.
 func Scan(text string) []Ref {
 	var refs []Ref
-	for i := 0; i < len(text); i++ {
-		if text[i] != '&' {
-			continue
+	ScanFunc(text, func(r Ref) {
+		refs = append(refs, r)
+	})
+	return refs
+}
+
+// ScanFunc calls fn for every entity reference in text, in document
+// order. It finds exactly the references Scan returns, but performs no
+// per-token allocation, so a checker processing entity-dense documents
+// pays only for the findings it emits.
+func ScanFunc(text string, fn func(Ref)) {
+	for i := 0; i < len(text); {
+		k := strings.IndexByte(text[i:], '&')
+		if k < 0 {
+			return
 		}
+		i += k
 		rest := text[i+1:]
 		switch {
 		case strings.HasPrefix(rest, "#"):
@@ -82,21 +98,21 @@ func Scan(text string) []Ref {
 				j++
 			}
 			term := j < len(rest) && rest[j] == ';'
-			refs = append(refs, Ref{Name: rest[:j], Numeric: true, Terminated: term, Offset: i})
-			i += j
+			fn(Ref{Name: rest[:j], Numeric: true, Terminated: term, Offset: i})
+			i += j + 1
 		case len(rest) > 0 && isAlpha(rest[0]):
 			j := 0
 			for j < len(rest) && isAlnum(rest[j]) {
 				j++
 			}
 			term := j < len(rest) && rest[j] == ';'
-			refs = append(refs, Ref{Name: rest[:j], Terminated: term, Offset: i})
-			i += j
+			fn(Ref{Name: rest[:j], Terminated: term, Offset: i})
+			i += j + 1
 		default:
-			refs = append(refs, Ref{Offset: i})
+			fn(Ref{Offset: i})
+			i++
 		}
 	}
-	return refs
 }
 
 // Decode expands all well-formed entity references in text, leaving
@@ -108,9 +124,9 @@ func Decode(text string) string {
 	var b strings.Builder
 	b.Grow(len(text))
 	last := 0
-	for _, r := range Scan(text) {
+	ScanFunc(text, func(r Ref) {
 		if !r.Terminated {
-			continue
+			return
 		}
 		var c rune
 		if r.Numeric {
@@ -119,13 +135,13 @@ func Decode(text string) string {
 			c = info.Rune
 		}
 		if c == 0 {
-			continue
+			return
 		}
 		end := r.Offset + 1 + len(r.Name) + 1 // & name ;
 		b.WriteString(text[last:r.Offset])
 		b.WriteRune(c)
 		last = end
-	}
+	})
 	b.WriteString(text[last:])
 	return b.String()
 }

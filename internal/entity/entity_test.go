@@ -215,3 +215,38 @@ func TestDecodeNumericEdge(t *testing.T) {
 		t.Errorf("out-of-range rune decoded: %q", got)
 	}
 }
+
+// TestScanFuncMatchesScan proves the streaming ScanFunc visits exactly
+// the refs the allocating Scan collects, in order, over adversarial
+// inputs — quick-checked so edge shapes (trailing '&', runs of '&&',
+// digits after '&#', case-mixed names) are covered without hand
+// enumeration.
+func TestScanFuncMatchesScan(t *testing.T) {
+	same := func(s string) bool {
+		var streamed []Ref
+		ScanFunc(s, func(r Ref) { streamed = append(streamed, r) })
+		collected := Scan(s)
+		if len(streamed) != len(collected) {
+			return false
+		}
+		for i := range streamed {
+			if streamed[i] != collected[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Hand-picked edge shapes first.
+	for _, s := range []string{
+		"", "&", "&&", "&;", "&amp;", "&amp", "&#65;", "&#x41;", "&#x41",
+		"&#;", "&#", "a & b &lt; c", "&bogus;&bogus;", "tail&",
+		"&amp;&#38;&#x26;&", "\n&\n&amp\n", strings.Repeat("&", 64),
+	} {
+		if !same(s) {
+			t.Errorf("ScanFunc and Scan disagree on %q", s)
+		}
+	}
+	if err := quick.Check(func(s string) bool { return same(s) }, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"weblint/internal/fixit"
@@ -35,10 +36,18 @@ func addSuiteSeeds(f *testing.F) {
 
 // FuzzCheckString: linting never panics, and the returned messages
 // honour the SortByLine contract (grouped by file, non-decreasing
-// lines, sane positions).
+// lines, sane positions). On top of that it pins the monotone line
+// cursor in checkEntities: raw (streamed, unsorted) emission of the
+// entity-scan findings must carry non-decreasing line numbers within
+// each of its two passes — the entity/'&' pass and the '<' pass run
+// separately over each text run, so each class is monotone on its own
+// but the two interleave (a '<' early in a run is emitted after an
+// unknown entity late in it). A cursor bug that ever walked backwards
+// would break the monotonicity of its own class.
 func FuzzCheckString(f *testing.F) {
 	addSuiteSeeds(f)
 	f.Add("<p ALIGN='a' align=\"b\" Align=c x><a name=x><h3>")
+	f.Add("x & y\n<\n&bogus;\n&#x41 <")
 	l := MustNew(Options{Pedantic: true})
 	f.Fuzz(func(t *testing.T, src string) {
 		msgs := l.CheckString("fuzz.html", src)
@@ -56,6 +65,25 @@ func FuzzCheckString(f *testing.F) {
 				t.Fatalf("message %d has unregistered ID %q", i, m.ID)
 			}
 		}
+
+		// Raw emission order, per entity-scan class.
+		ampLine, ltLine := 0, 0 // last line seen per pass
+		l.CheckStringTo("fuzz.html", src, warn.SinkFunc(func(m warn.Message) bool {
+			switch {
+			case m.ID == "unknown-entity" || m.ID == "unterminated-entity" ||
+				(m.ID == "metacharacter" && strings.Contains(m.Text, "&amp;")):
+				if m.Line < ampLine {
+					t.Fatalf("entity-pass line went backwards: %d after %d (%s %q)", m.Line, ampLine, m.ID, m.Text)
+				}
+				ampLine = m.Line
+			case m.ID == "metacharacter" && strings.Contains(m.Text, "&lt;"):
+				if m.Line < ltLine {
+					t.Fatalf("'<'-pass line went backwards: %d after %d (%q)", m.Line, ltLine, m.Text)
+				}
+				ltLine = m.Line
+			}
+			return true
+		}))
 	})
 }
 

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"weblint/internal/corpus"
+)
+
+// -update-golden regenerates testdata/golden_equiv.json from the
+// current checker output. Run it ONLY when a message change is
+// intended; the file pins the exact (ID, line, col, text, fix)
+// stream the optimized hot paths must keep emitting.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_equiv.json")
+
+// goldenEntry pins one document's full diagnostic stream: the message
+// count and a SHA-256 over a canonical rendering of every message
+// including its fix edits.
+type goldenEntry struct {
+	Messages int    `json:"messages"`
+	SHA256   string `json:"sha256"`
+}
+
+// equivDocs builds the deterministic document set the equivalence
+// sweep pins: the sample suite, corpus documents at error rates
+// 0/0.1/0.25, and handcrafted documents shaped to stress each path
+// the scaling fixes touched (long metachar-dense text runs, close-tag
+// storms, dense-error STYLE blocks).
+func equivDocs(t testing.TB) map[string]string {
+	docs := map[string]string{}
+
+	entries, err := os.ReadDir(filepath.Join("testdata", "suite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".html" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", "suite", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs["suite/"+e.Name()] = string(data)
+	}
+
+	for _, rate := range []float64{0, 0.1, 0.25} {
+		for _, seed := range []int64{1, 2} {
+			for _, size := range []int{16 << 10, 64 << 10} {
+				name := fmt.Sprintf("corpus/r%v-s%d-%dk.html", rate, seed, size>>10)
+				docs[name] = corpus.GenerateSized(seed, size, corpus.Uniform(rate))
+			}
+		}
+	}
+	// One large error-dense document: the shape whose per-byte cost
+	// regressed superlinearly before the scaling fixes.
+	docs["corpus/r0.25-s1-256k.html"] = corpus.GenerateSized(1, 256<<10, corpus.Uniform(0.25))
+
+	// A single multi-KiB text run dense with bare '&' and '<': every
+	// finding used to re-count newlines from the start of the run.
+	var run strings.Builder
+	run.WriteString("<HTML><HEAD><TITLE>t</TITLE>\n")
+	run.WriteString("<META NAME=\"description\" CONTENT=\"x\">")
+	run.WriteString("<META NAME=\"keywords\" CONTENT=\"x\">")
+	run.WriteString("</HEAD><BODY><P>\n")
+	for i := 0; i < 1500; i++ {
+		fmt.Fprintf(&run, "a & b < c &bogus; &#x41 d %d\n", i)
+	}
+	run.WriteString("</P></BODY></HTML>\n")
+	docs["dense/metachar-run.html"] = run.String()
+
+	// Close-tag storm: a structural close moves a deep pile of inline
+	// elements to the secondary stack, then their own close tags
+	// resolve innermost-first — the order that forced a front-of-slice
+	// deletion (full tail copy) per close.
+	var storm strings.Builder
+	storm.WriteString("<HTML><HEAD><TITLE>t</TITLE>\n")
+	storm.WriteString("<META NAME=\"description\" CONTENT=\"x\">")
+	storm.WriteString("<META NAME=\"keywords\" CONTENT=\"x\">")
+	storm.WriteString("</HEAD><BODY><P>x\n")
+	const stormDepth = 400
+	tags := []string{"B", "I", "TT", "EM", "STRONG", "CODE"}
+	storm.WriteString("<DIV>")
+	for i := 0; i < stormDepth; i++ {
+		fmt.Fprintf(&storm, "<%s>x\n", tags[i%len(tags)])
+	}
+	storm.WriteString("</DIV>\n")
+	for i := stormDepth - 1; i >= 0; i-- {
+		fmt.Fprintf(&storm, "</%s>\n", tags[i%len(tags)])
+	}
+	storm.WriteString("</BODY></HTML>\n")
+	docs["dense/close-storm.html"] = storm.String()
+
+	// STYLE block dense with unknown properties, bad colors and syntax
+	// errors: csslint used to re-count newlines per declaration.
+	var style strings.Builder
+	style.WriteString("<HTML><HEAD><TITLE>t</TITLE>\n")
+	style.WriteString("<META NAME=\"description\" CONTENT=\"x\">")
+	style.WriteString("<META NAME=\"keywords\" CONTENT=\"x\">")
+	style.WriteString("<STYLE>\n<!--\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&style, ".c%d {\n  colour: red;\n  color: notacolor%d;\n  margin: 0;\n  broken decl\n}\n", i, i)
+	}
+	style.WriteString("-->\n</STYLE></HEAD><BODY><P>x</P></BODY></HTML>\n")
+	docs["dense/style-errors.html"] = style.String()
+
+	return docs
+}
+
+// TestGoldenEquivalence asserts the checker's full diagnostic stream
+// over the suite + corpus sweep is byte-identical to the recorded
+// pre-optimization output: same IDs, lines, cols, texts, and fixes,
+// under both the default and the pedantic configuration. Any scaling
+// or hot-path rework must keep this green without -update-golden.
+func TestGoldenEquivalence(t *testing.T) {
+	docs := equivDocs(t)
+	linters := map[string]*Linter{
+		"default":  MustNew(Options{}),
+		"pedantic": MustNew(Options{Pedantic: true}),
+	}
+
+	got := map[string]goldenEntry{}
+	for docName, src := range docs {
+		for cfgName, l := range linters {
+			msgs := l.CheckString(docName, src)
+			h := sha256.New()
+			for _, m := range msgs {
+				fix := ""
+				if m.Fix != nil {
+					parts := make([]string, 0, len(m.Fix.Edits)+1)
+					parts = append(parts, m.Fix.Label)
+					for _, e := range m.Fix.Edits {
+						parts = append(parts, fmt.Sprintf("[%d,%d)=%q", e.Start, e.End, e.Text))
+					}
+					fix = strings.Join(parts, " ")
+				}
+				fmt.Fprintf(h, "%s|%d|%d|%s|%s\n", m.ID, m.Line, m.Col, m.Text, fix)
+			}
+			got[cfgName+"/"+docName] = goldenEntry{
+				Messages: len(msgs),
+				SHA256:   hex.EncodeToString(h.Sum(nil)),
+			}
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_equiv.json")
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]goldenEntry, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d entries, sweep produced %d", len(want), len(got))
+	}
+	for k, g := range got {
+		w, ok := want[k]
+		if !ok {
+			t.Errorf("%s: no golden entry", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: output diverged from pre-optimization golden:\n  got  %d messages, hash %s\n  want %d messages, hash %s",
+				k, g.Messages, g.SHA256, w.Messages, w.SHA256)
+		}
+	}
+}
