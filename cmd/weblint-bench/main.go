@@ -68,13 +68,15 @@ func main() {
 // run holds main's body so deferred profile writers flush before the
 // process exits with e13's curve-bend failure code.
 func run() int {
-	which := flag.String("e", "all", "experiment to run (e1..e13 or all)")
-	flag.StringVar(&jsonPath, "json", "", "write e12/e13 results as JSON to this path")
+	which := flag.String("e", "all", "experiment to run (e1..e14 or all)")
+	flag.StringVar(&jsonPath, "json", "", "write e12/e13/e14 results as JSON to this path")
 	flag.IntVar(&corpusMB, "corpus-mb", 8, "e12: synthetic corpus size in MB")
 	flag.IntVar(&totalMB, "total-mb", 64, "e12: bytes to push through the tokenizer per row, in MB")
 	flag.Float64Var(&scalingRate, "scaling-rate", 0.25, "e13: injected error rate for the scaling corpus")
 	flag.Float64Var(&scalingMaxRatio, "scaling-max-ratio", 1.30,
 		"e13: fail when per-byte lint cost grows more than this across one 4x size step")
+	flag.Float64Var(&incrMaxFraction, "incremental-max-fraction", 0.10,
+		"e14: fail when a single-line edit on the largest document re-lints slower than this fraction of a full lint")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -127,6 +129,7 @@ func run() int {
 		{"e11", "batch engine corpus throughput", e11},
 		{"e12", "tokenizer corpus throughput (BENCH_tokenizer.json)", e12},
 		{"e13", "lint scaling curve on error-dense corpus (BENCH_scaling.json)", e13},
+		{"e14", "incremental re-lint latency (BENCH_incremental.json)", e14},
 	}
 
 	ran := 0
@@ -143,7 +146,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "weblint-bench: unknown experiment %q\n", *which)
 		return 2
 	}
-	if scalingFailed {
+	if scalingFailed || incrementalFailed {
 		return 1
 	}
 	return 0
@@ -707,6 +710,182 @@ func e13() {
 		fmt.Printf("FAIL: per-byte lint cost grew more than %.2fx across a size step — superlinear path reintroduced\n",
 			scalingMaxRatio)
 		scalingFailed = true
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "weblint-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// e14 configuration and outcome, set from flags / read by run.
+var (
+	incrMaxFraction   float64
+	incrementalFailed bool
+)
+
+// incrementalResult is one (document size × edit kind) cell of
+// BENCH_incremental.json.
+type incrementalResult struct {
+	DocBytes   int     `json:"doc_bytes"`
+	Edit       string  `json:"edit"`
+	EditBytes  int     `json:"edit_bytes"`
+	FullLintNs int64   `json:"full_lint_ns"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	Fraction   float64 `json:"p50_fraction_of_full"`
+	Spliced    int     `json:"spliced"`
+	FullTail   int     `json:"full_tail"`
+}
+
+// incrementalReport is the BENCH_incremental.json document.
+type incrementalReport struct {
+	Benchmark     string              `json:"benchmark"`
+	Date          string              `json:"date"`
+	GoVersion     string              `json:"go_version"`
+	Results       []incrementalResult `json:"results"`
+	GuardDocBytes int                 `json:"guard_doc_bytes"`
+	GuardEdit     string              `json:"guard_edit"`
+	GuardFraction float64             `json:"guard_fraction"`
+	FractionLimit float64             `json:"fraction_limit"`
+	Pass          bool                `json:"pass"`
+}
+
+// e14 is the incremental re-lint latency grid: edit size × document
+// size, each cell timing lint.Session.Apply for an edit/revert cycle at
+// steady state and reporting p50/p99 against the document's full-lint
+// time. Every cell cross-checks that the session's findings stay
+// byte-identical to a from-scratch lint — a splice that drifted would
+// make the latency numbers meaningless. The run FAILS (exit 1) when the
+// single-line edit on the largest document re-lints slower than
+// -incremental-max-fraction of a full lint, so a regression that
+// silently degrades every edit to a full-tail re-lint cannot land.
+// -json writes BENCH_incremental.json.
+func e14() {
+	l := lint.MustNew(lint.Options{})
+	report := incrementalReport{
+		Benchmark:     "incremental-relint-latency",
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		FractionLimit: incrMaxFraction,
+		Pass:          true,
+	}
+
+	docSizes := []int{64 << 10, 256 << 10, 1 << 20}
+	guardDoc := docSizes[len(docSizes)-1]
+	const guardEdit = "replace-line"
+	block := strings.Repeat("<p>inserted block paragraph with some text in it.</p>\n", 20)[:1024]
+
+	fmt.Printf("edit/revert cycles per cell, p50 vs full lint (guard: %s on %d KiB ≤ %.2fx full)\n",
+		guardEdit, guardDoc>>10, incrMaxFraction)
+	fmt.Printf("%-10s %-14s %12s %12s %12s %10s\n",
+		"doc", "edit", "full-lint", "p50", "p99", "of-full")
+	for _, size := range docSizes {
+		src := corpus.GenerateSized(7, size, corpus.Uniform(0.05))
+
+		// Full-lint reference for this document.
+		fullIters := (8 << 20) / len(src)
+		if fullIters < 3 {
+			fullIters = 3
+		}
+		l.CheckString("incr.html", src) // warm pools
+		start := time.Now()
+		for i := 0; i < fullIters; i++ {
+			l.CheckString("incr.html", src)
+		}
+		full := time.Since(start) / time.Duration(fullIters)
+
+		// Pick a line mid-document to edit: start of the line after the
+		// first newline past the midpoint.
+		ls := strings.IndexByte(src[len(src)/2:], '\n') + len(src)/2 + 1
+		le := ls + strings.IndexByte(src[ls:], '\n')
+
+		for _, kind := range []struct {
+			name string
+			fwd  lint.Edit
+		}{
+			{"insert-1b", lint.Edit{Start: ls, End: ls, Text: "x"}},
+			{guardEdit, lint.Edit{Start: ls, End: le, Text: "<p>edited line &amp; replacement text</p>"}},
+			{"insert-1kib", lint.Edit{Start: ls, End: ls, Text: block}},
+		} {
+			rev := lint.Edit{Start: kind.fwd.Start, End: kind.fwd.Start + len(kind.fwd.Text), Text: src[kind.fwd.Start:kind.fwd.End]}
+			s := lint.NewSession(l, "incr.html", src)
+			s.Apply([]lint.Edit{kind.fwd}) // warm: first apply builds nothing extra but faults in paths
+			s.Apply([]lint.Edit{rev})
+
+			cycles := 50
+			if size <= 64<<10 {
+				cycles = 200
+			}
+			samples := make([]time.Duration, 0, 2*cycles)
+			for i := 0; i < cycles; i++ {
+				t0 := time.Now()
+				s.Apply([]lint.Edit{kind.fwd})
+				samples = append(samples, time.Since(t0))
+				t0 = time.Now()
+				s.Apply([]lint.Edit{rev})
+				samples = append(samples, time.Since(t0))
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			p50 := samples[len(samples)/2]
+			p99 := samples[len(samples)*99/100]
+
+			// Inline correctness cross-check: after all those cycles the
+			// text is back to src, and the findings must match a
+			// from-scratch lint byte-for-byte.
+			if s.Text() != src {
+				fmt.Fprintln(os.Stderr, "weblint-bench: e14 edit/revert did not restore the document")
+				os.Exit(2)
+			}
+			gotMsgs, wantMsgs := s.Messages(), l.CheckString("incr.html", src)
+			if len(gotMsgs) != len(wantMsgs) {
+				fmt.Fprintf(os.Stderr, "weblint-bench: e14 incremental diverged: %d vs %d messages\n", len(gotMsgs), len(wantMsgs))
+				os.Exit(2)
+			}
+			var lf warn.Lint
+			for i := range gotMsgs {
+				if lf.Format(gotMsgs[i]) != lf.Format(wantMsgs[i]) {
+					fmt.Fprintf(os.Stderr, "weblint-bench: e14 incremental diverged at message %d\n", i)
+					os.Exit(2)
+				}
+			}
+
+			st := s.Stats()
+			frac := float64(p50) / float64(full)
+			report.Results = append(report.Results, incrementalResult{
+				DocBytes: len(src), Edit: kind.name, EditBytes: len(kind.fwd.Text),
+				FullLintNs: full.Nanoseconds(),
+				P50Ns:      p50.Nanoseconds(), P99Ns: p99.Nanoseconds(),
+				Fraction: frac, Spliced: st.Spliced, FullTail: st.FullTail,
+			})
+			fmt.Printf("%-10s %-14s %12s %12s %12s %9.3fx\n",
+				fmt.Sprintf("%d KiB", size>>10), kind.name,
+				full.Round(time.Microsecond), p50.Round(time.Microsecond),
+				p99.Round(time.Microsecond), frac)
+
+			if size == guardDoc && kind.name == guardEdit {
+				report.GuardDocBytes = size
+				report.GuardEdit = guardEdit
+				report.GuardFraction = frac
+				if frac > incrMaxFraction {
+					report.Pass = false
+					incrementalFailed = true
+				}
+			}
+		}
+	}
+
+	if !report.Pass {
+		fmt.Printf("FAIL: %s on %d KiB re-lints at %.3fx of a full lint (limit %.2fx) — incremental path degraded\n",
+			report.GuardEdit, report.GuardDocBytes>>10, report.GuardFraction, incrMaxFraction)
 	}
 
 	if jsonPath != "" {

@@ -118,3 +118,55 @@ func TestWalkBaselineDiffCycle(t *testing.T) {
 		t.Errorf("want exactly the one new img-alt finding, got:\n%s", out)
 	}
 }
+
+// TestWalkBaselineUpdateCycle: record -> pay down one finding ->
+// -baseline-update prunes its allowance -> reintroducing the finding
+// now fails. The prune is what keeps a baseline honest: without it the
+// fixed finding's fingerprint would linger and cover a regression.
+func TestWalkBaselineUpdateCycle(t *testing.T) {
+	site := writeWalkSite(t)
+	basePath := filepath.Join(t.TempDir(), "site-baseline.json")
+
+	if code, _, stderr := runCLI(t, "", "-norc", "-R", "-baseline-write", basePath, site); code != 0 {
+		t.Fatalf("record exit = %d, stderr=%q", code, stderr)
+	}
+
+	// Pay down one finding: give the sub page's first image an ALT.
+	sub := strings.Replace(walkSitePage, "%s", "", 1)
+	fixed := strings.Replace(sub, `<IMG SRC="one.gif">`, `<IMG SRC="one.gif" ALT="one">`, 1)
+	subPath := filepath.Join(site, "sub", "index.html")
+	if err := os.WriteFile(subPath, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The update run is clean (everything still owed is covered) and
+	// rewrites the baseline with only the fingerprints it matched.
+	code, out, stderr := runCLI(t, "", "-norc", "-R", "-baseline-update", basePath, site)
+	if code != 0 {
+		t.Fatalf("update exit = %d, stderr=%q out=%q", code, stderr, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean update run rendered output:\n%s", out)
+	}
+	base, err := baseline.Load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total() != 3 {
+		t.Fatalf("pruned baseline covers %d findings, want 3: %v", base.Total(), base.Findings)
+	}
+
+	// Reintroduce the fixed finding: the pruned baseline must not cover
+	// it any more.
+	if err := os.WriteFile(subPath, []byte(sub), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCLI(t, "", "-norc", "-R", "-t", "-baseline", basePath, site)
+	if code != 1 {
+		t.Fatalf("reintroduced finding exit = %d, want 1; out=%q", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "img-alt") {
+		t.Errorf("want exactly the reintroduced img-alt finding, got:\n%s", out)
+	}
+}

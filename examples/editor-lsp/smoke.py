@@ -5,7 +5,10 @@ Usage: smoke.py <weblint-lsp binary> <html file> [--require-fix]
 
 Drives the real protocol the way an editor does: initialize ->
 didOpen -> read publishDiagnostics -> codeAction at each diagnostic
--> shutdown/exit. Exits non-zero (with a message) when any step
+-> incremental didChange round trip (insert a defect via a
+range-scoped change, watch the diagnostic appear, revert it, watch it
+vanish) -> pull diagnostics (textDocument/diagnostic, LSP 3.17) ->
+shutdown/exit. Exits non-zero (with a message) when any step
 misbehaves; with --require-fix it additionally fails unless at least
 one diagnostic offers a quick fix (CI passes it with a sample known
 to be fixable). It is also a handy sanity check for a locally built
@@ -72,7 +75,10 @@ def main():
     rid = cl.send("initialize", {"workspaceFolders": []}, request=True)
     caps = cl.wait_response(rid)["capabilities"]
     assert caps["codeActionProvider"], caps
-    assert caps["textDocumentSync"]["change"] == 1, caps
+    # 2 = incremental sync: the server applies range-scoped changes
+    # and re-lints only the damaged window.
+    assert caps["textDocumentSync"]["change"] == 2, caps
+    assert "diagnosticProvider" in caps, caps
     cl.send("initialized", {})
 
     uri = "file://" + page
@@ -94,12 +100,49 @@ def main():
             "context": {"diagnostics": [d]},
         }, request=True)
         for a in cl.wait_response(rid):
-            assert a["kind"] == "quickfix" and a["edit"]["changes"][uri], a
-            fixes.append(a["title"])
+            assert a["kind"] in ("quickfix", "source.fixAll"), a
+            assert a["edit"]["changes"][uri], a
+            if a["kind"] == "quickfix":
+                fixes.append(a["title"])
     if "--require-fix" in sys.argv and not fixes:
         sys.exit("no quick fix offered for a known-fixable sample")
     print(f"{len(diags['diagnostics'])} diagnostics, "
           f"{len(fixes)} quick fixes offered {fixes!r}")
+
+    # Incremental sync round trip: a range-scoped insertion of an
+    # ALT-less IMG at the top of the document must surface a new
+    # img-alt diagnostic; reverting the insertion must restore the
+    # original report exactly.
+    before = diags["diagnostics"]
+    snippet = '<IMG SRC="smoke.gif"> '
+    zero = {"line": 0, "character": 0}
+    cl.send("textDocument/didChange", {
+        "textDocument": {"uri": uri, "version": 2},
+        "contentChanges": [{"range": {"start": zero, "end": zero},
+                            "text": snippet}]})
+    edited = cl.wait_notification("textDocument/publishDiagnostics")
+    codes = [d["code"] for d in edited["diagnostics"]]
+    assert "img-alt" in codes, f"inserted IMG not flagged: {codes}"
+    assert len(edited["diagnostics"]) > len(before), (before, edited)
+    cl.send("textDocument/didChange", {
+        "textDocument": {"uri": uri, "version": 3},
+        "contentChanges": [{"range": {
+            "start": zero, "end": {"line": 0, "character": len(snippet)}},
+            "text": ""}]})
+    reverted = cl.wait_notification("textDocument/publishDiagnostics")
+    assert [(d["code"], d["range"]) for d in reverted["diagnostics"]] == \
+        [(d["code"], d["range"]) for d in before], (before, reverted)
+    print("incremental didChange round trip OK")
+
+    # Pull diagnostics (LSP 3.17): the on-demand report must agree
+    # with the last published state.
+    rid = cl.send("textDocument/diagnostic",
+                  {"textDocument": {"uri": uri}}, request=True)
+    report = cl.wait_response(rid)
+    assert report["kind"] == "full", report
+    assert [d["code"] for d in report["items"]] == \
+        [d["code"] for d in before], report
+    print(f"pull diagnostics OK ({len(report['items'])} items)")
 
     rid = cl.send("shutdown", None, request=True)
     cl.wait_response(rid)

@@ -436,7 +436,7 @@ func (c *Checker) doctype(tok *htmltoken.Token) {
 //	<!-- weblint: enable img-alt -->
 func (c *Checker) comment(tok *htmltoken.Token) {
 	if tok.Unterminated {
-		c.emit("unterminated-comment", tok.Line, tok.Line)
+		c.emit("unterminated-comment", tok.Line, warn.LineRef(tok.Line))
 		return
 	}
 	if body := strings.TrimSpace(tok.Text); strings.HasPrefix(body, "weblint:") {
@@ -587,7 +587,7 @@ func (c *Checker) Finish() {
 			if fix == nil {
 				closable = false
 			}
-			c.emitFix("unclosed-element", c.lastLine, fix, o.display, o.display, o.line)
+			c.emitFix("unclosed-element", c.lastLine, fix, o.display, o.display, warn.LineRef(o.line))
 		} else {
 			c.popChecks(o)
 		}
@@ -599,7 +599,7 @@ func (c *Checker) Finish() {
 			continue // already resolved by its own close tag
 		}
 		if o.requiresClose() {
-			c.emit("unclosed-element", c.lastLine, o.display, o.display, o.line)
+			c.emit("unclosed-element", c.lastLine, o.display, o.display, warn.LineRef(o.line))
 		}
 	}
 	c.pending = c.pending[:0]

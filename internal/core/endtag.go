@@ -71,7 +71,7 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 		// never defer to the secondary stack.
 		for i := len(intervening) - 1; i >= 0; i-- {
 			o := intervening[i]
-			c.emit("unclosed-element", tok.Line, o.display, o.display, o.line)
+			c.emit("unclosed-element", tok.Line, o.display, o.display, warn.LineRef(o.line))
 		}
 		c.popChecks(matched)
 		return
@@ -95,7 +95,7 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 		if !o.requiresClose() {
 			// Omissible or unknown: implied close, no message.
 			if c.opts.DisableImpliedClose && o.info != nil {
-				c.emit("unclosed-element", tok.Line, o.display, o.display, o.line)
+				c.emit("unclosed-element", tok.Line, o.display, o.display, warn.LineRef(o.line))
 			} else {
 				c.popChecks(o)
 			}
@@ -109,9 +109,9 @@ func (c *Checker) endTag(tok *htmltoken.Token) {
 			if fix == nil {
 				closable = false
 			}
-			c.emitFix("unclosed-element", tok.Line, fix, o.display, o.display, o.line)
+			c.emitFix("unclosed-element", tok.Line, fix, o.display, o.display, warn.LineRef(o.line))
 		} else {
-			c.emit("element-overlap", tok.Line, display, tok.Line, o.display, o.line)
+			c.emit("element-overlap", tok.Line, display, warn.LineRef(tok.Line), o.display, warn.LineRef(o.line))
 			c.pushPending(o)
 		}
 	}

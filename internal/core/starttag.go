@@ -103,7 +103,7 @@ func (c *Checker) applyImpliedClose(name string, line, off int) {
 		c.truncateStack(len(c.stack) - 1)
 		c.noteHeadPop(t, off)
 		if c.opts.DisableImpliedClose {
-			c.emit("unclosed-element", line, t.display, t.display, t.line)
+			c.emit("unclosed-element", line, t.display, t.display, warn.LineRef(t.line))
 		} else {
 			c.popChecks(t)
 		}
@@ -118,7 +118,7 @@ func (c *Checker) checkStructure(tok *htmltoken.Token, name, display string, inf
 	// Once-only elements (HTML, HEAD, BODY, TITLE).
 	if info.OnceOnly {
 		if first, dup := c.seenOnce[name]; dup {
-			c.emitAt("once-only", line, col, display, first)
+			c.emitAt("once-only", line, col, display, warn.LineRef(first))
 		} else {
 			c.seenOnce[name] = line
 		}
@@ -163,7 +163,7 @@ func (c *Checker) checkStructure(tok *htmltoken.Token, name, display string, inf
 	// Elements which may not nest within themselves.
 	if info.NoSelfNest {
 		if prev := c.inElement(name); prev != nil {
-			c.emitAt("nested-element", line, col, display, display, display, prev.line)
+			c.emitAt("nested-element", line, col, display, display, display, warn.LineRef(prev.line))
 		}
 	}
 
@@ -182,7 +182,7 @@ func (c *Checker) checkStructure(tok *htmltoken.Token, name, display string, inf
 	// BODY and FRAMESET are mutually exclusive document styles.
 	if name == "frameset" {
 		if b := c.inElement("body"); b != nil {
-			c.emitAt("unexpected-open", line, col, display, "BODY", b.line)
+			c.emitAt("unexpected-open", line, col, display, "BODY", warn.LineRef(b.line))
 		}
 	}
 
@@ -391,7 +391,7 @@ func (c *Checker) checkSpecialAttrs(tok *htmltoken.Token, name string, seen map[
 	case "a":
 		if at, ok := seen["name"]; ok && at.HasValue {
 			if first, dup := c.anchors[at.Value]; dup {
-				c.emitAt("duplicate-anchor", at.Line, at.Col, at.Value, first)
+				c.emitAt("duplicate-anchor", at.Line, at.Col, at.Value, warn.LineRef(first))
 			} else {
 				c.anchors[at.Value] = at.Line
 			}
@@ -403,7 +403,7 @@ func (c *Checker) checkSpecialAttrs(tok *htmltoken.Token, name string, seen map[
 	}
 	if at, ok := seen["id"]; ok && at.HasValue {
 		if first, dup := c.ids[at.Value]; dup {
-			c.emitAt("duplicate-id", at.Line, at.Col, at.Value, first)
+			c.emitAt("duplicate-id", at.Line, at.Col, at.Value, warn.LineRef(first))
 		} else {
 			c.ids[at.Value] = at.Line
 		}

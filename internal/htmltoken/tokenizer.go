@@ -33,6 +33,18 @@ type Tokenizer struct {
 	src string
 	pos int
 
+	// horizon is one past the furthest byte any scan decision has
+	// examined so far — a running maximum. Token boundaries are not
+	// always causally delimited: a text run peeks past its terminating
+	// '<', raw text ends on a close-tag match covering bytes beyond
+	// the token, and scanToGT's unbalanced-quote recovery can choose a
+	// boundary based on bytes far ahead. A scan whose outcome depended
+	// on running out of input records len(src)+1: the absence of
+	// further bytes was load-bearing, so even an append invalidates
+	// it. Incremental re-lint uses Horizon to decide which checkpoints
+	// an edit leaves intact.
+	horizon int
+
 	// lineStarts[i] is the byte offset of the start of line i+1,
 	// used to translate offsets to positions in O(log n).
 	lineStarts []int
@@ -79,6 +91,7 @@ func New(src string) *Tokenizer {
 func (t *Tokenizer) Reset(src string) {
 	t.src = src
 	t.pos = 0
+	t.horizon = 0
 	t.rawUntil = ""
 	t.rawNeedle = ""
 	t.posLine = 0
@@ -92,6 +105,60 @@ func (t *Tokenizer) Reset(src string) {
 		t.lineStarts = append(t.lineStarts, i)
 	}
 }
+
+// ResetAt is Reset positioned to begin scanning at byte offset pos,
+// for the incremental re-lint: the line index still covers the whole
+// document, so tokens carry the same positions a full scan would
+// produce. pos must lie on a token boundary of src that is outside
+// raw-text mode (the Session guarantees this by checkpointing only at
+// boundaries where InRawText reports false).
+func (t *Tokenizer) ResetAt(src string, pos int) {
+	t.Reset(src)
+	t.pos = pos
+	t.horizon = pos
+}
+
+// ResetAtLines is ResetAt with a caller-supplied line-start table —
+// the same LF semantics Reset computes itself: offset 0 followed by
+// one past every '\n'. The incremental Session maintains the table
+// across edits by splicing (textpos.SpliceLF), so re-arming over a
+// megabyte document costs a table copy, not a document scan. The table
+// is copied; the caller's slice is not retained.
+func (t *Tokenizer) ResetAtLines(src string, pos int, lineStarts []int) {
+	t.src = src
+	t.pos = pos
+	t.horizon = pos
+	t.rawUntil = ""
+	t.rawNeedle = ""
+	t.posLine = 0
+	t.lineStarts = append(t.lineStarts[:0], lineStarts...)
+}
+
+// Pos returns the byte offset scanning resumes at. After NextInto it
+// is one past the token just returned: tokens partition the document,
+// so this is a token-boundary offset.
+func (t *Tokenizer) Pos() int { return t.pos }
+
+// Horizon returns one past the furthest byte examined by any scan
+// decision since Reset (see the field comment). It is always at least
+// Pos; len(src)+1 means some decision depended on end of input. An
+// edit at byte offset start invalidates the tokenization prefix iff
+// start < Horizon recorded at that point.
+func (t *Tokenizer) Horizon() int { return t.horizon }
+
+// see records that a scan decision examined bytes up to (excluding)
+// off.
+func (t *Tokenizer) see(off int) {
+	if off > t.horizon {
+		t.horizon = off
+	}
+}
+
+// InRawText reports whether the next token will be scanned in
+// raw-text mode (inside a SCRIPT/STYLE/... body). A boundary with raw
+// mode armed carries tokenizer state beyond the byte offset, so
+// checkpoints are only taken where this is false.
+func (t *Tokenizer) InRawText() bool { return t.rawUntil != "" }
 
 // ResetBytes is Reset over a byte slice, without copying it. Token
 // substrings alias src: the caller must not mutate src until the last
@@ -235,9 +302,11 @@ func (t *Tokenizer) NextInto(tok *Token) bool {
 	}
 	if t.src[t.pos] == '<' && t.startsMarkup(t.pos) {
 		t.nextMarkup(tok)
+		t.see(t.pos)
 		return true
 	}
 	t.nextText(tok)
+	t.see(t.pos)
 	return true
 }
 
@@ -262,10 +331,14 @@ func (t *Tokenizer) nextText(tok *Token) {
 		j := strings.IndexByte(t.src[i:], '<')
 		if j < 0 {
 			i = len(t.src)
+			// The run ended only because input did: appended bytes
+			// would fuse into this token.
+			t.see(i + 1)
 			break
 		}
 		i += j
 		if t.startsMarkup(i) {
+			t.see(i + 2) // peeked at the byte after '<'
 			break
 		}
 		i++
@@ -293,6 +366,15 @@ func (t *Tokenizer) nextText(tok *Token) {
 func (t *Tokenizer) nextRaw(tok *Token) bool {
 	start := t.pos
 	idx := ascii.IndexFold(t.src[start:], t.rawNeedle)
+	if idx < 0 {
+		// No close tag anywhere: the raw run to EOF depends on the
+		// absence of further input.
+		t.see(len(t.src) + 1)
+	} else {
+		// The run ends here only because the close-tag needle matched
+		// these bytes.
+		t.see(start + idx + len(t.rawNeedle))
+	}
 	t.rawUntil = ""
 	t.rawNeedle = ""
 	if idx == 0 {
@@ -354,6 +436,7 @@ func (t *Tokenizer) nextComment(tok *Token, start, line, col int) {
 		tok.Raw = t.src[start:]
 		tok.Unterminated = true
 		t.pos = len(t.src)
+		t.see(len(t.src) + 1) // unterminated: an appended "-->" would end it
 	} else {
 		end := bodyStart + idx + 3
 		tok.Text = t.src[bodyStart : bodyStart+idx]
@@ -478,12 +561,22 @@ func (t *Tokenizer) scanToGT(off int) (end int, oddQuotes, unterminated bool) {
 	// have ended the tag, a quoted one would have set firstGT — so
 	// searching onward from i equals the per-byte scan from off.
 	recoverFrom := func(i int) (int, bool, bool) {
+		// The choice to recover — and where — was made by examining
+		// bytes up to i; i == len(src) means running out of input made
+		// it, so even appended bytes would change the outcome.
+		if i >= len(src) {
+			t.see(len(src) + 1)
+		} else {
+			t.see(i + 1)
+		}
 		if firstGT >= 0 {
 			return firstGT, true, false
 		}
 		if j := ascii.IndexByteFrom(src, '>', i); j >= 0 {
+			t.see(j + 1)
 			return j, true, false
 		}
+		t.see(len(src) + 1)
 		return len(src), true, true
 	}
 
@@ -491,11 +584,13 @@ func (t *Tokenizer) scanToGT(off int) (end int, oddQuotes, unterminated bool) {
 	for i < len(src) {
 		j := ascii.IndexAny3(src[i:], '"', '\'', '>')
 		if j < 0 {
+			t.see(len(src) + 1) // unterminated: appended bytes would extend the tag
 			return len(src), false, true
 		}
 		i += j
 		quote := src[i]
 		if quote == '>' {
+			t.see(i + 1)
 			return i, false, false
 		}
 		quoteStart := i
@@ -530,6 +625,7 @@ func (t *Tokenizer) scanToGT(off int) (end int, oddQuotes, unterminated bool) {
 			break
 		}
 	}
+	t.see(len(src) + 1) // unterminated at EOF
 	return len(src), false, true
 }
 

@@ -78,14 +78,26 @@ type serverInfo struct {
 type serverCapabilities struct {
 	TextDocumentSync   textDocumentSyncOptions `json:"textDocumentSync"`
 	CodeActionProvider bool                    `json:"codeActionProvider"`
+	// DiagnosticProvider advertises LSP 3.17 pull diagnostics
+	// (textDocument/diagnostic).
+	DiagnosticProvider *diagnosticOptions `json:"diagnosticProvider,omitempty"`
 }
 
 type textDocumentSyncOptions struct {
 	OpenClose bool `json:"openClose"`
-	// Change 1 = full document sync: every didChange carries the whole
-	// text. Weblint re-lints whole documents anyway, and full sync
-	// keeps the hand-rolled server free of edit-application bugs.
+	// Change 2 = incremental sync: didChange carries range-scoped
+	// edits, applied through the lint.Session so only the damaged
+	// window is re-linted. Clients may still send a rangeless change
+	// to replace the whole document (the protocol allows mixing).
 	Change int `json:"change"`
+}
+
+// diagnosticOptions is the 3.17 diagnostic registration: weblint
+// diagnostics are per-document and the server has no workspace-wide
+// pull.
+type diagnosticOptions struct {
+	InterFileDependencies bool `json:"interFileDependencies"`
+	WorkspaceDiagnostics  bool `json:"workspaceDiagnostics"`
 }
 
 type didOpenParams struct {
@@ -97,12 +109,33 @@ type didChangeParams struct {
 	ContentChanges []textDocumentContentChangeEvent `json:"contentChanges"`
 }
 
-// textDocumentContentChangeEvent under full sync carries just Text;
-// Range stays nil. A non-nil Range (incremental change) is rejected —
-// the server advertises full sync only.
+// textDocumentContentChangeEvent is one didChange edit. With a
+// non-nil Range the Text replaces that span (incremental sync); with a
+// nil Range the Text replaces the whole document (clients may mix the
+// two forms).
 type textDocumentContentChangeEvent struct {
 	Range *Range `json:"range"`
 	Text  string `json:"text"`
+}
+
+type didChangeConfigurationParams struct {
+	// Settings is opaque to weblint: any configuration change
+	// invalidates the cached .weblintrc linters so the next lint
+	// re-reads them.
+	Settings any `json:"settings"`
+}
+
+type documentDiagnosticParams struct {
+	TextDocument TextDocumentIdentifier `json:"textDocument"`
+}
+
+// fullDocumentDiagnosticReport answers a textDocument/diagnostic pull
+// (LSP 3.17). Weblint always reports kind "full" — findings are cheap
+// to re-derive incrementally, so unchanged-result bookkeeping
+// (resultId) is not implemented.
+type fullDocumentDiagnosticReport struct {
+	Kind  string       `json:"kind"`
+	Items []Diagnostic `json:"items"`
 }
 
 type didCloseParams struct {

@@ -10,12 +10,17 @@
 //	initialize / initialized / shutdown / exit
 //	textDocument/didOpen | didChange | didClose
 //	textDocument/codeAction
+//	textDocument/diagnostic            (LSP 3.17 pull diagnostics)
+//	workspace/didChangeConfiguration
 //
 // and pushes textDocument/publishDiagnostics after every (debounced)
-// lint. Diagnostics come from the shared lint.Linter — the engine
-// already proved concurrent reuse race-clean — through the warn.Sink
-// seam; fix-carrying messages surface as quick-fix code actions whose
-// edits are converted from byte spans to UTF-16 ranges by textpos.
+// lint. Sync is incremental (TextDocumentSyncKind 2): each didChange
+// carries range-scoped edits which are applied to the buffer and fed
+// to a per-document lint.Session, so a keystroke re-lints only the
+// damaged window and splices the cached findings around it — the
+// session guarantees output byte-identical to a from-scratch lint.
+// Fix-carrying messages surface as quick-fix code actions, plus one
+// source.fixAll action applying every fix in a single workspace edit.
 //
 // Per-workspace configuration follows the CLI: the nearest .weblintrc
 // up the directory tree from each document (stopping at the workspace
@@ -29,10 +34,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"weblint/internal/config"
+	"weblint/internal/fixit"
 	"weblint/internal/lint"
 	"weblint/internal/textpos"
 	"weblint/internal/warn"
@@ -62,6 +69,26 @@ type document struct {
 	version int
 	text    string
 	timer   *time.Timer // pending debounced lint
+
+	// Incremental re-lint state. session holds the lint.Session for
+	// the text continuum this buffer has moved through; pending queues
+	// the byte-span edits applied to text but not yet pushed through
+	// the session; sessionLinter records which linter built the
+	// session, so a configuration change (different linter) rebuilds
+	// rather than splices. desynced marks a buffer whose content the
+	// server no longer knows (an unappliable incremental change
+	// arrived): diagnostics are retracted and nothing is served until
+	// the client sends full text again.
+	session       *lint.Session
+	sessionLinter *lint.Linter
+	pending       []lint.Edit
+	desynced      bool
+
+	// relint serialises analyses of this document: lint.Session is not
+	// safe for concurrent use, and debounce timers race the dispatch
+	// goroutine. Lock ordering is relint before Server.mu; never
+	// acquire relint while holding mu.
+	relint sync.Mutex
 
 	// Last published analysis, consumed by codeAction: msgs[i]
 	// produced diags[i]; index resolves fix edits over text, and
@@ -159,8 +186,9 @@ func (s *Server) dispatch(m *message) error {
 		s.setRoots(&p)
 		return s.conn.respond(m.ID, initializeResult{
 			Capabilities: serverCapabilities{
-				TextDocumentSync:   textDocumentSyncOptions{OpenClose: true, Change: 1},
+				TextDocumentSync:   textDocumentSyncOptions{OpenClose: true, Change: 2},
 				CodeActionProvider: true,
+				DiagnosticProvider: &diagnosticOptions{},
 			},
 			ServerInfo: serverInfo{Name: "weblint-lsp", Version: "2.0"},
 		})
@@ -201,6 +229,27 @@ func (s *Server) dispatch(m *message) error {
 			return s.conn.respondError(m.ID, codeInvalidParams, err.Error())
 		}
 		return s.conn.respond(m.ID, s.codeActions(&p))
+	case "textDocument/diagnostic":
+		var p documentDiagnosticParams
+		if err := json.Unmarshal(m.Params, &p); err != nil {
+			return s.conn.respondError(m.ID, codeInvalidParams, err.Error())
+		}
+		// Pull diagnostics (3.17): lint synchronously and answer with a
+		// full report. The incremental session makes the "synchronous"
+		// part cheap — an unchanged document renders cached events.
+		diags, ok := s.analyze(p.TextDocument.URI, false)
+		if !ok {
+			diags = []Diagnostic{}
+		}
+		return s.conn.respond(m.ID, fullDocumentDiagnosticReport{Kind: "full", Items: diags})
+	case "workspace/didChangeConfiguration":
+		// The settings payload is opaque to weblint; what matters is
+		// that .weblintrc interpretation may have changed. Drop every
+		// cached rc linter (even when the file's mtime is unchanged)
+		// and re-lint all open documents under the fresh resolution.
+		s.linters.invalidate()
+		s.relintAll()
+		return nil
 	}
 	if len(m.ID) != 0 {
 		return s.conn.respondError(m.ID, codeMethodNotFound, "unhandled method "+m.Method)
@@ -246,9 +295,12 @@ func (s *Server) openDocument(td TextDocumentItem) {
 	s.lintNow(td.URI)
 }
 
-// changeDocument applies a full-sync change and schedules a debounced
-// re-lint. Typing bursts collapse into one lint a short beat after
-// the last keystroke.
+// changeDocument applies a didChange — range-scoped incremental edits
+// or a rangeless full replacement, in order, each against the result
+// of the previous — and schedules a debounced re-lint. Incremental
+// edits are also queued for the document's lint.Session so the lint
+// re-tokenizes only the damaged window. Typing bursts collapse into
+// one lint a short beat after the last keystroke.
 func (s *Server) changeDocument(p *didChangeParams) {
 	s.mu.Lock()
 	d := s.docs[p.TextDocument.URI]
@@ -259,18 +311,37 @@ func (s *Server) changeDocument(p *didChangeParams) {
 	}
 	applied := false
 	for _, ch := range p.ContentChanges {
-		if ch.Range != nil {
-			// The server advertises full sync; an incremental change
-			// cannot be applied soundly. Skip it and say so.
-			s.logf("ignoring incremental change for %s (full sync advertised)", d.uri)
+		if ch.Range == nil {
+			// Full replacement: reset the buffer and drop the session;
+			// the next lint rebuilds it from scratch.
+			d.text = ch.Text
+			d.session, d.sessionLinter, d.pending = nil, nil, nil
+			d.desynced = false
+			applied = true
 			continue
 		}
-		d.text = ch.Text
+		if d.desynced {
+			continue // spans against a buffer we no longer know
+		}
+		ix := textpos.New(d.text)
+		start := ix.UTF16ToOffset(ch.Range.Start.Line, ch.Range.Start.Character)
+		end := ix.UTF16ToOffset(ch.Range.End.Line, ch.Range.End.Character)
+		if end < start {
+			// A malformed change leaves the buffer content unknowable.
+			// Serving diagnostics computed against a guess would be
+			// silently wrong, so hard-resync: retract everything and
+			// wait for the client to send full text (didOpen or a
+			// rangeless change).
+			s.desyncLocked(d)
+			continue
+		}
+		d.text = d.text[:start] + ch.Text + d.text[end:]
+		d.pending = append(d.pending, lint.Edit{Start: start, End: end, Text: ch.Text})
 		applied = true
 	}
 	d.version = p.TextDocument.Version
 	uri := d.uri
-	if !applied {
+	if !applied || d.desynced {
 		s.mu.Unlock()
 		return
 	}
@@ -284,6 +355,19 @@ func (s *Server) changeDocument(p *didChangeParams) {
 	}
 	d.timer = time.AfterFunc(s.opts.DebounceDelay, func() { s.lintNow(uri) })
 	s.mu.Unlock()
+}
+
+// desyncLocked (caller holds s.mu) marks a document as out of sync,
+// drops its analysis state, and retracts its diagnostics.
+func (s *Server) desyncLocked(d *document) {
+	d.desynced = true
+	d.session, d.sessionLinter, d.pending = nil, nil, nil
+	d.index, d.msgs, d.diags = nil, nil, nil
+	s.logf("resync required for %s: unappliable incremental change; diagnostics retracted", d.uri)
+	if err := s.conn.notify("textDocument/publishDiagnostics",
+		publishDiagnosticsParams{URI: d.uri, Diagnostics: []Diagnostic{}}); err != nil {
+		s.logf("publish: %v", err)
+	}
 }
 
 // closeDocument forgets a buffer and retracts its diagnostics.
@@ -303,18 +387,55 @@ func (s *Server) closeDocument(uri string) {
 	}
 }
 
-// lintNow checks a document and publishes its diagnostics. It runs on
-// the dispatch goroutine (didOpen) or a timer goroutine (debounced
-// didChange); the version check under the lock makes a stale timer's
+// lintNow analyzes a document and publishes its diagnostics. It runs
+// on the dispatch goroutine (didOpen) or a timer goroutine (debounced
+// didChange); the version check inside analyze makes a stale timer's
 // work harmless — its publish is dropped.
-func (s *Server) lintNow(uri string) {
+func (s *Server) lintNow(uri string) { s.analyze(uri, true) }
+
+// relintAll re-analyzes every open document (after a configuration
+// change).
+func (s *Server) relintAll() {
+	s.mu.Lock()
+	uris := make([]string, 0, len(s.docs))
+	for uri := range s.docs {
+		uris = append(uris, uri)
+	}
+	s.mu.Unlock()
+	for _, uri := range uris {
+		s.lintNow(uri)
+	}
+}
+
+// analyze lints uri's current text — incrementally, through the
+// document's lint.Session, when one is live — and returns the
+// diagnostics. When publish is true and the document is still at the
+// analyzed version, the results are also installed for codeAction and
+// pushed as publishDiagnostics. ok is false when the document is
+// missing or desynced.
+func (s *Server) analyze(uri string, publish bool) (diags []Diagnostic, ok bool) {
 	s.mu.Lock()
 	d := s.docs[uri]
-	if d == nil {
+	if d == nil || d.desynced {
 		s.mu.Unlock()
-		return
+		return nil, false
+	}
+	s.mu.Unlock()
+
+	// Serialise analyses of this document (Session is not
+	// concurrency-safe); s.mu is never held while waiting here.
+	d.relint.Lock()
+	defer d.relint.Unlock()
+
+	s.mu.Lock()
+	if s.docs[uri] != d || d.desynced {
+		s.mu.Unlock()
+		return nil, false
 	}
 	text, version, path := d.text, d.version, d.path
+	pending := d.pending
+	d.pending = nil
+	sess, sessLinter := d.session, d.sessionLinter
 	s.mu.Unlock()
 
 	linter := s.linters.forPath(path)
@@ -322,30 +443,53 @@ func (s *Server) lintNow(uri string) {
 	if name == "" {
 		name = uri
 	}
-	// The Sink seam: stream the pooled check into a collector, then
-	// order per the CLI's per-document contract.
-	var col warn.Collector
-	linter.CheckStringTo(name, text, &col)
-	msgs := col.Messages
-	warn.SortByLine(msgs)
+
+	var msgs []warn.Message
+	if sess != nil && sessLinter == linter {
+		// Incremental path: push the queued edits through the session.
+		// The session's text must land exactly on the buffer snapshot;
+		// if it doesn't (a full-sync replacement raced this analysis),
+		// fall through and rebuild.
+		msgs = sess.Apply(pending)
+		if sess.Text() != text {
+			sess = nil
+		}
+	}
+	if sess == nil || sessLinter != linter {
+		sess = lint.NewSession(linter, name, text)
+		sessLinter = linter
+		msgs = sess.Messages()
+	}
 
 	ix := textpos.New(text)
-	diags := make([]Diagnostic, len(msgs))
+	diags = make([]Diagnostic, len(msgs))
 	for i, m := range msgs {
 		diags[i] = diagnosticFor(m, ix)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	d = s.docs[uri]
-	if d == nil || d.version != version {
-		return // superseded while linting
+	if s.docs[uri] != d || d.desynced {
+		return nil, false
+	}
+	// Write the session back even if a racing change cleared or
+	// superseded it: the next analysis verifies sess.Text() against the
+	// then-current buffer and rebuilds on any mismatch, so a stale
+	// write-back costs one rebuild, never a wrong result.
+	d.session, d.sessionLinter = sess, sessLinter
+	if d.version != version {
+		// Superseded mid-lint: keep the session (the newly queued edits
+		// will advance it next round) but publish nothing stale.
+		return diags, true
 	}
 	d.index, d.msgs, d.diags, d.analyzed = ix, msgs, diags, version
-	if err := s.conn.notify("textDocument/publishDiagnostics",
-		publishDiagnosticsParams{URI: uri, Version: version, Diagnostics: diags}); err != nil {
-		s.logf("publish: %v", err)
+	if publish {
+		if err := s.conn.notify("textDocument/publishDiagnostics",
+			publishDiagnosticsParams{URI: uri, Version: version, Diagnostics: diags}); err != nil {
+			s.logf("publish: %v", err)
+		}
 	}
+	return diags, true
 }
 
 // codeActions builds quick fixes for the fix-carrying diagnostics
@@ -365,21 +509,64 @@ func (s *Server) codeActions(p *codeActionParams) []CodeAction {
 		return []CodeAction{}
 	}
 	actions := []CodeAction{}
-	for i, m := range d.msgs {
-		if m.Fix == nil || !rangesTouch(d.diags[i].Range, p.Range) {
-			continue
+	if wantKind(p.Context.Only, "quickfix") {
+		for i, m := range d.msgs {
+			if m.Fix == nil || !rangesTouch(d.diags[i].Range, p.Range) {
+				continue
+			}
+			actions = append(actions, CodeAction{
+				Title:       m.Fix.Label,
+				Kind:        "quickfix",
+				Diagnostics: []Diagnostic{d.diags[i]},
+				IsPreferred: true,
+				Edit: &WorkspaceEdit{Changes: map[string][]TextEdit{
+					d.uri: editsToLSP(m.Fix.Edits, d.index),
+				}},
+			})
 		}
-		actions = append(actions, CodeAction{
-			Title:       m.Fix.Label,
-			Kind:        "quickfix",
-			Diagnostics: []Diagnostic{d.diags[i]},
-			IsPreferred: true,
-			Edit: &WorkspaceEdit{Changes: map[string][]TextEdit{
-				d.uri: editsToLSP(m.Fix.Edits, d.index),
-			}},
-		})
+	}
+	if wantKind(p.Context.Only, "source.fixAll") {
+		if a := s.fixAllAction(d); a != nil {
+			actions = append(actions, *a)
+		}
 	}
 	return actions
+}
+
+// wantKind implements the codeAction Only filter: empty means
+// everything; otherwise kind must equal a requested kind or fall under
+// one as a sub-kind ("source" matches "source.fixAll").
+func wantKind(only []string, kind string) bool {
+	if len(only) == 0 {
+		return true
+	}
+	for _, o := range only {
+		if o == kind || strings.HasPrefix(kind, o+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// fixAllAction builds the source.fixAll action: every attached fix
+// applied at once through fixit.Apply — the same first-fix-wins engine
+// the CLI's -fix flag uses, so apply-then-relint comes out clean. The
+// edit replaces the whole document; computing minimal per-fix edits
+// would re-implement fixit's conflict handling in range space for no
+// client-visible benefit. Returns nil when nothing is fixable.
+func (s *Server) fixAllAction(d *document) *CodeAction {
+	fixed, rep := fixit.Apply(d.text, d.msgs)
+	if !rep.Changed() {
+		return nil
+	}
+	el, ec := d.index.OffsetToUTF16(len(d.text))
+	return &CodeAction{
+		Title: fmt.Sprintf("Apply all weblint fixes (%d)", rep.Applied),
+		Kind:  "source.fixAll",
+		Edit: &WorkspaceEdit{Changes: map[string][]TextEdit{
+			d.uri: {{Range: Range{End: Position{el, ec}}, NewText: fixed}},
+		}},
+	}
 }
 
 // linterCache resolves the linter for a document path: the nearest
@@ -407,6 +594,16 @@ func newLinterCache(def *lint.Linter, logf func(string, ...any)) *linterCache {
 func (lc *linterCache) setRoots(roots []string) {
 	lc.mu.Lock()
 	lc.roots = roots
+	lc.mu.Unlock()
+}
+
+// invalidate drops every cached rc linter so the next forPath
+// re-reads and rebuilds, even when the rc file's mtime is unchanged —
+// workspace/didChangeConfiguration must take effect regardless of
+// filesystem timestamps.
+func (lc *linterCache) invalidate() {
+	lc.mu.Lock()
+	clear(lc.byRC)
 	lc.mu.Unlock()
 }
 

@@ -166,7 +166,8 @@ func (cl *client) initialize(rootPath string) {
 	if err := json.Unmarshal(resp.Result, &res); err != nil {
 		cl.t.Fatal(err)
 	}
-	if !res.Capabilities.CodeActionProvider || res.Capabilities.TextDocumentSync.Change != 1 {
+	if !res.Capabilities.CodeActionProvider || res.Capabilities.TextDocumentSync.Change != 2 ||
+		res.Capabilities.DiagnosticProvider == nil {
 		cl.t.Fatalf("capabilities = %+v", res.Capabilities)
 	}
 	cl.notify("initialized", map[string]any{})
@@ -274,11 +275,18 @@ func TestCodeActionFixAppliesClean(t *testing.T) {
 	if err := json.Unmarshal(resp.Result, &actions); err != nil {
 		t.Fatal(err)
 	}
-	if len(actions) != 1 {
-		t.Fatalf("%d actions, want 1", len(actions))
+	// Expect the quick fix plus the document-wide source.fixAll.
+	var quick []CodeAction
+	for _, a := range actions {
+		if a.Kind == "quickfix" {
+			quick = append(quick, a)
+		}
 	}
-	a := actions[0]
-	if a.Kind != "quickfix" || a.Title != `insert ALT=""` {
+	if len(quick) != 1 {
+		t.Fatalf("%d quickfix actions in %+v, want 1", len(quick), actions)
+	}
+	a := quick[0]
+	if a.Title != `insert ALT=""` {
 		t.Errorf("action = %+v", a)
 	}
 	edits := a.Edit.Changes[uri]

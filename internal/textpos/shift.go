@@ -1,0 +1,169 @@
+package textpos
+
+import (
+	"sort"
+	"strings"
+)
+
+// NewLF builds an index where only '\n' ends a line — the tokenizer's
+// line semantics (htmltoken counts lines by bare newlines; "\r\n" is
+// one separator only because it contains one '\n'). The incremental
+// lint Session uses LF indexes so its line arithmetic agrees exactly
+// with the line numbers the checker emits.
+func NewLF(src string) *Index {
+	starts := []int{0}
+	for i := 0; i < len(src); {
+		j := strings.IndexByte(src[i:], '\n')
+		if j < 0 {
+			break
+		}
+		i += j + 1
+		starts = append(starts, i)
+	}
+	return &Index{src: src, starts: starts}
+}
+
+// SpliceLF derives the LF index of the edited document — old's source
+// with bytes [start, end) replaced by replacement, yielding newSrc —
+// from the old index, scanning only the replacement bytes. It returns
+// exactly what NewLF(newSrc) would: line starts at or before the edit
+// are unchanged, starts opened by deleted newlines vanish, starts in
+// the replacement are found by scanning it, and starts after the edit
+// shift by the length delta. On the incremental re-lint path this
+// turns the per-edit index rebuild from a whole-document scan into
+// O(len(replacement) + suffix lines).
+func SpliceLF(old *Index, start, end int, replacement, newSrc string) *Index {
+	delta := len(replacement) - (end - start)
+	// starts[:p] are <= start: their newlines sit strictly before the
+	// edit. starts[q:] are > end: their newlines sit at or after it.
+	p := sort.SearchInts(old.starts, start+1)
+	q := sort.SearchInts(old.starts, end+1)
+	starts := make([]int, 0, p+strings.Count(replacement, "\n")+len(old.starts)-q)
+	starts = append(starts, old.starts[:p]...)
+	for i := 0; i < len(replacement); {
+		j := strings.IndexByte(replacement[i:], '\n')
+		if j < 0 {
+			break
+		}
+		i += j + 1
+		starts = append(starts, start+i)
+	}
+	for _, s := range old.starts[q:] {
+		starts = append(starts, s+delta)
+	}
+	return &Index{src: newSrc, starts: starts}
+}
+
+// LineStarts exposes the index's line-start table (offset of each
+// line's first byte, starts[0] == 0). Callers must treat it as
+// read-only; it is the tokenizer hand-off that lets an incremental
+// re-lint re-arm over a large document without rescanning it.
+func (ix *Index) LineStarts() []int { return ix.starts }
+
+// Shift maps positions in a document across one span edit: the old
+// document's bytes [P, Q) were replaced, changing the length by Delta
+// bytes and the line count by LineDelta. It is the single-valued
+// mapping the incremental re-lint uses both to compare checkpointed
+// checker state against a live re-lint (old-document positions against
+// new-document positions) and to splice cached findings across the
+// edit. Mappings that cannot be decided from the value alone — a
+// position inside the replaced span, or a line the edit boundary makes
+// ambiguous — report ok=false; callers treat that as "cannot splice
+// here" and fall back to linting further.
+//
+// Lines are 1-based and follow LF-only semantics (NewLF), matching the
+// tokenizer.
+type Shift struct {
+	// P, Q delimit the replaced span [P, Q) in the old document.
+	P, Q int
+	// Delta is len(new) - len(old).
+	Delta int
+	// LpB, LqB are the 1-based lines containing P and Q in the old
+	// document; LineDelta is the change in total line count.
+	LpB, LqB  int
+	LineDelta int
+	// QAtLineStart records whether Q sits exactly at a line start,
+	// which makes every old position on line LqB unambiguously part of
+	// the suffix.
+	QAtLineStart bool
+	// Old and New are LF indexes of the old and new documents.
+	Old, New *Index
+}
+
+// NewShift describes replacing old[start:end] with replacement, where
+// oldIx and newIx are LF indexes of the documents before and after.
+func NewShift(oldIx, newIx *Index, start, end int, replacement string) *Shift {
+	return &Shift{
+		P:     start,
+		Q:     end,
+		Delta: len(replacement) - (end - start),
+		LpB:   oldIx.OffsetLine(start) + 1,
+		LqB:   oldIx.OffsetLine(end) + 1,
+		LineDelta: strings.Count(replacement, "\n") -
+			strings.Count(oldIx.src[start:end], "\n"),
+		QAtLineStart: end == 0 || oldIx.src[end-1] == '\n',
+		Old:          oldIx,
+		New:          newIx,
+	}
+}
+
+// Off maps an old-document byte offset. Offsets before the edit are
+// unchanged, offsets at or after its end shift by Delta; an offset
+// inside the replaced span is undecidable unless the edit preserved
+// length (then every offset maps to itself).
+func (s *Shift) Off(o int) (int, bool) {
+	switch {
+	case s.Delta == 0:
+		return o, true
+	case o < s.P:
+		return o, true
+	case o >= s.Q:
+		return o + s.Delta, true
+	}
+	return 0, false
+}
+
+// Line maps an old-document 1-based line number (without knowing the
+// column). Lines strictly before the edit are unchanged and lines
+// strictly after it shift by LineDelta. The edit's own lines are
+// undecidable from the line number alone, except when the line count
+// did not change (identity) or when Q sits at a line start (every
+// position on line LqB is then in the suffix).
+func (s *Shift) Line(l int) (int, bool) {
+	switch {
+	case s.LineDelta == 0:
+		return l, true
+	case l < s.LpB:
+		return l, true
+	case l > s.LqB:
+		return l + s.LineDelta, true
+	case l == s.LqB && s.QAtLineStart:
+		return l + s.LineDelta, true
+	}
+	return 0, false
+}
+
+// Pos maps a (1-based line, 1-based byte column) position exactly, by
+// reconstructing the byte offset through the old index and re-deriving
+// line/column through the new one. Col <= 0 means "column unknown"
+// (the emitter's convention) and falls back to Line. Positions inside
+// the replaced span are undecidable unless the edit changed neither
+// length nor line count.
+func (s *Shift) Pos(line, col int) (newLine, newCol int, ok bool) {
+	if col <= 0 {
+		nl, lok := s.Line(line)
+		return nl, col, lok
+	}
+	off := s.Old.LineStart(line-1) + col - 1
+	switch {
+	case off < s.P:
+		return line, col, true
+	case off >= s.Q:
+		noff := off + s.Delta
+		nline := s.New.OffsetLine(noff)
+		return nline + 1, noff - s.New.LineStart(nline) + 1, true
+	case s.Delta == 0 && s.LineDelta == 0:
+		return line, col, true
+	}
+	return 0, 0, false
+}

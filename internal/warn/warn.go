@@ -333,6 +333,7 @@ type Emitter struct {
 	cancelled bool      // the sink returned false; emit nothing more
 	extCancel *atomic.Bool // external cancel flag, polled by Cancelled
 	buf       []byte    // scratch buffer for message formatting
+	eventSink func(Event) // structured emission recorder, see SetEventSink
 }
 
 // NewEmitter returns an Emitter filtering through set. A nil set means
@@ -482,9 +483,14 @@ func (e *Emitter) emit(id, file string, line, col int, fix *Fix, args []any) {
 	if !on {
 		// Suppressed: tell interested sinks so per-rule suppression
 		// stats can be surfaced. The type assertion only runs on this
-		// cold path; enabled emissions never pay for it.
+		// cold path; enabled emissions never pay for it. The event sink
+		// gets a marker so a recorded stream can replay the
+		// suppression observations a live check would deliver.
 		if o, ok := e.sink.(SuppressionObserver); ok {
 			o.ObserveSuppressed(id)
+		}
+		if e.eventSink != nil {
+			e.eventSink(Event{ID: id, Suppressed: true})
 		}
 		return
 	}
@@ -493,6 +499,18 @@ func (e *Emitter) emit(id, file string, line, col int, fix *Fix, args []any) {
 		if t, ok := e.catalog[id]; ok {
 			format = t
 		}
+	}
+	if e.eventSink != nil {
+		e.eventSink(Event{
+			ID:       id,
+			Category: d.Category,
+			Format:   format,
+			File:     file,
+			Line:     line,
+			Col:      col,
+			Fix:      cloneFix(fix),
+			Args:     cloneArgs(args),
+		})
 	}
 	e.buf = appendFormat(e.buf[:0], format, args)
 	if !e.sink.Write(Message{
@@ -571,6 +589,8 @@ func appendArg(dst []byte, verb byte, arg any) []byte {
 		return append(dst, v...)
 	case int:
 		return strconv.AppendInt(dst, int64(v), 10)
+	case LineRef:
+		return strconv.AppendInt(dst, int64(v), 10)
 	case bool:
 		return strconv.AppendBool(dst, v)
 	default:
@@ -608,6 +628,7 @@ func (e *Emitter) Reset() {
 	e.sink = &e.collect
 	e.cancelled = false
 	e.extCancel = nil
+	e.eventSink = nil
 	if len(e.overlay) > 0 {
 		clear(e.overlay)
 	}
